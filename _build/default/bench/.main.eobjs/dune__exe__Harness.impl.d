@@ -1,0 +1,1 @@
+bench/harness.ml: Array Crypto Hashtbl Obj Prime Printf Sim

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Attack Bechamel Benchmark Char Crypto Diversity Harness Hashtbl Int64 List Mana Measure Netbase Plc Prime Printf Scada Sim Spire Staged String Sys Test Time Toolkit

@@ -1,0 +1,196 @@
+(* spire_cli: command-line front end for the Spire reproduction.
+
+     dune exec bin/spire_cli.exe -- redteam
+     dune exec bin/spire_cli.exe -- latency --samples 100 --poll 0.05
+     dune exec bin/spire_cli.exe -- plant --minutes 30 --rotation 300
+     dune exec bin/spire_cli.exe -- breach --craft-days 3 --recovery-days 2
+*)
+
+open Cmdliner
+
+let fresh_world () = (Sim.Engine.create (), Sim.Trace.create ())
+
+let mini_scenario =
+  {
+    Plc.Power.scenario_name = "cli-mini";
+    plcs =
+      [ { Plc.Power.plc_name = "MAIN"; breaker_names = [ "B10-1"; "B57"; "B56" ]; physical = true } ];
+    feeds = [ { Plc.Power.load_name = "Building-A"; path = [ "B10-1"; "B57" ] } ];
+  }
+
+(* --- redteam ----------------------------------------------------------------- *)
+
+let redteam full =
+  let engine, trace = fresh_world () in
+  let scenario = if full then Plc.Power.red_team else mini_scenario in
+  let tb = Attack.Testbed.create ~scenario ~engine ~trace () in
+  let print title steps =
+    Printf.printf "\n== %s ==\n" title;
+    List.iter (fun s -> Format.printf "%a@." Attack.Campaign.pp_step s) steps
+  in
+  print "Commercial SCADA" (Attack.Campaign.run_commercial tb);
+  print "Spire: network attacks" (Attack.Campaign.run_spire_network tb);
+  print "Spire: replica excursion" (Attack.Campaign.run_excursion tb)
+
+let redteam_cmd =
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Use the full 11-PLC red-team topology.")
+  in
+  Cmd.v
+    (Cmd.info "redteam" ~doc:"Run the Section IV red-team campaign against both systems.")
+    Term.(const redteam $ full)
+
+(* --- latency ------------------------------------------------------------------ *)
+
+let latency samples poll gap =
+  let pr name stats completed =
+    Printf.printf "%-24s %3d/%d samples  mean %7.1f ms  p50 %7.1f ms  p99 %7.1f ms\n" name
+      completed samples
+      (1000.0 *. Sim.Stats.Summary.mean stats)
+      (1000.0 *. Sim.Stats.Summary.median stats)
+      (1000.0 *. Sim.Stats.Summary.percentile stats 99.0)
+  in
+  let horizon = 5.0 +. (gap *. float_of_int (samples + 4)) in
+  let engine, trace = fresh_world () in
+  let config = Prime.Config.power_plant () in
+  let deployment =
+    Spire.Deployment.create ~proxy_poll_period:poll ~engine ~trace ~config mini_scenario
+  in
+  Sim.Engine.run ~until:5.0 engine;
+  let stats, done_ =
+    Spire.Measure.spire_reaction_time ~deployment ~breaker:"B57" ~samples ~gap ()
+  in
+  Sim.Engine.run ~until:horizon engine;
+  pr "Spire (6 replicas)" stats !done_;
+  let engine2, trace2 = fresh_world () in
+  let commercial = Spire.Commercial.create ~engine:engine2 ~trace:trace2 mini_scenario in
+  Sim.Engine.run ~until:5.0 engine2;
+  let cstats, cdone =
+    Spire.Measure.commercial_reaction_time ~engine:engine2 ~commercial ~breaker:"B57" ~samples
+      ~gap ()
+  in
+  Sim.Engine.run ~until:horizon engine2;
+  pr "Commercial" cstats !cdone;
+  Printf.printf "\nSpire is %.2fx faster (mean).\n"
+    (Sim.Stats.Summary.mean cstats /. Sim.Stats.Summary.mean stats)
+
+let latency_cmd =
+  let samples =
+    Arg.(value & opt int 50 & info [ "samples" ] ~doc:"Number of breaker flips to time.")
+  in
+  let poll =
+    Arg.(value & opt float 0.1 & info [ "poll" ] ~doc:"Spire proxy polling period (seconds).")
+  in
+  let gap = Arg.(value & opt float 1.5 & info [ "gap" ] ~doc:"Seconds between flips.") in
+  Cmd.v
+    (Cmd.info "latency" ~doc:"Measure breaker-flip-to-HMI reaction time (Section V).")
+    Term.(const latency $ samples $ poll $ gap)
+
+(* --- plant -------------------------------------------------------------------- *)
+
+let plant minutes rotation =
+  let engine, trace = fresh_world () in
+  let config = Prime.Config.power_plant () in
+  let scenario = Plc.Power.power_plant in
+  let deployment =
+    Spire.Deployment.create ~n_hmis:3 ~proxy_poll_period:0.25 ~engine ~trace ~config scenario
+  in
+  Sim.Engine.run ~until:5.0 engine;
+  let rng = Sim.Engine.split_rng engine in
+  let recovery =
+    Diversity.Recovery.create ~engine ~trace ~rng ~n:config.Prime.Config.n
+      ~rotation_period:rotation ~downtime:(Float.min 30.0 (rotation /. 3.0))
+      ~take_down:(fun i -> Spire.Deployment.take_down_replica deployment i)
+      ~bring_up:(fun i _ -> Spire.Deployment.bring_up_replica_clean deployment i)
+  in
+  Diversity.Recovery.start recovery;
+  let driver = Spire.Scenario_driver.create deployment in
+  Spire.Scenario_driver.start driver ~period:5.0;
+  Printf.printf "Running %d simulated minutes (rotation every %.0f s)...\n%!" minutes rotation;
+  Sim.Engine.run ~until:(float_of_int minutes *. 60.0) engine;
+  Spire.Scenario_driver.stop driver;
+  Diversity.Recovery.stop recovery;
+  Printf.printf "recoveries: %d, commands: %d, executed: %d\n"
+    (Diversity.Recovery.recoveries recovery)
+    (Spire.Scenario_driver.commands_issued driver)
+    (Prime.Replica.exec_seq
+       (Spire.Deployment.replicas deployment).(0).Spire.Deployment.r_replica);
+  let digests =
+    Array.map
+      (fun r -> Scada.State.digest (Scada.Master.state r.Spire.Deployment.r_master))
+      (Spire.Deployment.replicas deployment)
+  in
+  Printf.printf "all masters agree: %b\n"
+    (Array.for_all (fun d -> String.equal d digests.(0)) digests)
+
+let plant_cmd =
+  let minutes =
+    Arg.(value & opt int 20 & info [ "minutes" ] ~doc:"Simulated minutes to run.")
+  in
+  let rotation =
+    Arg.(value & opt float 300.0 & info [ "rotation" ] ~doc:"Proactive recovery period (s).")
+  in
+  Cmd.v
+    (Cmd.info "plant" ~doc:"Run the Section V power-plant deployment.")
+    Term.(const plant $ minutes $ rotation)
+
+(* --- breach ------------------------------------------------------------------- *)
+
+let breach craft_days recovery_days horizon =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Engine.split_rng engine in
+  let day = 86_400.0 in
+  let n = 6 and f = 1 in
+  let variants = Array.init n (fun _ -> Diversity.Variant.compile rng) in
+  let compromised = Array.make n false in
+  let breach_day = ref None in
+  let rec craft () =
+    let target = variants.(Sim.Rng.int rng n) in
+    ignore
+      (Sim.Engine.schedule engine ~delay:(craft_days *. day) (fun () ->
+           let e = Diversity.Variant.Exploit.craft ~name:"x" target in
+           Array.iteri
+             (fun i v -> if Diversity.Variant.Exploit.works_against e v then compromised.(i) <- true)
+             variants;
+           let count = Array.fold_left (fun a c -> if c then a + 1 else a) 0 compromised in
+           if count > f && !breach_day = None then
+             breach_day := Some (Sim.Engine.now engine /. day);
+           craft ()))
+  in
+  craft ();
+  if recovery_days > 0.0 then begin
+    let next = ref 0 in
+    ignore
+      (Sim.Engine.every engine ~period:(recovery_days *. day) (fun () ->
+           variants.(!next) <- Diversity.Variant.compile rng;
+           compromised.(!next) <- false;
+           next := (!next + 1) mod n))
+  end;
+  Sim.Engine.run ~until:(horizon *. day) engine;
+  match !breach_day with
+  | Some d -> Printf.printf "breached on day %.1f\n" d
+  | None -> Printf.printf "never breached in %.0f days\n" horizon
+
+let breach_cmd =
+  let craft =
+    Arg.(value & opt float 3.0 & info [ "craft-days" ] ~doc:"Days to craft one exploit.")
+  in
+  let recovery =
+    Arg.(
+      value & opt float 2.0
+      & info [ "recovery-days" ] ~doc:"Per-replica recovery period in days (0 = none).")
+  in
+  let horizon =
+    Arg.(value & opt float 90.0 & info [ "horizon" ] ~doc:"Simulated horizon in days.")
+  in
+  Cmd.v
+    (Cmd.info "breach" ~doc:"Diversity + proactive recovery breach simulation (Section II).")
+    Term.(const breach $ craft $ recovery $ horizon)
+
+let main =
+  Cmd.group
+    (Cmd.info "spire_cli" ~version:"1.0"
+       ~doc:"Spire intrusion-tolerant SCADA reproduction (DSN 2019).")
+    [ redteam_cmd; latency_cmd; plant_cmd; breach_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/mana_ids.ml: Array Attack List Mana Netbase Plc Prime Printf Sim Spire String

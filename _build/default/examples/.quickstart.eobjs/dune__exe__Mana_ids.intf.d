@@ -1,0 +1,1 @@
+examples/mana_ids.mli:

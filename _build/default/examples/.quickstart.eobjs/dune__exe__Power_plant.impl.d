@@ -1,0 +1,1 @@
+examples/power_plant.ml: Array Diversity Format List Plc Prime Printf Scada Sim Spire String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Plc Prime Printf Scada Sim Spire String

@@ -1,0 +1,1 @@
+examples/red_team.ml: Attack Format List Mana Printf Sim Spire String

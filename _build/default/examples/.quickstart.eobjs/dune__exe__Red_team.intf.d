@@ -1,0 +1,1 @@
+examples/red_team.mli:

@@ -1,0 +1,95 @@
+(* The Section V power-plant test deployment: six diverse replicas
+   (f = 1 intrusion + k = 1 proactive recovery), the real three-breaker
+   topology plus the emulated distribution and generation scenarios,
+   continuous operation with proactive recovery, and the final
+   reaction-time measurement against the commercial system.
+
+   The real deployment ran six days; we simulate a compressed window
+   (one hour of virtual time with a 10-minute recovery rotation) and
+   scale the recovery cadence accordingly — the paper's rotation is the
+   same mechanism at a longer period.
+
+     dune exec examples/power_plant.exe *)
+
+let () =
+  print_endline "=== Power plant test deployment (January 2018) ===\n";
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let config = Prime.Config.power_plant () in
+  let scenario = Plc.Power.power_plant in
+  Printf.printf "Configuration: %s — %d PLCs, %d breakers, 3 HMIs\n"
+    (Format.asprintf "%a" Prime.Config.pp config)
+    (List.length scenario.Plc.Power.plcs)
+    (Plc.Power.total_breakers scenario);
+  let deployment =
+    Spire.Deployment.create ~n_hmis:3 ~proxy_poll_period:0.25 ~engine ~trace ~config scenario
+  in
+  Sim.Engine.run ~until:5.0 engine;
+
+  (* Proactive recovery: each replica periodically restarts from a clean
+     image with a fresh MultiCompiler variant. *)
+  let rng = Sim.Engine.split_rng engine in
+  let recovery =
+    Diversity.Recovery.create ~engine ~trace ~rng ~n:config.Prime.Config.n
+      ~rotation_period:600.0 ~downtime:30.0
+      ~take_down:(fun i -> Spire.Deployment.take_down_replica deployment i)
+      ~bring_up:(fun i _ -> Spire.Deployment.bring_up_replica_clean deployment i)
+  in
+  Diversity.Recovery.start recovery;
+
+  (* Plant operations: a slow breaker cycle through the emulated
+     scenarios, as the deployment's workload generator did. *)
+  let driver = Spire.Scenario_driver.create deployment in
+  Spire.Scenario_driver.start driver ~period:5.0;
+
+  print_endline "Running 1 hour of continuous operation with proactive recovery...";
+  let hour = 3600.0 in
+  Sim.Engine.run ~until:hour engine;
+  Spire.Scenario_driver.stop driver;
+  Printf.printf "  proactive recoveries completed: %d\n"
+    (Diversity.Recovery.recoveries recovery);
+  Printf.printf "  supervisory commands issued:    %d\n"
+    (Spire.Scenario_driver.commands_issued driver);
+  let r0 = (Spire.Deployment.replicas deployment).(0) in
+  Printf.printf "  updates executed (replica 0):   %d\n"
+    (Prime.Replica.exec_seq r0.Spire.Deployment.r_replica);
+  let digests =
+    Array.map
+      (fun r -> Scada.State.digest (Scada.Master.state r.Spire.Deployment.r_master))
+      (Spire.Deployment.replicas deployment)
+  in
+  Sim.Engine.run ~until:(hour +. 30.0) engine;
+  let agree = Array.for_all (fun d -> String.equal d digests.(0)) digests in
+  Printf.printf "  all six masters agree on state: %b\n\n" agree;
+  Diversity.Recovery.stop recovery;
+
+  (* The plant engineers' measurement device: flip a real breaker, time
+     the HMI update, on both systems. *)
+  print_endline "--- Final-day measurement: end-to-end reaction time ---";
+  let samples = 40 in
+  let spire_stats, spire_done =
+    Spire.Measure.spire_reaction_time ~deployment ~breaker:"B57" ~samples ~gap:3.0 ()
+  in
+  Sim.Engine.run ~until:(hour +. 200.0) engine;
+  let engine2 = Sim.Engine.create () in
+  let trace2 = Sim.Trace.create () in
+  let commercial = Spire.Commercial.create ~engine:engine2 ~trace:trace2 scenario in
+  Sim.Engine.run ~until:5.0 engine2;
+  let comm_stats, comm_done =
+    Spire.Measure.commercial_reaction_time ~engine:engine2 ~commercial ~breaker:"B57" ~samples
+      ~gap:3.0 ()
+  in
+  Sim.Engine.run ~until:200.0 engine2;
+  let show name stats completed =
+    Printf.printf "  %-22s %2d/%d samples  mean %6.1f ms   p50 %6.1f ms   max %6.1f ms\n" name
+      completed samples
+      (1000.0 *. Sim.Stats.Summary.mean stats)
+      (1000.0 *. Sim.Stats.Summary.median stats)
+      (1000.0 *. Sim.Stats.Summary.max stats)
+  in
+  show "Spire (6 replicas):" spire_stats !spire_done;
+  show "Commercial SCADA:" comm_stats !comm_done;
+  Printf.printf "\n  Spire reflected changes %.1fx faster than the commercial system.\n"
+    (Sim.Stats.Summary.mean comm_stats /. Sim.Stats.Summary.mean spire_stats);
+  print_endline "  (Paper: \"Spire ... was even able to reflect changes more quickly than";
+  print_endline "   the commercial system.\")"

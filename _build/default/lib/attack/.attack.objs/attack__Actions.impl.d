@@ -1,0 +1,1 @@
+lib/attack/actions.ml: Attacker Hashtbl List Netbase Plc Sim String

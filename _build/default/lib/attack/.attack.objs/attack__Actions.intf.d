@@ -1,0 +1,1 @@
+lib/attack/actions.mli: Attacker Netbase Sim

@@ -1,0 +1,1 @@
+lib/attack/attacker.ml: Hashtbl List Netbase Sim

@@ -1,0 +1,1 @@
+lib/attack/attacker.mli: Hashtbl Netbase Sim

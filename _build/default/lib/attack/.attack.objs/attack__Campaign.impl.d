@@ -1,0 +1,1 @@
+lib/attack/campaign.ml: Actions Array Attacker Fmt List Netbase Plc Prime Printf Result Scada Sim Spines Spire String Testbed

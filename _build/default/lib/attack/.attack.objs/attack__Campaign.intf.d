@@ -1,0 +1,1 @@
+lib/attack/campaign.mli: Format Testbed

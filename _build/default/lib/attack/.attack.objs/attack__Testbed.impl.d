@@ -1,0 +1,1 @@
+lib/attack/testbed.ml: Array List Netbase Plc Prime Scada Sim Spire

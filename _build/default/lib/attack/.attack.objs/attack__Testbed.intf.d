@@ -1,0 +1,1 @@
+lib/attack/testbed.mli: Netbase Plc Prime Scada Sim Spire

@@ -1,0 +1,218 @@
+(* Red-team attack actions, as observed in Section IV:
+   port scanning, ARP poisoning / man-in-the-middle, IP spoofing,
+   denial-of-service bursts, service exploitation and privilege
+   escalation, and the PLC maintenance-channel attacks that broke the
+   commercial system. *)
+
+let scan_src_port = 40001
+
+(* --- reconnaissance ---------------------------------------------------------- *)
+
+type scan_result = { scanned_ip : Netbase.Addr.Ip.t; port : int; status : string }
+
+(* Probe [ports] on each target; results are available after [timeout]
+   (read the returned table then). Silence means filtered. *)
+let port_scan (a : Attacker.t) (pos : Attacker.position) ~targets ~ports =
+  let results : (string * int, string) Hashtbl.t = Hashtbl.create 64 in
+  (try
+     Netbase.Host.udp_bind pos.Attacker.pos_host ~port:scan_src_port
+       (fun ~src ~dst_port:_ ~size:_ payload ->
+         match payload with
+         | Netbase.Packet.Scan_ack { service } ->
+             Hashtbl.replace results
+               (Netbase.Addr.Ip.to_string src.Netbase.Addr.ip, src.Netbase.Addr.port)
+               ("open:" ^ service)
+         | Netbase.Packet.Icmp_port_unreachable ->
+             Hashtbl.replace results
+               (Netbase.Addr.Ip.to_string src.Netbase.Addr.ip, src.Netbase.Addr.port)
+               "closed"
+         | _ -> ())
+   with Invalid_argument _ -> () (* scanner port already bound by a prior scan *));
+  (* Probes are paced (as real scanners are): [rate] probes per second,
+     so a sweep spans several capture windows rather than one burst. *)
+  let rate = 50.0 in
+  let all = List.concat_map (fun ip -> List.map (fun p -> (ip, p)) ports) targets in
+  List.iteri
+    (fun i (ip, port) ->
+      ignore
+        (Sim.Engine.schedule a.Attacker.engine
+           ~delay:(float_of_int i /. rate)
+           (fun () ->
+             Sim.Stats.Counter.incr a.Attacker.counters "scan.probe";
+             Netbase.Host.udp_send pos.Attacker.pos_host ~dst_ip:ip ~dst_port:port
+               ~src_port:scan_src_port ~size:40 Netbase.Packet.Scan_probe)))
+    all;
+  fun ip port ->
+    match Hashtbl.find_opt results (Netbase.Addr.Ip.to_string ip, port) with
+    | Some s -> s
+    | None -> "filtered"
+
+(* --- ARP poisoning and man-in-the-middle -------------------------------------- *)
+
+let gratuitous_reply pos ~impersonate ~victim_ip ~victim_mac =
+  {
+    Netbase.Packet.src_mac = Netbase.Host.nic_mac pos.Attacker.pos_nic;
+    dst_mac = victim_mac;
+    l3 =
+      Netbase.Packet.Arp_reply
+        {
+          sender_ip = impersonate;
+          sender_mac = Netbase.Host.nic_mac pos.Attacker.pos_nic;
+          target_ip = victim_ip;
+          target_mac = victim_mac;
+        };
+  }
+
+(* Learn a host's MAC by asking for it (works on any LAN). Replies are
+   collected passively by the attacker's sniffer; query
+   [Attacker.known_mac] after letting the simulation run. *)
+let resolve_mac (a : Attacker.t) (pos : Attacker.position) ~ip =
+  Netbase.Host.inject_frame pos.Attacker.pos_host pos.Attacker.pos_nic
+    {
+      Netbase.Packet.src_mac = Netbase.Host.nic_mac pos.Attacker.pos_nic;
+      dst_mac = Netbase.Addr.Mac.broadcast;
+      l3 =
+        Netbase.Packet.Arp_request
+          {
+            sender_ip = Netbase.Host.nic_ip pos.Attacker.pos_nic;
+            sender_mac = Netbase.Host.nic_mac pos.Attacker.pos_nic;
+            target_ip = ip;
+          };
+    };
+  fun () -> Attacker.known_mac a ip
+
+(* Poison [victim]'s ARP cache so that [impersonate] maps to the
+   attacker's MAC. Repeats periodically to stay poisoned. *)
+let arp_poison (a : Attacker.t) (pos : Attacker.position) ~victim_ip ~victim_mac ~impersonate =
+  Sim.Stats.Counter.incr a.Attacker.counters "arp.poison";
+  let send () =
+    Netbase.Host.inject_frame pos.Attacker.pos_host pos.Attacker.pos_nic
+      (gratuitous_reply pos ~impersonate ~victim_ip ~victim_mac)
+  in
+  send ();
+  Sim.Engine.every a.Attacker.engine ~period:1.0 (fun () -> send ())
+
+(* Full MITM: poison both directions and install an interception handler.
+   [rewrite] may return a replacement payload (tampering), the original
+   (passive relay), or None (drop). Non-intercepted traffic is ignored. *)
+type intercept = {
+  mutable intercepted : int;
+  mutable forwarded : int;
+  mutable tampered : int;
+  mutable dropped : int;
+}
+
+let man_in_the_middle (a : Attacker.t) (pos : Attacker.position) ~ip_a ~mac_a ~ip_b ~mac_b
+    ~rewrite =
+  let stats = { intercepted = 0; forwarded = 0; tampered = 0; dropped = 0 } in
+  let (_ : Sim.Engine.timer) =
+    arp_poison a pos ~victim_ip:ip_a ~victim_mac:mac_a ~impersonate:ip_b
+  in
+  let (_ : Sim.Engine.timer) =
+    arp_poison a pos ~victim_ip:ip_b ~victim_mac:mac_b ~impersonate:ip_a
+  in
+  Netbase.Host.set_raw_handler pos.Attacker.pos_host
+    (Some
+       (fun nic frame ->
+         match frame.Netbase.Packet.l3 with
+         | Netbase.Packet.Ipv4 { src; dst; ttl; udp }
+           when Netbase.Addr.Mac.equal frame.Netbase.Packet.dst_mac
+                  (Netbase.Host.nic_mac nic)
+                && ((Netbase.Addr.Ip.equal dst ip_a && Netbase.Addr.Ip.equal src ip_b)
+                   || (Netbase.Addr.Ip.equal dst ip_b && Netbase.Addr.Ip.equal src ip_a)) ->
+             stats.intercepted <- stats.intercepted + 1;
+             let out_mac = if Netbase.Addr.Ip.equal dst ip_a then mac_a else mac_b in
+             (match rewrite udp.Netbase.Packet.payload with
+             | Some payload ->
+                 if payload != udp.Netbase.Packet.payload then
+                   stats.tampered <- stats.tampered + 1
+                 else stats.forwarded <- stats.forwarded + 1;
+                 Netbase.Host.inject_frame pos.Attacker.pos_host nic
+                   {
+                     Netbase.Packet.src_mac = Netbase.Host.nic_mac nic;
+                     dst_mac = out_mac;
+                     l3 =
+                       Netbase.Packet.Ipv4
+                         { src; dst; ttl = ttl - 1; udp = { udp with Netbase.Packet.payload } };
+                   }
+             | None -> stats.dropped <- stats.dropped + 1);
+             true
+         | _ -> false));
+  stats
+
+(* --- IP spoofing ----------------------------------------------------------------- *)
+
+let spoofed_send (a : Attacker.t) (pos : Attacker.position) ~pretend_ip ~dst_ip ~dst_port
+    ~src_port ~size payload =
+  Sim.Stats.Counter.incr a.Attacker.counters "spoof.sent";
+  Netbase.Host.udp_send ~spoof_src:pretend_ip pos.Attacker.pos_host ~dst_ip ~dst_port
+    ~src_port ~size payload
+
+(* --- denial of service -------------------------------------------------------------- *)
+
+(* Burst [rate] packets/s toward the target for [duration] seconds. *)
+let dos_flood (a : Attacker.t) (pos : Attacker.position) ~target_ip ~target_port ~rate
+    ~duration =
+  let sent = ref 0 in
+  let batch = max 1 (int_of_float (rate /. 100.0)) in
+  let timer_ref = ref None in
+  let timer =
+    Sim.Engine.every a.Attacker.engine ~period:0.01 (fun () ->
+        for _ = 1 to batch do
+          incr sent;
+          Netbase.Host.udp_send pos.Attacker.pos_host ~dst_ip:target_ip ~dst_port:target_port
+            ~src_port:44444 ~size:1400 (Netbase.Packet.Raw "flood")
+        done)
+  in
+  timer_ref := Some timer;
+  ignore
+    (Sim.Engine.schedule a.Attacker.engine ~delay:duration (fun () ->
+         Sim.Engine.cancel_timer a.Attacker.engine timer));
+  sent
+
+(* --- host compromise ------------------------------------------------------------------ *)
+
+let exploit_service (a : Attacker.t) (pos : Attacker.position) target ~port ~exploit =
+  let from_ip = Netbase.Host.nic_ip pos.Attacker.pos_nic in
+  let result = Netbase.Host.attempt_remote_exploit target ~from_ip ~port ~exploit in
+  (match result with
+  | Ok () -> Sim.Stats.Counter.incr a.Attacker.counters "exploit.remote_success"
+  | Error _ -> Sim.Stats.Counter.incr a.Attacker.counters "exploit.remote_failed");
+  result
+
+let escalate (a : Attacker.t) target ~exploit =
+  let result = Netbase.Host.attempt_privilege_escalation target ~exploit in
+  (match result with
+  | Ok () -> Sim.Stats.Counter.incr a.Attacker.counters "exploit.escalation_success"
+  | Error _ -> Sim.Stats.Counter.incr a.Attacker.counters "exploit.escalation_failed");
+  result
+
+(* --- PLC maintenance channel ------------------------------------------------------------ *)
+
+let maint_reply_port = 41962
+
+(* Dump the PLC's configuration over its maintenance service; the result
+   ref fills in when (if) the PLC answers. *)
+let dump_plc_config (a : Attacker.t) (pos : Attacker.position) ~plc_ip =
+  let dump = ref None in
+  (try
+     Netbase.Host.udp_bind pos.Attacker.pos_host ~port:maint_reply_port
+       (fun ~src:_ ~dst_port:_ ~size:_ payload ->
+         match payload with
+         | Plc.Device.Maint_dump_reply config -> dump := Some config
+         | _ -> ())
+   with Invalid_argument _ -> ());
+  Sim.Stats.Counter.incr a.Attacker.counters "plc.dump_attempt";
+  Netbase.Host.udp_send pos.Attacker.pos_host ~dst_ip:plc_ip ~dst_port:Plc.Device.maintenance_port
+    ~src_port:maint_reply_port ~size:32 Plc.Device.Maint_dump_request;
+  dump
+
+let upload_plc_config (a : Attacker.t) (pos : Attacker.position) ~plc_ip ~config =
+  Sim.Stats.Counter.incr a.Attacker.counters "plc.upload_attempt";
+  Netbase.Host.udp_send pos.Attacker.pos_host ~dst_ip:plc_ip ~dst_port:Plc.Device.maintenance_port
+    ~src_port:maint_reply_port ~size:(String.length config + 32) (Plc.Device.Maint_upload config)
+
+let actuate_plc (a : Attacker.t) (pos : Attacker.position) ~plc_ip ~coil ~close =
+  Sim.Stats.Counter.incr a.Attacker.counters "plc.actuate_attempt";
+  Netbase.Host.udp_send pos.Attacker.pos_host ~dst_ip:plc_ip ~dst_port:Plc.Device.maintenance_port
+    ~src_port:maint_reply_port ~size:32 (Plc.Device.Maint_actuate { coil; close })

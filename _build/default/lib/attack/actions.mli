@@ -1,0 +1,96 @@
+(** Red-team attack actions (the Section IV toolbox): reconnaissance,
+    ARP poisoning / man-in-the-middle, IP spoofing, denial of service,
+    host exploitation, and the PLC maintenance-channel attacks. *)
+
+type scan_result = { scanned_ip : Netbase.Addr.Ip.t; port : int; status : string }
+
+(** Paced connection-probe sweep (50 probes/s). Returns a lookup function
+    to query once the simulation has run: "open:<service>", "closed", or
+    "filtered". *)
+val port_scan :
+  Attacker.t ->
+  Attacker.position ->
+  targets:Netbase.Addr.Ip.t list ->
+  ports:int list ->
+  Netbase.Addr.Ip.t ->
+  int ->
+  string
+
+(** Broadcast an ARP request for [ip]; read the result via the returned
+    thunk (backed by the attacker's passive sniffer) after running. *)
+val resolve_mac :
+  Attacker.t -> Attacker.position -> ip:Netbase.Addr.Ip.t -> unit -> Netbase.Addr.Mac.t option
+
+(** Poison [victim]'s ARP cache so [impersonate] maps to the attacker's
+    MAC; re-sent every second until the returned timer is cancelled. *)
+val arp_poison :
+  Attacker.t ->
+  Attacker.position ->
+  victim_ip:Netbase.Addr.Ip.t ->
+  victim_mac:Netbase.Addr.Mac.t ->
+  impersonate:Netbase.Addr.Ip.t ->
+  Sim.Engine.timer
+
+type intercept = {
+  mutable intercepted : int;
+  mutable forwarded : int;
+  mutable tampered : int;
+  mutable dropped : int;
+}
+
+(** Full MITM between two hosts: poison both directions and intercept
+    their traffic. [rewrite] returns a replacement payload (tamper), the
+    original (relay), or [None] (drop). *)
+val man_in_the_middle :
+  Attacker.t ->
+  Attacker.position ->
+  ip_a:Netbase.Addr.Ip.t ->
+  mac_a:Netbase.Addr.Mac.t ->
+  ip_b:Netbase.Addr.Ip.t ->
+  mac_b:Netbase.Addr.Mac.t ->
+  rewrite:(Netbase.Packet.payload -> Netbase.Packet.payload option) ->
+  intercept
+
+(** Send a datagram with a forged source address. *)
+val spoofed_send :
+  Attacker.t ->
+  Attacker.position ->
+  pretend_ip:Netbase.Addr.Ip.t ->
+  dst_ip:Netbase.Addr.Ip.t ->
+  dst_port:int ->
+  src_port:int ->
+  size:int ->
+  Netbase.Packet.payload ->
+  unit
+
+(** Flood [rate] packets/s at the target for [duration] seconds; the
+    returned ref counts packets sent. *)
+val dos_flood :
+  Attacker.t ->
+  Attacker.position ->
+  target_ip:Netbase.Addr.Ip.t ->
+  target_port:int ->
+  rate:float ->
+  duration:float ->
+  int ref
+
+(** Remote service exploitation (reachability + matching vulnerability). *)
+val exploit_service :
+  Attacker.t -> Attacker.position -> Netbase.Host.t -> port:int -> exploit:string ->
+  (unit, string) result
+
+(** Local privilege escalation on a host with a foothold. *)
+val escalate : Attacker.t -> Netbase.Host.t -> exploit:string -> (unit, string) result
+
+(** Dump a PLC's configuration over the vendor maintenance channel; the
+    result fills in when (if) the PLC answers. *)
+val dump_plc_config :
+  Attacker.t -> Attacker.position -> plc_ip:Netbase.Addr.Ip.t -> string option ref
+
+val upload_plc_config :
+  Attacker.t -> Attacker.position -> plc_ip:Netbase.Addr.Ip.t -> config:string -> unit
+
+(** Direct actuation via the maintenance channel (honoured only by
+    compromised logic). *)
+val actuate_plc :
+  Attacker.t -> Attacker.position -> plc_ip:Netbase.Addr.Ip.t -> coil:int -> close:bool -> unit

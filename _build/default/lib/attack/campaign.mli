@@ -1,0 +1,26 @@
+(** The scripted Section IV red-team campaign: the commercial system from
+    enterprise and operations positions (E1), Spire under network attacks
+    (E2), and the compromised-replica excursion (E3). Each step records
+    whether the attacker succeeded and the observed system-level effect. *)
+
+type step = {
+  phase : string;
+  attack : string;
+  attacker_position : string;
+  succeeded : bool; (* from the attacker's perspective *)
+  detail : string;
+}
+
+(** E1: historian exploit, operations scan, PLC configuration dump and
+    upload, breaker takeover, HMI MITM. *)
+val run_commercial : Testbed.t -> step list
+
+(** E2: scans, ARP poisoning, IP spoofing and DoS against Spire, with the
+    breaker-cycling workload running. *)
+val run_spire_network : Testbed.t -> step list
+
+(** E3: daemon stop, unkeyed daemon, privilege escalation, patched keyed
+    binary, insider flooding — with gradually increasing replica access. *)
+val run_excursion : Testbed.t -> step list
+
+val pp_step : Format.formatter -> step -> unit

@@ -1,0 +1,1 @@
+lib/core/addressing.mli: Netbase

@@ -1,0 +1,1 @@
+lib/core/commercial.ml: Addressing Array Hashtbl List Netbase Plc Scada Sim String

@@ -1,0 +1,1 @@
+lib/core/commercial.mli: Netbase Plc Sim

@@ -1,0 +1,1 @@
+lib/core/deployment.ml: Addressing Array Crypto Hashtbl List Netbase Plc Prime Printf Scada Sim Spines String

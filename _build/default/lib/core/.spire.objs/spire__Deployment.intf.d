@@ -1,0 +1,1 @@
+lib/core/deployment.mli: Crypto Netbase Plc Prime Scada Sim Spines

@@ -1,0 +1,1 @@
+lib/core/measure.ml: Array Commercial Deployment Float Plc Scada Sim String

@@ -1,0 +1,1 @@
+lib/core/scenario_driver.ml: Array Deployment Plc Scada Sim

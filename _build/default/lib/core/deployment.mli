@@ -1,0 +1,113 @@
+(** Spire deployment builder: the full Fig. 2/3 architecture in the
+    simulator — hardened dual-homed replica machines running internal and
+    external Spines daemons, a Prime replica and a SCADA master each;
+    PLC/RTU sites behind proxies on dedicated cables; HMIs as Spines
+    session clients.
+
+    [hardened] applies the Section III-B measures (minimal-server OS,
+    default-deny firewalls with explicit peer allows, static ARP, switch
+    port security); building with [hardened:false] reproduces the
+    configuration the red team would have faced without them. *)
+
+(** Spines client-session id used for the Prime stream. *)
+val prime_client : int
+
+(** Spines client-session id used for master-to-master SCADA traffic. *)
+val scada_client : int
+
+(** A field site speaks either Modbus (PLC) or DNP3 (RTU). *)
+type field_frontend =
+  | Modbus_plc of { fe_device : Plc.Device.t; fe_proxy : Scada.Proxy.t }
+  | Dnp3_rtu of { fe_rtu : Plc.Rtu.t; fe_proxy : Scada.Rtu_proxy.t }
+
+type replica_bundle = {
+  r_host : Netbase.Host.t;
+  r_internal_nic : Netbase.Host.nic;
+  r_external_nic : Netbase.Host.nic;
+  r_internal_node : Spines.Node.t;
+  r_external_node : Spines.Node.t;
+  r_replica : Prime.Replica.t;
+  r_master : Scada.Master.t;
+  r_keypair : Crypto.Signature.keypair;
+}
+
+type proxy_bundle = {
+  p_index : int;
+  p_spec : Plc.Power.plc_spec;
+  p_host : Netbase.Host.t;
+  p_session : Spines.Node.Session.session;
+  p_frontend : field_frontend;
+  p_client : Prime.Client.t;
+  p_plc_host : Netbase.Host.t;
+  p_breakers : Plc.Breaker.t array;
+}
+
+type hmi_bundle = {
+  h_index : int;
+  h_host : Netbase.Host.t;
+  h_session : Spines.Node.Session.session;
+  h_hmi : Scada.Hmi.t;
+  h_client : Prime.Client.t;
+}
+
+type t
+
+(** Build and start a deployment. [dnp3_plcs] names the scenario sites to
+    deploy as DNP3 RTUs instead of Modbus PLCs. *)
+val create :
+  ?hardened:bool ->
+  ?n_hmis:int ->
+  ?proxy_poll_period:float ->
+  ?dnp3_plcs:string list ->
+  engine:Sim.Engine.t ->
+  trace:Sim.Trace.t ->
+  config:Prime.Config.t ->
+  Plc.Power.scenario ->
+  t
+
+val engine : t -> Sim.Engine.t
+
+val trace : t -> Sim.Trace.t
+
+val keystore : t -> Crypto.Signature.keystore
+
+val config : t -> Prime.Config.t
+
+val scenario : t -> Plc.Power.scenario
+
+val replicas : t -> replica_bundle array
+
+val proxies : t -> proxy_bundle array
+
+val hmis : t -> hmi_bundle array
+
+val internal_switch : t -> Netbase.Switch.t
+
+val external_switch : t -> Netbase.Switch.t
+
+(** Mirror-port captures of the two networks (MANA's inputs). *)
+val internal_pcap : t -> Netbase.Pcap.t
+
+val external_pcap : t -> Netbase.Pcap.t
+
+(** Dispatch a SCADA payload to a site's proxy, whatever its protocol. *)
+val proxy_handle_payload : proxy_bundle -> Netbase.Packet.payload -> unit
+
+val proxy_reset_reporting : proxy_bundle -> unit
+
+(** The Modbus device behind a bundle, when it is one. *)
+val modbus_device : proxy_bundle -> Plc.Device.t option
+
+(** Locate a breaker by name across all sites. *)
+val find_breaker : t -> string -> (proxy_bundle * Plc.Breaker.t) option
+
+(** Proactive recovery: stop everything on replica [i]'s machine. *)
+val take_down_replica : t -> int -> unit
+
+(** Bring replica [i] back from a clean image (protocol and application
+    state wiped; catchup or state transfer rebuilds). *)
+val bring_up_replica_clean : t -> int -> unit
+
+(** Section III-A assumption-breach recovery: every master resets,
+    replication restarts, proxies re-report the field ground truth. *)
+val ground_truth_reset : t -> unit

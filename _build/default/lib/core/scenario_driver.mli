@@ -1,0 +1,14 @@
+(** The red-team exercise's required workload generator: cycle through
+    the scenario's breakers, commanding each to the opposite of its
+    displayed state, through a Spire HMI. *)
+
+type t
+
+val create : ?hmi_index:int -> Deployment.t -> t
+
+val commands_issued : t -> int
+
+(** Raises [Invalid_argument] if already running. *)
+val start : t -> period:float -> unit
+
+val stop : t -> unit

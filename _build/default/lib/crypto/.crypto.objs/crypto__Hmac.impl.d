@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Char List Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/signature.ml: Hashtbl Hmac Printf Sha256 String

@@ -1,0 +1,35 @@
+(* HMAC-SHA256 (RFC 2104). Keys longer than the 64-byte block are hashed
+   first, shorter keys are zero-padded, per the RFC. *)
+
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  if String.length key = block_size then key
+  else key ^ String.make (block_size - String.length key) '\000'
+
+let xor_with s byte =
+  String.map (fun c -> Char.chr (Char.code c lxor byte)) s
+
+let mac ~key message =
+  let key = normalize_key key in
+  let inner = Sha256.digest_list [ xor_with key 0x36; message ] in
+  Sha256.digest_list [ xor_with key 0x5c; inner ]
+
+let mac_list ~key parts =
+  let key = normalize_key key in
+  let ctx = Sha256.init () in
+  Sha256.feed_string ctx (xor_with key 0x36);
+  List.iter (Sha256.feed_string ctx) parts;
+  let inner = Sha256.finalize ctx in
+  Sha256.digest_list [ xor_with key 0x5c; inner ]
+
+(* Constant-time-style comparison; timing is not observable in the
+   simulator but the idiom is kept for fidelity. *)
+let verify ~key ~tag message =
+  let expected = mac ~key message in
+  String.length expected = String.length tag
+  &&
+  let diff = ref 0 in
+  String.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code tag.[i])) expected;
+  !diff = 0

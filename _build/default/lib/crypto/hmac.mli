@@ -1,0 +1,11 @@
+(** HMAC-SHA256 (RFC 2104) message authentication, used for Spines link
+    authentication and as the core of the simulated signature scheme. *)
+
+(** [mac ~key message] returns the 32-byte authentication tag. *)
+val mac : key:string -> string -> string
+
+(** [mac_list ~key parts] authenticates the concatenation of [parts]. *)
+val mac_list : key:string -> string list -> string
+
+(** [verify ~key ~tag message] checks a tag in constant time. *)
+val verify : key:string -> tag:string -> string -> bool

@@ -1,0 +1,64 @@
+(* Merkle hash trees over lists of byte strings.
+
+   Used for state-transfer integrity: a recovering SCADA master fetches
+   state chunks from peers and checks each against the root agreed through
+   the replication protocol. Leaves and interior nodes use distinct domain
+   separators so a leaf cannot be replayed as an interior node. *)
+
+type proof_step = { sibling : Sha256.digest; sibling_on_left : bool }
+
+type proof = proof_step list
+
+let leaf_hash data = Sha256.digest_list [ "\x00merkle-leaf"; data ]
+
+let node_hash left right = Sha256.digest_list [ "\x01merkle-node"; left; right ]
+
+(* Build all levels bottom-up; odd nodes are promoted unchanged (Bitcoin-
+   style duplication would allow leaf-set ambiguity). *)
+let levels leaves =
+  if leaves = [] then invalid_arg "Merkle.levels: no leaves";
+  let rec build level acc =
+    if List.length level = 1 then List.rev (level :: acc)
+    else
+      let rec pair = function
+        | left :: right :: rest -> node_hash left right :: pair rest
+        | [ odd ] -> [ odd ]
+        | [] -> []
+      in
+      build (pair level) (level :: acc)
+  in
+  build (List.map leaf_hash leaves) []
+
+let root leaves =
+  match List.rev (levels leaves) with
+  | [ r ] :: _ -> r
+  | _ -> assert false
+
+let proof leaves index =
+  let n = List.length leaves in
+  if index < 0 || index >= n then invalid_arg "Merkle.proof: index out of range";
+  let all_levels = levels leaves in
+  let rec walk levels idx acc =
+    match levels with
+    | [] | [ _ ] -> List.rev acc
+    | level :: rest ->
+        let arr = Array.of_list level in
+        let len = Array.length arr in
+        let sibling_idx = if idx mod 2 = 0 then idx + 1 else idx - 1 in
+        let acc =
+          if sibling_idx < len then
+            { sibling = arr.(sibling_idx); sibling_on_left = sibling_idx < idx } :: acc
+          else acc (* promoted odd node: no sibling at this level *)
+        in
+        walk rest (idx / 2) acc
+  in
+  walk all_levels index []
+
+let verify_proof ~root:expected ~leaf ~proof =
+  let folded =
+    List.fold_left
+      (fun acc step ->
+        if step.sibling_on_left then node_hash step.sibling acc else node_hash acc step.sibling)
+      (leaf_hash leaf) proof
+  in
+  String.equal folded expected

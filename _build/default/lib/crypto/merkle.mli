@@ -1,0 +1,21 @@
+(** Merkle hash trees with membership proofs, used to integrity-check
+    application state transfer chunks against an agreed root. *)
+
+type proof_step = { sibling : Sha256.digest; sibling_on_left : bool }
+
+type proof = proof_step list
+
+(** Root hash over the leaf data list. Raises [Invalid_argument] on an
+    empty list. *)
+val root : string list -> Sha256.digest
+
+(** [proof leaves index] is the membership proof for [List.nth leaves
+    index]. Raises [Invalid_argument] if [index] is out of range. *)
+val proof : string list -> int -> proof
+
+(** [verify_proof ~root ~leaf ~proof] checks that [leaf] is a member of
+    the tree with the given [root]. *)
+val verify_proof : root:Sha256.digest -> leaf:string -> proof:proof -> bool
+
+(** Domain-separated leaf hash (exposed for tests). *)
+val leaf_hash : string -> Sha256.digest

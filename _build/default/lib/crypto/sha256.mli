@@ -1,0 +1,29 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch because no crypto
+    package is available in this environment. Verified against the FIPS
+    test vectors in the test suite. *)
+
+(** A digest is 32 raw bytes. *)
+type digest = string
+
+type ctx
+
+(** Fresh streaming context. *)
+val init : unit -> ctx
+
+(** Absorb input incrementally. *)
+val feed_string : ctx -> string -> unit
+
+(** Finish and return the digest. The context must not be reused. *)
+val finalize : ctx -> digest
+
+(** One-shot hash. *)
+val digest : string -> digest
+
+(** Hash the concatenation of the parts without building it. *)
+val digest_list : string list -> digest
+
+(** Lowercase hex rendering of a digest. *)
+val to_hex : digest -> string
+
+(** [hex_of_string s] is [to_hex (digest s)]. *)
+val hex_of_string : string -> string

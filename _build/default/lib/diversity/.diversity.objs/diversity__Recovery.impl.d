@@ -1,0 +1,1 @@
+lib/diversity/recovery.ml: Array Sim Variant

@@ -1,0 +1,1 @@
+lib/diversity/recovery.mli: Sim Variant

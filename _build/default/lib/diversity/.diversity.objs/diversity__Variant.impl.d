@@ -1,0 +1,1 @@
+lib/diversity/variant.ml: Crypto Fmt Printf Sim String

@@ -1,0 +1,1 @@
+lib/diversity/variant.mli: Format Sim

@@ -1,0 +1,83 @@
+(* Proactive recovery scheduler.
+
+   Periodically takes each replica down, restores it to a clean state and
+   brings it back with a freshly compiled diverse variant. While one
+   replica is recovering the system must keep operating, which is why the
+   power-plant deployment used n = 3f + 2k + 1 = 6 replicas (k = 1).
+
+   The scheduler rotates round-robin: one replica at a time, every
+   [rotation_period] seconds, down for [downtime] seconds. The exposure
+   window of any single compromised variant is therefore bounded by
+   n * rotation_period. *)
+
+type t = {
+  engine : Sim.Engine.t;
+  trace : Sim.Trace.t;
+  rng : Sim.Rng.t;
+  n : int;
+  rotation_period : float;
+  downtime : float;
+  take_down : int -> unit;
+  bring_up : int -> Variant.t -> unit;
+  variants : Variant.t array;
+  mutable next_replica : int;
+  mutable timer : Sim.Engine.timer option;
+  mutable recoveries : int;
+  mutable recovering : int option;
+}
+
+let create ~engine ~trace ~rng ~n ~rotation_period ~downtime ~take_down ~bring_up =
+  if rotation_period <= downtime then
+    invalid_arg "Recovery.create: rotation_period must exceed downtime";
+  {
+    engine;
+    trace;
+    rng;
+    n;
+    rotation_period;
+    downtime;
+    take_down;
+    bring_up;
+    variants = Array.init n (fun _ -> Variant.compile rng);
+    next_replica = 0;
+    timer = None;
+    recoveries = 0;
+    recovering = None;
+  }
+
+let current_variant t replica = t.variants.(replica)
+
+let recoveries t = t.recoveries
+
+let recovering t = t.recovering
+
+(* Bound on how long one compromised variant can persist. *)
+let max_exposure t = float_of_int t.n *. t.rotation_period
+
+let rotate_once t =
+  let replica = t.next_replica in
+  t.next_replica <- (t.next_replica + 1) mod t.n;
+  t.recovering <- Some replica;
+  t.recoveries <- t.recoveries + 1;
+  Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"recovery"
+    "proactive recovery: taking replica %d down" replica;
+  t.take_down replica;
+  ignore
+    (Sim.Engine.schedule t.engine ~delay:t.downtime (fun () ->
+         let variant = Variant.compile t.rng in
+         t.variants.(replica) <- variant;
+         t.recovering <- None;
+         Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"recovery"
+           "proactive recovery: replica %d back with fresh variant" replica;
+         t.bring_up replica variant))
+
+let start t =
+  if t.timer <> None then invalid_arg "Recovery.start: already running";
+  t.timer <- Some (Sim.Engine.every t.engine ~period:t.rotation_period (fun () -> rotate_once t))
+
+let stop t =
+  match t.timer with
+  | Some timer ->
+      Sim.Engine.cancel_timer t.engine timer;
+      t.timer <- None
+  | None -> ()

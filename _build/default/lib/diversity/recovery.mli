@@ -1,0 +1,32 @@
+(** Proactive recovery scheduler: round-robin, one replica at a time,
+    each restart installing a freshly compiled diverse variant. The
+    exposure window of any compromised variant is bounded by
+    n * rotation_period. *)
+
+type t
+
+(** Raises [Invalid_argument] unless rotation_period > downtime. *)
+val create :
+  engine:Sim.Engine.t ->
+  trace:Sim.Trace.t ->
+  rng:Sim.Rng.t ->
+  n:int ->
+  rotation_period:float ->
+  downtime:float ->
+  take_down:(int -> unit) ->
+  bring_up:(int -> Variant.t -> unit) ->
+  t
+
+val current_variant : t -> int -> Variant.t
+
+val recoveries : t -> int
+
+(** The replica currently down for recovery, if any. *)
+val recovering : t -> int option
+
+(** Upper bound on one compromised variant's lifetime. *)
+val max_exposure : t -> float
+
+val start : t -> unit
+
+val stop : t -> unit

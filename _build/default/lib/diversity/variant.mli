@@ -1,0 +1,26 @@
+(** MultiCompiler diversity model: an exploit crafted against one
+    variant's layout fails against any other variant; compiling without
+    diversification yields the shared monoculture build. *)
+
+type t
+
+val monoculture : t
+
+val compile : ?diversify:bool -> Sim.Rng.t -> t
+
+val build_id : t -> string
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+module Exploit : sig
+  type exploit
+
+  (** Craft against a concrete variant (requires its binary). *)
+  val craft : name:string -> t -> exploit
+
+  val name : exploit -> string
+
+  val works_against : exploit -> t -> bool
+end

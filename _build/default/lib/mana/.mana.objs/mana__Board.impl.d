@@ -1,0 +1,1 @@
+lib/mana/board.ml: Buffer Detector Hashtbl List Option Printf Sim

@@ -1,0 +1,1 @@
+lib/mana/board.mli: Detector Sim

@@ -1,0 +1,1 @@
+lib/mana/detector.ml: Array Features Float Kmeans List Netbase Sim String

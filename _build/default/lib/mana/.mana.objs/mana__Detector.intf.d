@@ -1,0 +1,1 @@
+lib/mana/detector.mli: Netbase Sim

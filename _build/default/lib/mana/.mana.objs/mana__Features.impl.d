@@ -1,0 +1,1 @@
+lib/mana/features.ml: Array Hashtbl List Netbase Option

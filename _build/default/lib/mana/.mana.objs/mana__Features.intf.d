@@ -1,0 +1,1 @@
+lib/mana/features.mli: Netbase

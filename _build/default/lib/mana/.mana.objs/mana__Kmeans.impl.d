@@ -1,0 +1,1 @@
+lib/mana/kmeans.ml: Array Sim

@@ -1,0 +1,110 @@
+(* Flow-feature extraction for MANA.
+
+   MANA receives passive packet capture and must work without protocol
+   knowledge or plaintext (Section III-C): everything here derives from
+   frame metadata only. A capture window is condensed into a fixed
+   feature vector describing volume, flow structure, ARP behaviour and
+   scan-like fan-out — the signals that distinguish the red team's
+   attacks from baseline SCADA traffic, which is famously regular
+   ("short constant system updates"). *)
+
+type flow_key = {
+  fk_src : Netbase.Addr.Ip.t;
+  fk_dst : Netbase.Addr.Ip.t;
+  fk_dst_port : int;
+}
+
+let feature_names =
+  [|
+    "total_packets";
+    "total_bytes";
+    "mean_packet_size";
+    "flow_count";
+    "new_flow_count";
+    "arp_requests";
+    "arp_replies";
+    "unsolicited_arp_ratio";
+    "max_fanout"; (* distinct (dst, port) touched by one source: scan signal *)
+    "max_flow_packets"; (* heaviest single flow: flood signal *)
+  |]
+
+let dimensions = Array.length feature_names
+
+(* Minimum standard deviation per feature, matched to its natural scale:
+   count-like features get 0.5, the [0,1] ratio feature 0.1. Without this
+   a ratio can never reach a high z-score over constant baselines. *)
+let std_floors =
+  [| 0.5; 0.5; 0.5; 0.5; 0.5; 0.5; 0.5; 0.1; 0.5; 0.5 |]
+
+type t = {
+  (* Flows seen during training become the "known" set; traffic to new
+     flows afterwards is a strong anomaly signal in operational networks. *)
+  known_flows : (flow_key, unit) Hashtbl.t;
+  mutable learning : bool;
+}
+
+let create () = { known_flows = Hashtbl.create 256; learning = true }
+
+let freeze t = t.learning <- false
+
+let known_flow_count t = Hashtbl.length t.known_flows
+
+let flow_of_record (r : Netbase.Pcap.record) =
+  match r.Netbase.Pcap.info with
+  | Netbase.Pcap.Udp { src; dst; dst_port; _ } ->
+      Some { fk_src = src; fk_dst = dst; fk_dst_port = dst_port }
+  | Netbase.Pcap.Arp _ -> None
+
+(* Condense one capture window into a feature vector. *)
+let extract t (records : Netbase.Pcap.record list) =
+  let v = Array.make dimensions 0.0 in
+  let flows : (flow_key, int) Hashtbl.t = Hashtbl.create 64 in
+  let fanout : (Netbase.Addr.Ip.t, (Netbase.Addr.Ip.t * int, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let arp_requests = ref 0 and arp_replies = ref 0 and pending_requests = ref 0 in
+  let unsolicited = ref 0 in
+  let new_flows = ref 0 in
+  List.iter
+    (fun r ->
+      v.(0) <- v.(0) +. 1.0;
+      v.(1) <- v.(1) +. float_of_int r.Netbase.Pcap.size;
+      (match flow_of_record r with
+      | Some key ->
+          let count = 1 + Option.value ~default:0 (Hashtbl.find_opt flows key) in
+          Hashtbl.replace flows key count;
+          if not (Hashtbl.mem t.known_flows key) then begin
+            if t.learning then Hashtbl.replace t.known_flows key ()
+            else if count = 1 then incr new_flows
+          end;
+          let touched =
+            match Hashtbl.find_opt fanout key.fk_src with
+            | Some tbl -> tbl
+            | None ->
+                let tbl = Hashtbl.create 16 in
+                Hashtbl.replace fanout key.fk_src tbl;
+                tbl
+          in
+          Hashtbl.replace touched (key.fk_dst, key.fk_dst_port) ()
+      | None -> ());
+      match r.Netbase.Pcap.info with
+      | Netbase.Pcap.Arp { is_reply = false; _ } ->
+          incr arp_requests;
+          incr pending_requests
+      | Netbase.Pcap.Arp { is_reply = true; _ } ->
+          incr arp_replies;
+          if !pending_requests > 0 then decr pending_requests else incr unsolicited
+      | Netbase.Pcap.Udp _ -> ())
+    records;
+  if v.(0) > 0.0 then v.(2) <- v.(1) /. v.(0);
+  v.(3) <- float_of_int (Hashtbl.length flows);
+  v.(4) <- float_of_int !new_flows;
+  v.(5) <- float_of_int !arp_requests;
+  v.(6) <- float_of_int !arp_replies;
+  v.(7) <-
+    (if !arp_replies > 0 then float_of_int !unsolicited /. float_of_int !arp_replies else 0.0);
+  v.(8) <-
+    float_of_int
+      (Hashtbl.fold (fun _ touched acc -> max acc (Hashtbl.length touched)) fanout 0);
+  v.(9) <- float_of_int (Hashtbl.fold (fun _ c acc -> max acc c) flows 0);
+  v

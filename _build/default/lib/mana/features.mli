@@ -1,0 +1,25 @@
+(** Flow-feature extraction from passive packet capture (metadata only —
+    the paper's requirement for IDS in operational SCADA networks). *)
+
+type t
+
+(** Feature vector component names, aligned with {!extract}'s output. *)
+val feature_names : string array
+
+val dimensions : int
+
+(** Per-feature minimum standard deviation, matched to each feature's
+    natural scale (counts vs ratios). *)
+val std_floors : float array
+
+val create : unit -> t
+
+(** Stop learning new flows: traffic to unknown flows becomes an anomaly
+    signal from here on. *)
+val freeze : t -> unit
+
+val known_flow_count : t -> int
+
+(** Condense one capture window into a feature vector. While learning,
+    flows seen are added to the known-baseline set. *)
+val extract : t -> Netbase.Pcap.record list -> float array

@@ -1,0 +1,1 @@
+lib/netbase/addr.ml: Fmt Hashtbl Int Printf String

@@ -1,0 +1,1 @@
+lib/netbase/addr.mli: Format

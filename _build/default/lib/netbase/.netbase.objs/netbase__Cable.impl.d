@@ -1,0 +1,1 @@
+lib/netbase/cable.ml: Host Sim

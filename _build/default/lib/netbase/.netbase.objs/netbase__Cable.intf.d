@@ -1,0 +1,1 @@
+lib/netbase/cable.mli: Host Sim

@@ -1,0 +1,1 @@
+lib/netbase/firewall.ml: Addr Fmt

@@ -1,0 +1,1 @@
+lib/netbase/host.ml: Addr Firewall Float Hashtbl List Packet Printf Sim String Switch

@@ -1,0 +1,1 @@
+lib/netbase/host.mli: Addr Firewall Packet Sim Switch

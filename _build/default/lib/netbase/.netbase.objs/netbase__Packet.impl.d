@@ -1,0 +1,1 @@
+lib/netbase/packet.ml: Addr Fmt Printf

@@ -1,0 +1,1 @@
+lib/netbase/packet.mli: Addr Format

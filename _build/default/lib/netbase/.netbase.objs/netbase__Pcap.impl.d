@@ -1,0 +1,1 @@
+lib/netbase/pcap.ml: Addr List Packet

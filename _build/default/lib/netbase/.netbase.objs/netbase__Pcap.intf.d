@@ -1,0 +1,1 @@
+lib/netbase/pcap.mli: Addr Packet

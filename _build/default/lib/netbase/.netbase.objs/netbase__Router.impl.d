@@ -1,0 +1,1 @@
+lib/netbase/router.ml: Addr Host List Packet Sim Switch

@@ -1,0 +1,1 @@
+lib/netbase/router.mli: Addr Host Sim Switch

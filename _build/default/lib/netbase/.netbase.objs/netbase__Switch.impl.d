@@ -1,0 +1,1 @@
+lib/netbase/switch.ml: Addr Array Float Hashtbl List Packet Sim

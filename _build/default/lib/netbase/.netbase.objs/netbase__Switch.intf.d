@@ -1,0 +1,1 @@
+lib/netbase/switch.mli: Addr Packet Sim

@@ -1,0 +1,17 @@
+(* Direct physical cable between two NICs.
+
+   The paper connects each PLC to its proxy with a dedicated wire rather
+   than through a switch, "to ensure that it is not subject to any outside
+   interference": a cable has exactly two endpoints and no tap or
+   injection point, so network attackers simply cannot reach it. *)
+
+let connect ~engine ~latency host_a nic_a host_b nic_b =
+  let deliver_b = ref (fun _ -> ()) in
+  let deliver_a =
+    Host.plug host_a nic_a ~transmit:(fun frame ->
+        ignore
+          (Sim.Engine.schedule engine ~delay:latency (fun () -> !deliver_b frame)))
+  in
+  deliver_b :=
+    Host.plug host_b nic_b ~transmit:(fun frame ->
+        ignore (Sim.Engine.schedule engine ~delay:latency (fun () -> deliver_a frame)))

@@ -1,0 +1,5 @@
+(** Dedicated point-to-point cable (the paper's PLC-to-proxy wire): two
+    endpoints, fixed latency, no possible tap or injection point. *)
+
+val connect :
+  engine:Sim.Engine.t -> latency:float -> Host.t -> Host.nic -> Host.t -> Host.nic -> unit

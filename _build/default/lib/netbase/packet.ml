@@ -1,0 +1,62 @@
+(* Wire formats for the simulated network.
+
+   Upper layers (Spines, Modbus, SCADA protocols) extend [payload] with
+   their own message types; the network layers treat payloads opaquely and
+   account for size via the explicit [size] field carried in each UDP
+   datagram, so traffic volume modelling (DoS, IDS features) works without
+   serialising every message. *)
+
+type payload = ..
+
+type payload += Raw of string
+
+(* Connection-probe abstraction (stands in for TCP SYN / SYN-ACK / RST
+   semantics, which the UDP-only stack does not model): a probe to an open,
+   reachable service yields [Scan_ack]; to a closed but reachable port,
+   [Icmp_port_unreachable]; a filtered port stays silent. *)
+type payload += Scan_probe | Scan_ack of { service : string } | Icmp_port_unreachable
+
+type udp = { src_port : int; dst_port : int; size : int; payload : payload }
+
+type l3 =
+  | Arp_request of { sender_ip : Addr.Ip.t; sender_mac : Addr.Mac.t; target_ip : Addr.Ip.t }
+  | Arp_reply of { sender_ip : Addr.Ip.t; sender_mac : Addr.Mac.t; target_ip : Addr.Ip.t; target_mac : Addr.Mac.t }
+  | Ipv4 of { src : Addr.Ip.t; dst : Addr.Ip.t; ttl : int; udp : udp }
+
+type frame = { src_mac : Addr.Mac.t; dst_mac : Addr.Mac.t; l3 : l3 }
+
+let ethernet_overhead = 18 (* header + FCS *)
+
+let ipv4_udp_overhead = 20 + 8
+
+let arp_size = 28
+
+(* Total on-wire bytes, used for serialisation-delay and volume stats. *)
+let frame_size frame =
+  ethernet_overhead
+  +
+  match frame.l3 with
+  | Arp_request _ | Arp_reply _ -> arp_size
+  | Ipv4 { udp; _ } -> ipv4_udp_overhead + udp.size
+
+let udp_frame ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port ~size payload =
+  {
+    src_mac;
+    dst_mac;
+    l3 = Ipv4 { src = src_ip; dst = dst_ip; ttl = 64; udp = { src_port; dst_port; size; payload } };
+  }
+
+let describe_l3 = function
+  | Arp_request { sender_ip; target_ip; _ } ->
+      Printf.sprintf "ARP who-has %s tell %s" (Addr.Ip.to_string target_ip)
+        (Addr.Ip.to_string sender_ip)
+  | Arp_reply { sender_ip; sender_mac; _ } ->
+      Printf.sprintf "ARP %s is-at %s" (Addr.Ip.to_string sender_ip)
+        (Addr.Mac.to_string sender_mac)
+  | Ipv4 { src; dst; udp; _ } ->
+      Printf.sprintf "UDP %s:%d > %s:%d len %d" (Addr.Ip.to_string src) udp.src_port
+        (Addr.Ip.to_string dst) udp.dst_port udp.size
+
+let pp_frame ppf frame =
+  Fmt.pf ppf "%s > %s %s" (Addr.Mac.to_string frame.src_mac)
+    (Addr.Mac.to_string frame.dst_mac) (describe_l3 frame.l3)

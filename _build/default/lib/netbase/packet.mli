@@ -1,0 +1,48 @@
+(** Wire formats: Ethernet-like frames carrying ARP or IPv4/UDP.
+
+    Upper layers extend {!payload} with typed messages; the network
+    accounts for volume through the explicit [size] field rather than by
+    serialising payloads. *)
+
+type payload = ..
+
+type payload += Raw of string
+
+(** Connection-probe abstraction standing in for TCP SYN/SYN-ACK/RST:
+    open reachable service → [Scan_ack]; closed reachable port →
+    [Icmp_port_unreachable]; filtered → silence. *)
+type payload += Scan_probe | Scan_ack of { service : string } | Icmp_port_unreachable
+
+type udp = { src_port : int; dst_port : int; size : int; payload : payload }
+
+type l3 =
+  | Arp_request of { sender_ip : Addr.Ip.t; sender_mac : Addr.Mac.t; target_ip : Addr.Ip.t }
+  | Arp_reply of {
+      sender_ip : Addr.Ip.t;
+      sender_mac : Addr.Mac.t;
+      target_ip : Addr.Ip.t;
+      target_mac : Addr.Mac.t;
+    }
+  | Ipv4 of { src : Addr.Ip.t; dst : Addr.Ip.t; ttl : int; udp : udp }
+
+type frame = { src_mac : Addr.Mac.t; dst_mac : Addr.Mac.t; l3 : l3 }
+
+(** Total on-wire size in bytes including layer overheads. *)
+val frame_size : frame -> int
+
+(** Convenience constructor for a UDP-in-IPv4 Ethernet frame. *)
+val udp_frame :
+  src_mac:Addr.Mac.t ->
+  dst_mac:Addr.Mac.t ->
+  src_ip:Addr.Ip.t ->
+  dst_ip:Addr.Ip.t ->
+  src_port:int ->
+  dst_port:int ->
+  size:int ->
+  payload ->
+  frame
+
+(** One-line human description, used in traces and packet captures. *)
+val describe_l3 : l3 -> string
+
+val pp_frame : Format.formatter -> frame -> unit

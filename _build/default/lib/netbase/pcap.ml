@@ -1,0 +1,49 @@
+(* Passive packet capture.
+
+   MANA receives an out-of-band copy of network traffic (the paper's SPAN
+   port); a capture is a chronological record of frame metadata. Payloads
+   are not inspected — mirroring the paper's observation that proprietary
+   or encrypted protocols defeat deep inspection, so the IDS must work
+   from flow statistics alone. *)
+
+type record = {
+  time : float;
+  size : int;
+  src_mac : Addr.Mac.t;
+  dst_mac : Addr.Mac.t;
+  info : info;
+}
+
+and info =
+  | Arp of { sender_ip : Addr.Ip.t; target_ip : Addr.Ip.t; is_reply : bool }
+  | Udp of { src : Addr.Ip.t; dst : Addr.Ip.t; src_port : int; dst_port : int }
+
+type t = { mutable records : record list; mutable count : int }
+
+let create () = { records = []; count = 0 }
+
+let of_frame ~time (frame : Packet.frame) =
+  let info =
+    match frame.l3 with
+    | Packet.Arp_request { sender_ip; target_ip; _ } -> Arp { sender_ip; target_ip; is_reply = false }
+    | Packet.Arp_reply { sender_ip; target_ip; _ } -> Arp { sender_ip; target_ip; is_reply = true }
+    | Packet.Ipv4 { src; dst; udp; _ } ->
+        Udp { src; dst; src_port = udp.src_port; dst_port = udp.dst_port }
+  in
+  { time; size = Packet.frame_size frame; src_mac = frame.src_mac; dst_mac = frame.dst_mac; info }
+
+let capture t ~time frame =
+  t.records <- of_frame ~time frame :: t.records;
+  t.count <- t.count + 1
+
+let records t = List.rev t.records
+
+let length t = t.count
+
+(* Records within [t0, t1), chronological. *)
+let window t ~t0 ~t1 =
+  List.filter (fun r -> r.time >= t0 && r.time < t1) (records t)
+
+let clear t =
+  t.records <- [];
+  t.count <- 0

@@ -1,0 +1,34 @@
+(** Passive packet capture: frame metadata only (no payload inspection),
+    as delivered to MANA via a mirror port. *)
+
+type record = {
+  time : float;
+  size : int;
+  src_mac : Addr.Mac.t;
+  dst_mac : Addr.Mac.t;
+  info : info;
+}
+
+and info =
+  | Arp of { sender_ip : Addr.Ip.t; target_ip : Addr.Ip.t; is_reply : bool }
+  | Udp of { src : Addr.Ip.t; dst : Addr.Ip.t; src_port : int; dst_port : int }
+
+type t
+
+val create : unit -> t
+
+(** Convert a frame to a capture record. *)
+val of_frame : time:float -> Packet.frame -> record
+
+(** Append a frame to the capture. *)
+val capture : t -> time:float -> Packet.frame -> unit
+
+(** All records, chronological. *)
+val records : t -> record list
+
+val length : t -> int
+
+(** Records with [t0 <= time < t1], chronological. *)
+val window : t -> t0:float -> t1:float -> record list
+
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/plc/breaker.ml: Fmt List Sim

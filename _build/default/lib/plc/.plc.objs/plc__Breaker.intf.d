@@ -1,0 +1,1 @@
+lib/plc/breaker.mli: Format Sim

@@ -1,0 +1,1 @@
+lib/plc/device.ml: Array Breaker List Modbus Netbase Printf Sim String

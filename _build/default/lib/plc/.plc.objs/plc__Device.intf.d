@@ -1,0 +1,1 @@
+lib/plc/device.mli: Breaker Modbus Netbase Sim

@@ -1,0 +1,1 @@
+lib/plc/dnp3.ml: Array Buffer Char List Netbase Printf String

@@ -1,0 +1,1 @@
+lib/plc/dnp3.mli: Netbase

@@ -1,0 +1,1 @@
+lib/plc/modbus.ml: Array Buffer Char List Netbase Printf String

@@ -1,0 +1,1 @@
+lib/plc/modbus.mli: Netbase

@@ -1,0 +1,1 @@
+lib/plc/power.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/plc/power.mli:

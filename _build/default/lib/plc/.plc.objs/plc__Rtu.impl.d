@@ -1,0 +1,1 @@
+lib/plc/rtu.ml: Array Breaker Dnp3 List Netbase Sim String

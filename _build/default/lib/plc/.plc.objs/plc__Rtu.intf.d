@@ -1,0 +1,1 @@
+lib/plc/rtu.mli: Breaker Dnp3 Netbase Sim

@@ -1,0 +1,74 @@
+(* Circuit breaker device model.
+
+   A breaker distinguishes the *commanded* position (what the PLC coil
+   asks for) from the *actual* position (reached after mechanical
+   actuation). The Section V measurement device flips breakers physically
+   — bypassing any command path — which is modelled by [force]. *)
+
+type position = Open | Closed
+
+type t = {
+  name : string;
+  engine : Sim.Engine.t;
+  mutable commanded : position;
+  mutable actual : position;
+  actuation_delay : float;
+  mutable listeners : (t -> unit) list;
+  mutable actuations : int;
+}
+
+let create ?(initial = Closed) ?(actuation_delay = 0.08) ~engine name =
+  {
+    name;
+    engine;
+    commanded = initial;
+    actual = initial;
+    actuation_delay;
+    listeners = [];
+    actuations = 0;
+  }
+
+let name t = t.name
+
+let actual t = t.actual
+
+let commanded t = t.commanded
+
+let actuations t = t.actuations
+
+let is_closed t = t.actual = Closed
+
+let on_change t f = t.listeners <- f :: t.listeners
+
+let notify t = List.iter (fun f -> f t) t.listeners
+
+(* Drive the breaker toward the commanded position after the mechanical
+   delay. A newer command supersedes an in-flight one: the check against
+   [commanded] at fire time makes stale actuations harmless. *)
+let command t position =
+  t.commanded <- position;
+  if t.actual <> position then
+    ignore
+      (Sim.Engine.schedule t.engine ~delay:t.actuation_delay (fun () ->
+           if t.commanded = position && t.actual <> position then begin
+             t.actual <- position;
+             t.actuations <- t.actuations + 1;
+             notify t
+           end))
+
+(* Physical flip (maintenance lever, or the measurement device of
+   Section V): takes effect immediately and also updates the commanded
+   position, as the mechanical linkage does. *)
+let force t position =
+  t.commanded <- position;
+  if t.actual <> position then begin
+    t.actual <- position;
+    t.actuations <- t.actuations + 1;
+    notify t
+  end
+
+let toggle_force t = force t (match t.actual with Open -> Closed | Closed -> Open)
+
+let position_to_string = function Open -> "open" | Closed -> "closed"
+
+let pp ppf t = Fmt.pf ppf "%s=%s" t.name (position_to_string t.actual)

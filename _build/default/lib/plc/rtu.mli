@@ -1,0 +1,35 @@
+(** Remote Terminal Unit speaking DNP3: buffers breaker position changes
+    as class-1 events with device timestamps (the DNP3 model), serves
+    static integrity reads, and executes CROB operate commands. *)
+
+type t
+
+val create :
+  ?event_buffer_limit:int ->
+  engine:Sim.Engine.t ->
+  trace:Sim.Trace.t ->
+  name:string ->
+  n_points:int ->
+  unit ->
+  t
+
+val name : t -> string
+
+val counters : t -> Sim.Stats.Counter.t
+
+val n_points : t -> int
+
+val pending_events : t -> int
+
+(** Did the event buffer shed events? (Masters must integrity-poll.) *)
+val events_overflowed : t -> bool
+
+(** Wire a breaker to a binary point; its changes become events. Raises
+    [Invalid_argument] on a bad index. *)
+val wire_breaker : t -> index:int -> Breaker.t -> unit
+
+(** Process one request (exposed for unit tests). *)
+val handle_request : t -> Dnp3.request Dnp3.framed -> Dnp3.response Dnp3.framed
+
+(** Bind the DNP3 outstation service on [host]. *)
+val serve_on : t -> Netbase.Host.t -> unit

@@ -1,0 +1,1 @@
+lib/prime/client.ml: Config Crypto Hashtbl List Msg Option Sim String

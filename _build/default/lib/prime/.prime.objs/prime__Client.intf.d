@@ -1,0 +1,1 @@
+lib/prime/client.mli: Config Crypto Msg Sim

@@ -1,0 +1,1 @@
+lib/prime/config.mli: Format

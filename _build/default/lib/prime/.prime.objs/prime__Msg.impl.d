@@ -1,0 +1,1 @@
+lib/prime/msg.ml: Array Crypto Fmt List Netbase Printf String

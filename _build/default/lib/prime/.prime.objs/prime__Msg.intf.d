@@ -1,0 +1,1 @@
+lib/prime/msg.mli: Crypto Format Netbase

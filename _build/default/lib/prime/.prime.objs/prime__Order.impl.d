@@ -1,0 +1,1 @@
+lib/prime/order.ml: Array Config Crypto Hashtbl List Msg Preorder String

@@ -1,0 +1,1 @@
+lib/prime/order.mli: Config Crypto Msg

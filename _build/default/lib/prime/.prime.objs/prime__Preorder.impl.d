@@ -1,0 +1,1 @@
+lib/prime/preorder.ml: Array Config Crypto Hashtbl List Msg Option String

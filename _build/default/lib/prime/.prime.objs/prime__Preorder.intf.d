@@ -1,0 +1,1 @@
+lib/prime/preorder.mli: Config Crypto Msg

@@ -1,0 +1,1 @@
+lib/prime/replica.ml: Array Config Crypto Hashtbl List Msg Order Preorder Printf Sim String

@@ -1,0 +1,1 @@
+lib/prime/replica.mli: Config Crypto Msg Sim

@@ -1,0 +1,54 @@
+(* Prime replication parameters.
+
+   Sizing follows the paper: tolerating f intrusions while k replicas may
+   simultaneously be down for proactive recovery requires
+   n = 3f + 2k + 1 replicas, with quorums of 2f + k + 1. The red-team
+   deployment used f = 1, k = 0 (4 replicas, no automatic recovery); the
+   power-plant deployment used f = 1, k = 1 (6 replicas). *)
+
+type t = {
+  f : int; (* tolerated intrusions *)
+  k : int; (* simultaneous proactive recoveries *)
+  n : int;
+  quorum : int; (* 2f + k + 1 *)
+  delta_pp : float; (* pre-prepare emission interval when updates are flowing *)
+  summary_period : float; (* PO-summary emission interval when aru changed *)
+  heartbeat_period : float; (* idle-leader pre-prepare heartbeat *)
+  tat_check_period : float; (* suspect-leader evaluation interval *)
+  tat_allowance : float; (* acceptable turnaround beyond network delay *)
+  reconcile_period : float; (* missing-update re-request interval *)
+  log_retention : int; (* ordered-log entries kept for catchup *)
+}
+
+let create ?(f = 1) ?(k = 0) ?(delta_pp = 0.03) ?(summary_period = 0.01)
+    ?(heartbeat_period = 0.5) ?(tat_check_period = 0.25) ?(tat_allowance = 0.25)
+    ?(reconcile_period = 0.1) ?(log_retention = 1000) () =
+  if f < 1 then invalid_arg "Config.create: f must be >= 1";
+  if k < 0 then invalid_arg "Config.create: k must be >= 0";
+  {
+    f;
+    k;
+    n = (3 * f) + (2 * k) + 1;
+    quorum = (2 * f) + k + 1;
+    delta_pp;
+    summary_period;
+    heartbeat_period;
+    tat_check_period;
+    tat_allowance;
+    reconcile_period;
+    log_retention;
+  }
+
+(* The red-team configuration: 4 replicas, one intrusion, no recovery. *)
+let red_team () = create ~f:1 ~k:0 ()
+
+(* The power-plant configuration: 6 replicas, one intrusion plus one
+   concurrent proactive recovery. *)
+let power_plant () = create ~f:1 ~k:1 ()
+
+let replica_ids t = List.init t.n (fun i -> i)
+
+let leader_of_view t view = view mod t.n
+
+let pp ppf t =
+  Fmt.pf ppf "Prime(n=%d f=%d k=%d quorum=%d)" t.n t.f t.k t.quorum

@@ -1,0 +1,209 @@
+(* Prime protocol messages with canonical encodings for signing.
+
+   Every protocol message is signed by its sender and verified on receipt;
+   client updates carry their own client signature end-to-end (a replica
+   cannot fabricate supervisory commands on behalf of an HMI). Encodings
+   are explicit, stable strings — the property signatures need — rather
+   than a full wire codec, since the simulator passes typed values. *)
+
+module Update = struct
+  type t = {
+    client : string; (* signing identity of the submitting client *)
+    client_seq : int;
+    op : string; (* application-opaque serialized operation *)
+    signature : Crypto.Signature.t;
+  }
+
+  let encode_body ~client ~client_seq ~op =
+    Printf.sprintf "update:%s:%d:%d:%s" client client_seq (String.length op) op
+
+  let create ~keypair ~client_seq ~op =
+    let client = Crypto.Signature.identity keypair in
+    {
+      client;
+      client_seq;
+      op;
+      signature = Crypto.Signature.sign keypair (encode_body ~client ~client_seq ~op);
+    }
+
+  let encode u = encode_body ~client:u.client ~client_seq:u.client_seq ~op:u.op
+
+  let verify ks u = Crypto.Signature.verify ks ~signer:u.client (encode u) u.signature
+
+  let digest u = Crypto.Sha256.digest (encode u)
+
+  let size u = 80 + String.length u.op + Crypto.Signature.size_bytes
+
+  let key u = (u.client, u.client_seq)
+
+  let pp ppf u = Fmt.pf ppf "%s#%d" u.client u.client_seq
+end
+
+(* A replica's cumulative preorder vector: aru.(i) is the highest
+   sequence s such that all of origin i's preorder slots 1..s hold
+   certified updates at this replica. *)
+type summary = { sum_rep : int; aru : int array; sum_sig : Crypto.Signature.t }
+
+let encode_summary_body ~sum_rep ~aru =
+  Printf.sprintf "summary:%d:%s" sum_rep
+    (String.concat "," (Array.to_list (Array.map string_of_int aru)))
+
+let encode_summary s = encode_summary_body ~sum_rep:s.sum_rep ~aru:s.aru
+
+let verify_summary ks s =
+  Crypto.Signature.verify ks ~signer:(Printf.sprintf "replica-%d" s.sum_rep)
+    (encode_summary s) s.sum_sig
+
+(* The proof matrix carried by a pre-prepare: the freshest summary the
+   leader holds from each replica (None until one is received). *)
+type matrix = summary option array
+
+let encode_matrix (m : matrix) =
+  String.concat ";"
+    (Array.to_list
+       (Array.map (function None -> "-" | Some s -> encode_summary s) m))
+
+let matrix_digest ~view ~pp_seq m =
+  Crypto.Sha256.digest (Printf.sprintf "pp:%d:%d:%s" view pp_seq (encode_matrix m))
+
+(* A prepared certificate carried in view-change reports, enough for the
+   new leader to re-propose the same pre-prepare content. *)
+type prepared_cert = { pc_seq : int; pc_view : int; pc_matrix : matrix }
+
+type t =
+  | Update_msg of Update.t
+  | Po_request of { origin : int; po_seq : int; update : Update.t; po_sig : Crypto.Signature.t }
+  | Po_ack of {
+      acker : int;
+      ack_origin : int;
+      ack_po_seq : int;
+      ack_digest : Crypto.Sha256.digest;
+      ack_sig : Crypto.Signature.t;
+    }
+  | Po_summary of summary
+  | Pre_prepare of { pp_view : int; pp_seq : int; pp_matrix : matrix; pp_sig : Crypto.Signature.t }
+  | Prepare of {
+      prep_rep : int;
+      prep_view : int;
+      prep_seq : int;
+      prep_digest : Crypto.Sha256.digest;
+      prep_sig : Crypto.Signature.t;
+    }
+  | Commit of {
+      com_rep : int;
+      com_view : int;
+      com_seq : int;
+      com_digest : Crypto.Sha256.digest;
+      com_sig : Crypto.Signature.t;
+    }
+  | Suspect_leader of { sus_rep : int; sus_view : int; sus_sig : Crypto.Signature.t }
+  | Vc_report of {
+      vc_rep : int;
+      vc_view : int; (* the view being installed *)
+      vc_max_ordered : int;
+      vc_prepared : prepared_cert list;
+      vc_sig : Crypto.Signature.t;
+    }
+  | Origin_reset of { or_rep : int; or_new_start : int; or_sig : Crypto.Signature.t }
+  | Recon_floor of { rf_origin : int; rf_new_start : int; rf_sig : Crypto.Signature.t }
+  | Recon_request of { rr_rep : int; rr_origin : int; rr_po_seq : int }
+  | Recon_reply of { rp_rep : int; rp_origin : int; rp_po_seq : int; rp_update : Update.t }
+  | Catchup_request of { cu_rep : int; cu_from : int (* next exec seq wanted *) }
+  | Catchup_reply of {
+      cr_rep : int;
+      cr_entries : (int * Update.t) list; (* exec_seq, update *)
+      cr_upto : int; (* responder's max exec seq *)
+      cr_behind_log : bool; (* requested range no longer in the log *)
+      cr_next_exec_pp : int; (* responder's ordering cursor ... *)
+      cr_cursor : int array; (* ... and per-origin execution cursor *)
+    }
+  | Client_reply of {
+      crep_rep : int;
+      crep_client : string;
+      crep_client_seq : int;
+      crep_exec_seq : int;
+      crep_sig : Crypto.Signature.t;
+    }
+
+type Netbase.Packet.payload += Prime_msg of t
+
+let replica_identity rep = Printf.sprintf "replica-%d" rep
+
+(* Canonical byte strings covered by each message's signature. *)
+let encode_po_request ~origin ~po_seq update =
+  Printf.sprintf "po-req:%d:%d:%s" origin po_seq (Update.encode update)
+
+let encode_po_ack ~acker ~origin ~po_seq ~digest =
+  Printf.sprintf "po-ack:%d:%d:%d:%s" acker origin po_seq (Crypto.Sha256.to_hex digest)
+
+let encode_pre_prepare ~view ~pp_seq matrix =
+  Printf.sprintf "pre-prepare:%d:%d:%s" view pp_seq (encode_matrix matrix)
+
+let encode_prepare ~rep ~view ~pp_seq ~digest =
+  Printf.sprintf "prepare:%d:%d:%d:%s" rep view pp_seq (Crypto.Sha256.to_hex digest)
+
+let encode_commit ~rep ~view ~pp_seq ~digest =
+  Printf.sprintf "commit:%d:%d:%d:%s" rep view pp_seq (Crypto.Sha256.to_hex digest)
+
+let encode_suspect ~rep ~view = Printf.sprintf "suspect:%d:%d" rep view
+
+(* Signed by the recovering origin itself: "my preorder sequence restarts
+   at new_start; everything below that I never completed is void". *)
+let encode_origin_reset ~rep ~new_start = Printf.sprintf "origin-reset:%d:%d" rep new_start
+
+let encode_prepared_cert c =
+  Printf.sprintf "%d:%d:%s" c.pc_seq c.pc_view (encode_matrix c.pc_matrix)
+
+let encode_vc_report ~rep ~view ~max_ordered ~prepared =
+  Printf.sprintf "vc:%d:%d:%d:[%s]" rep view max_ordered
+    (String.concat "|" (List.map encode_prepared_cert prepared))
+
+let encode_client_reply ~rep ~client ~client_seq ~exec_seq =
+  Printf.sprintf "reply:%d:%s:%d:%d" rep client client_seq exec_seq
+
+(* Approximate wire sizes (bytes) for traffic modelling. *)
+let summary_size n = 40 + (8 * n) + Crypto.Signature.size_bytes
+
+let size config_n = function
+  | Update_msg u -> Update.size u
+  | Po_request { update; _ } -> Update.size update + 48 + Crypto.Signature.size_bytes
+  | Po_ack _ -> 80 + Crypto.Signature.size_bytes
+  | Po_summary _ -> summary_size config_n
+  | Pre_prepare _ -> 48 + (config_n * summary_size config_n) + Crypto.Signature.size_bytes
+  | Prepare _ | Commit _ -> 80 + Crypto.Signature.size_bytes
+  | Suspect_leader _ -> 48 + Crypto.Signature.size_bytes
+  | Vc_report { vc_prepared; _ } ->
+      64 + Crypto.Signature.size_bytes
+      + (List.length vc_prepared * (16 + (config_n * summary_size config_n)))
+  | Origin_reset _ | Recon_floor _ -> 48 + Crypto.Signature.size_bytes
+  | Recon_request _ -> 48
+  | Recon_reply { rp_update; _ } -> 48 + Update.size rp_update
+  | Catchup_request _ -> 48
+  | Catchup_reply { cr_entries; _ } ->
+      48 + List.fold_left (fun acc (_, u) -> acc + 16 + Update.size u) 0 cr_entries
+  | Client_reply _ -> 80 + Crypto.Signature.size_bytes
+
+let describe = function
+  | Update_msg u -> Printf.sprintf "update %s#%d" u.Update.client u.Update.client_seq
+  | Po_request { origin; po_seq; _ } -> Printf.sprintf "po-request (%d,%d)" origin po_seq
+  | Po_ack { acker; ack_origin; ack_po_seq; _ } ->
+      Printf.sprintf "po-ack by %d for (%d,%d)" acker ack_origin ack_po_seq
+  | Po_summary s -> Printf.sprintf "po-summary from %d" s.sum_rep
+  | Pre_prepare { pp_view; pp_seq; _ } -> Printf.sprintf "pre-prepare v%d #%d" pp_view pp_seq
+  | Prepare { prep_rep; prep_seq; _ } -> Printf.sprintf "prepare by %d #%d" prep_rep prep_seq
+  | Commit { com_rep; com_seq; _ } -> Printf.sprintf "commit by %d #%d" com_rep com_seq
+  | Suspect_leader { sus_rep; sus_view; _ } ->
+      Printf.sprintf "suspect v%d by %d" sus_view sus_rep
+  | Vc_report { vc_rep; vc_view; _ } -> Printf.sprintf "vc-report v%d by %d" vc_view vc_rep
+  | Origin_reset { or_rep; or_new_start; _ } ->
+      Printf.sprintf "origin-reset %d -> %d" or_rep or_new_start
+  | Recon_floor { rf_origin; rf_new_start; _ } ->
+      Printf.sprintf "recon-floor %d -> %d" rf_origin rf_new_start
+  | Recon_request { rr_rep; rr_origin; rr_po_seq } ->
+      Printf.sprintf "recon-request by %d for (%d,%d)" rr_rep rr_origin rr_po_seq
+  | Recon_reply { rp_origin; rp_po_seq; _ } ->
+      Printf.sprintf "recon-reply for (%d,%d)" rp_origin rp_po_seq
+  | Catchup_request { cu_rep; cu_from } -> Printf.sprintf "catchup-request by %d from %d" cu_rep cu_from
+  | Catchup_reply { cr_upto; _ } -> Printf.sprintf "catchup-reply upto %d" cr_upto
+  | Client_reply { crep_client; crep_client_seq; _ } ->
+      Printf.sprintf "client-reply %s#%d" crep_client crep_client_seq

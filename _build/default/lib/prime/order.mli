@@ -1,0 +1,75 @@
+(** Prime ordering state: pre-prepare/prepare/commit instances keyed by
+    sequence, deterministic execution of newly-eligible preordered
+    updates, and prepared certificates for view changes. *)
+
+type t
+
+val create : Config.t -> my_id:int -> t
+
+(** Highest pre-prepare sequence seen (ordered or not). *)
+val max_seen_pp : t -> int
+
+(** Lowest pre-prepare sequence not yet executed. *)
+val next_exec_pp : t -> int
+
+(** Global execution counter. *)
+val exec_seq : t -> int
+
+(** Copy of the per-origin executed-through cursor. *)
+val exec_cursor : t -> int array
+
+(** Accept a pre-prepare. A higher view overrides (view-change
+    re-proposal) and resets the quorum counters. *)
+val accept_pre_prepare :
+  t ->
+  view:int ->
+  pp_seq:int ->
+  matrix:Msg.matrix ->
+  pp_sig:Crypto.Signature.t ->
+  [ `Accept of Crypto.Sha256.digest
+  | `Already_ordered
+  | `Conflicting_leader
+  | `Duplicate
+  | `Stale ]
+
+(** Oldest unordered instances with an accepted pre-prepare, for
+    ordering-message retransmission: (pp_seq, view, matrix, digest,
+    leader signature, prepared?). *)
+val stalled_instances :
+  t ->
+  limit:int ->
+  (int * int * Msg.matrix * Crypto.Sha256.digest * Crypto.Signature.t * bool) list
+
+(** Count a prepare; [true] when the instance just became prepared (a
+    full quorum of distinct prepares — every replica, leader included,
+    broadcasts one). *)
+val add_prepare :
+  t -> rep:int -> view:int -> pp_seq:int -> digest:Crypto.Sha256.digest -> bool
+
+(** Count a commit; [true] when the instance just became ordered. *)
+val add_commit :
+  t -> rep:int -> view:int -> pp_seq:int -> digest:Crypto.Sha256.digest -> bool
+
+val is_ordered : t -> int -> bool
+
+val is_prepared : t -> int -> bool
+
+type missing = { miss_origin : int; miss_po_seq : int }
+
+(** Execute ordered instances in sequence. Returns executed updates as
+    (exec_seq, origin, po_seq, update) and the missing bodies blocking
+    further progress (to be fetched via reconciliation). *)
+val try_execute :
+  t ->
+  update_for:(origin:int -> po_seq:int -> Msg.Update.t option) ->
+  floor_for:(origin:int -> int) ->
+  (int * int * int * Msg.Update.t) list * missing list
+
+(** Prepared-but-unexecuted certificates for view-change reports. *)
+val prepared_certs : t -> Msg.prepared_cert list
+
+(** Highest executed pre-prepare sequence. *)
+val max_executed : t -> int
+
+(** Fast-forward the execution cursors (catchup / app state transfer). *)
+val install_checkpoint : t -> next_exec_pp:int -> exec_seq:int -> cursor:int array -> unit

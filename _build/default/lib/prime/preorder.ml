@@ -1,0 +1,247 @@
+(* Prime pre-ordering sub-protocol state.
+
+   Each replica assigns its incoming client updates to its own preorder
+   sequence and broadcasts PO-Requests; peers acknowledge with PO-Acks.
+   A slot is *certified* once 2f + k + 1 distinct replicas (the
+   originator's request counting as its endorsement) vouch for the same
+   update digest. Certified slots advance the per-origin cumulative
+   vector (aru), which replicas exchange as signed PO-Summaries — the raw
+   material of the leader's proof matrix.
+
+   This module is pure protocol state: the replica drives it and performs
+   all sending/signing. *)
+
+type slot = {
+  mutable update : Msg.Update.t option;
+  mutable digest : Crypto.Sha256.digest option;
+  endorsers : (int, unit) Hashtbl.t; (* replicas vouching for the digest *)
+  mutable certified : bool;
+}
+
+type t = {
+  config : Config.t;
+  my_id : int;
+  slots : (int * int, slot) Hashtbl.t; (* (origin, po_seq) *)
+  mutable next_po_seq : int;
+  aru : int array; (* my cumulative certified vector, indexed by origin *)
+  floors : int array; (* per-origin reset floor: slots <= floor are void *)
+  summaries : Msg.summary option array; (* freshest signed summary per replica *)
+  acked : (int * int, unit) Hashtbl.t; (* slots I already acked *)
+  seen_updates : (string * int, unit) Hashtbl.t; (* client update dedup *)
+  mutable dirty : bool; (* aru changed since last summary emission *)
+}
+
+let create config ~my_id =
+  {
+    config;
+    my_id;
+    slots = Hashtbl.create 4096;
+    next_po_seq = 0;
+    aru = Array.make config.Config.n 0;
+    floors = Array.make config.Config.n 0;
+    summaries = Array.make config.Config.n None;
+    acked = Hashtbl.create 4096;
+    seen_updates = Hashtbl.create 4096;
+    dirty = false;
+  }
+
+let slot_for t key =
+  match Hashtbl.find_opt t.slots key with
+  | Some s -> s
+  | None ->
+      let s = { update = None; digest = None; endorsers = Hashtbl.create 8; certified = false } in
+      Hashtbl.replace t.slots key s;
+      s
+
+let aru t = Array.copy t.aru
+
+let floor_of t ~origin = t.floors.(origin)
+
+let next_po_seq t = t.next_po_seq
+
+(* A recovered origin restarts its own sequence above anything it may
+   have used before (peers learn via the signed Origin_reset). *)
+let begin_reset t ~new_start =
+  t.next_po_seq <- max t.next_po_seq (new_start - 1);
+  t.floors.(t.my_id) <- max t.floors.(t.my_id) (new_start - 1);
+  if t.aru.(t.my_id) < t.floors.(t.my_id) then t.aru.(t.my_id) <- t.floors.(t.my_id);
+  t.dirty <- true
+
+(* Adopt execution-cursor floors from a quorum-backed checkpoint: every
+   slot at or below the cursor was executed by a quorum, so this replica
+   treats them as settled and resumes contiguous certification above
+   them. Without this, a recovered replica's cumulative vector could
+   never leave zero (historical slots cannot re-certify). *)
+let install_floors t ~cursor =
+  Array.iteri
+    (fun origin v ->
+      if v > t.floors.(origin) then begin
+        t.floors.(origin) <- v;
+        if t.aru.(origin) < v then t.aru.(origin) <- v;
+        t.dirty <- true
+      end)
+    cursor
+
+(* Apply a (verified) origin reset: void the gap below [new_start] and let
+   the cumulative vector jump over it. *)
+let apply_origin_reset t ~origin ~new_start =
+  let floor = new_start - 1 in
+  if floor > t.floors.(origin) then begin
+    t.floors.(origin) <- floor;
+    if t.aru.(origin) < floor then begin
+      t.aru.(origin) <- floor;
+      t.dirty <- true
+    end;
+    (* Slots above the floor may already be certified. *)
+    let rec advance () =
+      let next = t.aru.(origin) + 1 in
+      match Hashtbl.find_opt t.slots (origin, next) with
+      | Some s when s.certified ->
+          t.aru.(origin) <- next;
+          t.dirty <- true;
+          advance ()
+      | Some _ | None -> ()
+    in
+    advance ();
+    true
+  end
+  else false
+
+let dirty t = t.dirty
+
+let clear_dirty t = t.dirty <- false
+
+(* Force a summary emission (used right after a recovery restart so that
+   mutually-recovered replicas can exchange vectors and re-base even when
+   nothing has certified yet). *)
+let force_dirty t = t.dirty <- true
+
+let seen_update t u = Hashtbl.mem t.seen_updates (Msg.Update.key u)
+
+let note_update t u = Hashtbl.replace t.seen_updates (Msg.Update.key u) ()
+
+(* Advance origin's cumulative counter over contiguously certified slots. *)
+let advance_aru t origin =
+  let rec loop () =
+    let next = t.aru.(origin) + 1 in
+    match Hashtbl.find_opt t.slots (origin, next) with
+    | Some s when s.certified ->
+        t.aru.(origin) <- next;
+        t.dirty <- true;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let check_certified t ~origin key slot =
+  if (not slot.certified) && Hashtbl.length slot.endorsers >= t.config.Config.quorum then begin
+    slot.certified <- true;
+    ignore key;
+    advance_aru t origin
+  end
+
+(* Assign one of my client updates to my next preorder slot; returns the
+   sequence the PO-Request should carry. The request itself is my
+   endorsement. *)
+let assign t update =
+  t.next_po_seq <- t.next_po_seq + 1;
+  let po_seq = t.next_po_seq in
+  let slot = slot_for t (t.my_id, po_seq) in
+  slot.update <- Some update;
+  slot.digest <- Some (Msg.Update.digest update);
+  Hashtbl.replace slot.endorsers t.my_id ();
+  note_update t update;
+  check_certified t ~origin:t.my_id (t.my_id, po_seq) slot;
+  po_seq
+
+(* Returns [`Ack digest] when this replica should broadcast a PO-Ack. *)
+let receive_request t ~origin ~po_seq update =
+  let key = (origin, po_seq) in
+  let slot = slot_for t key in
+  let digest = Msg.Update.digest update in
+  match slot.digest with
+  | Some existing when not (String.equal existing digest) ->
+      (* Conflicting request for the same slot: a faulty origin. Keep the
+         first; never ack the conflict. *)
+      `Conflict
+  | _ ->
+      slot.update <- Some update;
+      slot.digest <- Some digest;
+      Hashtbl.replace slot.endorsers origin ();
+      note_update t update;
+      check_certified t ~origin key slot;
+      if Hashtbl.mem t.acked key then `Already_acked digest
+      else begin
+        Hashtbl.replace t.acked key ();
+        Hashtbl.replace slot.endorsers t.my_id ();
+        check_certified t ~origin key slot;
+        `Ack digest
+      end
+
+let receive_ack t ~acker ~origin ~po_seq ~digest =
+  let key = (origin, po_seq) in
+  let slot = slot_for t key in
+  match slot.digest with
+  | Some existing when not (String.equal existing digest) -> () (* ack for a conflict *)
+  | Some _ ->
+      Hashtbl.replace slot.endorsers acker ();
+      check_certified t ~origin key slot
+  | None ->
+      (* Ack arrived before the request; remember the endorsement and the
+         digest it vouches for. *)
+      slot.digest <- Some digest;
+      Hashtbl.replace slot.endorsers acker ();
+      check_certified t ~origin key slot
+
+(* Keep the freshest summary per replica (component sums are monotone for
+   honest senders, so a larger sum means fresher). *)
+let receive_summary t (s : Msg.summary) =
+  let sum a = Array.fold_left ( + ) 0 a in
+  let fresher =
+    match t.summaries.(s.Msg.sum_rep) with
+    | None -> true
+    | Some old -> sum s.Msg.aru > sum old.Msg.aru
+  in
+  if fresher then t.summaries.(s.Msg.sum_rep) <- Some s
+
+let stored_summary t rep = t.summaries.(rep)
+
+(* The proof matrix a leader would propose right now: peers' freshest
+   summaries plus my own current vector (signed by the caller). *)
+let matrix t ~my_summary : Msg.matrix =
+  let m = Array.copy t.summaries in
+  m.(t.my_id) <- Some my_summary;
+  m
+
+(* Eligibility: update (origin, s) may be executed once at least
+   2f + k + 1 summaries in the matrix report aru.(origin) >= s — i.e. the
+   quorum-th largest value in the origin's column. *)
+let eligible_up_to config (m : Msg.matrix) ~origin =
+  let column =
+    Array.to_list m
+    |> List.filter_map (fun s -> Option.map (fun s -> s.Msg.aru.(origin)) s)
+  in
+  let sorted = List.sort (fun a b -> compare b a) column in
+  match List.nth_opt sorted (config.Config.quorum - 1) with Some v -> v | None -> 0
+
+(* Store an update body fetched through reconciliation. No endorsement is
+   added: the body is only accepted if it matches the digest the slot was
+   certified (or acked) under, or fills an empty slot whose eligibility
+   was already proven through the ordered matrix. *)
+let store_body t ~origin ~po_seq update =
+  let slot = slot_for t (origin, po_seq) in
+  let digest = Msg.Update.digest update in
+  match slot.digest with
+  | Some existing when not (String.equal existing digest) -> `Mismatch
+  | Some _ | None ->
+      slot.update <- Some update;
+      slot.digest <- Some digest;
+      note_update t update;
+      `Stored
+
+let update_for t ~origin ~po_seq =
+  match Hashtbl.find_opt t.slots (origin, po_seq) with
+  | Some { update = Some u; _ } -> Some u
+  | Some _ | None -> None
+
+let have_update t ~origin ~po_seq = update_for t ~origin ~po_seq <> None

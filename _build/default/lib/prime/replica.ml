@@ -1,0 +1,1035 @@
+(* Prime replica: orchestrates pre-ordering, ordering, suspect-leader,
+   view changes, reconciliation and catchup over an abstract transport.
+
+   The replica owns timers on the simulation engine:
+   - summary emission (when the preorder vector advanced);
+   - leader pre-prepare emission (every delta_pp while updates flow, a
+     slower heartbeat when idle);
+   - suspect-leader evaluation (turnaround-time and matrix-freshness
+     checks);
+   - reconciliation re-requests and catchup probing.
+
+   Misbehaviour knobs ([set_misbehavior]) model the attacks the
+   benchmarks measure: a silently crashed leader, a leader delaying
+   pre-prepares to just under the detection bound, and a leader censoring
+   one origin's summaries. *)
+
+type misbehavior =
+  | Honest
+  | Crash_silent
+  | Slow_leader of float (* added delay before each pre-prepare emission *)
+  | Censor_origin of int (* leader zeroes this origin's matrix column *)
+  | Equivocate (* leader sends conflicting pre-prepares to different replicas *)
+
+type transport = {
+  send : dst:int -> Msg.t -> unit;
+  broadcast : Msg.t -> unit; (* to every other replica *)
+  reply_to_client : client:string -> Msg.t -> unit;
+}
+
+type app = {
+  apply : exec_seq:int -> Msg.Update.t -> unit;
+  (* Replication-level catchup cannot cover the gap: the application must
+     run its own state transfer (Section III-A), then call
+     [install_app_checkpoint]. *)
+  state_transfer_needed : unit -> unit;
+}
+
+(* Pending turnaround-time entries: summaries I broadcast that the
+   leader's pre-prepares have not yet covered. *)
+type tat_pending = { sent_at : float; sent_sum : int }
+
+type freshness = {
+  mutable best_sum : int; (* freshest sum announced by this origin *)
+  mutable armed_sum : int; (* the announcement the current deadline tracks *)
+  mutable cover_deadline : float option;
+}
+
+type t = {
+  config : Config.t;
+  id : int;
+  keypair : Crypto.Signature.keypair;
+  keystore : Crypto.Signature.keystore;
+  engine : Sim.Engine.t;
+  trace : Sim.Trace.t;
+  transport : transport;
+  mutable app : app;
+  mutable preorder : Preorder.t;
+  mutable order : Order.t;
+  (* view / leader election *)
+  mutable view : int;
+  mutable suspected_view : int; (* highest view I've sent a suspect for *)
+  suspects : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* view -> suspecting replicas *)
+  vc_reports : (int, (int, Msg.t) Hashtbl.t) Hashtbl.t; (* view -> reports *)
+  mutable leader_active : bool; (* I am leader of [view] and finished VC *)
+  mutable next_pp_seq : int;
+  mutable last_pp_matrix_digest : string;
+  mutable last_pp_time : float;
+  (* suspect-leader state *)
+  mutable last_summary_time : float;
+  mutable tat_pending : tat_pending list;
+  (* Censorship detection: per origin, the freshest summary sum we know
+     and the deadline by which the leader must cover it (None = covered). *)
+  origin_freshness : (int, freshness) Hashtbl.t;
+  (* execution / client dedup / catchup *)
+  executed_clients : (string * int, int) Hashtbl.t; (* executed op -> exec_seq (reply cache) *)
+  exec_log : (int, Msg.Update.t) Hashtbl.t;
+  mutable awaiting_app_transfer : bool;
+  mutable catchup_votes : (string, int * Msg.t) Hashtbl.t; (* digest -> count, sample *)
+  (* reconciliation *)
+  outstanding_recon : (int * int, float) Hashtbl.t;
+  (* origin resets after proactive recovery *)
+  mutable origin_synced : bool; (* my own sequence is safely above any prior use *)
+  stored_resets : (int, int * Crypto.Signature.t) Hashtbl.t; (* origin -> new_start, sig *)
+  rebase_reports : (int, int) Hashtbl.t; (* reporter -> its view of my column *)
+  (* lifecycle / behaviour *)
+  mutable running : bool;
+  mutable timers : Sim.Engine.timer list;
+  mutable misbehavior : misbehavior;
+  counters : Sim.Stats.Counter.t;
+  mutable on_execute_hook : (exec_seq:int -> Msg.Update.t -> unit) option;
+}
+
+let null_app =
+  { apply = (fun ~exec_seq:_ _ -> ()); state_transfer_needed = (fun () -> ()) }
+
+let create ~engine ~trace ~keystore ~keypair ~transport ~id config =
+  {
+    config;
+    id;
+    keypair;
+    keystore;
+    engine;
+    trace;
+    transport;
+    app = null_app;
+    preorder = Preorder.create config ~my_id:id;
+    order = Order.create config ~my_id:id;
+    view = 0;
+    suspected_view = -1;
+    suspects = Hashtbl.create 8;
+    vc_reports = Hashtbl.create 8;
+    leader_active = id = Config.leader_of_view config 0;
+    next_pp_seq = 1;
+    last_pp_matrix_digest = "";
+    last_pp_time = 0.0;
+    last_summary_time = 0.0;
+    tat_pending = [];
+    origin_freshness = Hashtbl.create 8;
+    executed_clients = Hashtbl.create 1024;
+    exec_log = Hashtbl.create 4096;
+    awaiting_app_transfer = false;
+    catchup_votes = Hashtbl.create 8;
+    outstanding_recon = Hashtbl.create 64;
+    origin_synced = true;
+    stored_resets = Hashtbl.create 8;
+    rebase_reports = Hashtbl.create 8;
+    running = false;
+    timers = [];
+    misbehavior = Honest;
+    counters = Sim.Stats.Counter.create ();
+    on_execute_hook = None;
+  }
+
+let id t = t.id
+
+let view t = t.view
+
+let counters t = t.counters
+
+let exec_seq t = Order.exec_seq t.order
+
+let is_running t = t.running
+
+let is_leader t = t.id = Config.leader_of_view t.config t.view && t.leader_active
+
+let set_app t app = t.app <- app
+
+let set_misbehavior t m = t.misbehavior <- m
+
+let set_on_execute t hook = t.on_execute_hook <- Some hook
+
+let now t = Sim.Engine.now t.engine
+
+let tracef t fmt = Sim.Trace.record t.trace ~time:(now t) ~category:"prime" fmt
+
+let silent t = (not t.running) || t.misbehavior = Crash_silent
+
+let send t ~dst msg = if not (silent t) then t.transport.send ~dst msg
+
+let broadcast t msg = if not (silent t) then t.transport.broadcast msg
+
+let sign t body = Crypto.Signature.sign t.keypair body
+
+let verify_from t ~rep body signature =
+  Crypto.Signature.verify t.keystore ~signer:(Msg.replica_identity rep) body signature
+
+(* --- summaries --------------------------------------------------------- *)
+
+let current_summary t =
+  let aru = Preorder.aru t.preorder in
+  let body = Msg.encode_summary_body ~sum_rep:t.id ~aru in
+  { Msg.sum_rep = t.id; aru = Array.copy aru; sum_sig = sign t body }
+
+let aru_sum a = Array.fold_left ( + ) 0 a
+
+let emit_summary ?(arm_tat = true) t =
+  let s = current_summary t in
+  Preorder.receive_summary t.preorder s;
+  t.last_summary_time <- now t;
+  (* Turnaround-time deadlines are armed only for summaries carrying new
+     information: a periodic refresh of an unchanged vector does not force
+     the leader to produce a new pre-prepare, so timing it would create
+     false suspicion. *)
+  if arm_tat then
+    t.tat_pending <- { sent_at = now t; sent_sum = aru_sum s.Msg.aru } :: t.tat_pending;
+  Sim.Stats.Counter.incr t.counters "summary.sent";
+  broadcast t (Msg.Po_summary s)
+
+(* --- client updates and preordering -------------------------------------- *)
+
+let reply_to_client t ~exec_seq (u : Msg.Update.t) =
+  if silent t then ()
+  else
+  let body =
+    Msg.encode_client_reply ~rep:t.id ~client:u.Msg.Update.client
+      ~client_seq:u.Msg.Update.client_seq ~exec_seq
+  in
+  t.transport.reply_to_client ~client:u.Msg.Update.client
+    (Msg.Client_reply
+       {
+         crep_rep = t.id;
+         crep_client = u.Msg.Update.client;
+         crep_client_seq = u.Msg.Update.client_seq;
+         crep_exec_seq = exec_seq;
+         crep_sig = sign t body;
+       })
+
+let handle_client_update t (u : Msg.Update.t) =
+  if not t.origin_synced then
+    (* Just recovered: do not assign preorder sequences until we have
+       re-based our own sequence above anything used before the wipe.
+       Clients retransmit, so dropping is safe. *)
+    Sim.Stats.Counter.incr t.counters "update.deferred_unsynced"
+  else if not (Msg.Update.verify t.keystore u) then
+    Sim.Stats.Counter.incr t.counters "update.bad_sig"
+  else if Preorder.seen_update t.preorder u then begin
+    Sim.Stats.Counter.incr t.counters "update.duplicate";
+    (* Reply cache: a retransmission means the client may have lost our
+       reply (e.g. its session failed over while we executed). *)
+    match Hashtbl.find_opt t.executed_clients (Msg.Update.key u) with
+    | Some exec_seq -> reply_to_client t ~exec_seq u
+    | None -> ()
+  end
+  else begin
+    let po_seq = Preorder.assign t.preorder u in
+    Sim.Stats.Counter.incr t.counters "update.accepted";
+    let body = Msg.encode_po_request ~origin:t.id ~po_seq u in
+    broadcast t (Msg.Po_request { origin = t.id; po_seq; update = u; po_sig = sign t body })
+  end
+
+let handle_po_request t ~origin ~po_seq update po_sig =
+  let body = Msg.encode_po_request ~origin ~po_seq update in
+  if not (verify_from t ~rep:origin body po_sig) then
+    Sim.Stats.Counter.incr t.counters "po_request.bad_sig"
+  else if not (Msg.Update.verify t.keystore update) then
+    Sim.Stats.Counter.incr t.counters "po_request.bad_update_sig"
+  else
+    let send_ack digest =
+      let ack_body = Msg.encode_po_ack ~acker:t.id ~origin ~po_seq ~digest in
+      broadcast t
+        (Msg.Po_ack
+           {
+             acker = t.id;
+             ack_origin = origin;
+             ack_po_seq = po_seq;
+             ack_digest = digest;
+             ack_sig = sign t ack_body;
+           })
+    in
+    match Preorder.receive_request t.preorder ~origin ~po_seq update with
+    | `Conflict ->
+        Sim.Stats.Counter.incr t.counters "po_request.conflict";
+        tracef t "replica %d: conflicting po-request from %d at %d" t.id origin po_seq
+    | `Already_acked digest ->
+        (* A retransmitted request means someone is still missing acks:
+           re-broadcast ours so recovering replicas can certify. *)
+        send_ack digest
+    | `Ack digest -> send_ack digest
+
+let handle_po_ack t ~acker ~origin ~po_seq ~digest ack_sig =
+  let body = Msg.encode_po_ack ~acker ~origin ~po_seq ~digest in
+  if verify_from t ~rep:acker body ack_sig then
+    Preorder.receive_ack t.preorder ~acker ~origin ~po_seq ~digest
+  else Sim.Stats.Counter.incr t.counters "po_ack.bad_sig"
+
+(* After a proactive recovery, re-base our preorder sequence above
+   anything we may have used before the wipe: peers' summaries tell us
+   how far our old incarnation got. The margin covers slots that were
+   assigned but never certified. *)
+let reset_margin = 100
+
+let maybe_rebase_origin t (s : Msg.summary) =
+  if (not t.origin_synced) && s.Msg.sum_rep <> t.id then begin
+    (* Collect a quorum of reports before choosing the restart point:
+       individual reporters (other recently-recovered replicas, or up to
+       f byzantine ones) may report a stale view of our column. *)
+    Hashtbl.replace t.rebase_reports s.Msg.sum_rep s.Msg.aru.(t.id);
+    if Hashtbl.length t.rebase_reports >= t.config.Config.quorum then begin
+      let known = Hashtbl.fold (fun _ v acc -> max v acc) t.rebase_reports 0 in
+      let known = max known (Preorder.floor_of t.preorder ~origin:t.id) in
+      let new_start = known + reset_margin in
+      t.origin_synced <- true;
+      Hashtbl.reset t.rebase_reports;
+      Preorder.begin_reset t.preorder ~new_start;
+      let body = Msg.encode_origin_reset ~rep:t.id ~new_start in
+      let or_sig = sign t body in
+      Hashtbl.replace t.stored_resets t.id (new_start, or_sig);
+      Sim.Stats.Counter.incr t.counters "origin_reset.sent";
+      tracef t "replica %d re-bases its preorder sequence at %d after recovery" t.id new_start;
+      broadcast t (Msg.Origin_reset { or_rep = t.id; or_new_start = new_start; or_sig })
+    end
+  end
+
+let handle_po_summary t (s : Msg.summary) =
+  if Msg.verify_summary t.keystore s then begin
+    maybe_rebase_origin t s;
+    Preorder.receive_summary t.preorder s;
+    (* Freshness bookkeeping for censorship detection: once I know origin
+       r reached sum S, the leader must cover S within the allowance.
+       A re-announcement of an already-known sum must not re-arm the
+       deadline (periodic refreshes would otherwise cause false alarms
+       whenever the leader has nothing new to propose). *)
+    let sum = aru_sum s.Msg.aru in
+    (match Hashtbl.find_opt t.origin_freshness s.Msg.sum_rep with
+    | Some f when sum > f.best_sum ->
+        f.best_sum <- sum;
+        (* Each announcement must be covered within the allowance of the
+           moment we learned it; while one deadline is pending, later
+           announcements queue behind it (they get their own deadline when
+           the pending one is covered). *)
+        if f.cover_deadline = None then begin
+          f.armed_sum <- sum;
+          f.cover_deadline <- Some (now t +. t.config.Config.tat_allowance)
+        end
+    | Some _ -> ()
+    | None ->
+        Hashtbl.replace t.origin_freshness s.Msg.sum_rep
+          {
+            best_sum = sum;
+            armed_sum = sum;
+            cover_deadline = Some (now t +. t.config.Config.tat_allowance);
+          })
+  end
+  else Sim.Stats.Counter.incr t.counters "summary.bad_sig"
+
+(* --- execution -------------------------------------------------------------- *)
+
+let request_missing t missing =
+  List.iter
+    (fun { Order.miss_origin; miss_po_seq } ->
+      let key = (miss_origin, miss_po_seq) in
+      if not (Hashtbl.mem t.outstanding_recon key) then begin
+        Hashtbl.replace t.outstanding_recon key (now t);
+        Sim.Stats.Counter.incr t.counters "recon.requested";
+        broadcast t
+          (Msg.Recon_request { rr_rep = t.id; rr_origin = miss_origin; rr_po_seq = miss_po_seq })
+      end)
+    missing
+
+let execute_ready t =
+  if not t.awaiting_app_transfer then begin
+    let update_for ~origin ~po_seq = Preorder.update_for t.preorder ~origin ~po_seq in
+    let floor_for ~origin = Preorder.floor_of t.preorder ~origin in
+    let executed, missing = Order.try_execute t.order ~update_for ~floor_for in
+    List.iter
+      (fun (exec_seq, _origin, _po_seq, u) ->
+        Hashtbl.remove t.outstanding_recon (_origin, _po_seq);
+        Hashtbl.replace t.exec_log exec_seq u;
+        Hashtbl.remove t.exec_log (exec_seq - t.config.Config.log_retention);
+        (* Client-level dedup: the same supervisory command introduced by
+           several origins executes only once against the application. *)
+        if not (Hashtbl.mem t.executed_clients (Msg.Update.key u)) then begin
+          Hashtbl.replace t.executed_clients (Msg.Update.key u) exec_seq;
+          Sim.Stats.Counter.incr t.counters "executed";
+          t.app.apply ~exec_seq u;
+          (match t.on_execute_hook with Some h -> h ~exec_seq u | None -> ());
+          reply_to_client t ~exec_seq u
+        end
+        else Sim.Stats.Counter.incr t.counters "executed.duplicate_client_seq")
+      executed;
+    if missing <> [] then request_missing t missing
+  end
+
+(* --- ordering ----------------------------------------------------------------- *)
+
+let matrix_for_proposal t =
+  let my_summary = current_summary t in
+  let m = Preorder.matrix t.preorder ~my_summary in
+  (match t.misbehavior with
+  | Censor_origin o when o <> t.id -> m.(o) <- None
+  | Honest | Crash_silent | Slow_leader _ | Censor_origin _ | Equivocate -> ());
+  m
+
+let matrix_valid t (m : Msg.matrix) =
+  Array.for_all
+    (function None -> true | Some s -> Msg.verify_summary t.keystore s)
+    m
+
+let broadcast_commit t ~view ~pp_seq ~digest =
+  let body = Msg.encode_commit ~rep:t.id ~view ~pp_seq ~digest in
+  broadcast t
+    (Msg.Commit
+       { com_rep = t.id; com_view = view; com_seq = pp_seq; com_digest = digest;
+         com_sig = sign t body });
+  if Order.add_commit t.order ~rep:t.id ~view ~pp_seq ~digest then execute_ready t
+
+let broadcast_prepare t ~view ~pp_seq ~digest =
+  let body = Msg.encode_prepare ~rep:t.id ~view ~pp_seq ~digest in
+  broadcast t
+    (Msg.Prepare
+       { prep_rep = t.id; prep_view = view; prep_seq = pp_seq; prep_digest = digest;
+         prep_sig = sign t body });
+  (* Our own prepare may complete the quorum (e.g. when ours is the last
+     to be counted locally). *)
+  if Order.add_prepare t.order ~rep:t.id ~view ~pp_seq ~digest then
+    broadcast_commit t ~view ~pp_seq ~digest
+
+let note_tat_covered t (m : Msg.matrix) =
+  (match m.(t.id) with
+  | Some s ->
+      let covered = aru_sum s.Msg.aru in
+      let still_pending, covered_entries =
+        List.partition (fun p -> p.sent_sum > covered) t.tat_pending
+      in
+      List.iter
+        (fun p ->
+          let tat = now t -. p.sent_at in
+          Sim.Stats.Counter.incr t.counters "tat.measured";
+          ignore tat)
+        covered_entries;
+      t.tat_pending <- still_pending
+  | None -> ());
+  (* Freshness deadlines satisfied by this matrix. Covering the armed
+     announcement clears its deadline; if fresher information is already
+     waiting, a new deadline is armed for it from now — so a leader with
+     a bounded lag is fine, while persistent censorship still fires
+     within one allowance. *)
+  Array.iteri
+    (fun origin entry ->
+      match (entry, Hashtbl.find_opt t.origin_freshness origin) with
+      | Some s, Some f when aru_sum s.Msg.aru >= f.armed_sum ->
+          if f.best_sum > aru_sum s.Msg.aru then begin
+            f.armed_sum <- f.best_sum;
+            f.cover_deadline <- Some (now t +. t.config.Config.tat_allowance)
+          end
+          else f.cover_deadline <- None
+      | _ -> ())
+    m
+
+let rec emit_pre_prepare ?delay_broadcast t =
+  let matrix = matrix_for_proposal t in
+  let digest_now = Msg.encode_matrix matrix in
+  let heartbeat_due = now t -. t.last_pp_time >= t.config.Config.heartbeat_period in
+  if (not (String.equal digest_now t.last_pp_matrix_digest)) || heartbeat_due then begin
+    t.last_pp_matrix_digest <- digest_now;
+    t.last_pp_time <- now t;
+    let pp_seq = t.next_pp_seq in
+    t.next_pp_seq <- t.next_pp_seq + 1;
+    let view = t.view in
+    let body = Msg.encode_pre_prepare ~view ~pp_seq matrix in
+    let pp_sig = sign t body in
+    let send () =
+      if t.view = view && not (silent t) then begin
+        Sim.Stats.Counter.incr t.counters "pre_prepare.sent";
+        broadcast t (Msg.Pre_prepare { pp_view = view; pp_seq; pp_matrix = matrix; pp_sig });
+        (* The leader is a participant too: accept our own pre-prepare. *)
+        handle_pre_prepare t ~pp_view:view ~pp_seq ~matrix pp_sig
+      end
+    in
+    match delay_broadcast with
+    | None -> send ()
+    | Some extra ->
+        (* A lagging leader proposes *stale* information: the matrix was
+           captured now but only reaches the wire [extra] later, so every
+           summary's coverage — and thus every update's ordering — is
+           delayed by [extra]. *)
+        ignore (Sim.Engine.schedule t.engine ~delay:extra send)
+  end
+
+and leader_tick t =
+  if is_leader t && not (silent t) then
+    match t.misbehavior with
+    | Slow_leader extra -> emit_pre_prepare ~delay_broadcast:extra t
+    | Honest | Censor_origin _ -> emit_pre_prepare t
+    | Equivocate -> emit_equivocation t
+    | Crash_silent -> ()
+
+(* A fully Byzantine leader with its signing key: send one pre-prepare to
+   half the replicas and a conflicting one to the other half. Safety must
+   hold regardless (neither variant can gather a prepare quorum), at the
+   cost of liveness until the suspect-leader protocol evicts it. *)
+and emit_equivocation t =
+  let matrix_a = matrix_for_proposal t in
+  let matrix_b = Array.copy matrix_a in
+  (* The conflicting variant hides one honest summary. *)
+  let victim = (t.id + 1) mod t.config.Config.n in
+  matrix_b.(victim) <- None;
+  let pp_seq = t.next_pp_seq in
+  t.next_pp_seq <- t.next_pp_seq + 1;
+  let view = t.view in
+  let msg_of matrix =
+    let body = Msg.encode_pre_prepare ~view ~pp_seq matrix in
+    Msg.Pre_prepare { pp_view = view; pp_seq; pp_matrix = matrix; pp_sig = sign t body }
+  in
+  let a = msg_of matrix_a and b = msg_of matrix_b in
+  Sim.Stats.Counter.incr t.counters "pre_prepare.equivocated";
+  for dst = 0 to t.config.Config.n - 1 do
+    if dst <> t.id then send t ~dst (if dst mod 2 = 0 then a else b)
+  done
+
+and handle_pre_prepare t ~pp_view ~pp_seq ~matrix pp_sig =
+  let leader = Config.leader_of_view t.config pp_view in
+  let body = Msg.encode_pre_prepare ~view:pp_view ~pp_seq matrix in
+  if not (verify_from t ~rep:leader body pp_sig) then
+    Sim.Stats.Counter.incr t.counters "pre_prepare.bad_sig"
+  else if pp_view < t.view then Sim.Stats.Counter.incr t.counters "pre_prepare.stale_view"
+  else if not (matrix_valid t matrix) then
+    Sim.Stats.Counter.incr t.counters "pre_prepare.bad_matrix"
+  else begin
+    if pp_view > t.view then begin
+      (* A recovering or partitioned replica adopts the established view. *)
+      tracef t "replica %d adopts view %d from pre-prepare" t.id pp_view;
+      enter_view t pp_view ~report:false
+    end;
+    (* Learn peers' summaries from the matrix: keeps followers' matrices
+       converging even when individual summary broadcasts were lost. *)
+    Array.iter
+      (function
+        | Some s ->
+            maybe_rebase_origin t s;
+            Preorder.receive_summary t.preorder s
+        | None -> ())
+      matrix;
+    note_tat_covered t matrix;
+    match Order.accept_pre_prepare t.order ~view:pp_view ~pp_seq ~matrix ~pp_sig with
+    | `Accept digest -> broadcast_prepare t ~view:pp_view ~pp_seq ~digest
+    | `Conflicting_leader ->
+        Sim.Stats.Counter.incr t.counters "pre_prepare.equivocation";
+        suspect_leader t pp_view
+    | `Duplicate | `Already_ordered | `Stale -> ()
+  end
+
+and handle_prepare t ~rep ~view ~pp_seq ~digest sig_ =
+  let body = Msg.encode_prepare ~rep ~view ~pp_seq ~digest in
+  if verify_from t ~rep body sig_ then begin
+    if Order.add_prepare t.order ~rep ~view ~pp_seq ~digest then
+      broadcast_commit t ~view ~pp_seq ~digest
+  end
+  else Sim.Stats.Counter.incr t.counters "prepare.bad_sig"
+
+and handle_commit t ~rep ~view ~pp_seq ~digest sig_ =
+  let body = Msg.encode_commit ~rep ~view ~pp_seq ~digest in
+  if verify_from t ~rep body sig_ then begin
+    if Order.add_commit t.order ~rep ~view ~pp_seq ~digest then begin
+      Sim.Stats.Counter.incr t.counters "ordered";
+      execute_ready t
+    end
+  end
+  else Sim.Stats.Counter.incr t.counters "commit.bad_sig"
+
+(* --- suspect-leader and view change ---------------------------------------------- *)
+
+and suspect_leader t view =
+  if view >= t.view && t.suspected_view < view then begin
+    t.suspected_view <- view;
+    Sim.Stats.Counter.incr t.counters "suspect.sent";
+    tracef t "replica %d suspects leader of view %d" t.id view;
+    let body = Msg.encode_suspect ~rep:t.id ~view in
+    broadcast t (Msg.Suspect_leader { sus_rep = t.id; sus_view = view; sus_sig = sign t body });
+    note_suspect t ~rep:t.id ~view
+  end
+
+and note_suspect t ~rep ~view =
+  let tbl =
+    match Hashtbl.find_opt t.suspects view with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.replace t.suspects view tbl;
+        tbl
+  in
+  Hashtbl.replace tbl rep ();
+  if view >= t.view && Hashtbl.length tbl >= t.config.Config.quorum then begin
+    tracef t "replica %d: view %d has a suspicion quorum, moving to view %d" t.id view (view + 1);
+    enter_view t (view + 1) ~report:true
+  end
+
+and enter_view t view ~report =
+  if view > t.view then begin
+    t.view <- view;
+    t.leader_active <- false;
+    t.tat_pending <- [];
+    (* Give the new leader a clean slate of deadlines, but remember which
+       sums we already know: re-announcements (periodic refreshes) of old
+       information must not arm deadlines against the new leader. *)
+    Hashtbl.iter (fun _ f -> f.cover_deadline <- None) t.origin_freshness;
+    Sim.Stats.Counter.incr t.counters "view_change";
+    if report then begin
+      let prepared = Order.prepared_certs t.order in
+      let max_ordered = Order.max_executed t.order in
+      let body =
+        Msg.encode_vc_report ~rep:t.id ~view ~max_ordered ~prepared
+      in
+      let msg =
+        Msg.Vc_report
+          { vc_rep = t.id; vc_view = view; vc_max_ordered = max_ordered;
+            vc_prepared = prepared; vc_sig = sign t body }
+      in
+      broadcast t msg;
+      handle_vc_report t ~rep:t.id ~view ~max_ordered ~prepared (sign t body)
+    end
+  end
+
+and handle_vc_report t ~rep ~view ~max_ordered ~prepared sig_ =
+  let body = Msg.encode_vc_report ~rep ~view ~max_ordered ~prepared in
+  if not (verify_from t ~rep body sig_) then
+    Sim.Stats.Counter.incr t.counters "vc.bad_sig"
+  else if view < t.view then ()
+  else begin
+    if view > t.view then enter_view t view ~report:true;
+    let tbl =
+      match Hashtbl.find_opt t.vc_reports view with
+      | Some tbl -> tbl
+      | None ->
+          let tbl = Hashtbl.create 8 in
+          Hashtbl.replace t.vc_reports view tbl;
+          tbl
+    in
+    Hashtbl.replace tbl rep
+      (Msg.Vc_report { vc_rep = rep; vc_view = view; vc_max_ordered = max_ordered;
+                       vc_prepared = prepared; vc_sig = sig_ });
+    maybe_activate_leader t view
+  end
+
+and maybe_activate_leader t view =
+  if
+    view = t.view
+    && t.id = Config.leader_of_view t.config view
+    && not t.leader_active
+  then
+    match Hashtbl.find_opt t.vc_reports view with
+    | Some tbl when Hashtbl.length tbl >= t.config.Config.quorum ->
+        t.leader_active <- true;
+        Sim.Stats.Counter.incr t.counters "leader.activated";
+        tracef t "replica %d is the active leader of view %d" t.id view;
+        (* Re-propose every prepared certificate above the highest ordered
+           point any reporter disclosed, then continue fresh. *)
+        let reports = Hashtbl.fold (fun _ m acc -> m :: acc) tbl [] in
+        let max_ordered =
+          List.fold_left
+            (fun acc m ->
+              match m with Msg.Vc_report { vc_max_ordered; _ } -> max acc vc_max_ordered | _ -> acc)
+            (Order.max_executed t.order) reports
+        in
+        let to_repropose = Hashtbl.create 8 in
+        List.iter
+          (fun m ->
+            match m with
+            | Msg.Vc_report { vc_prepared; _ } ->
+                List.iter
+                  (fun (c : Msg.prepared_cert) ->
+                    if c.Msg.pc_seq > max_ordered then
+                      match Hashtbl.find_opt to_repropose c.Msg.pc_seq with
+                      | Some (existing : Msg.prepared_cert) when existing.Msg.pc_view >= c.Msg.pc_view -> ()
+                      | _ -> Hashtbl.replace to_repropose c.Msg.pc_seq c)
+                  vc_prepared
+            | _ -> ())
+          reports;
+        let reproposals =
+          Hashtbl.fold (fun _ c acc -> c :: acc) to_repropose []
+          |> List.sort (fun a b -> compare a.Msg.pc_seq b.Msg.pc_seq)
+        in
+        let highest =
+          List.fold_left (fun acc c -> max acc c.Msg.pc_seq) max_ordered reproposals
+        in
+        t.next_pp_seq <- max (highest + 1) (Order.max_seen_pp t.order + 1);
+        t.last_pp_matrix_digest <- "";
+        List.iter
+          (fun (c : Msg.prepared_cert) ->
+            let body = Msg.encode_pre_prepare ~view ~pp_seq:c.Msg.pc_seq c.Msg.pc_matrix in
+            broadcast t
+              (Msg.Pre_prepare
+                 { pp_view = view; pp_seq = c.Msg.pc_seq; pp_matrix = c.Msg.pc_matrix;
+                   pp_sig = sign t body });
+            handle_pre_prepare t ~pp_view:view ~pp_seq:c.Msg.pc_seq ~matrix:c.Msg.pc_matrix
+              (sign t body))
+          reproposals
+    | Some _ | None -> ()
+
+(* Suspect evaluation: any summary of mine that the leader failed to cover
+   within the allowance, or any origin whose known-fresh summary the
+   leader keeps omitting, triggers suspicion. *)
+let tat_check t =
+  let deadline_passed = ref false in
+  List.iter
+    (fun p ->
+      if now t -. p.sent_at > t.config.Config.tat_allowance then deadline_passed := true)
+    t.tat_pending;
+  Hashtbl.iter
+    (fun _origin f ->
+      match f.cover_deadline with
+      | Some deadline when now t > deadline -> deadline_passed := true
+      | Some _ | None -> ())
+    t.origin_freshness;
+  if !deadline_passed then suspect_leader t t.view
+
+(* --- reconciliation / catchup -------------------------------------------------------- *)
+
+let apply_origin_reset t ~origin ~new_start or_sig =
+  let body = Msg.encode_origin_reset ~rep:origin ~new_start in
+  if verify_from t ~rep:origin body or_sig then begin
+    if Preorder.apply_origin_reset t.preorder ~origin ~new_start then begin
+      Hashtbl.replace t.stored_resets origin (new_start, or_sig);
+      Sim.Stats.Counter.incr t.counters "origin_reset.applied";
+      (* Requests for voided slots are moot now. *)
+      Hashtbl.iter
+        (fun (o, s) _ ->
+          if o = origin && s < new_start then Hashtbl.remove t.outstanding_recon (o, s))
+        (Hashtbl.copy t.outstanding_recon);
+      execute_ready t
+    end
+  end
+  else Sim.Stats.Counter.incr t.counters "origin_reset.bad_sig"
+
+let handle_recon_request t ~rr_rep ~rr_origin ~rr_po_seq =
+  (* A request for a slot voided by an origin reset is answered with the
+     relayed (origin-signed) reset instead of a body. *)
+  if rr_po_seq <= Preorder.floor_of t.preorder ~origin:rr_origin then begin
+    match Hashtbl.find_opt t.stored_resets rr_origin with
+    | Some (new_start, or_sig) ->
+        send t ~dst:rr_rep
+          (Msg.Recon_floor { rf_origin = rr_origin; rf_new_start = new_start; rf_sig = or_sig })
+    | None -> ()
+  end
+  else
+    match Preorder.update_for t.preorder ~origin:rr_origin ~po_seq:rr_po_seq with
+    | Some u ->
+        send t ~dst:rr_rep
+          (Msg.Recon_reply { rp_rep = t.id; rp_origin = rr_origin; rp_po_seq = rr_po_seq; rp_update = u })
+    | None -> ()
+
+let handle_recon_reply t ~rp_origin ~rp_po_seq ~rp_update =
+  if Msg.Update.verify t.keystore rp_update then begin
+    match Preorder.store_body t.preorder ~origin:rp_origin ~po_seq:rp_po_seq rp_update with
+    | `Stored ->
+        Hashtbl.remove t.outstanding_recon (rp_origin, rp_po_seq);
+        execute_ready t
+    | `Mismatch -> Sim.Stats.Counter.incr t.counters "recon.digest_mismatch"
+  end
+
+let reconcile_tick t =
+  let horizon = now t -. t.config.Config.reconcile_period in
+  Hashtbl.iter
+    (fun (origin, po_seq) asked ->
+      if asked < horizon then begin
+        Hashtbl.replace t.outstanding_recon (origin, po_seq) (now t);
+        broadcast t (Msg.Recon_request { rr_rep = t.id; rr_origin = origin; rr_po_seq = po_seq })
+      end)
+    t.outstanding_recon;
+  (* Ordering-message retransmission: relay the (leader-signed)
+     pre-prepare and our own prepare/commit for the oldest instances still
+     blocking execution, so replicas that missed them can complete the
+     quorum. *)
+  List.iter
+    (fun (pp_seq, view, matrix, digest, pp_sig, prepared) ->
+      if view = t.view then begin
+        Sim.Stats.Counter.incr t.counters "order.retransmit";
+        broadcast t (Msg.Pre_prepare { pp_view = view; pp_seq; pp_matrix = matrix; pp_sig });
+        let prep_body = Msg.encode_prepare ~rep:t.id ~view ~pp_seq ~digest in
+        broadcast t
+          (Msg.Prepare
+             { prep_rep = t.id; prep_view = view; prep_seq = pp_seq; prep_digest = digest;
+               prep_sig = sign t prep_body });
+        if prepared then begin
+          let com_body = Msg.encode_commit ~rep:t.id ~view ~pp_seq ~digest in
+          broadcast t
+            (Msg.Commit
+               { com_rep = t.id; com_view = view; com_seq = pp_seq; com_digest = digest;
+                 com_sig = sign t com_body })
+        end
+      end)
+    (Order.stalled_instances t.order ~limit:5);
+  (* Origin-side retransmission: rebroadcast our own PO-Requests that are
+     not *executed* yet. Resending until execution (not merely until our
+     own certification) matters: we may hold a certificate while peers
+     are still missing acknowledgements that were lost, and only a
+     retransmitted request makes them re-ack. *)
+  let my_floor = Preorder.floor_of t.preorder ~origin:t.id in
+  let my_done = max (Order.exec_cursor t.order).(t.id) my_floor in
+  let next = Preorder.next_po_seq t.preorder in
+  let limit = min next (my_done + 20) (* resend a bounded window per tick *) in
+  for po_seq = my_done + 1 to limit do
+    match Preorder.update_for t.preorder ~origin:t.id ~po_seq with
+    | Some u ->
+        Sim.Stats.Counter.incr t.counters "po_request.retransmit";
+        let body = Msg.encode_po_request ~origin:t.id ~po_seq u in
+        broadcast t
+          (Msg.Po_request { origin = t.id; po_seq; update = u; po_sig = sign t body })
+    | None -> ()
+  done
+
+let catchup_digest entries ~upto ~next_exec_pp ~cursor =
+  let parts =
+    List.map (fun (i, u) -> Printf.sprintf "%d=%s" i (Msg.Update.encode u)) entries
+  in
+  Crypto.Sha256.to_hex
+    (Crypto.Sha256.digest
+       (Printf.sprintf "catchup:%d:%d:%s:%s" upto next_exec_pp
+          (String.concat "," (Array.to_list (Array.map string_of_int cursor)))
+          (String.concat ";" parts)))
+
+let handle_catchup_request t ~cu_rep ~cu_from =
+  let my_max = Order.exec_seq t.order in
+  if cu_from <= my_max then begin
+    let oldest_retained = max 1 (my_max - t.config.Config.log_retention + 1) in
+    let reply ~entries ~behind =
+      send t ~dst:cu_rep
+        (Msg.Catchup_reply
+           {
+             cr_rep = t.id;
+             cr_entries = entries;
+             cr_upto = my_max;
+             cr_behind_log = behind;
+             cr_next_exec_pp = Order.next_exec_pp t.order;
+             cr_cursor = Order.exec_cursor t.order;
+           })
+    in
+    if cu_from < oldest_retained then reply ~entries:[] ~behind:true
+    else begin
+      let entries = ref [] in
+      for i = my_max downto cu_from do
+        match Hashtbl.find_opt t.exec_log i with
+        | Some u -> entries := (i, u) :: !entries
+        | None -> ()
+      done;
+      reply ~entries:!entries ~behind:false
+    end
+  end
+
+(* Catchup replies are only trusted with f + 1 matching copies: a single
+   compromised replica cannot feed a recovering peer fabricated history. *)
+let handle_catchup_reply t ~cr_entries ~cr_upto ~cr_behind_log ~cr_next_exec_pp ~cr_cursor =
+  if cr_upto > Order.exec_seq t.order then begin
+    let sample =
+      Msg.Catchup_reply
+        { cr_rep = 0; cr_entries; cr_upto; cr_behind_log; cr_next_exec_pp; cr_cursor }
+    in
+    if cr_behind_log then begin
+      let key = "behind" in
+      let count =
+        match Hashtbl.find_opt t.catchup_votes key with Some (c, _) -> c + 1 | None -> 1
+      in
+      Hashtbl.replace t.catchup_votes key (count, sample);
+      if count >= t.config.Config.f + 1 && not t.awaiting_app_transfer then begin
+        t.awaiting_app_transfer <- true;
+        Hashtbl.reset t.catchup_votes;
+        Sim.Stats.Counter.incr t.counters "catchup.app_transfer_needed";
+        tracef t "replica %d: catchup impossible at replication level, signalling application"
+          t.id;
+        t.app.state_transfer_needed ()
+      end
+    end
+    else begin
+      let all_valid = List.for_all (fun (_, u) -> Msg.Update.verify t.keystore u) cr_entries in
+      if all_valid then begin
+        let key =
+          "entries:"
+          ^ catchup_digest cr_entries ~upto:cr_upto ~next_exec_pp:cr_next_exec_pp
+              ~cursor:cr_cursor
+        in
+        let count =
+          match Hashtbl.find_opt t.catchup_votes key with Some (c, _) -> c + 1 | None -> 1
+        in
+        Hashtbl.replace t.catchup_votes key (count, sample);
+        if count >= t.config.Config.f + 1 then begin
+          Hashtbl.reset t.catchup_votes;
+          let applied = ref 0 in
+          List.iter
+            (fun (exec_seq, u) ->
+              if exec_seq = Order.exec_seq t.order + 1 then begin
+                incr applied;
+                Hashtbl.replace t.exec_log exec_seq u;
+                if not (Hashtbl.mem t.executed_clients (Msg.Update.key u)) then begin
+                  Hashtbl.replace t.executed_clients (Msg.Update.key u) exec_seq;
+                  t.app.apply ~exec_seq u;
+                  match t.on_execute_hook with Some h -> h ~exec_seq u | None -> ()
+                end;
+                Order.install_checkpoint t.order
+                  ~next_exec_pp:(Order.next_exec_pp t.order)
+                  ~exec_seq ~cursor:(Order.exec_cursor t.order)
+              end)
+            cr_entries;
+          (* If the reply brought us fully current, adopt the responder's
+             ordering cursors so normal execution resumes from here, and
+             fast-forward the preorder floors to match: slots below the
+             cursor are settled history this replica will never re-certify. *)
+          if Order.exec_seq t.order = cr_upto then begin
+            Order.install_checkpoint t.order ~next_exec_pp:cr_next_exec_pp
+              ~exec_seq:cr_upto ~cursor:cr_cursor;
+            Preorder.install_floors t.preorder ~cursor:cr_cursor
+          end;
+          if !applied > 0 then Sim.Stats.Counter.incr ~by:!applied t.counters "catchup.applied"
+        end
+      end
+    end
+  end
+
+let catchup_tick t =
+  (* Probe when ordering has visibly moved past our execution point. *)
+  if
+    Order.max_seen_pp t.order > Order.next_exec_pp t.order + 2
+    && not t.awaiting_app_transfer
+  then begin
+    Sim.Stats.Counter.incr t.counters "catchup.probe";
+    broadcast t (Msg.Catchup_request { cu_rep = t.id; cu_from = Order.exec_seq t.order + 1 })
+  end
+
+(* After the application completed its own state transfer (or ground-truth
+   rebuild), fast-forward the replication cursors to match. *)
+let install_app_checkpoint t ~next_exec_pp ~exec_seq ~cursor ~client_seqs =
+  Order.install_checkpoint t.order ~next_exec_pp ~exec_seq ~cursor;
+  Preorder.install_floors t.preorder ~cursor;
+  Hashtbl.reset t.executed_clients;
+  (* Exec points for transferred entries are unknown; 0 marks "executed
+     before my checkpoint" (reply-cache answers then carry 0 and do not
+     contribute to the client's f+1 matching set). *)
+  List.iter (fun key -> Hashtbl.replace t.executed_clients key 0) client_seqs;
+  t.awaiting_app_transfer <- false;
+  Sim.Stats.Counter.incr t.counters "app_checkpoint.installed"
+
+let order_state t =
+  ( Order.next_exec_pp t.order,
+    Order.exec_seq t.order,
+    Order.exec_cursor t.order,
+    Hashtbl.fold (fun key _ acc -> key :: acc) t.executed_clients [] )
+
+(* --- message dispatch ------------------------------------------------------------------ *)
+
+let handle_message t msg =
+  if t.running then begin
+    Sim.Stats.Counter.incr t.counters "msg.rx";
+    match msg with
+    | Msg.Update_msg u -> handle_client_update t u
+    | Msg.Po_request { origin; po_seq; update; po_sig } ->
+        handle_po_request t ~origin ~po_seq update po_sig;
+        execute_ready t
+    | Msg.Po_ack { acker; ack_origin; ack_po_seq; ack_digest; ack_sig } ->
+        handle_po_ack t ~acker ~origin:ack_origin ~po_seq:ack_po_seq ~digest:ack_digest ack_sig
+    | Msg.Po_summary s -> handle_po_summary t s
+    | Msg.Pre_prepare { pp_view; pp_seq; pp_matrix; pp_sig } ->
+        handle_pre_prepare t ~pp_view ~pp_seq ~matrix:pp_matrix pp_sig
+    | Msg.Prepare { prep_rep; prep_view; prep_seq; prep_digest; prep_sig } ->
+        handle_prepare t ~rep:prep_rep ~view:prep_view ~pp_seq:prep_seq ~digest:prep_digest
+          prep_sig
+    | Msg.Commit { com_rep; com_view; com_seq; com_digest; com_sig } ->
+        handle_commit t ~rep:com_rep ~view:com_view ~pp_seq:com_seq ~digest:com_digest com_sig
+    | Msg.Suspect_leader { sus_rep; sus_view; sus_sig } ->
+        let body = Msg.encode_suspect ~rep:sus_rep ~view:sus_view in
+        if verify_from t ~rep:sus_rep body sus_sig then note_suspect t ~rep:sus_rep ~view:sus_view
+    | Msg.Vc_report { vc_rep; vc_view; vc_max_ordered; vc_prepared; vc_sig } ->
+        handle_vc_report t ~rep:vc_rep ~view:vc_view ~max_ordered:vc_max_ordered
+          ~prepared:vc_prepared vc_sig
+    | Msg.Origin_reset { or_rep; or_new_start; or_sig } ->
+        apply_origin_reset t ~origin:or_rep ~new_start:or_new_start or_sig
+    | Msg.Recon_floor { rf_origin; rf_new_start; rf_sig } ->
+        apply_origin_reset t ~origin:rf_origin ~new_start:rf_new_start rf_sig
+    | Msg.Recon_request { rr_rep; rr_origin; rr_po_seq } ->
+        handle_recon_request t ~rr_rep ~rr_origin ~rr_po_seq
+    | Msg.Recon_reply { rp_origin; rp_po_seq; rp_update; _ } ->
+        handle_recon_reply t ~rp_origin ~rp_po_seq ~rp_update
+    | Msg.Catchup_request { cu_rep; cu_from } -> handle_catchup_request t ~cu_rep ~cu_from
+    | Msg.Catchup_reply { cr_entries; cr_upto; cr_behind_log; cr_next_exec_pp; cr_cursor; _ } ->
+        handle_catchup_reply t ~cr_entries ~cr_upto ~cr_behind_log ~cr_next_exec_pp ~cr_cursor
+    | Msg.Client_reply _ -> () (* replicas do not consume client replies *)
+  end
+
+(* Client updates enter through the replica a client session is attached
+   to (in Spire, via the external Spines network). *)
+let submit_update t u = if t.running then handle_client_update t u
+
+(* --- lifecycle ----------------------------------------------------------------------------- *)
+
+let start t =
+  if t.running then invalid_arg "Replica.start: already running";
+  t.running <- true;
+  let summary_timer =
+    Sim.Engine.every t.engine ~period:t.config.Config.summary_period (fun () ->
+        if not (silent t) then begin
+          (* Emit when the vector advanced, and also refresh periodically:
+             a lost summary must not leave the leader's matrix stale
+             forever once traffic quiesces. *)
+          let refresh_due =
+            aru_sum (Preorder.aru t.preorder) > 0
+            && now t -. t.last_summary_time >= t.config.Config.heartbeat_period
+          in
+          if Preorder.dirty t.preorder then begin
+            Preorder.clear_dirty t.preorder;
+            emit_summary t
+          end
+          else if refresh_due then emit_summary ~arm_tat:false t
+        end)
+  in
+  let pp_timer = Sim.Engine.every t.engine ~period:t.config.Config.delta_pp (fun () -> leader_tick t) in
+  let tat_timer =
+    Sim.Engine.every t.engine ~period:t.config.Config.tat_check_period (fun () ->
+        if not (silent t) then tat_check t)
+  in
+  let recon_timer =
+    Sim.Engine.every t.engine ~period:t.config.Config.reconcile_period (fun () ->
+        if not (silent t) then reconcile_tick t)
+  in
+  let catchup_timer =
+    Sim.Engine.every t.engine ~period:1.0 (fun () -> if not (silent t) then catchup_tick t)
+  in
+  t.timers <- [ summary_timer; pp_timer; tat_timer; recon_timer; catchup_timer ]
+
+let shutdown t =
+  if t.running then begin
+    t.running <- false;
+    List.iter (Sim.Engine.cancel_timer t.engine) t.timers;
+    t.timers <- []
+  end
+
+(* Proactive recovery: come back with protocol state wiped (the new
+   diverse variant starts from a clean image) and let catchup / the
+   application state transfer rebuild. The keypair survives (keys are
+   re-provisioned by the recovery infrastructure). *)
+let restart_clean t =
+  if t.running then shutdown t;
+  t.preorder <- Preorder.create t.config ~my_id:t.id;
+  t.order <- Order.create t.config ~my_id:t.id;
+  t.view <- 0;
+  t.suspected_view <- -1;
+  Hashtbl.reset t.suspects;
+  Hashtbl.reset t.vc_reports;
+  t.leader_active <- t.id = Config.leader_of_view t.config 0;
+  t.next_pp_seq <- 1;
+  t.last_pp_matrix_digest <- "";
+  t.last_pp_time <- 0.0;
+  t.tat_pending <- [];
+  Hashtbl.reset t.origin_freshness;
+  Hashtbl.reset t.executed_clients;
+  Hashtbl.reset t.exec_log;
+  t.awaiting_app_transfer <- false;
+  Hashtbl.reset t.catchup_votes;
+  Hashtbl.reset t.outstanding_recon;
+  Hashtbl.reset t.stored_resets;
+  Hashtbl.reset t.rebase_reports;
+  t.origin_synced <- false;
+  t.misbehavior <- Honest;
+  start t;
+  (* Announce our (empty) vector right away: after a whole-system reset
+     every replica is waiting for a quorum of peers' summaries to choose
+     its new starting sequence. *)
+  Preorder.force_dirty t.preorder

@@ -1,0 +1,1 @@
+lib/scada/historian.ml: List String

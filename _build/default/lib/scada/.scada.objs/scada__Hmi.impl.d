@@ -1,0 +1,1 @@
+lib/scada/hmi.ml: Buffer Crypto Hashtbl List Messages Op Plc Prime Printf Sim Threshold

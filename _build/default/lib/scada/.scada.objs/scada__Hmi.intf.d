@@ -1,0 +1,1 @@
+lib/scada/hmi.mli: Crypto Netbase Plc Prime Sim

@@ -1,0 +1,1 @@
+lib/scada/master.ml: Crypto Hashtbl List Messages Netbase Op Plc Prime Sim State String

@@ -1,0 +1,1 @@
+lib/scada/master.mli: Crypto Netbase Op Plc Prime Sim State

@@ -1,0 +1,1 @@
+lib/scada/messages.ml: Array Crypto List Netbase Printf String

@@ -1,0 +1,1 @@
+lib/scada/messages.mli: Crypto Netbase

@@ -1,0 +1,1 @@
+lib/scada/op.ml: Fmt Printf String

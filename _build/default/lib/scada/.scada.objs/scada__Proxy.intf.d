@@ -1,0 +1,1 @@
+lib/scada/proxy.mli: Crypto Netbase Prime Sim

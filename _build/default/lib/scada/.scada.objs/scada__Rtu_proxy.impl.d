@@ -1,0 +1,1 @@
+lib/scada/rtu_proxy.ml: Array Crypto List Messages Netbase Op Plc Prime Printf Sim String Threshold

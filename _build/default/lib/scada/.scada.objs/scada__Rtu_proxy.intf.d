@@ -1,0 +1,1 @@
+lib/scada/rtu_proxy.mli: Crypto Netbase Prime Sim

@@ -1,0 +1,1 @@
+lib/scada/state.ml: Crypto Hashtbl List Op Plc Printf String

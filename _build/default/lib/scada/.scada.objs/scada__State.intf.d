@@ -1,0 +1,1 @@
+lib/scada/state.mli: Op Plc

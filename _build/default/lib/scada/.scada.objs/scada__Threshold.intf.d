@@ -1,0 +1,1 @@
+lib/scada/threshold.mli:

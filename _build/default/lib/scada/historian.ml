@@ -1,0 +1,35 @@
+(* SCADA historian (the PI server of the testbed's enterprise network).
+
+   Append-only archive of system events. The paper's Section III-A points
+   out the asymmetry this module documents: unlike the masters' view of
+   the *active* system state, which can be rebuilt from the field devices
+   after an assumption breach, historical records cannot be recovered —
+   whatever was lost is lost ([wipe] models exactly that). *)
+
+type event = { time : float; source : string; kind : string; detail : string }
+
+type t = { mutable events : event list; mutable count : int; mutable lost : int }
+
+let create () = { events = []; count = 0; lost = 0 }
+
+let record t ~time ~source ~kind ~detail =
+  t.events <- { time; source; kind; detail } :: t.events;
+  t.count <- t.count + 1
+
+let events t = List.rev t.events
+
+let length t = t.count
+
+(* Events recorded since a given time, chronological. *)
+let since t time = List.filter (fun e -> e.time >= time) (events t)
+
+let by_kind t kind = List.filter (fun e -> String.equal e.kind kind) (events t)
+
+(* Assumption breach: archived history is unrecoverable, in contrast to
+   the masters' ground-truth-rebuildable state. *)
+let wipe t =
+  t.lost <- t.lost + t.count;
+  t.events <- [];
+  t.count <- 0
+
+let lost_events t = t.lost

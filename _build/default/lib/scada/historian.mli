@@ -1,0 +1,24 @@
+(** SCADA historian (the testbed's PI server): an append-only archive.
+    Unlike the masters' active state, lost history is unrecoverable —
+    the Section III-A asymmetry. *)
+
+type event = { time : float; source : string; kind : string; detail : string }
+
+type t
+
+val create : unit -> t
+
+val record : t -> time:float -> source:string -> kind:string -> detail:string -> unit
+
+val events : t -> event list
+
+val length : t -> int
+
+val since : t -> float -> event list
+
+val by_kind : t -> string -> event list
+
+(** Assumption breach: everything archived is gone. *)
+val wipe : t -> unit
+
+val lost_events : t -> int

@@ -1,0 +1,228 @@
+(* SCADA master application, bound to one Prime replica.
+
+   The division of labour follows Section III-A: Prime orders updates;
+   the master applies them to the application state, drives proxies and
+   HMIs, and owns the application-level state transfer that Prime's
+   catchup signals for. The master signs its outbound commands with the
+   replica's key so proxies and HMIs can hold every replica to the f + 1
+   agreement threshold. *)
+
+type net = {
+  broadcast_masters : Netbase.Packet.payload -> size:int -> unit; (* internal network *)
+  send_endpoint : endpoint:string -> Netbase.Packet.payload -> size:int -> unit; (* external *)
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  trace : Sim.Trace.t;
+  keystore : Crypto.Signature.keystore;
+  keypair : Crypto.Signature.keypair;
+  config : Prime.Config.t;
+  replica : Prime.Replica.t;
+  state : State.t;
+  net : net;
+  mutable hmi_endpoints : string list;
+  mutable awaiting_transfer : bool;
+  transfer_votes : (string, int * Messages.t) Hashtbl.t; (* vote key -> count, sample *)
+  mutable transfer_timer : Sim.Engine.timer option;
+  counters : Sim.Stats.Counter.t;
+  mutable on_apply : (exec_seq:int -> Op.t -> unit) list;
+}
+
+let id t = Prime.Replica.id t.replica
+
+let state t = t.state
+
+let counters t = t.counters
+
+let register_hmi t endpoint =
+  if not (List.mem endpoint t.hmi_endpoints) then
+    t.hmi_endpoints <- endpoint :: t.hmi_endpoints
+
+let on_apply t f = t.on_apply <- f :: t.on_apply
+
+let proxy_endpoint_for_breaker t breaker =
+  let scenario = State.scenario t.state in
+  List.find_map
+    (fun (p : Plc.Power.plc_spec) ->
+      if List.exists (String.equal breaker) p.Plc.Power.breaker_names then
+        Some ("proxy-" ^ p.Plc.Power.plc_name)
+      else None)
+    scenario.Plc.Power.plcs
+
+let sign t body = Crypto.Signature.sign t.keypair body
+
+let push_hmi_state t ~exec_seq ~breaker ~closed =
+  let body =
+    Messages.encode_hmi_state ~rep:(id t) ~exec_seq ~breaker ~closed
+  in
+  let msg =
+    Messages.Hmi_state
+      { hs_rep = id t; hs_exec_seq = exec_seq; hs_breaker = breaker; hs_closed = closed;
+        hs_sig = sign t body }
+  in
+  List.iter
+    (fun endpoint ->
+      t.net.send_endpoint ~endpoint (Messages.Scada_msg msg) ~size:(Messages.size msg))
+    t.hmi_endpoints
+
+let send_breaker_command t ~exec_seq ~breaker ~close =
+  match proxy_endpoint_for_breaker t breaker with
+  | None -> Sim.Stats.Counter.incr t.counters "command.unknown_breaker"
+  | Some endpoint ->
+      let body = Messages.encode_breaker_command ~rep:(id t) ~exec_seq ~breaker ~close in
+      let msg =
+        Messages.Breaker_command
+          { bc_rep = id t; bc_exec_seq = exec_seq; bc_breaker = breaker; bc_close = close;
+            bc_sig = sign t body }
+      in
+      Sim.Stats.Counter.incr t.counters "command.sent";
+      t.net.send_endpoint ~endpoint (Messages.Scada_msg msg) ~size:(Messages.size msg)
+
+let apply_update t ~exec_seq (u : Prime.Msg.Update.t) =
+  match Op.decode u.Prime.Msg.Update.op with
+  | None -> Sim.Stats.Counter.incr t.counters "apply.undecodable"
+  | Some op ->
+      let changed = State.apply t.state ~exec_seq op in
+      List.iter (fun f -> f ~exec_seq op) t.on_apply;
+      (match op with
+      | Op.Status { breaker; closed } ->
+          Sim.Stats.Counter.incr t.counters "apply.status";
+          if changed then push_hmi_state t ~exec_seq ~breaker ~closed
+      | Op.Command { breaker; close } ->
+          Sim.Stats.Counter.incr t.counters "apply.command";
+          send_breaker_command t ~exec_seq ~breaker ~close)
+
+(* --- application-level state transfer -------------------------------------- *)
+
+let reply_vote_key ~state_blob ~next_exec_pp ~exec_seq ~cursor ~client_seqs =
+  Crypto.Sha256.to_hex
+    (Crypto.Sha256.digest
+       (Messages.encode_app_state_reply ~rep:0 ~state_blob ~next_exec_pp ~exec_seq ~cursor
+          ~client_seqs))
+
+let send_state_reply t =
+  let next_exec_pp, exec_seq, cursor, client_seqs = Prime.Replica.order_state t.replica in
+  let state_blob = State.serialize t.state in
+  let body =
+    Messages.encode_app_state_reply ~rep:(id t) ~state_blob ~next_exec_pp ~exec_seq ~cursor
+      ~client_seqs
+  in
+  let msg =
+    Messages.App_state_reply
+      { rep = id t; state_blob; next_exec_pp; exec_seq; cursor; client_seqs;
+        reply_sig = sign t body }
+  in
+  Sim.Stats.Counter.incr t.counters "transfer.reply_sent";
+  t.net.broadcast_masters (Messages.Scada_msg msg) ~size:(Messages.size msg)
+
+let request_state_transfer t =
+  Sim.Stats.Counter.incr t.counters "transfer.requested";
+  let msg = Messages.App_state_request { asr_rep = id t } in
+  t.net.broadcast_masters (Messages.Scada_msg msg) ~size:(Messages.size msg)
+
+let begin_state_transfer t =
+  if not t.awaiting_transfer then begin
+    t.awaiting_transfer <- true;
+    Hashtbl.reset t.transfer_votes;
+    Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"scada"
+      "master %d: starting application-level state transfer" (id t);
+    request_state_transfer t;
+    (* Retry until the transfer completes (peers may be recovering too). *)
+    t.transfer_timer <-
+      Some
+        (Sim.Engine.every t.engine ~period:1.0 (fun () ->
+             if t.awaiting_transfer then request_state_transfer t))
+  end
+
+let finish_state_transfer t (reply : Messages.t) =
+  match reply with
+  | Messages.App_state_reply { state_blob; next_exec_pp; exec_seq; cursor; client_seqs; _ } ->
+      (match State.load t.state state_blob with
+      | Ok () ->
+          Prime.Replica.install_app_checkpoint t.replica ~next_exec_pp ~exec_seq ~cursor
+            ~client_seqs;
+          t.awaiting_transfer <- false;
+          (match t.transfer_timer with
+          | Some timer ->
+              Sim.Engine.cancel_timer t.engine timer;
+              t.transfer_timer <- None
+          | None -> ());
+          Sim.Stats.Counter.incr t.counters "transfer.completed";
+          Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"scada"
+            "master %d: application state transfer complete at exec %d" (id t) exec_seq
+      | Error e -> Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"scada"
+            "master %d: rejected state blob: %s" (id t) e)
+  | _ -> ()
+
+let handle_state_reply t (reply : Messages.t) =
+  match reply with
+  | Messages.App_state_reply { rep; state_blob; next_exec_pp; exec_seq; cursor; client_seqs; reply_sig }
+    when t.awaiting_transfer ->
+      let body =
+        Messages.encode_app_state_reply ~rep ~state_blob ~next_exec_pp ~exec_seq ~cursor
+          ~client_seqs
+      in
+      let valid =
+        Crypto.Signature.verify t.keystore ~signer:(Prime.Msg.replica_identity rep) body
+          reply_sig
+      in
+      if valid then begin
+        let key = reply_vote_key ~state_blob ~next_exec_pp ~exec_seq ~cursor ~client_seqs in
+        let count =
+          match Hashtbl.find_opt t.transfer_votes key with Some (c, _) -> c + 1 | None -> 1
+        in
+        Hashtbl.replace t.transfer_votes key (count, reply);
+        (* f + 1 matching replies: at least one is from a correct master. *)
+        if count >= t.config.Prime.Config.f + 1 then finish_state_transfer t reply
+      end
+  | _ -> ()
+
+let handle_payload t payload =
+  match payload with
+  | Messages.Scada_msg (Messages.App_state_request { asr_rep }) ->
+      if asr_rep <> id t && not t.awaiting_transfer then send_state_reply t
+  | Messages.Scada_msg (Messages.App_state_reply _ as reply) -> handle_state_reply t reply
+  | Messages.Scada_msg (Messages.Breaker_command _) | Messages.Scada_msg (Messages.Hmi_state _)
+    ->
+      () (* destined for proxies / HMIs, not masters *)
+  | _ -> ()
+
+(* Ground-truth reset (Section III-A): after an assumption breach the
+   masters abandon historical state; the field devices are authoritative
+   and the proxies' next polling round repopulates everything. *)
+let ground_truth_reset t =
+  State.reset t.state;
+  t.awaiting_transfer <- false;
+  (match t.transfer_timer with
+  | Some timer ->
+      Sim.Engine.cancel_timer t.engine timer;
+      t.transfer_timer <- None
+  | None -> ());
+  Sim.Stats.Counter.incr t.counters "ground_truth_reset"
+
+let create ~engine ~trace ~keystore ~keypair ~config ~replica ~scenario ~net =
+  let t =
+    {
+      engine;
+      trace;
+      keystore;
+      keypair;
+      config;
+      replica;
+      state = State.create scenario;
+      net;
+      hmi_endpoints = [];
+      awaiting_transfer = false;
+      transfer_votes = Hashtbl.create 8;
+      transfer_timer = None;
+      counters = Sim.Stats.Counter.create ();
+      on_apply = [];
+    }
+  in
+  Prime.Replica.set_app replica
+    {
+      Prime.Replica.apply = (fun ~exec_seq u -> apply_update t ~exec_seq u);
+      state_transfer_needed = (fun () -> begin_state_transfer t);
+    };
+  t

@@ -1,0 +1,42 @@
+(** SCADA master application bound to one Prime replica (Section III-A):
+    applies ordered operations to the application state, drives proxies
+    and HMIs with signed messages, and runs the application-level state
+    transfer when Prime's catchup signals for it. *)
+
+type net = {
+  broadcast_masters : Netbase.Packet.payload -> size:int -> unit; (* internal network *)
+  send_endpoint : endpoint:string -> Netbase.Packet.payload -> size:int -> unit; (* external *)
+}
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  trace:Sim.Trace.t ->
+  keystore:Crypto.Signature.keystore ->
+  keypair:Crypto.Signature.keypair ->
+  config:Prime.Config.t ->
+  replica:Prime.Replica.t ->
+  scenario:Plc.Power.scenario ->
+  net:net ->
+  t
+
+val id : t -> int
+
+val state : t -> State.t
+
+val counters : t -> Sim.Stats.Counter.t
+
+(** Register an HMI endpoint to receive display updates. *)
+val register_hmi : t -> string -> unit
+
+(** Observer invoked on every applied operation (historian feed, tests). *)
+val on_apply : t -> (exec_seq:int -> Op.t -> unit) -> unit
+
+(** Handle a SCADA-level payload from the network (state-transfer
+    requests/replies from peer masters). *)
+val handle_payload : t -> Netbase.Packet.payload -> unit
+
+(** Ground-truth reset after an assumption breach: abandon state; the
+    field devices repopulate it through the proxies' polling. *)
+val ground_truth_reset : t -> unit

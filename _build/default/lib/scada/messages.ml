@@ -1,0 +1,70 @@
+(* SCADA-level protocol messages exchanged beside the Prime stream.
+
+   - [Breaker_command]: a replica instructs a proxy to actuate a breaker.
+     The proxy only obeys after f + 1 distinct replicas send the same
+     command for the same execution point — a compromised master alone
+     cannot move a breaker.
+   - [Hmi_state]: a replica pushes a display update; the HMI likewise
+     requires f + 1 agreeing replicas before repainting.
+   - [App_state_request]/[App_state_reply]: the application-level state
+     transfer protocol between SCADA masters (Section III-A). Replies are
+     accepted once f + 1 carry the same digest. *)
+
+type t =
+  | Breaker_command of {
+      bc_rep : int;
+      bc_exec_seq : int;
+      bc_breaker : string;
+      bc_close : bool;
+      bc_sig : Crypto.Signature.t;
+    }
+  | Hmi_state of {
+      hs_rep : int;
+      hs_exec_seq : int;
+      hs_breaker : string;
+      hs_closed : bool;
+      hs_sig : Crypto.Signature.t;
+    }
+  | App_state_request of { asr_rep : int }
+  | App_state_reply of {
+      rep : int;
+      state_blob : string;
+      next_exec_pp : int;
+      exec_seq : int;
+      cursor : int array;
+      client_seqs : (string * int) list;
+      reply_sig : Crypto.Signature.t;
+    }
+
+type Netbase.Packet.payload += Scada_msg of t
+
+let encode_breaker_command ~rep ~exec_seq ~breaker ~close =
+  Printf.sprintf "bc:%d:%d:%s:%d" rep exec_seq breaker (if close then 1 else 0)
+
+let encode_hmi_state ~rep ~exec_seq ~breaker ~closed =
+  Printf.sprintf "hs:%d:%d:%s:%d" rep exec_seq breaker (if closed then 1 else 0)
+
+let encode_app_state_reply ~rep ~state_blob ~next_exec_pp ~exec_seq ~cursor ~client_seqs =
+  Printf.sprintf "asr:%d:%d:%d:%s:%s:%s" rep next_exec_pp exec_seq
+    (String.concat "," (Array.to_list (Array.map string_of_int cursor)))
+    (String.concat ","
+       (List.map (fun (c, s) -> Printf.sprintf "%s=%d" c s)
+          (List.sort compare client_seqs)))
+    state_blob
+
+let size = function
+  | Breaker_command _ | Hmi_state _ -> 80 + Crypto.Signature.size_bytes
+  | App_state_request _ -> 40
+  | App_state_reply { state_blob; cursor; client_seqs; _ } ->
+      80 + Crypto.Signature.size_bytes + String.length state_blob
+      + (8 * Array.length cursor)
+      + (24 * List.length client_seqs)
+
+let describe = function
+  | Breaker_command { bc_rep; bc_breaker; bc_close; _ } ->
+      Printf.sprintf "breaker-command %s=%b from replica %d" bc_breaker bc_close bc_rep
+  | Hmi_state { hs_rep; hs_breaker; hs_closed; _ } ->
+      Printf.sprintf "hmi-state %s=%b from replica %d" hs_breaker hs_closed hs_rep
+  | App_state_request { asr_rep } -> Printf.sprintf "app-state-request from replica %d" asr_rep
+  | App_state_reply { rep; exec_seq; _ } ->
+      Printf.sprintf "app-state-reply from replica %d at exec %d" rep exec_seq

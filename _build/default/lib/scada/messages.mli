@@ -1,0 +1,51 @@
+(** SCADA-level messages beside the Prime stream: replica-signed breaker
+    commands and display updates (enforced f + 1 thresholds downstream),
+    and the master-to-master application state transfer. *)
+
+type t =
+  | Breaker_command of {
+      bc_rep : int;
+      bc_exec_seq : int;
+      bc_breaker : string;
+      bc_close : bool;
+      bc_sig : Crypto.Signature.t;
+    }
+  | Hmi_state of {
+      hs_rep : int;
+      hs_exec_seq : int;
+      hs_breaker : string;
+      hs_closed : bool;
+      hs_sig : Crypto.Signature.t;
+    }
+  | App_state_request of { asr_rep : int }
+  | App_state_reply of {
+      rep : int;
+      state_blob : string;
+      next_exec_pp : int;
+      exec_seq : int;
+      cursor : int array;
+      client_seqs : (string * int) list;
+      reply_sig : Crypto.Signature.t;
+    }
+
+type Netbase.Packet.payload += Scada_msg of t
+
+(** Canonical byte strings covered by signatures. *)
+
+val encode_breaker_command : rep:int -> exec_seq:int -> breaker:string -> close:bool -> string
+
+val encode_hmi_state : rep:int -> exec_seq:int -> breaker:string -> closed:bool -> string
+
+val encode_app_state_reply :
+  rep:int ->
+  state_blob:string ->
+  next_exec_pp:int ->
+  exec_seq:int ->
+  cursor:int array ->
+  client_seqs:(string * int) list ->
+  string
+
+(** Approximate wire size in bytes. *)
+val size : t -> int
+
+val describe : t -> string

@@ -1,0 +1,26 @@
+(* SCADA operations: the application-level payload of replicated updates.
+
+   Two kinds exist in the deployment: field status reports introduced by
+   the PLC/RTU proxies, and supervisory commands issued from the HMI. The
+   string encoding is what gets signed inside a Prime update, so it must
+   be canonical and injective. *)
+
+type t =
+  | Status of { breaker : string; closed : bool }
+  | Command of { breaker : string; close : bool }
+
+let encode = function
+  | Status { breaker; closed } -> Printf.sprintf "status:%s:%d" breaker (if closed then 1 else 0)
+  | Command { breaker; close } -> Printf.sprintf "cmd:%s:%d" breaker (if close then 1 else 0)
+
+let decode s =
+  match String.split_on_char ':' s with
+  | [ "status"; breaker; flag ] when flag = "0" || flag = "1" ->
+      Some (Status { breaker; closed = flag = "1" })
+  | [ "cmd"; breaker; flag ] when flag = "0" || flag = "1" ->
+      Some (Command { breaker; close = flag = "1" })
+  | _ -> None
+
+let breaker = function Status { breaker; _ } -> breaker | Command { breaker; _ } -> breaker
+
+let pp ppf op = Fmt.string ppf (encode op)

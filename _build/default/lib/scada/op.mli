@@ -1,0 +1,15 @@
+(** SCADA operations: the application payload of replicated updates.
+    Encodings are canonical (they are what clients sign). *)
+
+type t =
+  | Status of { breaker : string; closed : bool } (* field report from a proxy *)
+  | Command of { breaker : string; close : bool } (* supervisory command from an HMI *)
+
+val encode : t -> string
+
+(** [None] on malformed input (faulty clients must not crash replicas). *)
+val decode : string -> t option
+
+val breaker : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+(** PLC proxy: plain Modbus over a dedicated wire on the field side,
+    signed SCADA traffic toward the replicated masters, and the f + 1
+    command threshold that keeps a single compromised master from
+    operating field equipment. *)
+
+type t
+
+(** The UDP port the proxy's Modbus client answers on. *)
+val modbus_local_port : int
+
+val create :
+  engine:Sim.Engine.t ->
+  trace:Sim.Trace.t ->
+  keystore:Crypto.Signature.keystore ->
+  config:Prime.Config.t ->
+  host:Netbase.Host.t ->
+  plc_ip:Netbase.Addr.Ip.t ->
+  breaker_names:string list ->
+  client:Prime.Client.t ->
+  string ->
+  t
+
+val name : t -> string
+
+val counters : t -> Sim.Stats.Counter.t
+
+(** Handle a payload from the replicated system (breaker commands, Prime
+    client replies). *)
+val handle_payload : t -> Netbase.Packet.payload -> unit
+
+(** Bind the Modbus client port and start the polling loop. *)
+val start : t -> poll_period:float -> unit
+
+val stop : t -> unit
+
+(** Forget last-reported positions so the next poll re-submits everything
+    (used by the ground-truth rebuild). *)
+val reset_reporting : t -> unit

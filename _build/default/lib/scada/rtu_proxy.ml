@@ -1,0 +1,156 @@
+(* RTU proxy: the DNP3 counterpart of the Modbus PLC proxy.
+
+   DNP3's event model changes the polling pattern: a fast class-1 event
+   poll collects buffered change events (with device timestamps), and a
+   slower integrity poll (class 0) re-reads the full static image to
+   guard against missed or overflowed events. Collected events become
+   Status updates in the replicated system; supervisory commands become
+   CROB Operate requests after the same f + 1 replica threshold as the
+   Modbus proxy. *)
+
+type t = {
+  name : string;
+  engine : Sim.Engine.t;
+  trace : Sim.Trace.t;
+  keystore : Crypto.Signature.keystore;
+  config : Prime.Config.t;
+  host : Netbase.Host.t;
+  rtu_ip : Netbase.Addr.Ip.t;
+  breaker_names : string array; (* index = DNP3 point index *)
+  client : Prime.Client.t;
+  last_known : bool option array;
+  command_gate : Threshold.t;
+  mutable sequence : int;
+  mutable timers : Sim.Engine.timer list;
+  counters : Sim.Stats.Counter.t;
+}
+
+let dnp3_local_port = 5021
+
+let create ~engine ~trace ~keystore ~config ~host ~rtu_ip ~breaker_names ~client name =
+  {
+    name;
+    engine;
+    trace;
+    keystore;
+    config;
+    host;
+    rtu_ip;
+    breaker_names = Array.of_list breaker_names;
+    client;
+    last_known = Array.make (List.length breaker_names) None;
+    command_gate = Threshold.create ~needed:(config.Prime.Config.f + 1);
+    sequence = 0;
+    timers = [];
+    counters = Sim.Stats.Counter.create ();
+  }
+
+let name t = t.name
+
+let counters t = t.counters
+
+let point_of_breaker t breaker =
+  let rec scan i =
+    if i >= Array.length t.breaker_names then None
+    else if String.equal t.breaker_names.(i) breaker then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+(* --- DNP3 side --------------------------------------------------------------- *)
+
+let send_dnp3 t body =
+  t.sequence <- (t.sequence + 1) land 0xFF;
+  let bytes = Plc.Dnp3.encode_request { Plc.Dnp3.sequence = t.sequence; body } in
+  Netbase.Host.udp_send t.host ~dst_ip:t.rtu_ip ~dst_port:Plc.Dnp3.tcp_port
+    ~src_port:dnp3_local_port ~size:(String.length bytes) (Plc.Dnp3.Frame bytes)
+
+let event_poll t =
+  Sim.Stats.Counter.incr t.counters "poll.event";
+  send_dnp3 t (Plc.Dnp3.Read_class { classes = [ 1 ] })
+
+let integrity_poll t =
+  Sim.Stats.Counter.incr t.counters "poll.integrity";
+  send_dnp3 t (Plc.Dnp3.Read_class { classes = [ 0 ] })
+
+let report t ~index ~closed =
+  if index < Array.length t.breaker_names then begin
+    let changed =
+      match t.last_known.(index) with None -> true | Some previous -> previous <> closed
+    in
+    if changed then begin
+      t.last_known.(index) <- Some closed;
+      Sim.Stats.Counter.incr t.counters "status.reported";
+      ignore
+        (Prime.Client.submit t.client
+           ~op:(Op.encode (Op.Status { breaker = t.breaker_names.(index); closed })))
+    end
+  end
+
+let handle_dnp3_response t bytes =
+  match Plc.Dnp3.decode_response bytes with
+  | { Plc.Dnp3.body = Plc.Dnp3.Events events; _ } ->
+      if events <> [] then begin
+        (* Apply in device-time order; only the newest state per point
+           matters for the report. *)
+        List.iter
+          (fun (e : Plc.Dnp3.event) -> report t ~index:e.Plc.Dnp3.ev_index ~closed:e.Plc.Dnp3.ev_closed)
+          events;
+        send_dnp3 t Plc.Dnp3.Clear_events
+      end
+  | { Plc.Dnp3.body = Plc.Dnp3.Static_data bits; _ } ->
+      List.iteri (fun index closed -> report t ~index ~closed) bits
+  | { Plc.Dnp3.body = Plc.Dnp3.Operate_ack { success; _ }; _ } ->
+      Sim.Stats.Counter.incr t.counters
+        (if success then "operate.acked" else "operate.failed")
+  | { Plc.Dnp3.body = Plc.Dnp3.Events_cleared; _ } -> ()
+  | exception Plc.Dnp3.Decode_error _ -> Sim.Stats.Counter.incr t.counters "dnp3.garbage"
+
+(* --- replicated-system side ---------------------------------------------------- *)
+
+let handle_breaker_command t ~rep ~exec_seq ~breaker ~close signature =
+  let body = Messages.encode_breaker_command ~rep ~exec_seq ~breaker ~close in
+  let valid =
+    Crypto.Signature.verify t.keystore ~signer:(Prime.Msg.replica_identity rep) body signature
+  in
+  if not valid then Sim.Stats.Counter.incr t.counters "command.bad_sig"
+  else begin
+    let key = Printf.sprintf "%d:%s:%b" exec_seq breaker close in
+    if Threshold.vote t.command_gate ~key ~voter:rep then begin
+      match point_of_breaker t breaker with
+      | Some index ->
+          Sim.Stats.Counter.incr t.counters "command.actuated";
+          Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"proxy"
+            "%s: DNP3 operate %s -> %s" t.name breaker (if close then "closed" else "open");
+          send_dnp3 t (Plc.Dnp3.Operate { index; close })
+      | None -> Sim.Stats.Counter.incr t.counters "command.unknown_breaker"
+    end
+  end
+
+let handle_payload t payload =
+  match payload with
+  | Messages.Scada_msg (Messages.Breaker_command { bc_rep; bc_exec_seq; bc_breaker; bc_close; bc_sig })
+    ->
+      handle_breaker_command t ~rep:bc_rep ~exec_seq:bc_exec_seq ~breaker:bc_breaker
+        ~close:bc_close bc_sig
+  | Prime.Msg.Prime_msg reply -> Prime.Client.handle_reply t.client reply
+  | _ -> ()
+
+let start t ~poll_period =
+  Netbase.Host.udp_bind t.host ~port:dnp3_local_port (fun ~src:_ ~dst_port:_ ~size:_ payload ->
+      match payload with
+      | Plc.Dnp3.Frame bytes -> handle_dnp3_response t bytes
+      | _ -> Sim.Stats.Counter.incr t.counters "dnp3.garbage");
+  t.timers <-
+    [
+      Sim.Engine.every t.engine ~period:poll_period (fun () -> event_poll t);
+      (* Integrity poll at 20x the event-poll period. *)
+      Sim.Engine.every t.engine ~period:(20.0 *. poll_period) (fun () -> integrity_poll t);
+    ];
+  integrity_poll t
+
+let reset_reporting t = Array.fill t.last_known 0 (Array.length t.last_known) None
+
+let stop t =
+  List.iter (Sim.Engine.cancel_timer t.engine) t.timers;
+  t.timers <- []

@@ -1,0 +1,35 @@
+(** RTU proxy: DNP3 counterpart of {!Proxy}. Fast class-1 event polls
+    plus periodic integrity polls feed Status updates into the
+    replicated system; supervisory commands become CROB operates behind
+    the f + 1 replica threshold. *)
+
+type t
+
+(** The UDP port the proxy's DNP3 master answers on. *)
+val dnp3_local_port : int
+
+val create :
+  engine:Sim.Engine.t ->
+  trace:Sim.Trace.t ->
+  keystore:Crypto.Signature.keystore ->
+  config:Prime.Config.t ->
+  host:Netbase.Host.t ->
+  rtu_ip:Netbase.Addr.Ip.t ->
+  breaker_names:string list ->
+  client:Prime.Client.t ->
+  string ->
+  t
+
+val name : t -> string
+
+val counters : t -> Sim.Stats.Counter.t
+
+val handle_payload : t -> Netbase.Packet.payload -> unit
+
+(** Bind the DNP3 master port; start event polling at [poll_period] and
+    integrity polling at 20x that. *)
+val start : t -> poll_period:float -> unit
+
+val stop : t -> unit
+
+val reset_reporting : t -> unit

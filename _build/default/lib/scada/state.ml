@@ -1,0 +1,114 @@
+(* Replicated SCADA application state.
+
+   Tracks, per breaker: the last reported field position and the last
+   supervisory command. Deterministic application of ordered operations
+   keeps every replica's copy identical; the canonical serialization and
+   digest support the application-level state transfer of Section III-A. *)
+
+type breaker_state = {
+  mutable reported_closed : bool;
+  mutable commanded_close : bool;
+  mutable last_change_exec : int; (* exec_seq of last status change *)
+}
+
+type t = {
+  scenario : Plc.Power.scenario;
+  breakers : (string, breaker_state) Hashtbl.t;
+  mutable ops_applied : int;
+}
+
+let create scenario =
+  let t = { scenario; breakers = Hashtbl.create 64; ops_applied = 0 } in
+  List.iter
+    (fun name ->
+      Hashtbl.replace t.breakers name
+        { reported_closed = true; commanded_close = true; last_change_exec = 0 })
+    (Plc.Power.all_breakers scenario);
+  t
+
+let scenario t = t.scenario
+
+let ops_applied t = t.ops_applied
+
+let breaker t name = Hashtbl.find_opt t.breakers name
+
+let reported_closed t name =
+  match breaker t name with Some b -> b.reported_closed | None -> false
+
+(* Applying an unknown breaker's op is a no-op rather than an error: a
+   faulty client may inject names outside the topology, and replicas must
+   stay deterministic rather than crash. *)
+let apply t ~exec_seq op =
+  t.ops_applied <- t.ops_applied + 1;
+  match op with
+  | Op.Status { breaker = name; closed } -> (
+      match Hashtbl.find_opt t.breakers name with
+      | Some b ->
+          let changed = b.reported_closed <> closed in
+          b.reported_closed <- closed;
+          if changed then b.last_change_exec <- exec_seq;
+          changed
+      | None -> false)
+  | Op.Command { breaker = name; close } -> (
+      match Hashtbl.find_opt t.breakers name with
+      | Some b ->
+          b.commanded_close <- close;
+          false
+      | None -> false)
+
+let energized t =
+  Plc.Power.energized t.scenario ~is_closed:(fun name -> reported_closed t name)
+
+(* Canonical serialization: breakers sorted by name. *)
+let serialize t =
+  Hashtbl.fold (fun name b acc -> (name, b) :: acc) t.breakers []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map (fun (name, b) ->
+         Printf.sprintf "%s=%d/%d/%d" name
+           (if b.reported_closed then 1 else 0)
+           (if b.commanded_close then 1 else 0)
+           b.last_change_exec)
+  |> String.concat ";"
+
+let digest t = Crypto.Sha256.to_hex (Crypto.Sha256.digest (serialize t))
+
+let load t blob =
+  let parse_entry entry =
+    match String.index_opt entry '=' with
+    | None -> None
+    | Some i -> (
+        let name = String.sub entry 0 i in
+        let rest = String.sub entry (i + 1) (String.length entry - i - 1) in
+        match String.split_on_char '/' rest with
+        | [ r; c; e ] -> (
+            try Some (name, r = "1", c = "1", int_of_string e) with Failure _ -> None)
+        | _ -> None)
+  in
+  let entries = String.split_on_char ';' blob in
+  let parsed = List.filter_map parse_entry entries in
+  if List.length parsed <> List.length entries then Error "malformed state blob"
+  else begin
+    List.iter
+      (fun (name, reported, commanded, exec) ->
+        match Hashtbl.find_opt t.breakers name with
+        | Some b ->
+            b.reported_closed <- reported;
+            b.commanded_close <- commanded;
+            b.last_change_exec <- exec
+        | None ->
+            Hashtbl.replace t.breakers name
+              { reported_closed = reported; commanded_close = commanded; last_change_exec = exec })
+      parsed;
+    Ok ()
+  end
+
+(* Ground-truth reset (Section III-A): wipe to defaults; the proxies'
+   next polling round repopulates from the field devices. *)
+let reset t =
+  Hashtbl.iter
+    (fun _ b ->
+      b.reported_closed <- true;
+      b.commanded_close <- true;
+      b.last_change_exec <- 0)
+    t.breakers;
+  t.ops_applied <- 0

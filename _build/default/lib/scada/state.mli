@@ -1,0 +1,34 @@
+(** Replicated SCADA application state: per-breaker reported position and
+    last supervisory command, with canonical serialization and digest for
+    the application-level state transfer (Section III-A). *)
+
+type t
+
+val create : Plc.Power.scenario -> t
+
+val scenario : t -> Plc.Power.scenario
+
+val ops_applied : t -> int
+
+(** Last reported field position ([false] for unknown breakers). *)
+val reported_closed : t -> string -> bool
+
+(** Apply an ordered operation; returns [true] if a Status changed the
+    reported position. Unknown breakers are deterministic no-ops. *)
+val apply : t -> exec_seq:int -> Op.t -> bool
+
+(** Energized loads given the reported breaker positions. *)
+val energized : t -> (string * bool) list
+
+(** Canonical blob (breakers sorted by name). *)
+val serialize : t -> string
+
+(** Hex digest of {!serialize}. *)
+val digest : t -> string
+
+(** Install a serialized state. [Error] on malformed blobs. *)
+val load : t -> string -> (unit, string) result
+
+(** Ground-truth reset: wipe to defaults; the proxies' next polling round
+    repopulates from the field devices. *)
+val reset : t -> unit

@@ -1,0 +1,38 @@
+(* f + 1 agreement gate.
+
+   Proxies and HMIs act on a message only once f + 1 distinct replicas
+   have sent an identical one: at least one of them is correct, and a
+   correct replica only speaks for ordered state. Each decided key is
+   remembered so replays cannot trigger the action twice. *)
+
+type t = {
+  needed : int;
+  votes : (string, (int, unit) Hashtbl.t) Hashtbl.t; (* key -> voting replicas *)
+  decided : (string, unit) Hashtbl.t;
+}
+
+let create ~needed = { needed; votes = Hashtbl.create 64; decided = Hashtbl.create 256 }
+
+(* Returns [true] exactly once per key: when [voter]'s vote completes the
+   threshold. *)
+let vote t ~key ~voter =
+  if Hashtbl.mem t.decided key then false
+  else begin
+    let voters =
+      match Hashtbl.find_opt t.votes key with
+      | Some v -> v
+      | None ->
+          let v = Hashtbl.create 8 in
+          Hashtbl.replace t.votes key v;
+          v
+    in
+    Hashtbl.replace voters voter ();
+    if Hashtbl.length voters >= t.needed then begin
+      Hashtbl.replace t.decided key ();
+      Hashtbl.remove t.votes key;
+      true
+    end
+    else false
+  end
+
+let decided t key = Hashtbl.mem t.decided key

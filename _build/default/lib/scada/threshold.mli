@@ -1,0 +1,13 @@
+(** f + 1 agreement gate for proxy actuation and HMI display: an action
+    fires exactly once, when [needed] distinct replicas have voted for
+    the same key. *)
+
+type t
+
+val create : needed:int -> t
+
+(** [vote t ~key ~voter] returns [true] exactly once per key — when this
+    vote completes the threshold. *)
+val vote : t -> key:string -> voter:int -> bool
+
+val decided : t -> string -> bool

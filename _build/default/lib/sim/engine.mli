@@ -1,0 +1,60 @@
+(** Discrete-event simulation engine with virtual time.
+
+    All subsystems (network, protocols, attackers, measurement devices)
+    run as events on one engine, making whole-system runs deterministic
+    and fast: simulated days complete in real seconds. *)
+
+type t
+
+type event_id
+
+type timer
+
+(** [create ?seed ()] makes an engine at time 0 with a deterministic RNG. *)
+val create : ?seed:int64 -> unit -> t
+
+(** Current virtual time in seconds. *)
+val now : t -> float
+
+(** The engine's root RNG. Prefer [split_rng] for per-subsystem streams. *)
+val rng : t -> Rng.t
+
+(** A fresh RNG stream independent of other consumers. *)
+val split_rng : t -> Rng.t
+
+(** Number of events executed so far. *)
+val executed_events : t -> int
+
+(** [schedule t ~delay f] runs [f] after [delay] seconds of virtual time.
+    Raises [Invalid_argument] on negative delay. *)
+val schedule : t -> delay:float -> (unit -> unit) -> event_id
+
+(** [schedule_at t ~time f] runs [f] at absolute virtual [time]. Raises
+    [Invalid_argument] if [time] is in the past. *)
+val schedule_at : t -> time:float -> (unit -> unit) -> event_id
+
+(** [cancel t id] prevents a scheduled event from running. Idempotent. *)
+val cancel : t -> event_id -> unit
+
+(** Number of events still queued (including lazily-cancelled ones). *)
+val pending : t -> int
+
+(** [step t] executes the next event. Returns [false] if the queue was
+    empty. *)
+val step : t -> bool
+
+(** [run ?until ?max_events t] executes events in time order until the
+    queue is empty, the horizon [until] is passed, [max_events] have run,
+    or [stop] is called. With [until], the clock is advanced to the
+    horizon even if the queue empties early. *)
+val run : ?until:float -> ?max_events:int -> t -> unit
+
+(** Request that [run] return after the current event. *)
+val stop : t -> unit
+
+(** [every t ~period ?jitter f] runs [f] every [period] (plus uniform
+    random [jitter]) seconds, starting one period from now. *)
+val every : t -> period:float -> ?jitter:float -> (unit -> unit) -> timer
+
+(** Stop a recurring timer. Idempotent. *)
+val cancel_timer : t -> timer -> unit

@@ -1,0 +1,20 @@
+(** Array-backed binary min-heap keyed by float, with stable (insertion
+    order) tie-breaking so that the simulation's event delivery order is
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push t ~key v] inserts [v] with priority [key]. *)
+val push : 'a t -> key:float -> 'a -> unit
+
+(** [peek t] returns the minimum entry without removing it. *)
+val peek : 'a t -> (float * 'a) option
+
+(** [pop t] removes and returns the minimum entry. *)
+val pop : 'a t -> (float * 'a) option

@@ -1,0 +1,106 @@
+(* Streaming statistics used by benchmarks and the IDS.
+
+   [Summary] keeps running moments (Welford) plus all samples for exact
+   percentiles; experiment populations here are small enough (at most a few
+   hundred thousand samples) that storing them is the simplest correct
+   choice. *)
+
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+    mutable samples : float list;
+    mutable sorted : float array option; (* cache invalidated on add *)
+  }
+
+  let create () =
+    {
+      count = 0;
+      mean = 0.0;
+      m2 = 0.0;
+      min = infinity;
+      max = neg_infinity;
+      samples = [];
+      sorted = None;
+    }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x;
+    t.samples <- x :: t.samples;
+    t.sorted <- None
+
+  let count t = t.count
+
+  let mean t = if t.count = 0 then nan else t.mean
+
+  let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+
+  let stddev t = sqrt (variance t)
+
+  let min t = if t.count = 0 then nan else t.min
+
+  let max t = if t.count = 0 then nan else t.max
+
+  let sorted t =
+    match t.sorted with
+    | Some a -> a
+    | None ->
+        let a = Array.of_list t.samples in
+        Array.sort compare a;
+        t.sorted <- Some a;
+        a
+
+  (* Nearest-rank percentile: exact on the stored samples. *)
+  let percentile t p =
+    if t.count = 0 then nan
+    else if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of [0,100]"
+    else
+      let a = sorted t in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
+      let idx = Stdlib.max 0 (Stdlib.min (t.count - 1) (rank - 1)) in
+      a.(idx)
+
+  let median t = percentile t 50.0
+
+  let pp ppf t =
+    if t.count = 0 then Fmt.string ppf "(no samples)"
+    else
+      Fmt.pf ppf "n=%d mean=%.6f sd=%.6f min=%.6f p50=%.6f p99=%.6f max=%.6f" t.count
+        (mean t) (stddev t) (min t) (median t) (percentile t 99.0) (max t)
+end
+
+module Counter = struct
+  type t = (string, int) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let incr ?(by = 1) t key =
+    let current = Option.value ~default:0 (Hashtbl.find_opt t key) in
+    Hashtbl.replace t key (current + by)
+
+  let get t key = Option.value ~default:0 (Hashtbl.find_opt t key)
+
+  let to_sorted_list t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+end
+
+module Timeseries = struct
+  type t = { mutable points : (float * float) list }
+
+  let create () = { points = [] }
+
+  let add t ~time value = t.points <- (time, value) :: t.points
+
+  let to_list t = List.rev t.points
+
+  let length t = List.length t.points
+end

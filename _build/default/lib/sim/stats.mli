@@ -1,0 +1,55 @@
+(** Streaming statistics for experiment harnesses and the IDS. *)
+
+module Summary : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  val mean : t -> float
+
+  (** Sample (Bessel-corrected) variance; 0 with fewer than two samples. *)
+  val variance : t -> float
+
+  val stddev : t -> float
+
+  val min : t -> float
+
+  val max : t -> float
+
+  (** Exact nearest-rank percentile over all recorded samples.
+      Raises [Invalid_argument] outside [0, 100]. *)
+  val percentile : t -> float -> float
+
+  val median : t -> float
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+
+  val incr : ?by:int -> t -> string -> unit
+
+  val get : t -> string -> int
+
+  (** All counters sorted by key, for stable table output. *)
+  val to_sorted_list : t -> (string * int) list
+end
+
+module Timeseries : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> time:float -> float -> unit
+
+  val to_list : t -> (float * float) list
+
+  val length : t -> int
+end

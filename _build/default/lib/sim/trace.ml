@@ -1,0 +1,46 @@
+(* Structured simulation trace.
+
+   Subsystems record (time, category, message) entries. Experiments read
+   the trace back to build narrative output (e.g. the red-team attack log)
+   and tests assert on it. Echoing to stderr is off by default so that
+   property tests running thousands of simulations stay quiet. *)
+
+type entry = { time : float; category : string; message : string }
+
+type t = { mutable entries : entry list; mutable echo : bool; mutable count : int }
+
+let create ?(echo = false) () = { entries = []; echo; count = 0 }
+
+let set_echo t echo = t.echo <- echo
+
+let record t ~time ~category fmt =
+  Format.kasprintf
+    (fun message ->
+      t.entries <- { time; category; message } :: t.entries;
+      t.count <- t.count + 1;
+      if t.echo then Printf.eprintf "[%10.4f] %-12s %s\n%!" time category message)
+    fmt
+
+let entries t = List.rev t.entries
+
+let length t = t.count
+
+let by_category t category =
+  List.filter (fun entry -> String.equal entry.category category) (entries t)
+
+let find t ~category ~contains =
+  let matches entry =
+    String.equal entry.category category
+    &&
+    let len_sub = String.length contains and len = String.length entry.message in
+    let rec scan i =
+      if i + len_sub > len then false
+      else if String.sub entry.message i len_sub = contains then true
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  List.find_opt matches (entries t)
+
+let pp_entry ppf entry =
+  Fmt.pf ppf "[%10.4f] %-12s %s" entry.time entry.category entry.message

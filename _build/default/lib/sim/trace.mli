@@ -1,0 +1,27 @@
+(** Structured simulation trace: timestamped, categorised log entries that
+    experiments turn into narrative output and tests assert on. *)
+
+type entry = { time : float; category : string; message : string }
+
+type t
+
+val create : ?echo:bool -> unit -> t
+
+(** Toggle live echoing of entries to stderr. *)
+val set_echo : t -> bool -> unit
+
+(** [record t ~time ~category fmt ...] appends a formatted entry. *)
+val record : t -> time:float -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+(** All entries in chronological order. *)
+val entries : t -> entry list
+
+val length : t -> int
+
+(** Entries in one category, chronological. *)
+val by_category : t -> string -> entry list
+
+(** First entry in [category] whose message contains [contains]. *)
+val find : t -> category:string -> contains:string -> entry option
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,1 @@
+lib/spines/node.ml: Array Crypto Float Hashtbl List Netbase Printf Sim String Topology

@@ -1,0 +1,1 @@
+lib/spines/node.mli: Netbase Sim Topology

@@ -1,0 +1,1 @@
+lib/spines/topology.ml: Hashtbl List Option Printf Sim

@@ -1,0 +1,1 @@
+lib/spines/topology.mli: Hashtbl

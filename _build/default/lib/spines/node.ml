@@ -1,0 +1,656 @@
+(* Spines overlay daemon.
+
+   Reimplements the Spines behaviours the paper's deployment relies on:
+
+   - authenticated, encrypted links: every daemon-to-daemon message carries
+     an HMAC under the deployment's group key. A daemon built without the
+     key (the red team's recompiled open-source version) cannot produce
+     valid traffic and is ignored by keyed peers.
+   - intrusion-tolerant mode: data is disseminated by priority flooding
+     with per-source rate limiting (source fairness), so a compromised
+     insider daemon cannot starve other sources; and the code paths the
+     red team's patched-binary exploit targeted are disabled.
+   - link-state routing for non-IT mode: hellos detect neighbor failures,
+     LSAs propagate them, unicast follows Dijkstra next hops.
+
+   The [Link_msg] payload constructor is deliberately not exported:
+   attack code cannot destructure overlay traffic (encryption) nor
+   construct well-formed link messages without going through a daemon it
+   controls (key capture). Replayed frames are rejected by (origin, seq)
+   deduplication. *)
+
+type node_id = Topology.node_id
+
+type dst =
+  | To_client of { node : node_id; client : int }
+  | To_group of string
+  | To_session of string (* a named session client attached to some daemon *)
+
+type data = {
+  origin : node_id;
+  origin_client : int;
+  data_seq : int;
+  dst : dst;
+  priority : int;
+  app_size : int;
+  app_payload : Netbase.Packet.payload;
+}
+
+type inner =
+  | Data of data
+  | Hello of { hfrom : node_id; hseq : int }
+  | Hello_ack of { afrom : node_id; hseq : int }
+  | Lsa of { lsa_origin : node_id; lsa_seq : int; up_neighbors : node_id list }
+
+type Netbase.Packet.payload += Link_msg of { auth : string; encrypted : bool; inner : inner }
+
+(* Client-to-daemon session protocol (the real Spines' remote client
+   sessions): attach with a name, send into the overlay, receive
+   deliveries. Authenticated with the same group key as links, so a
+   machine without key material cannot attach or inject. Constructors are
+   private to this module. *)
+type session_inner =
+  | Sess_attach of { sa_name : string }
+  | Sess_attach_ack of { sk_name : string }
+  | Sess_send of {
+      ss_name : string;
+      ss_dst : dst;
+      ss_priority : int;
+      ss_size : int;
+      ss_payload : Netbase.Packet.payload;
+    }
+  | Sess_deliver of {
+      sd_origin : node_id;
+      sd_seq : int;
+      sd_size : int;
+      sd_payload : Netbase.Packet.payload;
+    }
+
+type Netbase.Packet.payload += Session_wire of { s_auth : string; s_inner : session_inner }
+
+let overhead_bytes = 80 (* overlay header + HMAC *)
+
+type config = {
+  topology : Topology.t;
+  port : int;
+  session_port : int; (* client-facing port for remote session clients *)
+  it_mode : bool;
+  group_key : string option; (* None models a build without the new encryption *)
+  hello_period : float;
+  hello_timeout : float;
+  source_rate_limit : float; (* data msgs/s accepted per origin in IT mode *)
+  session_timeout : float; (* attachment freshness bound *)
+}
+
+let default_config ?(port = 8100) ?session_port ?(it_mode = true) ?group_key topology =
+  {
+    topology;
+    port;
+    session_port = (match session_port with Some p -> p | None -> port + 1);
+    it_mode;
+    group_key;
+    hello_period = 0.2;
+    hello_timeout = 1.0;
+    source_rate_limit = 2000.0;
+    session_timeout = 5.0;
+  }
+
+type client = {
+  handler : src:node_id * int -> size:int -> Netbase.Packet.payload -> unit;
+  groups : string list;
+}
+
+type neighbor_state = { mutable last_ack : float; mutable up : bool }
+
+type bucket = { mutable tokens : float; mutable updated : float }
+
+type t = {
+  id : node_id;
+  config : config;
+  host : Netbase.Host.t;
+  engine : Sim.Engine.t;
+  trace : Sim.Trace.t;
+  peer_addrs : (node_id, Netbase.Addr.Ip.t) Hashtbl.t;
+  clients : (int, client) Hashtbl.t;
+  mutable seq : int;
+  mutable hello_seq : int;
+  mutable lsa_seq : int;
+  dedup : (node_id * int, unit) Hashtbl.t;
+  lsa_seen : (node_id * int, unit) Hashtbl.t;
+  view : Topology.View.view;
+  neighbor_states : (node_id, neighbor_state) Hashtbl.t;
+  buckets : (node_id, bucket) Hashtbl.t;
+  counters : Sim.Stats.Counter.t;
+  sessions : (string, session_entry) Hashtbl.t; (* attached remote clients *)
+  mutable running : bool;
+  mutable timers : Sim.Engine.timer list;
+  mutable exploit : string option;
+}
+
+and session_entry = {
+  mutable sess_ip : Netbase.Addr.Ip.t;
+  mutable sess_port : int;
+  mutable sess_last_seen : float;
+}
+
+let create ~engine ~trace ~host ~id config =
+  let t =
+    {
+      id;
+      config;
+      host;
+      engine;
+      trace;
+      peer_addrs = Hashtbl.create 16;
+      clients = Hashtbl.create 8;
+      seq = 0;
+      hello_seq = 0;
+      lsa_seq = 0;
+      dedup = Hashtbl.create 1024;
+      lsa_seen = Hashtbl.create 64;
+      view = Topology.View.all_up config.topology;
+      neighbor_states = Hashtbl.create 16;
+      buckets = Hashtbl.create 16;
+      counters = Sim.Stats.Counter.create ();
+      sessions = Hashtbl.create 16;
+      running = false;
+      timers = [];
+      exploit = None;
+    }
+  in
+  List.iter
+    (fun n -> Hashtbl.replace t.neighbor_states n { last_ack = 0.0; up = true })
+    (Topology.neighbors config.topology id);
+  t
+
+let id t = t.id
+
+let counters t = t.counters
+
+let is_running t = t.running
+
+let set_peer_address t peer ip = Hashtbl.replace t.peer_addrs peer ip
+
+let inject_exploit t name = t.exploit <- Some name
+
+(* --- canonical encoding for authentication ----------------------------- *)
+
+let encode_dst = function
+  | To_client { node; client } -> Printf.sprintf "c:%d:%d" node client
+  | To_group g -> Printf.sprintf "g:%s" g
+  | To_session name -> Printf.sprintf "s:%s" name
+
+let encode_inner = function
+  | Data d ->
+      Printf.sprintf "data:%d:%d:%d:%s:%d:%d" d.origin d.origin_client d.data_seq
+        (encode_dst d.dst) d.priority d.app_size
+  | Hello { hfrom; hseq } -> Printf.sprintf "hello:%d:%d" hfrom hseq
+  | Hello_ack { afrom; hseq } -> Printf.sprintf "ack:%d:%d" afrom hseq
+  | Lsa { lsa_origin; lsa_seq; up_neighbors } ->
+      Printf.sprintf "lsa:%d:%d:%s" lsa_origin lsa_seq
+        (String.concat "," (List.map string_of_int up_neighbors))
+
+let compute_auth t inner =
+  match t.config.group_key with
+  | Some key -> Crypto.Hmac.mac ~key (encode_inner inner)
+  | None -> ""
+
+let auth_valid t ~auth inner =
+  match t.config.group_key with
+  | None -> true (* an unkeyed daemon cannot check anything *)
+  | Some key -> Crypto.Hmac.verify ~key ~tag:auth (encode_inner inner)
+
+let encode_session_inner = function
+  | Sess_attach { sa_name } -> Printf.sprintf "sess-attach:%s" sa_name
+  | Sess_attach_ack { sk_name } -> Printf.sprintf "sess-ack:%s" sk_name
+  | Sess_send { ss_name; ss_dst; ss_priority; ss_size; _ } ->
+      Printf.sprintf "sess-send:%s:%s:%d:%d" ss_name (encode_dst ss_dst) ss_priority ss_size
+  | Sess_deliver { sd_origin; sd_seq; sd_size; _ } ->
+      Printf.sprintf "sess-deliver:%d:%d:%d" sd_origin sd_seq sd_size
+
+let session_auth ~key inner = Crypto.Hmac.mac ~key (encode_session_inner inner)
+
+let session_auth_valid ~key ~auth inner =
+  Crypto.Hmac.verify ~key ~tag:auth (encode_session_inner inner)
+
+(* --- link transmission -------------------------------------------------- *)
+
+let inner_size = function
+  | Data d -> d.app_size + overhead_bytes
+  | Hello _ | Hello_ack _ -> overhead_bytes
+  | Lsa _ -> overhead_bytes + 32
+
+let send_link t ~to_ inner =
+  match Hashtbl.find_opt t.peer_addrs to_ with
+  | None -> Sim.Stats.Counter.incr t.counters "link.no_address"
+  | Some ip ->
+      let msg =
+        Link_msg
+          { auth = compute_auth t inner; encrypted = t.config.group_key <> None; inner }
+      in
+      Sim.Stats.Counter.incr t.counters "link.tx";
+      Netbase.Host.udp_send t.host ~dst_ip:ip ~dst_port:t.config.port
+        ~src_port:t.config.port ~size:(inner_size inner) msg
+
+let live_neighbors t =
+  List.filter
+    (fun n ->
+      match Hashtbl.find_opt t.neighbor_states n with Some s -> s.up | None -> false)
+    (Topology.neighbors t.config.topology t.id)
+
+(* --- local delivery ------------------------------------------------------ *)
+
+let deliver_local t (d : data) =
+  let deliver_to client_id client =
+    Sim.Stats.Counter.incr t.counters "deliver";
+    ignore client_id;
+    client.handler ~src:(d.origin, d.origin_client) ~size:d.app_size d.app_payload
+  in
+  match d.dst with
+  | To_client { node; client } ->
+      if node = t.id then begin
+        match Hashtbl.find_opt t.clients client with
+        | Some c -> deliver_to client c
+        | None -> Sim.Stats.Counter.incr t.counters "deliver.no_client"
+      end
+  | To_group g ->
+      Hashtbl.iter
+        (fun client_id c -> if List.mem g c.groups then deliver_to client_id c)
+        t.clients
+  | To_session name -> (
+      match (Hashtbl.find_opt t.sessions name, t.config.group_key) with
+      | Some entry, Some key
+        when Sim.Engine.now t.engine -. entry.sess_last_seen <= t.config.session_timeout ->
+          Sim.Stats.Counter.incr t.counters "session.delivered";
+          let inner =
+            Sess_deliver
+              { sd_origin = d.origin; sd_seq = d.data_seq; sd_size = d.app_size;
+                sd_payload = d.app_payload }
+          in
+          Netbase.Host.udp_send t.host ~dst_ip:entry.sess_ip ~dst_port:entry.sess_port
+            ~src_port:t.config.session_port ~size:(d.app_size + overhead_bytes)
+            (Session_wire { s_auth = session_auth ~key inner; s_inner = inner })
+      | _ -> ())
+
+(* --- fairness (per-source rate limiting, IT mode) ------------------------ *)
+
+let bucket_for t origin =
+  match Hashtbl.find_opt t.buckets origin with
+  | Some b -> b
+  | None ->
+      let b = { tokens = t.config.source_rate_limit /. 10.0; updated = 0.0 } in
+      Hashtbl.replace t.buckets origin b;
+      b
+
+let within_rate t origin =
+  let b = bucket_for t origin in
+  let now = Sim.Engine.now t.engine in
+  let cap = t.config.source_rate_limit /. 10.0 in
+  b.tokens <- Float.min cap (b.tokens +. ((now -. b.updated) *. t.config.source_rate_limit));
+  b.updated <- now;
+  if b.tokens >= 1.0 then begin
+    b.tokens <- b.tokens -. 1.0;
+    true
+  end
+  else false
+
+(* --- dissemination -------------------------------------------------------- *)
+
+let flood t ?except inner =
+  List.iter
+    (fun n -> if Some n <> except then send_link t ~to_:n inner)
+    (live_neighbors t)
+
+let forward_data t ~from (d : data) =
+  if Hashtbl.mem t.dedup (d.origin, d.data_seq) then
+    Sim.Stats.Counter.incr t.counters "dedup.drop"
+  else begin
+    Hashtbl.replace t.dedup (d.origin, d.data_seq) ();
+    (* Source fairness: a flooding origin is clipped at every honest hop. *)
+    let admitted = (not t.config.it_mode) || d.origin = t.id || within_rate t d.origin in
+    if not admitted then Sim.Stats.Counter.incr t.counters "fairness.clipped"
+    else begin
+      (* The red team's patched-binary exploit lives in a code path that is
+         disabled in intrusion-tolerant mode; outside IT mode it lets the
+         daemon silently discard other sources' traffic. *)
+      (match (t.exploit, t.config.it_mode) with
+      | Some "drop-foreign-traffic", false when d.origin <> t.id ->
+          Sim.Stats.Counter.incr t.counters "exploit.dropped";
+          Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"spines"
+            "node %d exploit dropped data from %d" t.id d.origin
+      | _ ->
+          deliver_local t d;
+          (match d.dst with
+          | To_group _ | To_session _ -> flood t ?except:from (Data d)
+          | To_client { node; _ } when node = t.id -> ()
+          | To_client { node; _ } ->
+              if t.config.it_mode then flood t ?except:from (Data d)
+              else begin
+                match Topology.route t.config.topology t.view ~src:t.id ~dst:node with
+                | Some hop -> send_link t ~to_:hop (Data d)
+                | None -> Sim.Stats.Counter.incr t.counters "route.unreachable"
+              end))
+    end
+  end
+
+(* --- link-state protocol --------------------------------------------------- *)
+
+let originate_lsa t =
+  t.lsa_seq <- t.lsa_seq + 1;
+  let lsa =
+    Lsa { lsa_origin = t.id; lsa_seq = t.lsa_seq; up_neighbors = live_neighbors t }
+  in
+  Hashtbl.replace t.lsa_seen (t.id, t.lsa_seq) ();
+  flood t lsa
+
+let apply_lsa t ~lsa_origin ~up_neighbors =
+  List.iter
+    (fun n ->
+      Topology.View.set_link t.view lsa_origin n ~up:(List.mem n up_neighbors))
+    (Topology.neighbors t.config.topology lsa_origin)
+
+let handle_lsa t ~from ~lsa_origin ~lsa_seq ~up_neighbors =
+  if not (Hashtbl.mem t.lsa_seen (lsa_origin, lsa_seq)) then begin
+    Hashtbl.replace t.lsa_seen (lsa_origin, lsa_seq) ();
+    if lsa_origin <> t.id then begin
+      apply_lsa t ~lsa_origin ~up_neighbors;
+      flood t ?except:from (Lsa { lsa_origin; lsa_seq; up_neighbors })
+    end
+  end
+
+let mark_neighbor t n ~up =
+  match Hashtbl.find_opt t.neighbor_states n with
+  | None -> ()
+  | Some s ->
+      if s.up <> up then begin
+        s.up <- up;
+        Topology.View.set_link t.view t.id n ~up;
+        Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"spines"
+          "node %d: link to %d %s" t.id n (if up then "up" else "down");
+        originate_lsa t
+      end
+
+let hello_tick t =
+  let now = Sim.Engine.now t.engine in
+  Hashtbl.iter
+    (fun n state ->
+      if state.up && now -. state.last_ack > t.config.hello_timeout then
+        mark_neighbor t n ~up:false)
+    t.neighbor_states;
+  t.hello_seq <- t.hello_seq + 1;
+  List.iter
+    (fun n -> send_link t ~to_:n (Hello { hfrom = t.id; hseq = t.hello_seq }))
+    (Topology.neighbors t.config.topology t.id)
+
+let handle_hello_ack t ~afrom =
+  (match Hashtbl.find_opt t.neighbor_states afrom with
+  | Some s -> s.last_ack <- Sim.Engine.now t.engine
+  | None -> ());
+  match Hashtbl.find_opt t.neighbor_states afrom with
+  | Some s when not s.up -> mark_neighbor t afrom ~up:true
+  | _ -> ()
+
+(* --- receive ---------------------------------------------------------------- *)
+
+let handle_inner t ~from inner =
+  match inner with
+  | Data d -> forward_data t ~from:(Some from) d
+  | Hello { hfrom; hseq } -> send_link t ~to_:hfrom (Hello_ack { afrom = t.id; hseq })
+  | Hello_ack { afrom; _ } -> handle_hello_ack t ~afrom
+  | Lsa { lsa_origin; lsa_seq; up_neighbors } ->
+      handle_lsa t ~from:(Some from) ~lsa_origin ~lsa_seq ~up_neighbors
+
+let peer_of_ip t ip =
+  Hashtbl.fold
+    (fun peer addr acc -> if Netbase.Addr.Ip.equal addr ip then Some peer else acc)
+    t.peer_addrs None
+
+let receive t ~src ~dst_port:_ ~size:_ payload =
+  if t.running then
+    match payload with
+    | Link_msg { auth; encrypted = _; inner } -> (
+        if not (auth_valid t ~auth inner) then begin
+          Sim.Stats.Counter.incr t.counters "auth.reject";
+          Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"spines"
+            "node %d rejected unauthenticated link message from %s" t.id
+            (Netbase.Addr.Ip.to_string src.Netbase.Addr.ip)
+        end
+        else
+          match peer_of_ip t src.Netbase.Addr.ip with
+          | Some from -> handle_inner t ~from inner
+          | None -> Sim.Stats.Counter.incr t.counters "link.unknown_peer")
+    | _ -> Sim.Stats.Counter.incr t.counters "link.garbage"
+
+(* --- lifecycle ---------------------------------------------------------------- *)
+
+(* Remote session clients: attach / send, over the session port. *)
+let receive_session t ~src payload =
+  match (payload, t.config.group_key) with
+  | Session_wire { s_auth; s_inner }, Some key ->
+      if not (session_auth_valid ~key ~auth:s_auth s_inner) then
+        Sim.Stats.Counter.incr t.counters "session.auth_reject"
+      else begin
+        match s_inner with
+        | Sess_attach { sa_name } ->
+            let entry =
+              match Hashtbl.find_opt t.sessions sa_name with
+              | Some e -> e
+              | None ->
+                  let e =
+                    { sess_ip = src.Netbase.Addr.ip; sess_port = src.Netbase.Addr.port;
+                      sess_last_seen = 0.0 }
+                  in
+                  Hashtbl.replace t.sessions sa_name e;
+                  e
+            in
+            entry.sess_ip <- src.Netbase.Addr.ip;
+            entry.sess_port <- src.Netbase.Addr.port;
+            entry.sess_last_seen <- Sim.Engine.now t.engine;
+            let ack = Sess_attach_ack { sk_name = sa_name } in
+            Netbase.Host.udp_send t.host ~dst_ip:src.Netbase.Addr.ip
+              ~dst_port:src.Netbase.Addr.port ~src_port:t.config.session_port
+              ~size:overhead_bytes
+              (Session_wire { s_auth = session_auth ~key ack; s_inner = ack })
+        | Sess_send { ss_name; ss_dst; ss_priority; ss_size; ss_payload } -> (
+            match Hashtbl.find_opt t.sessions ss_name with
+            | Some entry
+              when Sim.Engine.now t.engine -. entry.sess_last_seen
+                   <= t.config.session_timeout ->
+                t.seq <- t.seq + 1;
+                Sim.Stats.Counter.incr t.counters "session.send";
+                forward_data t ~from:None
+                  {
+                    origin = t.id;
+                    origin_client = 0;
+                    data_seq = t.seq;
+                    dst = ss_dst;
+                    priority = ss_priority;
+                    app_size = ss_size;
+                    app_payload = ss_payload;
+                  }
+            | Some _ | None -> Sim.Stats.Counter.incr t.counters "session.not_attached")
+        | Sess_attach_ack _ | Sess_deliver _ -> ()
+      end
+  | Session_wire _, None -> Sim.Stats.Counter.incr t.counters "session.no_key"
+  | _, _ -> Sim.Stats.Counter.incr t.counters "session.garbage"
+
+let start t =
+  if t.running then invalid_arg "Node.start: already running";
+  t.running <- true;
+  Netbase.Host.udp_bind t.host ~port:t.config.port (fun ~src ~dst_port ~size payload ->
+      receive t ~src ~dst_port ~size payload);
+  Netbase.Host.udp_bind t.host ~port:t.config.session_port
+    (fun ~src ~dst_port:_ ~size:_ payload -> if t.running then receive_session t ~src payload);
+  let now = Sim.Engine.now t.engine in
+  Hashtbl.iter (fun _ s -> s.last_ack <- now) t.neighbor_states;
+  let hello = Sim.Engine.every t.engine ~period:t.config.hello_period (fun () -> hello_tick t) in
+  t.timers <- [ hello ]
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    Netbase.Host.udp_unbind t.host ~port:t.config.port;
+    Netbase.Host.udp_unbind t.host ~port:t.config.session_port;
+    Hashtbl.reset t.sessions;
+    List.iter (Sim.Engine.cancel_timer t.engine) t.timers;
+    t.timers <- []
+  end
+
+(* --- client API ----------------------------------------------------------------- *)
+
+let register_client t ~client ?(groups = []) handler =
+  if Hashtbl.mem t.clients client then
+    invalid_arg (Printf.sprintf "Node.register_client: client %d exists on node %d" client t.id);
+  Hashtbl.replace t.clients client { handler; groups }
+
+let send t ~client ?(priority = 1) ~size dst payload =
+  if not t.running then Sim.Stats.Counter.incr t.counters "send.not_running"
+  else begin
+    t.seq <- t.seq + 1;
+    let d =
+      {
+        origin = t.id;
+        origin_client = client;
+        data_seq = t.seq;
+        dst;
+        priority;
+        app_size = size;
+        app_payload = payload;
+      }
+    in
+    Sim.Stats.Counter.incr t.counters "send";
+    forward_data t ~from:None d
+  end
+
+(* --- remote session client -------------------------------------------------- *)
+
+module Session = struct
+  (* A named client on a separate machine, attached to one overlay daemon
+     at a time with heartbeat re-attachment and automatic failover to the
+     next daemon when the current one goes silent — how proxies and HMIs
+     reach the overlay in Spire. *)
+
+  type session = {
+    sess_name : string;
+    engine : Sim.Engine.t;
+    trace : Sim.Trace.t;
+    host : Netbase.Host.t;
+    key : string;
+    daemons : (node_id * Netbase.Addr.Ip.t) array;
+    daemon_session_port : int;
+    local_port : int;
+    mutable current : int; (* index into daemons *)
+    mutable last_ack : float;
+    mutable handler : (size:int -> Netbase.Packet.payload -> unit) option;
+    sess_dedup : (node_id * int, unit) Hashtbl.t;
+    sess_counters : Sim.Stats.Counter.t;
+    mutable sess_timers : Sim.Engine.timer list;
+    mutable sess_running : bool;
+    attach_period : float;
+    failover_timeout : float;
+  }
+
+  let create ?(attach_period = 1.0) ?(failover_timeout = 3.0) ?(local_port = 9001)
+      ~engine ~trace ~host ~key ~daemons ~daemon_session_port ~name () =
+    if daemons = [] then invalid_arg "Session.create: no daemons";
+    {
+      sess_name = name;
+      engine;
+      trace;
+      host;
+      key;
+      daemons = Array.of_list daemons;
+      daemon_session_port;
+      local_port;
+      current = 0;
+      last_ack = 0.0;
+      handler = None;
+      sess_dedup = Hashtbl.create 1024;
+      sess_counters = Sim.Stats.Counter.create ();
+      sess_timers = [];
+      sess_running = false;
+      attach_period;
+      failover_timeout;
+    }
+
+  let name s = s.sess_name
+
+  let counters s = s.sess_counters
+
+  let current_daemon s = fst s.daemons.(s.current)
+
+  let set_handler s h = s.handler <- Some h
+
+  let send_wire s inner =
+    let _, ip = s.daemons.(s.current) in
+    Netbase.Host.udp_send s.host ~dst_ip:ip ~dst_port:s.daemon_session_port
+      ~src_port:s.local_port
+      ~size:
+        (match inner with
+        | Sess_send { ss_size; _ } -> ss_size + overhead_bytes
+        | _ -> overhead_bytes)
+      (Session_wire { s_auth = session_auth ~key:s.key inner; s_inner = inner })
+
+  let attach_tick s =
+    let now = Sim.Engine.now s.engine in
+    if now -. s.last_ack > s.failover_timeout then begin
+      (* Current daemon is silent (stopped, recovering, unreachable):
+         rotate to the next one. *)
+      let previous = s.current in
+      s.current <- (s.current + 1) mod Array.length s.daemons;
+      if s.current <> previous then begin
+        Sim.Stats.Counter.incr s.sess_counters "failover";
+        Sim.Trace.record s.trace ~time:now ~category:"session"
+          "%s: daemon %d silent, failing over to daemon %d" s.sess_name
+          (fst s.daemons.(previous))
+          (fst s.daemons.(s.current))
+      end
+    end;
+    send_wire s (Sess_attach { sa_name = s.sess_name })
+
+  let receive s payload =
+    match payload with
+    | Session_wire { s_auth; s_inner } ->
+        if not (session_auth_valid ~key:s.key ~auth:s_auth s_inner) then
+          Sim.Stats.Counter.incr s.sess_counters "auth_reject"
+        else begin
+          match s_inner with
+          | Sess_attach_ack _ -> s.last_ack <- Sim.Engine.now s.engine
+          | Sess_deliver { sd_origin; sd_seq; sd_size; sd_payload } ->
+              (* Stale double-attachments during failover may duplicate. *)
+              if not (Hashtbl.mem s.sess_dedup (sd_origin, sd_seq)) then begin
+                Hashtbl.replace s.sess_dedup (sd_origin, sd_seq) ();
+                Sim.Stats.Counter.incr s.sess_counters "delivered";
+                match s.handler with
+                | Some h -> h ~size:sd_size sd_payload
+                | None -> ()
+              end
+          | Sess_attach _ | Sess_send _ -> ()
+        end
+    | _ -> Sim.Stats.Counter.incr s.sess_counters "garbage"
+
+  let start s =
+    if s.sess_running then invalid_arg "Session.start: already running";
+    s.sess_running <- true;
+    Netbase.Host.udp_bind s.host ~port:s.local_port (fun ~src:_ ~dst_port:_ ~size:_ payload ->
+        receive s payload);
+    s.last_ack <- Sim.Engine.now s.engine;
+    send_wire s (Sess_attach { sa_name = s.sess_name });
+    s.sess_timers <-
+      [ Sim.Engine.every s.engine ~period:s.attach_period (fun () -> attach_tick s) ]
+
+  let stop s =
+    if s.sess_running then begin
+      s.sess_running <- false;
+      Netbase.Host.udp_unbind s.host ~port:s.local_port;
+      List.iter (Sim.Engine.cancel_timer s.engine) s.sess_timers;
+      s.sess_timers <- []
+    end
+
+  let send s ?(priority = 1) ~size dst payload =
+    Sim.Stats.Counter.incr s.sess_counters "sent";
+    send_wire s
+      (Sess_send
+         { ss_name = s.sess_name; ss_dst = dst; ss_priority = priority; ss_size = size;
+           ss_payload = payload })
+end

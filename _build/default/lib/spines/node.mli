@@ -1,0 +1,118 @@
+(** Spines overlay daemon: authenticated/encrypted links, intrusion-
+    tolerant priority flooding with source fairness, link-state routing,
+    and client sessions.
+
+    The link-message payload constructor is private to the implementation:
+    attack code cannot inspect overlay traffic contents (modelling link
+    encryption) or forge well-formed link messages without a daemon whose
+    key material it controls. *)
+
+type node_id = Topology.node_id
+
+(** Destination of a client message: a specific client on a specific
+    overlay node, every client subscribed to a group, or a named remote
+    session client attached to some daemon. *)
+type dst =
+  | To_client of { node : node_id; client : int }
+  | To_group of string
+  | To_session of string
+
+type config = {
+  topology : Topology.t;
+  port : int;
+  session_port : int; (* client-facing port for remote session clients *)
+  it_mode : bool; (* intrusion-tolerant dissemination (flooding + fairness) *)
+  group_key : string option; (* None models a daemon built without keys *)
+  hello_period : float;
+  hello_timeout : float;
+  source_rate_limit : float;
+  session_timeout : float;
+}
+
+val default_config :
+  ?port:int -> ?session_port:int -> ?it_mode:bool -> ?group_key:string -> Topology.t -> config
+
+(** Overlay message overhead added to every client payload, bytes. *)
+val overhead_bytes : int
+
+type t
+
+val create :
+  engine:Sim.Engine.t -> trace:Sim.Trace.t -> host:Netbase.Host.t -> id:node_id -> config -> t
+
+val id : t -> node_id
+
+val counters : t -> Sim.Stats.Counter.t
+
+val is_running : t -> bool
+
+(** Tell the daemon the IP address of an overlay peer. *)
+val set_peer_address : t -> node_id -> Netbase.Addr.Ip.t -> unit
+
+(** Bind the daemon's port and start hello timers. Raises
+    [Invalid_argument] if already running. *)
+val start : t -> unit
+
+(** Unbind and go silent (the red team's "stopped the Spines daemon"). *)
+val stop : t -> unit
+
+(** Arm a named exploit in this daemon (the red team's patched binary).
+    The ["drop-foreign-traffic"] exploit only has an effect when the
+    daemon runs outside intrusion-tolerant mode. *)
+val inject_exploit : t -> string -> unit
+
+(** Attach a local client session. Raises [Invalid_argument] on duplicate
+    client ids. *)
+val register_client :
+  t ->
+  client:int ->
+  ?groups:string list ->
+  (src:node_id * int -> size:int -> Netbase.Packet.payload -> unit) ->
+  unit
+
+(** Send from a local client. Local destinations are delivered directly;
+    remote ones disseminated per the configured mode. *)
+val send :
+  t -> client:int -> ?priority:int -> size:int -> dst -> Netbase.Packet.payload -> unit
+
+(** Remote session client: how proxies and HMIs reach the overlay. A
+    session attaches by name to one daemon at a time (heartbeat
+    re-attachment, automatic failover to the next daemon on silence) and
+    exchanges authenticated messages with it; overlay traffic addressed
+    [To_session name] reaches the daemon currently hosting the session
+    and is relayed to the client machine. *)
+module Session : sig
+  type session
+
+  val create :
+    ?attach_period:float ->
+    ?failover_timeout:float ->
+    ?local_port:int ->
+    engine:Sim.Engine.t ->
+    trace:Sim.Trace.t ->
+    host:Netbase.Host.t ->
+    key:string ->
+    daemons:(node_id * Netbase.Addr.Ip.t) list ->
+    daemon_session_port:int ->
+    name:string ->
+    unit ->
+    session
+
+  val name : session -> string
+
+  val counters : session -> Sim.Stats.Counter.t
+
+  (** The daemon the session currently attaches to. *)
+  val current_daemon : session -> node_id
+
+  (** Receive overlay payloads delivered to this session. *)
+  val set_handler : session -> (size:int -> Netbase.Packet.payload -> unit) -> unit
+
+  (** Bind the local port, attach, and start heartbeats. *)
+  val start : session -> unit
+
+  val stop : session -> unit
+
+  (** Send into the overlay through the current daemon. *)
+  val send : session -> ?priority:int -> size:int -> dst -> Netbase.Packet.payload -> unit
+end

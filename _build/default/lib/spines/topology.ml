@@ -1,0 +1,108 @@
+(* Overlay topology and shortest-path routing.
+
+   A topology is the static set of overlay nodes and undirected links,
+   known to every daemon (as in Spines, where the overlay graph is
+   configuration). Liveness is dynamic: each daemon maintains its own view
+   of which links are currently up (driven by hellos and link-state
+   announcements) and computes next hops with Dijkstra over that view. *)
+
+type node_id = int
+
+type link = { a : node_id; b : node_id; weight : float }
+
+type t = { nodes : node_id list; links : link list }
+
+let create ~nodes ~links =
+  let known id = List.mem id nodes in
+  List.iter
+    (fun l ->
+      if not (known l.a && known l.b) then
+        invalid_arg (Printf.sprintf "Topology.create: link %d-%d references unknown node" l.a l.b);
+      if l.a = l.b then invalid_arg "Topology.create: self-link";
+      if l.weight <= 0.0 then invalid_arg "Topology.create: non-positive weight")
+    links;
+  { nodes; links }
+
+let nodes t = t.nodes
+
+let links t = t.links
+
+let link ?(weight = 1.0) a b = { a; b; weight }
+
+(* Full mesh, as used for the replicas' internal network. *)
+let full_mesh nodes =
+  let rec pairs = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> link x y) rest @ pairs rest
+  in
+  create ~nodes ~links:(pairs nodes)
+
+let neighbors t id =
+  List.filter_map
+    (fun l -> if l.a = id then Some l.b else if l.b = id then Some l.a else None)
+    t.links
+
+(* A link view says which links are currently believed up. Keys are
+   normalised (min, max) pairs. *)
+module View = struct
+  type view = { up : (node_id * node_id, unit) Hashtbl.t }
+
+  let key a b = (min a b, max a b)
+
+  let all_up t =
+    let up = Hashtbl.create 32 in
+    List.iter (fun l -> Hashtbl.replace up (key l.a l.b) ()) t.links;
+    { up }
+
+  let set_link v a b ~up:is_up =
+    if is_up then Hashtbl.replace v.up (key a b) () else Hashtbl.remove v.up (key a b)
+
+  let is_up v a b = Hashtbl.mem v.up (key a b)
+end
+
+(* Dijkstra over the live links; returns next-hop map from [src]. *)
+let next_hops t view ~src =
+  let dist = Hashtbl.create 16 in
+  let first_hop : (node_id, node_id) Hashtbl.t = Hashtbl.create 16 in
+  let heap = Sim.Heap.create () in
+  Hashtbl.replace dist src 0.0;
+  Sim.Heap.push heap ~key:0.0 (src, None);
+  let rec loop () =
+    match Sim.Heap.pop heap with
+    | None -> ()
+    | Some (d, (node, via)) ->
+        let best = Option.value ~default:infinity (Hashtbl.find_opt dist node) in
+        if d <= best then begin
+          (match via with
+          | Some hop when not (Hashtbl.mem first_hop node) -> Hashtbl.replace first_hop node hop
+          | _ -> ());
+          List.iter
+            (fun l ->
+              let other =
+                if l.a = node then Some l.b else if l.b = node then Some l.a else None
+              in
+              match other with
+              | Some next when View.is_up view l.a l.b ->
+                  let nd = d +. l.weight in
+                  let known = Option.value ~default:infinity (Hashtbl.find_opt dist next) in
+                  if nd < known then begin
+                    Hashtbl.replace dist next nd;
+                    (* The first hop out of [src] is either [next] itself
+                       (for direct neighbors) or inherited from [node]. *)
+                    let hop =
+                      if node = src then next
+                      else Option.value ~default:next (Hashtbl.find_opt first_hop node)
+                    in
+                    Sim.Heap.push heap ~key:nd (next, Some hop)
+                  end
+              | _ -> ())
+            t.links;
+          loop ()
+        end
+        else loop ()
+  in
+  loop ();
+  first_hop
+
+let route t view ~src ~dst =
+  if src = dst then None else Hashtbl.find_opt (next_hops t view ~src) dst

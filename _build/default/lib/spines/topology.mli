@@ -1,0 +1,40 @@
+(** Static overlay topology plus per-daemon dynamic link views and
+    shortest-path (Dijkstra) next-hop computation. *)
+
+type node_id = int
+
+type link = { a : node_id; b : node_id; weight : float }
+
+type t
+
+(** Raises [Invalid_argument] on self-links, unknown endpoints or
+    non-positive weights. *)
+val create : nodes:node_id list -> links:link list -> t
+
+val nodes : t -> node_id list
+
+val links : t -> link list
+
+val link : ?weight:float -> node_id -> node_id -> link
+
+(** Complete graph over the nodes (the replicas' internal network). *)
+val full_mesh : node_id list -> t
+
+val neighbors : t -> node_id -> node_id list
+
+module View : sig
+  type view
+
+  (** View with every configured link up. *)
+  val all_up : t -> view
+
+  val set_link : view -> node_id -> node_id -> up:bool -> unit
+
+  val is_up : view -> node_id -> node_id -> bool
+end
+
+(** Next-hop table from [src] over the live links. *)
+val next_hops : t -> View.view -> src:node_id -> (node_id, node_id) Hashtbl.t
+
+(** First hop from [src] toward [dst], if reachable. *)
+val route : t -> View.view -> src:node_id -> dst:node_id -> node_id option

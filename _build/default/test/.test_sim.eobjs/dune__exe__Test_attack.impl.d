@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Array Attack List Netbase Plc Prime Printf Sim Spire String

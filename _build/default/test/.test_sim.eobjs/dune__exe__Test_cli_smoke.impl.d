@@ -1,0 +1,1 @@
+test/test_cli_smoke.ml: Alcotest Array Diversity List Plc Prime Printf Scada Sim Spire

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Char Crypto Gen List Printf QCheck QCheck_alcotest String

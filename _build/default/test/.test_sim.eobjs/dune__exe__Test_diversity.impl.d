@@ -1,0 +1,1 @@
+test/test_diversity.ml: Alcotest Diversity Int64 List QCheck QCheck_alcotest Sim

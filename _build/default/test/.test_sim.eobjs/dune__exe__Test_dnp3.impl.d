@@ -1,0 +1,1 @@
+test/test_dnp3.ml: Alcotest Array Bytes Char Gen List Plc Prime Printf QCheck QCheck_alcotest Scada Sim Spire

@@ -1,0 +1,1 @@
+test/test_mana.ml: Alcotest Array List Mana Netbase Sim String

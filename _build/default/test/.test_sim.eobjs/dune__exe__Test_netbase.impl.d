@@ -1,0 +1,1 @@
+test/test_netbase.ml: Alcotest Hashtbl List Netbase Option QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_plc.ml: Alcotest Array Gen List Netbase Plc Printf QCheck QCheck_alcotest Sim

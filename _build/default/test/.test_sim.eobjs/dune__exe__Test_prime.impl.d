@@ -1,0 +1,1 @@
+test/test_prime.ml: Alcotest Array Crypto Hashtbl Int64 List Obj Option Prime Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_recovery_protocol.ml: Alcotest Array Crypto Hashtbl List Obj Prime Printf Sim

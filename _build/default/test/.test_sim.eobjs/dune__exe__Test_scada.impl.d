@@ -1,0 +1,1 @@
+test/test_scada.ml: Alcotest Gen List Plc QCheck QCheck_alcotest Result Scada String

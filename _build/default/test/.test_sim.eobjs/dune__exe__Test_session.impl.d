@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Array List Netbase Printf Sim Spines

@@ -1,0 +1,1 @@
+test/test_spines.ml: Alcotest Array Int64 List Netbase Printf QCheck QCheck_alcotest Queue Sim Spines

@@ -1,0 +1,110 @@
+(* Tests for the red-team campaign: the commercial system falls exactly
+   the way Section IV-B describes, and Spire holds at every step. *)
+
+let check = Alcotest.(check bool)
+
+let make_testbed () =
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  (* A small scenario keeps the campaign fast; the bench runs the full
+     red-team topology. *)
+  let scenario =
+    {
+      Plc.Power.scenario_name = "campaign-mini";
+      plcs = [ { Plc.Power.plc_name = "MAIN"; breaker_names = [ "B10-1"; "B57"; "B56" ]; physical = true } ];
+      feeds = [ { Plc.Power.load_name = "Building-A"; path = [ "B10-1"; "B57" ] } ];
+    }
+  in
+  Attack.Testbed.create ~scenario ~engine ~trace ()
+
+let find_step steps ~attack =
+  match List.find_opt (fun s -> String.equal s.Attack.Campaign.attack attack) steps with
+  | Some s -> s
+  | None -> Alcotest.fail ("step missing: " ^ attack)
+
+let test_commercial_campaign_breaches () =
+  let tb = make_testbed () in
+  let steps = Attack.Campaign.run_commercial tb in
+  let expect_breach attack =
+    let s = find_step steps ~attack in
+    check (attack ^ " breached") true s.Attack.Campaign.succeeded
+  in
+  expect_breach "exploit historian service";
+  expect_breach "scan operations network";
+  expect_breach "PLC memory dump (maintenance port)";
+  expect_breach "upload modified PLC configuration";
+  expect_breach "actuate breaker via compromised PLC";
+  expect_breach "operator attempts restoration";
+  expect_breach "ARP MITM: modify updates to HMI"
+
+let test_spire_network_campaign_holds () =
+  let tb = make_testbed () in
+  let steps = Attack.Campaign.run_spire_network tb in
+  List.iter
+    (fun s ->
+      check
+        (Printf.sprintf "spire held against %s" s.Attack.Campaign.attack)
+        false s.Attack.Campaign.succeeded)
+    steps;
+  (* The key mechanisms in the detail lines. *)
+  let scan = find_step steps ~attack:"scan Spire operations network" in
+  check "no visibility" true
+    (String.length scan.Attack.Campaign.detail > 0
+    && scan.Attack.Campaign.detail = "no visibility into the system (every probe filtered)")
+
+let test_excursion_holds () =
+  let tb = make_testbed () in
+  let steps = Attack.Campaign.run_excursion tb in
+  List.iter
+    (fun s ->
+      check
+        (Printf.sprintf "excursion step held: %s" s.Attack.Campaign.attack)
+        false s.Attack.Campaign.succeeded)
+    steps;
+  Alcotest.(check int) "five excursion steps" 5 (List.length steps)
+
+let test_unhardened_spire_is_vulnerable_to_arp () =
+  (* Ablation: without the Section III-B hardening, the same ARP poison
+     sticks. *)
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let scenario =
+    {
+      Plc.Power.scenario_name = "soft";
+      plcs = [ { Plc.Power.plc_name = "MAIN"; breaker_names = [ "B57" ]; physical = true } ];
+      feeds = [];
+    }
+  in
+  let config = Prime.Config.red_team () in
+  let d = Spire.Deployment.create ~hardened:false ~engine ~trace ~config scenario in
+  Sim.Engine.run ~until:3.0 engine;
+  let attacker = Attack.Attacker.create ~engine ~trace in
+  let pos =
+    Attack.Attacker.attach attacker ~name:"mallory" ~ip:(Netbase.Addr.Ip.v 10 0 2 66)
+      (Spire.Deployment.external_switch d)
+  in
+  let r0 = (Spire.Deployment.replicas d).(0) in
+  let victim_mac = Netbase.Host.nic_mac r0.Spire.Deployment.r_external_nic in
+  let (_ : Sim.Engine.timer) =
+    Attack.Actions.arp_poison attacker pos ~victim_ip:(Spire.Addressing.replica_external 0)
+      ~victim_mac ~impersonate:(Spire.Addressing.proxy_external 0)
+  in
+  Sim.Engine.run ~until:6.0 engine;
+  let poisoned =
+    match
+      Netbase.Host.arp_lookup r0.Spire.Deployment.r_host (Spire.Addressing.proxy_external 0)
+    with
+    | Some mac -> Netbase.Addr.Mac.equal mac (Netbase.Host.nic_mac pos.Attack.Attacker.pos_nic)
+    | None -> false
+  in
+  check "unhardened deployment poisoned" true poisoned
+
+let suite =
+  [
+    ("commercial campaign breaches", `Slow, test_commercial_campaign_breaches);
+    ("spire network campaign holds", `Slow, test_spire_network_campaign_holds);
+    ("replica excursion holds", `Slow, test_excursion_holds);
+    ("unhardened spire vulnerable to arp", `Quick, test_unhardened_spire_is_vulnerable_to_arp);
+  ]
+
+let () = Alcotest.run "attack" [ ("attack", suite) ]

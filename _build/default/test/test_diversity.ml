@@ -1,0 +1,125 @@
+(* Tests for the MultiCompiler diversity model and the proactive-recovery
+   scheduler. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_variants_distinct () =
+  let rng = Sim.Rng.create 1L in
+  let a = Diversity.Variant.compile rng in
+  let b = Diversity.Variant.compile rng in
+  check "distinct builds" false (Diversity.Variant.equal a b)
+
+let test_exploit_matches_only_target () =
+  let rng = Sim.Rng.create 2L in
+  let victim = Diversity.Variant.compile rng in
+  let other = Diversity.Variant.compile rng in
+  let exploit = Diversity.Variant.Exploit.craft ~name:"rop-chain" victim in
+  check "works on target" true (Diversity.Variant.Exploit.works_against exploit victim);
+  check "fails on other variant" false (Diversity.Variant.Exploit.works_against exploit other)
+
+let test_monoculture_shares_exploit () =
+  let rng = Sim.Rng.create 3L in
+  let a = Diversity.Variant.compile ~diversify:false rng in
+  let b = Diversity.Variant.compile ~diversify:false rng in
+  let exploit = Diversity.Variant.Exploit.craft ~name:"rop-chain" a in
+  check "one exploit fits all" true (Diversity.Variant.Exploit.works_against exploit b)
+
+let prop_diverse_exploit_reuse_rate =
+  QCheck.Test.make ~count:20 ~name:"an exploit against one diverse variant never reuses"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let rng = Sim.Rng.create (Int64.of_int (seed + 9)) in
+      let victim = Diversity.Variant.compile rng in
+      let exploit = Diversity.Variant.Exploit.craft ~name:"x" victim in
+      let others = List.init 20 (fun _ -> Diversity.Variant.compile rng) in
+      not (List.exists (Diversity.Variant.Exploit.works_against exploit) others))
+
+(* --- recovery scheduler -------------------------------------------------- *)
+
+let test_recovery_rotates_round_robin () =
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let rng = Sim.Rng.create 7L in
+  let downs = ref [] and ups = ref [] in
+  let sched =
+    Diversity.Recovery.create ~engine ~trace ~rng ~n:6 ~rotation_period:10.0 ~downtime:2.0
+      ~take_down:(fun i -> downs := i :: !downs)
+      ~bring_up:(fun i _ -> ups := i :: !ups)
+  in
+  Diversity.Recovery.start sched;
+  Sim.Engine.run ~until:65.0 engine;
+  Diversity.Recovery.stop sched;
+  Alcotest.(check (list int)) "round robin order" [ 0; 1; 2; 3; 4; 5 ] (List.rev !downs);
+  Alcotest.(check (list int)) "all came back" [ 0; 1; 2; 3; 4; 5 ] (List.rev !ups);
+  check_int "six recoveries" 6 (Diversity.Recovery.recoveries sched)
+
+let test_recovery_replaces_variant () =
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let rng = Sim.Rng.create 8L in
+  let sched =
+    Diversity.Recovery.create ~engine ~trace ~rng ~n:4 ~rotation_period:5.0 ~downtime:1.0
+      ~take_down:(fun _ -> ())
+      ~bring_up:(fun _ _ -> ())
+  in
+  let before = Diversity.Recovery.current_variant sched 0 in
+  Diversity.Recovery.start sched;
+  Sim.Engine.run ~until:7.0 engine;
+  Diversity.Recovery.stop sched;
+  let after = Diversity.Recovery.current_variant sched 0 in
+  check "variant replaced" false (Diversity.Variant.equal before after)
+
+let test_recovery_at_most_one_down () =
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let rng = Sim.Rng.create 9L in
+  let down_now = ref 0 and max_down = ref 0 in
+  let sched =
+    Diversity.Recovery.create ~engine ~trace ~rng ~n:6 ~rotation_period:4.0 ~downtime:3.0
+      ~take_down:(fun _ ->
+        incr down_now;
+        if !down_now > !max_down then max_down := !down_now)
+      ~bring_up:(fun _ _ -> decr down_now)
+  in
+  Diversity.Recovery.start sched;
+  Sim.Engine.run ~until:50.0 engine;
+  Diversity.Recovery.stop sched;
+  check_int "k = 1: never more than one recovering" 1 !max_down
+
+let test_recovery_exposure_bound () =
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let rng = Sim.Rng.create 10L in
+  let sched =
+    Diversity.Recovery.create ~engine ~trace ~rng ~n:6 ~rotation_period:10.0 ~downtime:2.0
+      ~take_down:(fun _ -> ())
+      ~bring_up:(fun _ _ -> ())
+  in
+  Alcotest.(check (float 1e-9)) "exposure bound" 60.0 (Diversity.Recovery.max_exposure sched)
+
+let test_recovery_validates_period () =
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let rng = Sim.Rng.create 11L in
+  Alcotest.check_raises "period must exceed downtime"
+    (Invalid_argument "Recovery.create: rotation_period must exceed downtime") (fun () ->
+      ignore
+        (Diversity.Recovery.create ~engine ~trace ~rng ~n:6 ~rotation_period:1.0 ~downtime:2.0
+           ~take_down:(fun _ -> ())
+           ~bring_up:(fun _ _ -> ())))
+
+let suite =
+  [
+    ("variants distinct", `Quick, test_variants_distinct);
+    ("exploit matches only target", `Quick, test_exploit_matches_only_target);
+    ("monoculture shares exploit", `Quick, test_monoculture_shares_exploit);
+    ("recovery rotates round robin", `Quick, test_recovery_rotates_round_robin);
+    ("recovery replaces variant", `Quick, test_recovery_replaces_variant);
+    ("recovery at most one down", `Quick, test_recovery_at_most_one_down);
+    ("recovery exposure bound", `Quick, test_recovery_exposure_bound);
+    ("recovery validates period", `Quick, test_recovery_validates_period);
+    QCheck_alcotest.to_alcotest prop_diverse_exploit_reuse_rate;
+  ]
+
+let () = Alcotest.run "diversity" [ ("diversity", suite) ]

@@ -1,0 +1,207 @@
+(* Tests for the DNP3 subset and the RTU outstation: framing roundtrips,
+   checksum rejection, event buffering/overflow, operate commands, and
+   the end-to-end RTU-behind-proxy deployment. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- codec -------------------------------------------------------------- *)
+
+let roundtrip_request r = Plc.Dnp3.decode_request (Plc.Dnp3.encode_request r)
+
+let roundtrip_response r = Plc.Dnp3.decode_response (Plc.Dnp3.encode_response r)
+
+let test_request_roundtrips () =
+  let cases =
+    [
+      Plc.Dnp3.Read_class { classes = [ 0 ] };
+      Plc.Dnp3.Read_class { classes = [ 1; 2; 3 ] };
+      Plc.Dnp3.Operate { index = 7; close = true };
+      Plc.Dnp3.Operate { index = 1000; close = false };
+      Plc.Dnp3.Clear_events;
+    ]
+  in
+  List.iteri
+    (fun i body ->
+      let framed = { Plc.Dnp3.sequence = i land 0xFF; body } in
+      check (Printf.sprintf "case %d" i) true (roundtrip_request framed = framed))
+    cases
+
+let test_response_roundtrips () =
+  let cases =
+    [
+      Plc.Dnp3.Static_data [ true; false; true; true; false ];
+      Plc.Dnp3.Static_data [];
+      Plc.Dnp3.Events
+        [
+          { Plc.Dnp3.ev_index = 3; ev_closed = false; ev_time = 12.5 };
+          { Plc.Dnp3.ev_index = 0; ev_closed = true; ev_time = 13.75 };
+        ];
+      Plc.Dnp3.Operate_ack { op_index = 2; op_close = true; success = true };
+      Plc.Dnp3.Operate_ack { op_index = 9; op_close = false; success = false };
+      Plc.Dnp3.Events_cleared;
+    ]
+  in
+  List.iteri
+    (fun i body ->
+      let framed = { Plc.Dnp3.sequence = i; body } in
+      check (Printf.sprintf "case %d" i) true (roundtrip_response framed = framed))
+    cases
+
+let test_checksum_rejected () =
+  let bytes =
+    Plc.Dnp3.encode_request { Plc.Dnp3.sequence = 1; body = Plc.Dnp3.Clear_events }
+  in
+  (* Corrupt one payload byte. *)
+  let corrupted = Bytes.of_string bytes in
+  Bytes.set corrupted (Bytes.length corrupted - 1)
+    (Char.chr (Char.code (Bytes.get corrupted (Bytes.length corrupted - 1)) lxor 0xFF));
+  check "corruption detected" true
+    (match Plc.Dnp3.decode_request (Bytes.to_string corrupted) with
+    | exception Plc.Dnp3.Decode_error _ -> true
+    | _ -> false)
+
+let test_bad_start_bytes_rejected () =
+  check "garbage rejected" true
+    (match Plc.Dnp3.decode_request "\x00\x00\x00\x00\x00\x00" with
+    | exception Plc.Dnp3.Decode_error _ -> true
+    | _ -> false)
+
+let prop_operate_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"dnp3 operate roundtrips"
+    QCheck.(pair (int_bound 0xFFFF) bool)
+    (fun (index, close) ->
+      let framed = { Plc.Dnp3.sequence = 9; body = Plc.Dnp3.Operate { index; close } } in
+      roundtrip_request framed = framed)
+
+let prop_static_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"dnp3 static data roundtrips"
+    QCheck.(list_of_size Gen.(int_range 0 40) bool)
+    (fun bits ->
+      let framed = { Plc.Dnp3.sequence = 3; body = Plc.Dnp3.Static_data bits } in
+      roundtrip_response framed = framed)
+
+(* --- RTU outstation ------------------------------------------------------- *)
+
+let make_rtu () =
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let rtu = Plc.Rtu.create ~engine ~trace ~name:"RTU-1" ~n_points:3 () in
+  let breakers =
+    Array.init 3 (fun i ->
+        let b = Plc.Breaker.create ~engine ~actuation_delay:0.05 (Printf.sprintf "P%d" i) in
+        Plc.Rtu.wire_breaker rtu ~index:i b;
+        b)
+  in
+  (engine, rtu, breakers)
+
+let ask rtu body =
+  (Plc.Rtu.handle_request rtu { Plc.Dnp3.sequence = 1; body }).Plc.Dnp3.body
+
+let test_rtu_static_read () =
+  let engine, rtu, breakers = make_rtu () in
+  Plc.Breaker.force breakers.(1) Plc.Breaker.Open;
+  Sim.Engine.run ~until:0.1 engine;
+  match ask rtu (Plc.Dnp3.Read_class { classes = [ 0 ] }) with
+  | Plc.Dnp3.Static_data bits -> Alcotest.(check (list bool)) "states" [ true; false; true ] bits
+  | _ -> Alcotest.fail "expected static data"
+
+let test_rtu_buffers_events_with_timestamps () =
+  let engine, rtu, breakers = make_rtu () in
+  ignore (Sim.Engine.schedule engine ~delay:1.0 (fun () -> Plc.Breaker.force breakers.(0) Plc.Breaker.Open));
+  ignore (Sim.Engine.schedule engine ~delay:2.5 (fun () -> Plc.Breaker.force breakers.(0) Plc.Breaker.Closed));
+  Sim.Engine.run ~until:5.0 engine;
+  (match ask rtu (Plc.Dnp3.Read_class { classes = [ 1 ] }) with
+  | Plc.Dnp3.Events [ e1; e2 ] ->
+      check "first event open" false e1.Plc.Dnp3.ev_closed;
+      Alcotest.(check (float 0.001)) "device timestamp" 1.0 e1.Plc.Dnp3.ev_time;
+      check "second event closed" true e2.Plc.Dnp3.ev_closed;
+      Alcotest.(check (float 0.001)) "device timestamp 2" 2.5 e2.Plc.Dnp3.ev_time
+  | _ -> Alcotest.fail "expected two events");
+  (* Clearing empties the buffer. *)
+  (match ask rtu Plc.Dnp3.Clear_events with
+  | Plc.Dnp3.Events_cleared -> ()
+  | _ -> Alcotest.fail "expected clear ack");
+  match ask rtu (Plc.Dnp3.Read_class { classes = [ 1 ] }) with
+  | Plc.Dnp3.Events [] -> ()
+  | _ -> Alcotest.fail "buffer should be empty"
+
+let test_rtu_event_overflow () =
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let rtu = Plc.Rtu.create ~event_buffer_limit:5 ~engine ~trace ~name:"RTU-S" ~n_points:1 () in
+  let b = Plc.Breaker.create ~engine "P0" in
+  Plc.Rtu.wire_breaker rtu ~index:0 b;
+  for _ = 1 to 10 do
+    Plc.Breaker.toggle_force b
+  done;
+  check "overflow flagged" true (Plc.Rtu.events_overflowed rtu);
+  check "buffer bounded" true (Plc.Rtu.pending_events rtu <= 5)
+
+let test_rtu_operate () =
+  let engine, rtu, breakers = make_rtu () in
+  (match ask rtu (Plc.Dnp3.Operate { index = 2; close = false }) with
+  | Plc.Dnp3.Operate_ack { success = true; _ } -> ()
+  | _ -> Alcotest.fail "expected successful ack");
+  Sim.Engine.run ~until:1.0 engine;
+  check "breaker opened" false (Plc.Breaker.is_closed breakers.(2));
+  match ask rtu (Plc.Dnp3.Operate { index = 99; close = true }) with
+  | Plc.Dnp3.Operate_ack { success = false; _ } -> ()
+  | _ -> Alcotest.fail "expected failure ack"
+
+(* --- end-to-end: Spire with a DNP3 RTU site -------------------------------- *)
+
+let test_deployment_with_dnp3_rtu () =
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let scenario =
+    {
+      Plc.Power.scenario_name = "dnp3-mini";
+      plcs =
+        [ { Plc.Power.plc_name = "RTUSITE"; breaker_names = [ "R1"; "R2" ]; physical = true } ];
+      feeds = [ { Plc.Power.load_name = "Feeder"; path = [ "R1"; "R2" ] } ];
+    }
+  in
+  let config = Prime.Config.red_team () in
+  let d =
+    Spire.Deployment.create ~dnp3_plcs:[ "RTUSITE" ] ~engine ~trace ~config scenario
+  in
+  Sim.Engine.run ~until:3.0 engine;
+  let hmi = (Spire.Deployment.hmis d).(0).Spire.Deployment.h_hmi in
+  Alcotest.(check (option bool)) "hmi populated via dnp3" (Some true)
+    (Scada.Hmi.displayed_closed hmi "R1");
+  (* Field change flows through the RTU's event buffer. *)
+  (match Spire.Deployment.find_breaker d "R1" with
+  | Some (_, b) -> Plc.Breaker.force b Plc.Breaker.Open
+  | None -> Alcotest.fail "breaker missing");
+  Sim.Engine.run ~until:6.0 engine;
+  Alcotest.(check (option bool)) "event reached hmi" (Some false)
+    (Scada.Hmi.displayed_closed hmi "R1");
+  (* Supervisory command goes out as a DNP3 Operate. *)
+  ignore (Scada.Hmi.command hmi ~breaker:"R2" ~close:false);
+  Sim.Engine.run ~until:12.0 engine;
+  (match Spire.Deployment.find_breaker d "R2" with
+  | Some (_, b) -> check "operate actuated breaker" false (Plc.Breaker.is_closed b)
+  | None -> Alcotest.fail "breaker missing");
+  (* And it really is the DNP3 frontend doing the work. *)
+  check_int "frontend is dnp3" 1
+    (match (Spire.Deployment.proxies d).(0).Spire.Deployment.p_frontend with
+    | Spire.Deployment.Dnp3_rtu _ -> 1
+    | Spire.Deployment.Modbus_plc _ -> 0)
+
+let suite =
+  [
+    ("dnp3 request roundtrips", `Quick, test_request_roundtrips);
+    ("dnp3 response roundtrips", `Quick, test_response_roundtrips);
+    ("dnp3 checksum rejected", `Quick, test_checksum_rejected);
+    ("dnp3 bad start bytes rejected", `Quick, test_bad_start_bytes_rejected);
+    ("rtu static read", `Quick, test_rtu_static_read);
+    ("rtu buffers events with timestamps", `Quick, test_rtu_buffers_events_with_timestamps);
+    ("rtu event overflow", `Quick, test_rtu_event_overflow);
+    ("rtu operate", `Quick, test_rtu_operate);
+    ("deployment with dnp3 rtu", `Quick, test_deployment_with_dnp3_rtu);
+    QCheck_alcotest.to_alcotest prop_operate_roundtrip;
+    QCheck_alcotest.to_alcotest prop_static_roundtrip;
+  ]
+
+let () = Alcotest.run "dnp3" [ ("dnp3", suite) ]

@@ -1,0 +1,264 @@
+(* Tests for the field-device layer: Modbus framing, the emulated PLC,
+   breakers, and the power topology scenarios. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Modbus ---------------------------------------------------------------- *)
+
+let roundtrip_request req =
+  Plc.Modbus.decode_request (Plc.Modbus.encode_request req)
+
+let roundtrip_response resp =
+  Plc.Modbus.decode_response (Plc.Modbus.encode_response resp)
+
+let test_modbus_request_roundtrips () =
+  let cases =
+    [
+      Plc.Modbus.Read_coils { addr = 0; count = 7 };
+      Plc.Modbus.Write_single_coil { addr = 3; value = true };
+      Plc.Modbus.Write_single_coil { addr = 4; value = false };
+      Plc.Modbus.Read_holding_registers { addr = 100; count = 16 };
+      Plc.Modbus.Write_single_register { addr = 2; value = 0xBEEF };
+    ]
+  in
+  List.iteri
+    (fun i body ->
+      let framed = { Plc.Modbus.transaction = 42 + i; unit_id = 1; body } in
+      let decoded = roundtrip_request framed in
+      check (Printf.sprintf "case %d" i) true (decoded = framed))
+    cases
+
+let test_modbus_response_roundtrips () =
+  let cases =
+    [
+      Plc.Modbus.Coil_written { addr = 3; value = true };
+      Plc.Modbus.Registers [ 0; 1; 0xFFFF; 7 ];
+      Plc.Modbus.Register_written { addr = 9; value = 123 };
+      Plc.Modbus.Exception_response { function_code = 1; exception_code = 2 };
+    ]
+  in
+  List.iteri
+    (fun i body ->
+      let framed = { Plc.Modbus.transaction = i; unit_id = 3; body } in
+      let decoded = roundtrip_response framed in
+      check (Printf.sprintf "case %d" i) true (decoded = framed))
+    cases
+
+let test_modbus_coils_roundtrip_with_padding () =
+  (* Coil responses pad to whole bytes; truncation recovers the count. *)
+  let bits = [ true; false; true; true; false; false; true; false; true; true ] in
+  let framed = { Plc.Modbus.transaction = 1; unit_id = 1; body = Plc.Modbus.Coils bits } in
+  match roundtrip_response framed with
+  | { Plc.Modbus.body = Plc.Modbus.Coils decoded; _ } ->
+      Alcotest.(check (list bool)) "padded bits" bits
+        (Plc.Modbus.truncate_coils decoded (List.length bits))
+  | _ -> Alcotest.fail "wrong body"
+
+let test_modbus_decode_errors () =
+  check "short frame" true
+    (match Plc.Modbus.decode_request "abc" with
+    | exception Plc.Modbus.Decode_error _ -> true
+    | _ -> false);
+  (* Unsupported function code. *)
+  let bogus = "\x00\x01\x00\x00\x00\x02\x01\x2b" in
+  check "unsupported function" true
+    (match Plc.Modbus.decode_request bogus with
+    | exception Plc.Modbus.Decode_error _ -> true
+    | _ -> false)
+
+let prop_modbus_write_coil_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"modbus write-coil roundtrips for arbitrary addresses"
+    QCheck.(pair (int_bound 0xFFFF) bool)
+    (fun (addr, value) ->
+      let framed =
+        { Plc.Modbus.transaction = 7; unit_id = 1;
+          body = Plc.Modbus.Write_single_coil { addr; value } }
+      in
+      roundtrip_request framed = framed)
+
+let prop_modbus_registers_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"modbus register list roundtrips"
+    QCheck.(list_of_size Gen.(int_range 0 20) (int_bound 0xFFFF))
+    (fun regs ->
+      let framed =
+        { Plc.Modbus.transaction = 7; unit_id = 1; body = Plc.Modbus.Registers regs }
+      in
+      roundtrip_response framed = framed)
+
+(* --- Breaker ------------------------------------------------------------------ *)
+
+let test_breaker_actuation_delay () =
+  let engine = Sim.Engine.create () in
+  let b = Plc.Breaker.create ~engine ~actuation_delay:0.1 "B1" in
+  check "initially closed" true (Plc.Breaker.is_closed b);
+  Plc.Breaker.command b Plc.Breaker.Open;
+  check "not yet moved" true (Plc.Breaker.is_closed b);
+  Sim.Engine.run ~until:0.05 engine;
+  check "still moving" true (Plc.Breaker.is_closed b);
+  Sim.Engine.run ~until:0.2 engine;
+  check "now open" false (Plc.Breaker.is_closed b);
+  check_int "one actuation" 1 (Plc.Breaker.actuations b)
+
+let test_breaker_superseded_command () =
+  let engine = Sim.Engine.create () in
+  let b = Plc.Breaker.create ~engine ~actuation_delay:0.1 "B1" in
+  Plc.Breaker.command b Plc.Breaker.Open;
+  Sim.Engine.run ~until:0.05 engine;
+  (* Countermand before the first actuation lands. *)
+  Plc.Breaker.command b Plc.Breaker.Closed;
+  Sim.Engine.run ~until:0.5 engine;
+  check "stays closed" true (Plc.Breaker.is_closed b);
+  check_int "no net actuation" 0 (Plc.Breaker.actuations b)
+
+let test_breaker_force_immediate () =
+  let engine = Sim.Engine.create () in
+  let b = Plc.Breaker.create ~engine "B1" in
+  let changes = ref 0 in
+  Plc.Breaker.on_change b (fun _ -> incr changes);
+  Plc.Breaker.force b Plc.Breaker.Open;
+  check "immediate" false (Plc.Breaker.is_closed b);
+  Plc.Breaker.toggle_force b;
+  check "toggled back" true (Plc.Breaker.is_closed b);
+  check_int "two change events" 2 !changes
+
+(* --- Device --------------------------------------------------------------------- *)
+
+let make_device () =
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let d = Plc.Device.create ~engine ~trace ~name:"TEST" ~n_coils:3 in
+  let breakers =
+    Array.init 3 (fun i ->
+        let b = Plc.Breaker.create ~engine ~actuation_delay:0.05 (Printf.sprintf "B%d" i) in
+        Plc.Device.wire_breaker d ~coil:i b;
+        b)
+  in
+  (engine, d, breakers)
+
+let test_device_coil_write_drives_breaker () =
+  let engine, d, breakers = make_device () in
+  let req =
+    { Plc.Modbus.transaction = 1; unit_id = 1;
+      body = Plc.Modbus.Write_single_coil { addr = 1; value = false } }
+  in
+  (match Plc.Device.handle_request d req with
+  | { Plc.Modbus.body = Plc.Modbus.Coil_written { addr = 1; value = false }; _ } -> ()
+  | _ -> Alcotest.fail "unexpected response");
+  Sim.Engine.run ~until:1.0 engine;
+  check "breaker opened" false (Plc.Breaker.is_closed breakers.(1));
+  check "others untouched" true (Plc.Breaker.is_closed breakers.(0))
+
+let test_device_holding_registers_reflect_actual () =
+  let engine, d, breakers = make_device () in
+  Plc.Breaker.force breakers.(2) Plc.Breaker.Open;
+  Sim.Engine.run ~until:0.1 engine;
+  let req =
+    { Plc.Modbus.transaction = 2; unit_id = 1;
+      body = Plc.Modbus.Read_holding_registers { addr = 0; count = 3 } }
+  in
+  match Plc.Device.handle_request d req with
+  | { Plc.Modbus.body = Plc.Modbus.Registers regs; _ } ->
+      Alcotest.(check (list int)) "actual positions" [ 1; 1; 0 ] regs
+  | _ -> Alcotest.fail "unexpected response"
+
+let test_device_out_of_range_is_exception () =
+  let _, d, _ = make_device () in
+  let req =
+    { Plc.Modbus.transaction = 3; unit_id = 1;
+      body = Plc.Modbus.Read_coils { addr = 0; count = 99 } }
+  in
+  match Plc.Device.handle_request d req with
+  | { Plc.Modbus.body = Plc.Modbus.Exception_response { exception_code = 2; _ }; _ } -> ()
+  | _ -> Alcotest.fail "expected illegal-address exception"
+
+let test_device_compromised_logic_ignores_commands () =
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let d = Plc.Device.create ~engine ~trace ~name:"VICTIM" ~n_coils:1 in
+  let b = Plc.Breaker.create ~engine ~actuation_delay:0.05 "B0" in
+  Plc.Device.wire_breaker d ~coil:0 b;
+  let host = Netbase.Host.create ~engine ~trace "plc-host" in
+  let nic = Netbase.Host.add_nic host ~ip:(Netbase.Addr.Ip.v 10 9 9 2) in
+  let attacker_host = Netbase.Host.create ~engine ~trace "attacker" in
+  let a_nic = Netbase.Host.add_nic attacker_host ~ip:(Netbase.Addr.Ip.v 10 9 9 3) in
+  let switch = Netbase.Switch.create ~engine ~trace "lan" in
+  let (_ : int) = Netbase.Host.plug_into_switch host nic switch in
+  let (_ : int) = Netbase.Host.plug_into_switch attacker_host a_nic switch in
+  Plc.Device.serve_on d host;
+  check "logic intact" false (Plc.Device.logic_compromised d);
+  (* Attacker uploads malicious logic, then the operator's write is
+     silently discarded while the attacker can actuate directly. *)
+  Netbase.Host.udp_send attacker_host ~dst_ip:(Netbase.Addr.Ip.v 10 9 9 2)
+    ~dst_port:Plc.Device.maintenance_port ~src_port:5000 ~size:64
+    (Plc.Device.Maint_upload "evil-logic");
+  Sim.Engine.run ~until:1.0 engine;
+  check "logic compromised" true (Plc.Device.logic_compromised d);
+  let req =
+    { Plc.Modbus.transaction = 4; unit_id = 1;
+      body = Plc.Modbus.Write_single_coil { addr = 0; value = false } }
+  in
+  ignore (Plc.Device.handle_request d req);
+  Sim.Engine.run ~until:2.0 engine;
+  check "operator command ignored" true (Plc.Breaker.is_closed b);
+  Netbase.Host.udp_send attacker_host ~dst_ip:(Netbase.Addr.Ip.v 10 9 9 2)
+    ~dst_port:Plc.Device.maintenance_port ~src_port:5000 ~size:32
+    (Plc.Device.Maint_actuate { coil = 0; close = false });
+  Sim.Engine.run ~until:3.0 engine;
+  check "attacker actuates" false (Plc.Breaker.is_closed b)
+
+let test_device_maintenance_actuate_needs_compromise () =
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let d = Plc.Device.create ~engine ~trace ~name:"STOCK" ~n_coils:1 in
+  let b = Plc.Breaker.create ~engine "B0" in
+  Plc.Device.wire_breaker d ~coil:0 b;
+  let host = Netbase.Host.create ~engine ~trace "plc-host" in
+  let nic = Netbase.Host.add_nic host ~ip:(Netbase.Addr.Ip.v 10 9 9 2) in
+  let attacker_host = Netbase.Host.create ~engine ~trace "attacker" in
+  let a_nic = Netbase.Host.add_nic attacker_host ~ip:(Netbase.Addr.Ip.v 10 9 9 3) in
+  let switch = Netbase.Switch.create ~engine ~trace "lan" in
+  let (_ : int) = Netbase.Host.plug_into_switch host nic switch in
+  let (_ : int) = Netbase.Host.plug_into_switch attacker_host a_nic switch in
+  Plc.Device.serve_on d host;
+  Netbase.Host.udp_send attacker_host ~dst_ip:(Netbase.Addr.Ip.v 10 9 9 2)
+    ~dst_port:Plc.Device.maintenance_port ~src_port:5000 ~size:32
+    (Plc.Device.Maint_actuate { coil = 0; close = false });
+  Sim.Engine.run ~until:1.0 engine;
+  check "stock firmware ignores direct actuation" true (Plc.Breaker.is_closed b)
+
+(* --- Power scenarios --------------------------------------------------------------- *)
+
+let test_power_energized_paths () =
+  let s = Plc.Power.red_team in
+  let closed_except names name = not (List.mem name names) in
+  let e = Plc.Power.energized s ~is_closed:(closed_except [ "B10-1" ]) in
+  check "Building-A dark" true (List.assoc "Building-A" e = false);
+  check "Building-B dark (shares B10-1)" true (List.assoc "Building-B" e = false);
+  check "Building-C on" true (List.assoc "Building-C" e = true)
+
+let test_power_find_plc () =
+  check "finds MAIN" true (Plc.Power.find_plc Plc.Power.red_team "MAIN" <> None);
+  check "missing plc" true (Plc.Power.find_plc Plc.Power.red_team "NOPE" = None)
+
+let suite =
+  [
+    ("modbus request roundtrips", `Quick, test_modbus_request_roundtrips);
+    ("modbus response roundtrips", `Quick, test_modbus_response_roundtrips);
+    ("modbus coils padding", `Quick, test_modbus_coils_roundtrip_with_padding);
+    ("modbus decode errors", `Quick, test_modbus_decode_errors);
+    ("breaker actuation delay", `Quick, test_breaker_actuation_delay);
+    ("breaker superseded command", `Quick, test_breaker_superseded_command);
+    ("breaker force immediate", `Quick, test_breaker_force_immediate);
+    ("device coil write drives breaker", `Quick, test_device_coil_write_drives_breaker);
+    ("device holding registers reflect actual", `Quick, test_device_holding_registers_reflect_actual);
+    ("device out of range exception", `Quick, test_device_out_of_range_is_exception);
+    ("device compromised logic", `Quick, test_device_compromised_logic_ignores_commands);
+    ("device stock firmware resists actuation", `Quick, test_device_maintenance_actuate_needs_compromise);
+    ("power energized paths", `Quick, test_power_energized_paths);
+    ("power find plc", `Quick, test_power_find_plc);
+    QCheck_alcotest.to_alcotest prop_modbus_write_coil_roundtrip;
+    QCheck_alcotest.to_alcotest prop_modbus_registers_roundtrip;
+  ]
+
+let () = Alcotest.run "plc" [ ("plc", suite) ]

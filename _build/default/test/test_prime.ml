@@ -1,0 +1,464 @@
+(* Tests for the Prime replication engine: ordering safety and liveness,
+   leader misbehaviour (crash / delay / censorship) and view changes,
+   reconciliation, catchup, and application state-transfer signalling. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* In-memory transport mesh with per-message latency and a drop hook. *)
+type cluster = {
+  engine : Sim.Engine.t;
+  trace : Sim.Trace.t;
+  keystore : Crypto.Signature.keystore;
+  config : Prime.Config.t;
+  replicas : Prime.Replica.t array;
+  clients : (string, Prime.Client.t) Hashtbl.t;
+  mutable drop : src:int -> dst:int -> Prime.Msg.t -> bool;
+  applied : (int * Prime.Msg.Update.t) list ref array; (* per-replica exec log *)
+}
+
+let make_cluster ?(config = Prime.Config.create ~f:1 ~k:0 ()) ?(latency = 0.001) ?seed () =
+  let engine = Sim.Engine.create ?seed () in
+  let trace = Sim.Trace.create () in
+  let keystore = Crypto.Signature.create_keystore () in
+  let n = config.Prime.Config.n in
+  let replicas = Array.make n (Obj.magic 0) in
+  let clients : (string, Prime.Client.t) Hashtbl.t = Hashtbl.create 8 in
+  let cluster_ref = ref None in
+  let deliver ~src ~dst msg =
+    let c = Option.get !cluster_ref in
+    if not (c.drop ~src ~dst msg) then
+      ignore
+        (Sim.Engine.schedule engine ~delay:latency (fun () ->
+             Prime.Replica.handle_message c.replicas.(dst) msg))
+  in
+  let transport_for id =
+    {
+      Prime.Replica.send = (fun ~dst msg -> deliver ~src:id ~dst msg);
+      broadcast =
+        (fun msg ->
+          for dst = 0 to n - 1 do
+            if dst <> id then deliver ~src:id ~dst msg
+          done);
+      reply_to_client =
+        (fun ~client msg ->
+          ignore
+            (Sim.Engine.schedule engine ~delay:latency (fun () ->
+                 match Hashtbl.find_opt clients client with
+                 | Some session -> Prime.Client.handle_reply session msg
+                 | None -> ())));
+    }
+  in
+  let applied = Array.init n (fun _ -> ref []) in
+  for id = 0 to n - 1 do
+    let keypair = Crypto.Signature.generate keystore (Prime.Msg.replica_identity id) in
+    let r =
+      Prime.Replica.create ~engine ~trace ~keystore ~keypair ~transport:(transport_for id)
+        ~id config
+    in
+    Prime.Replica.set_on_execute r (fun ~exec_seq u ->
+        applied.(id) := (exec_seq, u) :: !(applied.(id)));
+    replicas.(id) <- r
+  done;
+  let c =
+    {
+      engine;
+      trace;
+      keystore;
+      config;
+      replicas;
+      clients;
+      drop = (fun ~src:_ ~dst:_ _ -> false);
+      applied;
+    }
+  in
+  cluster_ref := Some c;
+  Array.iter Prime.Replica.start replicas;
+  c
+
+let add_client c name =
+  let keypair = Crypto.Signature.generate c.keystore name in
+  let send_to_replica ~dst msg =
+    ignore
+      (Sim.Engine.schedule c.engine ~delay:0.001 (fun () ->
+           Prime.Replica.handle_message c.replicas.(dst) msg))
+  in
+  let session =
+    Prime.Client.create ~engine:c.engine ~keystore:c.keystore ~keypair ~send_to_replica
+      c.config
+  in
+  Hashtbl.replace c.clients name session;
+  session
+
+let exec_history c id =
+  List.rev !(c.applied.(id)) |> List.map (fun (s, u) -> (s, Prime.Msg.Update.key u))
+
+let run c ~until = Sim.Engine.run ~until c.engine
+
+(* --- basic ordering ---------------------------------------------------- *)
+
+let test_single_update_executes_everywhere () =
+  let c = make_cluster () in
+  let client = add_client c "hmi" in
+  let confirmed_latency = ref None in
+  Prime.Client.set_on_confirmed client (fun ~client_seq:_ ~latency ->
+      confirmed_latency := Some latency);
+  let seq = Prime.Client.submit ~targets:[ 0 ] client ~op:"open breaker B57" in
+  run c ~until:2.0;
+  Array.iteri
+    (fun id _ ->
+      check_int (Printf.sprintf "replica %d executed one" id) 1
+        (List.length (exec_history c id)))
+    c.replicas;
+  check "client confirmed" true (Prime.Client.is_confirmed client ~client_seq:seq);
+  match !confirmed_latency with
+  | Some l -> check "latency under a second" true (l < 1.0)
+  | None -> Alcotest.fail "no confirmation callback"
+
+let test_updates_execute_in_identical_order () =
+  let c = make_cluster () in
+  let hmi = add_client c "hmi" in
+  let proxy = add_client c "plc-proxy" in
+  for i = 1 to 20 do
+    ignore
+      (Sim.Engine.schedule c.engine ~delay:(0.01 *. float_of_int i) (fun () ->
+           ignore (Prime.Client.submit ~targets:[ i mod 4 ] hmi ~op:(Printf.sprintf "cmd-%d" i));
+           ignore
+             (Prime.Client.submit ~targets:[ (i + 1) mod 4 ] proxy
+                ~op:(Printf.sprintf "status-%d" i))))
+  done;
+  run c ~until:5.0;
+  let reference = exec_history c 0 in
+  check_int "all 40 executed" 40 (List.length reference);
+  for id = 1 to 3 do
+    Alcotest.(check (list (pair int (pair string int))))
+      (Printf.sprintf "replica %d matches replica 0" id)
+      reference (exec_history c id)
+  done
+
+let test_duplicate_submission_executes_once () =
+  (* The client submits to every replica (each becomes an origin for the
+     same update); client-seq dedup must yield exactly one execution. *)
+  let c = make_cluster () in
+  let client = add_client c "hmi" in
+  ignore (Prime.Client.submit client ~op:"flip");
+  run c ~until:2.0;
+  Array.iteri
+    (fun id _ ->
+      check_int (Printf.sprintf "replica %d applied once" id) 1
+        (List.length (exec_history c id)))
+    c.replicas
+
+let test_bad_client_signature_rejected () =
+  let c = make_cluster () in
+  (* A client whose key is not in the deployment keystore. *)
+  let rogue_store = Crypto.Signature.create_keystore () in
+  let rogue_kp = Crypto.Signature.generate rogue_store "rogue" in
+  let u = Prime.Msg.Update.create ~keypair:rogue_kp ~client_seq:1 ~op:"open all breakers" in
+  Prime.Replica.handle_message c.replicas.(0) (Prime.Msg.Update_msg u);
+  run c ~until:2.0;
+  check_int "nothing executed" 0 (List.length (exec_history c 0));
+  check_int "bad signature counted" 1
+    (Sim.Stats.Counter.get (Prime.Replica.counters c.replicas.(0)) "update.bad_sig")
+
+(* --- leader failures ----------------------------------------------------- *)
+
+let test_leader_crash_triggers_view_change () =
+  let c = make_cluster () in
+  let client = add_client c "hmi" in
+  Prime.Replica.set_misbehavior c.replicas.(0) Prime.Replica.Crash_silent;
+  let seq = Prime.Client.submit ~targets:[ 1 ] client ~op:"cmd-under-crash" in
+  run c ~until:10.0;
+  check "view advanced" true (Prime.Replica.view c.replicas.(1) > 0);
+  check "update executed despite crashed leader" true
+    (Prime.Client.is_confirmed client ~client_seq:seq);
+  check_int "correct replicas executed it" 1 (List.length (exec_history c 1))
+
+let test_slow_leader_within_bound_no_view_change () =
+  let config = Prime.Config.create ~f:1 ~k:0 ~tat_allowance:0.4 () in
+  let c = make_cluster ~config () in
+  let client = add_client c "hmi" in
+  Prime.Replica.set_misbehavior c.replicas.(0) (Prime.Replica.Slow_leader 0.15);
+  let latencies = ref [] in
+  Prime.Client.set_on_confirmed client (fun ~client_seq:_ ~latency ->
+      latencies := latency :: !latencies);
+  for i = 1 to 5 do
+    ignore
+      (Sim.Engine.schedule c.engine ~delay:(0.5 *. float_of_int i) (fun () ->
+           ignore (Prime.Client.submit ~targets:[ 1 ] client ~op:(Printf.sprintf "c%d" i))))
+  done;
+  run c ~until:8.0;
+  check_int "all confirmed" 5 (List.length !latencies);
+  check_int "no view change" 0 (Prime.Replica.view c.replicas.(1));
+  (* Latency is inflated by the leader's delay but still bounded. *)
+  List.iter (fun l -> check "bounded" true (l < 1.0)) !latencies
+
+let test_slow_leader_beyond_bound_replaced () =
+  let config = Prime.Config.create ~f:1 ~k:0 ~tat_allowance:0.2 () in
+  let c = make_cluster ~config () in
+  let client = add_client c "hmi" in
+  Prime.Replica.set_misbehavior c.replicas.(0) (Prime.Replica.Slow_leader 1.5);
+  let seq = Prime.Client.submit ~targets:[ 1 ] client ~op:"c1" in
+  run c ~until:15.0;
+  check "view changed" true (Prime.Replica.view c.replicas.(1) > 0);
+  check "update executed under new leader" true (Prime.Client.is_confirmed client ~client_seq:seq)
+
+let test_censoring_leader_replaced () =
+  let config = Prime.Config.create ~f:1 ~k:0 ~tat_allowance:0.2 () in
+  let c = make_cluster ~config () in
+  let client = add_client c "hmi" in
+  (* Leader suppresses origin 2's summaries from its matrices. *)
+  Prime.Replica.set_misbehavior c.replicas.(0) (Prime.Replica.Censor_origin 2);
+  let seq = Prime.Client.submit ~targets:[ 2 ] client ~op:"censored-cmd" in
+  run c ~until:15.0;
+  check "view changed to evict censor" true (Prime.Replica.view c.replicas.(2) > 0);
+  check "censored client's update executed" true
+    (Prime.Client.is_confirmed client ~client_seq:seq)
+
+(* --- replica failures ------------------------------------------------------ *)
+
+let test_non_leader_crash_tolerated () =
+  let c = make_cluster () in
+  let client = add_client c "hmi" in
+  Prime.Replica.shutdown c.replicas.(3);
+  let seq = Prime.Client.submit ~targets:[ 0 ] client ~op:"with-one-down" in
+  run c ~until:3.0;
+  check "confirmed with 3 of 4" true (Prime.Client.is_confirmed client ~client_seq:seq);
+  check_int "view stable" 0 (Prime.Replica.view c.replicas.(0))
+
+let test_too_many_failures_block_progress_safely () =
+  let c = make_cluster () in
+  let client = add_client c "hmi" in
+  Prime.Replica.shutdown c.replicas.(2);
+  Prime.Replica.shutdown c.replicas.(3);
+  let seq = Prime.Client.submit ~targets:[ 0 ] client ~op:"blocked" in
+  run c ~until:10.0;
+  (* Safety over liveness: nothing executes below quorum. *)
+  check "not confirmed" false (Prime.Client.is_confirmed client ~client_seq:seq);
+  check_int "replica 0 executed nothing" 0 (List.length (exec_history c 0));
+  (* Progress resumes when a replica returns. *)
+  Prime.Replica.start c.replicas.(2);
+  run c ~until:20.0;
+  check "confirmed after recovery" true (Prime.Client.is_confirmed client ~client_seq:seq)
+
+let test_six_replica_power_plant_config () =
+  (* f=1, k=1: six replicas keep working with one crashed (recovering)
+     and one byzantine-silent replica at the same time. *)
+  let config = Prime.Config.power_plant () in
+  let c = make_cluster ~config () in
+  let client = add_client c "hmi" in
+  Prime.Replica.shutdown c.replicas.(5) (* proactive recovery in progress *);
+  Prime.Replica.set_misbehavior c.replicas.(4) Prime.Replica.Crash_silent (* intruded *);
+  let seq = Prime.Client.submit ~targets:[ 1 ] client ~op:"plant-cmd" in
+  run c ~until:5.0;
+  check "confirmed with one recovery + one intrusion" true
+    (Prime.Client.is_confirmed client ~client_seq:seq)
+
+(* --- reconciliation ---------------------------------------------------------- *)
+
+let test_reconciliation_fetches_missing_bodies () =
+  let c = make_cluster () in
+  let client = add_client c "hmi" in
+  (* Replica 3 never receives PO-Requests from replica 0: it will learn of
+     the updates through summaries/pre-prepares and must reconcile. *)
+  c.drop <-
+    (fun ~src ~dst msg ->
+      match msg with Prime.Msg.Po_request _ -> src = 0 && dst = 3 | _ -> false);
+  let seq = Prime.Client.submit ~targets:[ 0 ] client ~op:"needs-recon" in
+  run c ~until:5.0;
+  check "confirmed" true (Prime.Client.is_confirmed client ~client_seq:seq);
+  check_int "replica 3 executed via reconciliation" 1 (List.length (exec_history c 3));
+  check "replica 3 requested missing bodies" true
+    (Sim.Stats.Counter.get (Prime.Replica.counters c.replicas.(3)) "recon.requested" > 0)
+
+(* --- catchup / state transfer -------------------------------------------------- *)
+
+let test_catchup_after_downtime () =
+  let c = make_cluster () in
+  let client = add_client c "hmi" in
+  Prime.Replica.shutdown c.replicas.(3);
+  for i = 1 to 10 do
+    ignore
+      (Sim.Engine.schedule c.engine ~delay:(0.2 *. float_of_int i) (fun () ->
+           ignore (Prime.Client.submit ~targets:[ 0 ] client ~op:(Printf.sprintf "cmd%d" i))))
+  done;
+  run c ~until:5.0;
+  check_int "replica 3 missed everything" 0 (List.length (exec_history c 3));
+  Prime.Replica.start c.replicas.(3);
+  (* New traffic makes the gap visible and catchup closes it. *)
+  for i = 11 to 14 do
+    ignore
+      (Sim.Engine.schedule c.engine ~delay:(6.0 +. (0.2 *. float_of_int (i - 10))) (fun () ->
+           ignore (Prime.Client.submit ~targets:[ 0 ] client ~op:(Printf.sprintf "cmd%d" i))))
+  done;
+  run c ~until:20.0;
+  check "replica 3 caught up" true (Prime.Replica.exec_seq c.replicas.(3) >= 14);
+  check "catchup applied entries" true
+    (Sim.Stats.Counter.get (Prime.Replica.counters c.replicas.(3)) "catchup.applied" > 0)
+
+let test_app_state_transfer_signal_when_behind_log () =
+  (* Tiny retention forces the replication level to give up and signal the
+     application — the paper's Section III-A interaction. *)
+  let config = Prime.Config.create ~f:1 ~k:0 ~log_retention:5 () in
+  let c = make_cluster ~config () in
+  let client = add_client c "hmi" in
+  let signalled = ref false in
+  Prime.Replica.set_app c.replicas.(3)
+    {
+      Prime.Replica.apply = (fun ~exec_seq:_ _ -> ());
+      state_transfer_needed =
+        (fun () ->
+          signalled := true;
+          (* The application performs its own transfer out-of-band and
+             reports completion with a checkpoint from a correct peer. *)
+          let next_exec_pp, exec_seq, cursor, client_seqs =
+            Prime.Replica.order_state c.replicas.(0)
+          in
+          Prime.Replica.install_app_checkpoint c.replicas.(3) ~next_exec_pp ~exec_seq
+            ~cursor ~client_seqs);
+    };
+  Prime.Replica.shutdown c.replicas.(3);
+  for i = 1 to 30 do
+    ignore
+      (Sim.Engine.schedule c.engine ~delay:(0.2 *. float_of_int i) (fun () ->
+           ignore (Prime.Client.submit ~targets:[ 0 ] client ~op:(Printf.sprintf "cmd%d" i))))
+  done;
+  run c ~until:10.0;
+  (* Proactive recovery brings the replica back with wiped state; by now
+     the others' logs no longer retain the missed range. *)
+  Prime.Replica.restart_clean c.replicas.(3);
+  for i = 31 to 36 do
+    ignore
+      (Sim.Engine.schedule c.engine ~delay:(11.0 +. (0.2 *. float_of_int (i - 30))) (fun () ->
+           ignore (Prime.Client.submit ~targets:[ 0 ] client ~op:(Printf.sprintf "cmd%d" i))))
+  done;
+  run c ~until:30.0;
+  check "application-level transfer was signalled" true !signalled;
+  (* After the checkpoint, the replica follows new traffic again. *)
+  let before = Prime.Replica.exec_seq c.replicas.(3) in
+  ignore
+    (Sim.Engine.schedule c.engine ~delay:0.1 (fun () ->
+         ignore (Prime.Client.submit ~targets:[ 0 ] client ~op:"after-transfer")));
+  run c ~until:35.0;
+  check "executes after transfer" true (Prime.Replica.exec_seq c.replicas.(3) > before)
+
+(* --- config ---------------------------------------------------------------------- *)
+
+let test_config_sizing () =
+  let c4 = Prime.Config.red_team () in
+  check_int "red team n" 4 c4.Prime.Config.n;
+  check_int "red team quorum" 3 c4.Prime.Config.quorum;
+  let c6 = Prime.Config.power_plant () in
+  check_int "plant n" 6 c6.Prime.Config.n;
+  check_int "plant quorum" 4 c6.Prime.Config.quorum;
+  let big = Prime.Config.create ~f:2 ~k:2 () in
+  check_int "f=2 k=2 n" 11 big.Prime.Config.n;
+  Alcotest.check_raises "f=0 rejected" (Invalid_argument "Config.create: f must be >= 1")
+    (fun () -> ignore (Prime.Config.create ~f:0 ()))
+
+(* --- safety property --------------------------------------------------------------- *)
+
+let prop_replicas_agree_on_execution_order =
+  QCheck.Test.make ~count:15 ~name:"replicas execute identical sequences under random load"
+    QCheck.(pair (int_bound 1000) (int_range 5 25))
+    (fun (seed, n_updates) ->
+      let c = make_cluster ~seed:(Int64.of_int (seed + 1)) () in
+      let client = add_client c "gen" in
+      let rng = Sim.Rng.create (Int64.of_int (seed + 77)) in
+      for _ = 1 to n_updates do
+        let delay = Sim.Rng.float rng 2.0 in
+        let target = Sim.Rng.int rng 4 in
+        ignore
+          (Sim.Engine.schedule c.engine ~delay (fun () ->
+               ignore
+                 (Prime.Client.submit ~targets:[ target ] client
+                    ~op:(Printf.sprintf "op-%f" delay))))
+      done;
+      run c ~until:10.0;
+      let reference = exec_history c 0 in
+      List.length reference = n_updates
+      && List.for_all (fun id -> exec_history c id = reference) [ 1; 2; 3 ])
+
+
+let test_equivocating_leader_safety () =
+  (* A fully Byzantine leader (with its key) sends conflicting
+     pre-prepares to different halves of the cluster. Safety must hold:
+     no two replicas execute different updates at the same position; the
+     suspect-leader protocol eventually evicts it and liveness returns. *)
+  let config = Prime.Config.create ~f:1 ~k:0 ~tat_allowance:0.3 () in
+  let c = make_cluster ~config () in
+  let client = add_client c "hmi" in
+  Prime.Replica.set_misbehavior c.replicas.(0) Prime.Replica.Equivocate;
+  for i = 1 to 10 do
+    ignore
+      (Sim.Engine.schedule c.engine ~delay:(0.3 *. float_of_int i) (fun () ->
+           ignore (Prime.Client.submit ~targets:[ 1 ] client ~op:(Printf.sprintf "eq-%d" i))))
+  done;
+  run c ~until:20.0;
+  (* Liveness restored under the new leader. *)
+  check "view changed to evict equivocator" true (Prime.Replica.view c.replicas.(1) > 0);
+  check_int "all updates executed" 10 (List.length (exec_history c 1));
+  (* Safety: correct replicas hold identical execution prefixes. *)
+  let reference = exec_history c 1 in
+  List.iter
+    (fun id ->
+      let h = exec_history c id in
+      let rec prefix_consistent a b =
+        match (a, b) with
+        | [], _ | _, [] -> true
+        | x :: a, y :: b -> x = y && prefix_consistent a b
+      in
+      check (Printf.sprintf "replica %d prefix-consistent" id) true
+        (prefix_consistent reference h))
+    [ 2; 3 ]
+
+
+let prop_safety_under_lossy_network =
+  QCheck.Test.make ~count:10
+    ~name:"replicas stay consistent over a lossy network (drops heal, no divergence)"
+    QCheck.(pair (int_bound 1000) (int_range 5 20))
+    (fun (seed, loss_pct) ->
+      let c = make_cluster ~seed:(Int64.of_int (seed + 31)) () in
+      let drop_rng = Sim.Rng.create (Int64.of_int (seed + 131)) in
+      (* Drop [loss_pct]% of every protocol message, uniformly. *)
+      c.drop <- (fun ~src:_ ~dst:_ _ -> Sim.Rng.int drop_rng 100 < loss_pct);
+      let client = add_client c "gen" in
+      Prime.Client.enable_retransmit client ~period:0.5;
+      for i = 1 to 10 do
+        ignore
+          (Sim.Engine.schedule c.engine ~delay:(0.2 *. float_of_int i) (fun () ->
+               ignore (Prime.Client.submit ~targets:[ i mod 4 ] client ~op:(Printf.sprintf "l-%d" i))))
+      done;
+      (* Heal the network near the end so retransmissions can complete. *)
+      ignore
+        (Sim.Engine.schedule c.engine ~delay:10.0 (fun () ->
+             c.drop <- (fun ~src:_ ~dst:_ _ -> false)));
+      run c ~until:30.0;
+      (* Safety: identical execution logs; liveness: everything landed. *)
+      let reference = exec_history c 0 in
+      List.length reference = 10
+      && List.for_all (fun id -> exec_history c id = reference) [ 1; 2; 3 ])
+
+let suite =
+  [
+    ("single update executes everywhere", `Quick, test_single_update_executes_everywhere);
+    ("equivocating leader: safety holds", `Quick, test_equivocating_leader_safety);
+    ("identical execution order", `Quick, test_updates_execute_in_identical_order);
+    ("duplicate submission executes once", `Quick, test_duplicate_submission_executes_once);
+    ("bad client signature rejected", `Quick, test_bad_client_signature_rejected);
+    ("leader crash triggers view change", `Quick, test_leader_crash_triggers_view_change);
+    ("slow leader within bound", `Quick, test_slow_leader_within_bound_no_view_change);
+    ("slow leader beyond bound replaced", `Quick, test_slow_leader_beyond_bound_replaced);
+    ("censoring leader replaced", `Quick, test_censoring_leader_replaced);
+    ("non-leader crash tolerated", `Quick, test_non_leader_crash_tolerated);
+    ("too many failures block safely", `Quick, test_too_many_failures_block_progress_safely);
+    ("six replica power plant config", `Quick, test_six_replica_power_plant_config);
+    ("reconciliation fetches missing bodies", `Quick, test_reconciliation_fetches_missing_bodies);
+    ("catchup after downtime", `Quick, test_catchup_after_downtime);
+    ("app state transfer when behind log", `Quick, test_app_state_transfer_signal_when_behind_log);
+    ("config sizing", `Quick, test_config_sizing);
+    QCheck_alcotest.to_alcotest prop_replicas_agree_on_execution_order;
+    QCheck_alcotest.to_alcotest prop_safety_under_lossy_network;
+  ]
+
+let () = Alcotest.run "prime" [ ("prime", suite) ]

@@ -1,0 +1,151 @@
+(* Tests for the SCADA application layer: operation encoding, replicated
+   state, and the historian. Master/proxy/HMI behaviour is exercised end
+   to end in test_core. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let mini =
+  {
+    Plc.Power.scenario_name = "mini";
+    plcs = [ { Plc.Power.plc_name = "M"; breaker_names = [ "A"; "B" ]; physical = false } ];
+    feeds = [ { Plc.Power.load_name = "L"; path = [ "A"; "B" ] } ];
+  }
+
+(* --- Op ---------------------------------------------------------------- *)
+
+let test_op_roundtrip () =
+  let cases =
+    [
+      Scada.Op.Status { breaker = "B10-1"; closed = true };
+      Scada.Op.Status { breaker = "DIST-01/B2"; closed = false };
+      Scada.Op.Command { breaker = "B57"; close = false };
+    ]
+  in
+  List.iter
+    (fun op ->
+      match Scada.Op.decode (Scada.Op.encode op) with
+      | Some decoded -> check (Scada.Op.encode op) true (decoded = op)
+      | None -> Alcotest.fail "decode failed")
+    cases
+
+let test_op_rejects_garbage () =
+  check "empty" true (Scada.Op.decode "" = None);
+  check "unknown kind" true (Scada.Op.decode "weird:B1:1" = None);
+  check "bad flag" true (Scada.Op.decode "status:B1:2" = None);
+  check "missing fields" true (Scada.Op.decode "cmd:B1" = None)
+
+let prop_op_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"op encode/decode roundtrips"
+    QCheck.(pair (pair bool bool) (string_of_size Gen.(int_range 1 20)))
+    (fun ((is_status, flag), name) ->
+      QCheck.assume (not (String.contains name ':'));
+      let op =
+        if is_status then Scada.Op.Status { breaker = name; closed = flag }
+        else Scada.Op.Command { breaker = name; close = flag }
+      in
+      Scada.Op.decode (Scada.Op.encode op) = Some op)
+
+(* --- State -------------------------------------------------------------- *)
+
+let test_state_apply_and_energized () =
+  let s = Scada.State.create mini in
+  check "A starts closed" true (Scada.State.reported_closed s "A");
+  let changed =
+    Scada.State.apply s ~exec_seq:1 (Scada.Op.Status { breaker = "A"; closed = false })
+  in
+  check "change detected" true changed;
+  check "A now open" false (Scada.State.reported_closed s "A");
+  let unchanged =
+    Scada.State.apply s ~exec_seq:2 (Scada.Op.Status { breaker = "A"; closed = false })
+  in
+  check "idempotent status" false unchanged;
+  Alcotest.(check (list (pair string bool))) "load dark" [ ("L", false) ] (Scada.State.energized s)
+
+let test_state_unknown_breaker_is_noop () =
+  let s = Scada.State.create mini in
+  let changed =
+    Scada.State.apply s ~exec_seq:1 (Scada.Op.Status { breaker = "GHOST"; closed = false })
+  in
+  check "no change" false changed;
+  check_int "op still counted" 1 (Scada.State.ops_applied s)
+
+let test_state_serialize_load_digest () =
+  let s1 = Scada.State.create mini in
+  ignore (Scada.State.apply s1 ~exec_seq:5 (Scada.Op.Status { breaker = "A"; closed = false }));
+  ignore (Scada.State.apply s1 ~exec_seq:6 (Scada.Op.Command { breaker = "B"; close = false }));
+  let blob = Scada.State.serialize s1 in
+  let s2 = Scada.State.create mini in
+  check "digests differ before load" true (Scada.State.digest s1 <> Scada.State.digest s2);
+  (match Scada.State.load s2 blob with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check_str "digests equal after load" (Scada.State.digest s1) (Scada.State.digest s2);
+  check "loaded value" false (Scada.State.reported_closed s2 "A")
+
+let test_state_load_rejects_malformed () =
+  let s = Scada.State.create mini in
+  check "garbage rejected" true (Scada.State.load s "not-a-state" |> Result.is_error);
+  check "half-garbage rejected" true (Scada.State.load s "A=1/1/0;junk" |> Result.is_error)
+
+let test_state_reset () =
+  let s = Scada.State.create mini in
+  ignore (Scada.State.apply s ~exec_seq:1 (Scada.Op.Status { breaker = "A"; closed = false }));
+  Scada.State.reset s;
+  check "back to default" true (Scada.State.reported_closed s "A");
+  check_int "ops cleared" 0 (Scada.State.ops_applied s)
+
+let prop_state_digest_deterministic =
+  QCheck.Test.make ~count:100 ~name:"state digest is a pure function of applied ops"
+    QCheck.(list_of_size Gen.(int_range 0 20) (pair bool bool))
+    (fun ops ->
+      let build () =
+        let s = Scada.State.create mini in
+        List.iteri
+          (fun i (which, flag) ->
+            let breaker = if which then "A" else "B" in
+            ignore (Scada.State.apply s ~exec_seq:(i + 1) (Scada.Op.Status { breaker; closed = flag })))
+          ops;
+        Scada.State.digest s
+      in
+      String.equal (build ()) (build ()))
+
+(* --- Historian ---------------------------------------------------------------- *)
+
+let test_historian_record_and_query () =
+  let h = Scada.Historian.create () in
+  Scada.Historian.record h ~time:1.0 ~source:"master" ~kind:"status" ~detail:"B57 open";
+  Scada.Historian.record h ~time:2.0 ~source:"master" ~kind:"command" ~detail:"close B57";
+  Scada.Historian.record h ~time:3.0 ~source:"master" ~kind:"status" ~detail:"B57 closed";
+  check_int "three events" 3 (Scada.Historian.length h);
+  check_int "since 1.5" 2 (List.length (Scada.Historian.since h 1.5));
+  check_int "by kind" 2 (List.length (Scada.Historian.by_kind h "status"))
+
+let test_historian_wipe_is_permanent () =
+  (* The Section III-A asymmetry: archived history cannot be rebuilt from
+     field devices. *)
+  let h = Scada.Historian.create () in
+  for i = 1 to 10 do
+    Scada.Historian.record h ~time:(float_of_int i) ~source:"m" ~kind:"sample" ~detail:"x"
+  done;
+  Scada.Historian.wipe h;
+  check_int "empty" 0 (Scada.Historian.length h);
+  check_int "loss accounted" 10 (Scada.Historian.lost_events h)
+
+let suite =
+  [
+    ("op roundtrip", `Quick, test_op_roundtrip);
+    ("op rejects garbage", `Quick, test_op_rejects_garbage);
+    ("state apply and energized", `Quick, test_state_apply_and_energized);
+    ("state unknown breaker noop", `Quick, test_state_unknown_breaker_is_noop);
+    ("state serialize/load/digest", `Quick, test_state_serialize_load_digest);
+    ("state load rejects malformed", `Quick, test_state_load_rejects_malformed);
+    ("state reset", `Quick, test_state_reset);
+    ("historian record and query", `Quick, test_historian_record_and_query);
+    ("historian wipe permanent", `Quick, test_historian_wipe_is_permanent);
+    QCheck_alcotest.to_alcotest prop_op_roundtrip;
+    QCheck_alcotest.to_alcotest prop_state_digest_deterministic;
+  ]
+
+let () = Alcotest.run "scada" [ ("scada", suite) ]

@@ -1,0 +1,262 @@
+(* Unit and property tests for the simulation substrate. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Rng ------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create 42L and b = Sim.Rng.create 42L in
+  for _ = 1 to 100 do
+    check_int "same stream" (Sim.Rng.int a 1000) (Sim.Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let root = Sim.Rng.create 7L in
+  let child = Sim.Rng.split root in
+  (* Drawing from the child must not change the parent's stream relative to
+     a parent that split but never used the child. *)
+  let root' = Sim.Rng.create 7L in
+  let _child' = Sim.Rng.split root' in
+  for _ = 1 to 10 do
+    ignore (Sim.Rng.int child 100)
+  done;
+  for _ = 1 to 50 do
+    check_int "parent unaffected" (Sim.Rng.int root 1000) (Sim.Rng.int root' 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Sim.Rng.create 3L in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.int rng 7 in
+    check "int in range" true (v >= 0 && v < 7);
+    let f = Sim.Rng.float rng 2.5 in
+    check "float in range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_gaussian_moments () =
+  let rng = Sim.Rng.create 11L in
+  let s = Sim.Stats.Summary.create () in
+  for _ = 1 to 20_000 do
+    Sim.Stats.Summary.add s (Sim.Rng.gaussian rng ~mu:5.0 ~sigma:2.0)
+  done;
+  check "mean near mu" true (abs_float (Sim.Stats.Summary.mean s -. 5.0) < 0.1);
+  check "sd near sigma" true (abs_float (Sim.Stats.Summary.stddev s -. 2.0) < 0.1)
+
+let test_rng_exponential_mean () =
+  let rng = Sim.Rng.create 13L in
+  let s = Sim.Stats.Summary.create () in
+  for _ = 1 to 20_000 do
+    Sim.Stats.Summary.add s (Sim.Rng.exponential rng ~mean:0.5)
+  done;
+  check "mean near 0.5" true (abs_float (Sim.Stats.Summary.mean s -. 0.5) < 0.05)
+
+let test_rng_shuffle_permutation () =
+  let rng = Sim.Rng.create 17L in
+  let arr = Array.init 20 (fun i -> i) in
+  Sim.Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 (fun i -> i)) sorted
+
+(* --- Heap ------------------------------------------------------------ *)
+
+let test_heap_ordering () =
+  let h = Sim.Heap.create () in
+  let keys = [ 5.0; 1.0; 3.0; 2.0; 4.0; 0.5; 6.0 ] in
+  List.iter (fun k -> Sim.Heap.push h ~key:k (int_of_float (k *. 10.0))) keys;
+  let rec drain acc =
+    match Sim.Heap.pop h with None -> List.rev acc | Some (k, _) -> drain (k :: acc)
+  in
+  Alcotest.(check (list (float 0.0)))
+    "sorted" [ 0.5; 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 ] (drain [])
+
+let test_heap_fifo_ties () =
+  let h = Sim.Heap.create () in
+  List.iter (fun v -> Sim.Heap.push h ~key:1.0 v) [ "a"; "b"; "c" ];
+  let next () = match Sim.Heap.pop h with Some (_, v) -> v | None -> "?" in
+  Alcotest.(check string) "first" "a" (next ());
+  Alcotest.(check string) "second" "b" (next ());
+  Alcotest.(check string) "third" "c" (next ())
+
+let prop_heap_sorts =
+  QCheck.Test.make ~count:200 ~name:"heap drains in sorted order"
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun keys ->
+      let h = Sim.Heap.create () in
+      List.iter (fun k -> Sim.Heap.push h ~key:k ()) keys;
+      let rec drain acc =
+        match Sim.Heap.pop h with None -> List.rev acc | Some (k, ()) -> drain (k :: acc)
+      in
+      let drained = drain [] in
+      drained = List.sort compare keys)
+
+(* --- Engine ----------------------------------------------------------- *)
+
+let test_engine_runs_in_time_order () =
+  let e = Sim.Engine.create () in
+  let order = ref [] in
+  let note tag () = order := tag :: !order in
+  ignore (Sim.Engine.schedule e ~delay:3.0 (note "c"));
+  ignore (Sim.Engine.schedule e ~delay:1.0 (note "a"));
+  ignore (Sim.Engine.schedule e ~delay:2.0 (note "b"));
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !order);
+  check_float "clock at last event" 3.0 (Sim.Engine.now e)
+
+let test_engine_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let id = Sim.Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
+  Sim.Engine.cancel e id;
+  Sim.Engine.run e;
+  check "cancelled event does not fire" false !fired
+
+let test_engine_nested_schedule () =
+  let e = Sim.Engine.create () in
+  let times = ref [] in
+  ignore
+    (Sim.Engine.schedule e ~delay:1.0 (fun () ->
+         times := Sim.Engine.now e :: !times;
+         ignore
+           (Sim.Engine.schedule e ~delay:0.5 (fun () ->
+                times := Sim.Engine.now e :: !times))));
+  Sim.Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "nested times" [ 1.0; 1.5 ] (List.rev !times)
+
+let test_engine_until_horizon () =
+  let e = Sim.Engine.create () in
+  let fired = ref 0 in
+  ignore (Sim.Engine.schedule e ~delay:1.0 (fun () -> incr fired));
+  ignore (Sim.Engine.schedule e ~delay:10.0 (fun () -> incr fired));
+  Sim.Engine.run ~until:5.0 e;
+  check_int "only events before horizon" 1 !fired;
+  check_float "clock advanced to horizon" 5.0 (Sim.Engine.now e);
+  Sim.Engine.run e;
+  check_int "remaining event runs" 2 !fired
+
+let test_engine_periodic_timer () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  let timer = Sim.Engine.every e ~period:1.0 (fun () -> incr count) in
+  Sim.Engine.run ~until:5.5 e;
+  check_int "five periods" 5 !count;
+  Sim.Engine.cancel_timer e timer;
+  Sim.Engine.run ~until:10.0 e;
+  check_int "no more after cancel" 5 !count
+
+let test_engine_stop () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  ignore
+    (Sim.Engine.schedule e ~delay:1.0 (fun () ->
+         incr count;
+         Sim.Engine.stop e));
+  ignore (Sim.Engine.schedule e ~delay:2.0 (fun () -> incr count));
+  Sim.Engine.run e;
+  check_int "stopped after first" 1 !count
+
+let test_engine_past_rejected () =
+  let e = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule e ~delay:1.0 (fun () -> ()));
+  Sim.Engine.run e;
+  Alcotest.check_raises "past time rejected"
+    (Invalid_argument "Engine.schedule_at: time 0.500000000 is in the past (now 1.000000000)")
+    (fun () -> ignore (Sim.Engine.schedule_at e ~time:0.5 (fun () -> ())))
+
+let prop_engine_event_times_monotone =
+  QCheck.Test.make ~count:100 ~name:"engine executes events in non-decreasing time order"
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 100.0))
+    (fun delays ->
+      let e = Sim.Engine.create () in
+      let times = ref [] in
+      List.iter
+        (fun d ->
+          ignore (Sim.Engine.schedule e ~delay:d (fun () -> times := Sim.Engine.now e :: !times)))
+        delays;
+      Sim.Engine.run e;
+      let observed = List.rev !times in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      monotone observed && List.length observed = List.length delays)
+
+(* --- Stats ------------------------------------------------------------ *)
+
+let test_stats_summary () =
+  let s = Sim.Stats.Summary.create () in
+  List.iter (Sim.Stats.Summary.add s) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  check_float "mean" 3.0 (Sim.Stats.Summary.mean s);
+  check_float "variance" 2.5 (Sim.Stats.Summary.variance s);
+  check_float "min" 1.0 (Sim.Stats.Summary.min s);
+  check_float "max" 5.0 (Sim.Stats.Summary.max s);
+  check_float "median" 3.0 (Sim.Stats.Summary.median s);
+  check_float "p100" 5.0 (Sim.Stats.Summary.percentile s 100.0)
+
+let test_stats_percentile_small () =
+  let s = Sim.Stats.Summary.create () in
+  Sim.Stats.Summary.add s 10.0;
+  check_float "single sample p50" 10.0 (Sim.Stats.Summary.median s);
+  check_float "single sample p99" 10.0 (Sim.Stats.Summary.percentile s 99.0)
+
+let test_stats_counter () =
+  let c = Sim.Stats.Counter.create () in
+  Sim.Stats.Counter.incr c "a";
+  Sim.Stats.Counter.incr c "a";
+  Sim.Stats.Counter.incr ~by:3 c "b";
+  check_int "a" 2 (Sim.Stats.Counter.get c "a");
+  check_int "b" 3 (Sim.Stats.Counter.get c "b");
+  check_int "missing" 0 (Sim.Stats.Counter.get c "zzz")
+
+let prop_stats_mean_matches_naive =
+  QCheck.Test.make ~count:200 ~name:"Welford mean matches naive mean"
+    QCheck.(list_of_size Gen.(int_range 1 100) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Sim.Stats.Summary.create () in
+      List.iter (Sim.Stats.Summary.add s) xs;
+      let naive = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      abs_float (Sim.Stats.Summary.mean s -. naive) < 1e-6)
+
+(* --- Trace ------------------------------------------------------------ *)
+
+let test_trace_roundtrip () =
+  let t = Sim.Trace.create () in
+  Sim.Trace.record t ~time:1.0 ~category:"net" "packet %d dropped" 7;
+  Sim.Trace.record t ~time:2.0 ~category:"attack" "arp poison from %s" "10.0.0.9";
+  check_int "two entries" 2 (Sim.Trace.length t);
+  (match Sim.Trace.find t ~category:"attack" ~contains:"arp poison" with
+  | Some entry -> check_float "time" 2.0 entry.Sim.Trace.time
+  | None -> Alcotest.fail "attack entry not found");
+  check "absent entry" true
+    (Sim.Trace.find t ~category:"net" ~contains:"nonexistent" = None);
+  check_int "category filter" 1 (List.length (Sim.Trace.by_category t "net"))
+
+let suite =
+  [
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng split independent", `Quick, test_rng_split_independent);
+    ("rng bounds", `Quick, test_rng_bounds);
+    ("rng gaussian moments", `Quick, test_rng_gaussian_moments);
+    ("rng exponential mean", `Quick, test_rng_exponential_mean);
+    ("rng shuffle permutation", `Quick, test_rng_shuffle_permutation);
+    ("heap ordering", `Quick, test_heap_ordering);
+    ("heap fifo ties", `Quick, test_heap_fifo_ties);
+    ("engine time order", `Quick, test_engine_runs_in_time_order);
+    ("engine cancel", `Quick, test_engine_cancel);
+    ("engine nested schedule", `Quick, test_engine_nested_schedule);
+    ("engine until horizon", `Quick, test_engine_until_horizon);
+    ("engine periodic timer", `Quick, test_engine_periodic_timer);
+    ("engine stop", `Quick, test_engine_stop);
+    ("engine rejects past", `Quick, test_engine_past_rejected);
+    ("stats summary", `Quick, test_stats_summary);
+    ("stats percentile small", `Quick, test_stats_percentile_small);
+    ("stats counter", `Quick, test_stats_counter);
+    ("trace roundtrip", `Quick, test_trace_roundtrip);
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_engine_event_times_monotone;
+    QCheck_alcotest.to_alcotest prop_stats_mean_matches_naive;
+  ]
+
+let () = Alcotest.run "sim" [ ("sim", suite) ]

@@ -1,0 +1,425 @@
+(* Tests for the Spines overlay: routing, flooding, authentication,
+   replay rejection, failure detection/rerouting, source fairness, and
+   the patched-binary exploit model. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ip = Netbase.Addr.Ip.v
+
+(* Build an overlay of n daemons, one per host, all on one switch.
+   [keyed i] gives daemon i's group key (None = unkeyed build). *)
+type overlay = {
+  engine : Sim.Engine.t;
+  trace : Sim.Trace.t;
+  switch : Netbase.Switch.t;
+  hosts : Netbase.Host.t array;
+  nodes : Spines.Node.t array;
+}
+
+let make_overlay ?(it_mode = true) ?(keyed = fun _ -> Some "group-key") ?(rate = 2000.0)
+    topology =
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let switch = Netbase.Switch.create ~engine ~trace "overlay-lan" in
+  let ids = Array.of_list (Spines.Topology.nodes topology) in
+  let n = Array.length ids in
+  let hosts =
+    Array.init n (fun i ->
+        let h = Netbase.Host.create ~engine ~trace (Printf.sprintf "node%d" ids.(i)) in
+        let nic = Netbase.Host.add_nic h ~ip:(ip 10 0 0 (ids.(i) + 1)) in
+        let (_ : int) = Netbase.Host.plug_into_switch h nic switch in
+        h)
+  in
+  let nodes =
+    Array.init n (fun i ->
+        let config =
+          {
+            (Spines.Node.default_config ~it_mode topology) with
+            Spines.Node.group_key = keyed ids.(i);
+            source_rate_limit = rate;
+          }
+        in
+        Spines.Node.create ~engine ~trace ~host:hosts.(i) ~id:ids.(i) config)
+  in
+  Array.iteri
+    (fun i node ->
+      Array.iteri
+        (fun j _ -> if i <> j then Spines.Node.set_peer_address node ids.(j) (ip 10 0 0 (ids.(j) + 1)))
+        nodes;
+      Spines.Node.start node)
+    nodes;
+  { engine; trace; switch; hosts; nodes }
+
+(* --- Topology / routing -------------------------------------------------- *)
+
+let test_full_mesh () =
+  let t = Spines.Topology.full_mesh [ 0; 1; 2; 3 ] in
+  check_int "links" 6 (List.length (Spines.Topology.links t));
+  check_int "neighbors" 3 (List.length (Spines.Topology.neighbors t 0))
+
+let test_topology_validation () =
+  Alcotest.check_raises "self link" (Invalid_argument "Topology.create: self-link") (fun () ->
+      ignore (Spines.Topology.create ~nodes:[ 0; 1 ] ~links:[ Spines.Topology.link 0 0 ]));
+  Alcotest.check_raises "unknown node"
+    (Invalid_argument "Topology.create: link 0-7 references unknown node") (fun () ->
+      ignore (Spines.Topology.create ~nodes:[ 0; 1 ] ~links:[ Spines.Topology.link 0 7 ]))
+
+let line n =
+  Spines.Topology.create
+    ~nodes:(List.init n (fun i -> i))
+    ~links:(List.init (n - 1) (fun i -> Spines.Topology.link i (i + 1)))
+
+let ring n =
+  Spines.Topology.create
+    ~nodes:(List.init n (fun i -> i))
+    ~links:(List.init n (fun i -> Spines.Topology.link i ((i + 1) mod n)))
+
+let test_route_line () =
+  let t = line 4 in
+  let view = Spines.Topology.View.all_up t in
+  Alcotest.(check (option int)) "0->3 via 1" (Some 1) (Spines.Topology.route t view ~src:0 ~dst:3);
+  Alcotest.(check (option int)) "3->0 via 2" (Some 2) (Spines.Topology.route t view ~src:3 ~dst:0);
+  Alcotest.(check (option int)) "self" None (Spines.Topology.route t view ~src:2 ~dst:2)
+
+let test_route_avoids_down_link () =
+  let t = ring 4 in
+  let view = Spines.Topology.View.all_up t in
+  (* 0->2 has two equal 2-hop paths; kill one side and the other is used. *)
+  Spines.Topology.View.set_link view 0 1 ~up:false;
+  Alcotest.(check (option int)) "0->2 via 3" (Some 3) (Spines.Topology.route t view ~src:0 ~dst:2);
+  Spines.Topology.View.set_link view 3 0 ~up:false;
+  Alcotest.(check (option int)) "0 isolated" None (Spines.Topology.route t view ~src:0 ~dst:2)
+
+let test_route_prefers_weight () =
+  let t =
+    Spines.Topology.create ~nodes:[ 0; 1; 2 ]
+      ~links:
+        [
+          Spines.Topology.link ~weight:10.0 0 2;
+          Spines.Topology.link 0 1;
+          Spines.Topology.link 1 2;
+        ]
+  in
+  let view = Spines.Topology.View.all_up t in
+  Alcotest.(check (option int)) "0->2 via cheap path" (Some 1)
+    (Spines.Topology.route t view ~src:0 ~dst:2)
+
+let prop_route_reaches_destination =
+  QCheck.Test.make ~count:100 ~name:"hop-by-hop forwarding reaches destination on a ring"
+    QCheck.(pair (int_range 3 12) (pair (int_range 0 11) (int_range 0 11)))
+    (fun (n, (a, b)) ->
+      let a = a mod n and b = b mod n in
+      let t = ring n in
+      let view = Spines.Topology.View.all_up t in
+      if a = b then true
+      else
+        (* Walk next hops; must reach b within n hops. *)
+        let rec walk cur hops =
+          if cur = b then true
+          else if hops > n then false
+          else
+            match Spines.Topology.route t view ~src:cur ~dst:b with
+            | Some next -> walk next (hops + 1)
+            | None -> false
+        in
+        walk a 0)
+
+(* --- Overlay data delivery ------------------------------------------------ *)
+
+let collect_client node ~client ?groups () =
+  let received = ref [] in
+  Spines.Node.register_client node ~client ?groups (fun ~src ~size:_ payload ->
+      received := (src, payload) :: !received);
+  received
+
+let test_unicast_multi_hop_routed () =
+  let o = make_overlay ~it_mode:false (line 3) in
+  let received = collect_client o.nodes.(2) ~client:7 () in
+  Spines.Node.send o.nodes.(0) ~client:1 ~size:100
+    (Spines.Node.To_client { node = 2; client = 7 })
+    (Netbase.Packet.Raw "across");
+  Sim.Engine.run ~until:1.0 o.engine;
+  (match !received with
+  | [ ((0, 1), Netbase.Packet.Raw "across") ] -> ()
+  | _ -> Alcotest.fail "expected exactly one delivery from (0,1)");
+  (* The middle daemon relayed it. *)
+  check "middle forwarded" true
+    (Sim.Stats.Counter.get (Spines.Node.counters o.nodes.(1)) "link.tx" > 0)
+
+let test_unicast_it_mode_flooding () =
+  let o = make_overlay ~it_mode:true (line 3) in
+  let received = collect_client o.nodes.(2) ~client:7 () in
+  let other = collect_client o.nodes.(1) ~client:7 () in
+  Spines.Node.send o.nodes.(0) ~client:1 ~size:100
+    (Spines.Node.To_client { node = 2; client = 7 })
+    (Netbase.Packet.Raw "flooded");
+  Sim.Engine.run ~until:1.0 o.engine;
+  check_int "delivered once at destination" 1 (List.length !received);
+  check_int "not delivered to other node's client" 0 (List.length !other)
+
+let test_group_delivery_exactly_once () =
+  let o = make_overlay (Spines.Topology.full_mesh [ 0; 1; 2; 3 ]) in
+  let sinks =
+    Array.mapi
+      (fun i node -> if i = 0 then ref [] else collect_client node ~client:9 ~groups:[ "replicas" ] ())
+      o.nodes
+  in
+  Spines.Node.send o.nodes.(0) ~client:1 ~size:50 (Spines.Node.To_group "replicas")
+    (Netbase.Packet.Raw "to-all");
+  Sim.Engine.run ~until:1.0 o.engine;
+  (* Full mesh + flooding would duplicate without dedup. *)
+  Array.iteri
+    (fun i sink -> if i > 0 then check_int (Printf.sprintf "node %d exactly once" i) 1 (List.length !sink))
+    sinks
+
+let test_sender_in_group_gets_local_copy () =
+  let o = make_overlay (Spines.Topology.full_mesh [ 0; 1 ]) in
+  let self_sink = collect_client o.nodes.(0) ~client:9 ~groups:[ "g" ] () in
+  Spines.Node.send o.nodes.(0) ~client:1 ~size:10 (Spines.Node.To_group "g")
+    (Netbase.Packet.Raw "loop");
+  Sim.Engine.run ~until:0.5 o.engine;
+  check_int "local subscriber got it" 1 (List.length !self_sink)
+
+(* --- Authentication -------------------------------------------------------- *)
+
+let test_unkeyed_daemon_rejected () =
+  (* Node 1 models the red team's daemon rebuilt from the open-source tree
+     without the deployment's new encryption keys. *)
+  let keyed i = if i = 1 then None else Some "group-key" in
+  let o = make_overlay ~keyed (Spines.Topology.full_mesh [ 0; 1; 2 ]) in
+  let sink = collect_client o.nodes.(2) ~client:9 ~groups:[ "g" ] () in
+  Spines.Node.send o.nodes.(1) ~client:1 ~size:50 (Spines.Node.To_group "g")
+    (Netbase.Packet.Raw "from-unkeyed");
+  Sim.Engine.run ~until:1.0 o.engine;
+  check_int "nothing delivered" 0 (List.length !sink);
+  check "peers rejected traffic" true
+    (Sim.Stats.Counter.get (Spines.Node.counters o.nodes.(0)) "auth.reject" > 0
+     || Sim.Stats.Counter.get (Spines.Node.counters o.nodes.(2)) "auth.reject" > 0)
+
+let test_wrong_key_daemon_rejected () =
+  let keyed i = if i = 1 then Some "stale-key" else Some "group-key" in
+  let o = make_overlay ~keyed (Spines.Topology.full_mesh [ 0; 1; 2 ]) in
+  let sink = collect_client o.nodes.(2) ~client:9 ~groups:[ "g" ] () in
+  Spines.Node.send o.nodes.(1) ~client:1 ~size:50 (Spines.Node.To_group "g")
+    (Netbase.Packet.Raw "stale");
+  Sim.Engine.run ~until:1.0 o.engine;
+  check_int "nothing delivered" 0 (List.length !sink)
+
+let test_keyed_member_accepted () =
+  (* Control for the two tests above: with the right key, traffic flows.
+     This is also the red team's patched-but-keyed binary being accepted
+     as a valid member of the network. *)
+  let o = make_overlay (Spines.Topology.full_mesh [ 0; 1; 2 ]) in
+  let sink = collect_client o.nodes.(2) ~client:9 ~groups:[ "g" ] () in
+  Spines.Node.send o.nodes.(1) ~client:1 ~size:50 (Spines.Node.To_group "g")
+    (Netbase.Packet.Raw "member");
+  Sim.Engine.run ~until:1.0 o.engine;
+  check_int "delivered" 1 (List.length !sink)
+
+let test_replayed_frame_deduplicated () =
+  let o = make_overlay (Spines.Topology.full_mesh [ 0; 1 ]) in
+  (* Attacker on the same switch records everything. *)
+  let attacker = Netbase.Host.create ~engine:o.engine ~trace:o.trace "mallory" in
+  let a_nic = Netbase.Host.add_nic attacker ~ip:(ip 10 0 0 99) in
+  let (_ : int) = Netbase.Host.plug_into_switch attacker a_nic o.switch in
+  let captured = ref [] in
+  Netbase.Switch.add_tap o.switch (fun frame -> captured := frame :: !captured);
+  let sink = collect_client o.nodes.(1) ~client:9 ~groups:[ "g" ] () in
+  Spines.Node.send o.nodes.(0) ~client:1 ~size:50 (Spines.Node.To_group "g")
+    (Netbase.Packet.Raw "once");
+  Sim.Engine.run ~until:0.5 o.engine;
+  check_int "delivered once" 1 (List.length !sink);
+  (* Replay every captured frame verbatim. *)
+  let frames = !captured in
+  List.iter (fun f -> Netbase.Host.inject_frame attacker a_nic f) frames;
+  Sim.Engine.run ~until:1.0 o.engine;
+  check_int "replay did not duplicate delivery" 1 (List.length !sink)
+
+(* --- Failure detection and rerouting ----------------------------------------- *)
+
+let test_stopped_daemon_detected_and_rerouted () =
+  let o = make_overlay ~it_mode:false (ring 4) in
+  let sink = collect_client o.nodes.(2) ~client:9 () in
+  (* Warm path 0->2 (goes via 1 or 3). *)
+  Spines.Node.send o.nodes.(0) ~client:1 ~size:10
+    (Spines.Node.To_client { node = 2; client = 9 })
+    (Netbase.Packet.Raw "warm");
+  Sim.Engine.run ~until:1.0 o.engine;
+  check_int "warm delivered" 1 (List.length !sink);
+  (* Stop node 1 (the red team's first move in the excursion). *)
+  Spines.Node.stop o.nodes.(1);
+  Sim.Engine.run ~until:4.0 o.engine;
+  Spines.Node.send o.nodes.(0) ~client:1 ~size:10
+    (Spines.Node.To_client { node = 2; client = 9 })
+    (Netbase.Packet.Raw "after-failure");
+  Sim.Engine.run ~until:6.0 o.engine;
+  check_int "delivered around the failure" 2 (List.length !sink)
+
+let test_flooding_tolerates_daemon_stop () =
+  let o = make_overlay ~it_mode:true (Spines.Topology.full_mesh [ 0; 1; 2; 3 ]) in
+  let sink = collect_client o.nodes.(3) ~client:9 ~groups:[ "g" ] () in
+  Spines.Node.stop o.nodes.(1);
+  Spines.Node.send o.nodes.(0) ~client:1 ~size:10 (Spines.Node.To_group "g")
+    (Netbase.Packet.Raw "x");
+  Sim.Engine.run ~until:1.0 o.engine;
+  check_int "delivered despite stopped daemon" 1 (List.length !sink)
+
+let test_recovered_daemon_rejoins () =
+  let o = make_overlay ~it_mode:false (line 3) in
+  let sink = collect_client o.nodes.(2) ~client:9 () in
+  Spines.Node.stop o.nodes.(1);
+  Sim.Engine.run ~until:3.0 o.engine;
+  (* 0 and 2 are partitioned in a line without the middle daemon. *)
+  Spines.Node.send o.nodes.(0) ~client:1 ~size:10
+    (Spines.Node.To_client { node = 2; client = 9 })
+    (Netbase.Packet.Raw "lost");
+  Sim.Engine.run ~until:5.0 o.engine;
+  check_int "partitioned" 0 (List.length !sink);
+  Spines.Node.start o.nodes.(1);
+  Sim.Engine.run ~until:8.0 o.engine;
+  Spines.Node.send o.nodes.(0) ~client:1 ~size:10
+    (Spines.Node.To_client { node = 2; client = 9 })
+    (Netbase.Packet.Raw "healed");
+  Sim.Engine.run ~until:10.0 o.engine;
+  check_int "healed" 1 (List.length !sink)
+
+(* --- Source fairness ----------------------------------------------------------- *)
+
+let test_insider_flood_is_clipped () =
+  (* A compromised daemon floods the overlay; honest hops clip its rate,
+     and the honest source's traffic still arrives. *)
+  let o = make_overlay ~it_mode:true ~rate:100.0 (Spines.Topology.full_mesh [ 0; 1; 2 ]) in
+  let sink = collect_client o.nodes.(2) ~client:9 ~groups:[ "g" ] () in
+  (* Insider on node 1 bursts 2000 messages. *)
+  for _ = 1 to 2000 do
+    Spines.Node.send o.nodes.(1) ~client:1 ~size:100 (Spines.Node.To_group "g")
+      (Netbase.Packet.Raw "flood")
+  done;
+  (* Honest traffic from node 0 interleaves. *)
+  for i = 1 to 10 do
+    ignore
+      (Sim.Engine.schedule o.engine ~delay:(0.01 *. float_of_int i) (fun () ->
+           Spines.Node.send o.nodes.(0) ~client:1 ~size:100 (Spines.Node.To_group "g")
+             (Netbase.Packet.Raw "honest")))
+  done;
+  Sim.Engine.run ~until:2.0 o.engine;
+  let honest, flood =
+    List.partition (fun (_, p) -> p = Netbase.Packet.Raw "honest") !sink
+  in
+  check_int "all honest messages delivered" 10 (List.length honest);
+  check "flood clipped well below burst" true (List.length flood < 400);
+  check "clipping recorded" true
+    (Sim.Stats.Counter.get (Spines.Node.counters o.nodes.(2)) "fairness.clipped" > 0)
+
+(* --- Patched-binary exploit ------------------------------------------------------ *)
+
+let test_exploit_disabled_in_it_mode () =
+  let o = make_overlay ~it_mode:true (Spines.Topology.full_mesh [ 0; 1; 2 ]) in
+  Spines.Node.inject_exploit o.nodes.(1) "drop-foreign-traffic";
+  let sink = collect_client o.nodes.(2) ~client:9 ~groups:[ "g" ] () in
+  Spines.Node.send o.nodes.(0) ~client:1 ~size:50 (Spines.Node.To_group "g")
+    (Netbase.Packet.Raw "x");
+  Sim.Engine.run ~until:1.0 o.engine;
+  check_int "delivery unaffected" 1 (List.length !sink);
+  check_int "exploit had no effect" 0
+    (Sim.Stats.Counter.get (Spines.Node.counters o.nodes.(1)) "exploit.dropped")
+
+let test_exploit_bites_outside_it_mode () =
+  (* Same exploit in a plain-routed deployment on a line, where the
+     malicious daemon sits on the only path: traffic is silently dropped. *)
+  let o = make_overlay ~it_mode:false (line 3) in
+  Spines.Node.inject_exploit o.nodes.(1) "drop-foreign-traffic";
+  let sink = collect_client o.nodes.(2) ~client:9 () in
+  Spines.Node.send o.nodes.(0) ~client:1 ~size:50
+    (Spines.Node.To_client { node = 2; client = 9 })
+    (Netbase.Packet.Raw "x");
+  Sim.Engine.run ~until:1.0 o.engine;
+  check_int "dropped by exploited relay" 0 (List.length !sink);
+  check "exploit recorded" true
+    (Sim.Stats.Counter.get (Spines.Node.counters o.nodes.(1)) "exploit.dropped" > 0)
+
+let prop_routing_survives_random_link_failures =
+  QCheck.Test.make ~count:100
+    ~name:"routing finds a next hop iff the live graph still connects src and dst"
+    QCheck.(triple (int_range 4 10) (int_bound 1000) (int_range 0 3))
+    (fun (n, seed, kills) ->
+      (* Ring plus a chord: redundant enough that some link failures are
+         survivable and some partition the graph. *)
+      let chord = Spines.Topology.link 0 (n / 2) in
+      let t =
+        Spines.Topology.create
+          ~nodes:(List.init n (fun i -> i))
+          ~links:(chord :: List.init n (fun i -> Spines.Topology.link i ((i + 1) mod n)))
+      in
+      let view = Spines.Topology.View.all_up t in
+      let rng = Sim.Rng.create (Int64.of_int (seed + 7)) in
+      let links = Array.of_list (Spines.Topology.links t) in
+      for _ = 1 to kills do
+        let l = links.(Sim.Rng.int rng (Array.length links)) in
+        Spines.Topology.View.set_link view l.Spines.Topology.a l.Spines.Topology.b ~up:false
+      done;
+      (* Reachability over the live graph by BFS. *)
+      let reachable src =
+        let seen = Array.make n false in
+        seen.(src) <- true;
+        let queue = Queue.create () in
+        Queue.push src queue;
+        while not (Queue.is_empty queue) do
+          let cur = Queue.pop queue in
+          List.iter
+            (fun nb ->
+              if Spines.Topology.View.is_up view cur nb && not seen.(nb) then begin
+                seen.(nb) <- true;
+                Queue.push nb queue
+              end)
+            (Spines.Topology.neighbors t cur)
+        done;
+        seen
+      in
+      let seen = reachable 0 in
+      List.for_all
+        (fun dst ->
+          if dst = 0 then true
+          else
+            let route = Spines.Topology.route t view ~src:0 ~dst in
+            if seen.(dst) then
+              (* Next hops must walk all the way there. *)
+              let rec walk cur hops =
+                cur = dst
+                || hops <= 2 * n
+                   &&
+                   match Spines.Topology.route t view ~src:cur ~dst with
+                   | Some next -> walk next (hops + 1)
+                   | None -> false
+              in
+              route <> None && walk 0 0
+            else route = None)
+        (List.init n (fun i -> i)))
+
+let suite =
+  [
+    ("full mesh", `Quick, test_full_mesh);
+    QCheck_alcotest.to_alcotest prop_routing_survives_random_link_failures;
+    ("topology validation", `Quick, test_topology_validation);
+    ("route line", `Quick, test_route_line);
+    ("route avoids down link", `Quick, test_route_avoids_down_link);
+    ("route prefers weight", `Quick, test_route_prefers_weight);
+    ("unicast multi-hop routed", `Quick, test_unicast_multi_hop_routed);
+    ("unicast it-mode flooding", `Quick, test_unicast_it_mode_flooding);
+    ("group delivery exactly once", `Quick, test_group_delivery_exactly_once);
+    ("sender in group gets local copy", `Quick, test_sender_in_group_gets_local_copy);
+    ("unkeyed daemon rejected", `Quick, test_unkeyed_daemon_rejected);
+    ("wrong-key daemon rejected", `Quick, test_wrong_key_daemon_rejected);
+    ("keyed member accepted", `Quick, test_keyed_member_accepted);
+    ("replayed frames deduplicated", `Quick, test_replayed_frame_deduplicated);
+    ("stopped daemon detected and rerouted", `Quick, test_stopped_daemon_detected_and_rerouted);
+    ("flooding tolerates daemon stop", `Quick, test_flooding_tolerates_daemon_stop);
+    ("recovered daemon rejoins", `Quick, test_recovered_daemon_rejoins);
+    ("insider flood clipped", `Quick, test_insider_flood_is_clipped);
+    ("exploit disabled in IT mode", `Quick, test_exploit_disabled_in_it_mode);
+    ("exploit bites outside IT mode", `Quick, test_exploit_bites_outside_it_mode);
+    QCheck_alcotest.to_alcotest prop_route_reaches_destination;
+  ]
+
+let () = Alcotest.run "spines" [ ("spines", suite) ]
