@@ -2,15 +2,27 @@
    the paper's evaluation (see the DESIGN.md experiment index;
    EXPERIMENTS.md records paper-vs-measured).
 
-     dune exec bench/main.exe            # everything (E1-E9 + micro)
+     dune exec bench/main.exe            # everything (E1-E9, E10, micro)
      dune exec bench/main.exe -- --exp e4
-     dune exec bench/main.exe -- --list *)
+     dune exec bench/main.exe -- --exp e4 --json out.json
+     dune exec bench/main.exe -- --list
+
+   Every experiment prints its human-readable table AND returns a JSON
+   summary; --json [file] collects the summaries of the experiments that
+   ran into a machine-readable document (default file: bench.json). All
+   latency summaries are exported in the summary's native unit,
+   seconds. *)
 
 let hr = String.make 104 '-'
 
 let section id title = Printf.printf "\n%s\n%s — %s\n%s\n" hr id title hr
 
 let ms x = 1000.0 *. x
+
+(* A latency summary as JSON: {count, mean, p50, p99, ...} in seconds. *)
+let summary_json = Obs.Export.summary_to_json
+
+let num_i n = Obs.Json.Num (float_of_int n)
 
 let mini_scenario =
   {
@@ -33,6 +45,27 @@ let print_campaign_table steps =
   let breaches = List.length (List.filter (fun s -> s.Attack.Campaign.succeeded) steps) in
   Printf.printf "%s\nTotal: %d/%d attack steps succeeded\n" hr breaches (List.length steps)
 
+let campaign_json steps =
+  let open Obs.Json in
+  Obj
+    [
+      ( "steps",
+        List
+          (List.map
+             (fun s ->
+               Obj
+                 [
+                   ("phase", Str s.Attack.Campaign.phase);
+                   ("attack", Str s.Attack.Campaign.attack);
+                   ("position", Str s.Attack.Campaign.attacker_position);
+                   ("breach", Bool s.Attack.Campaign.succeeded);
+                 ])
+             steps) );
+      ( "breaches",
+        num_i (List.length (List.filter (fun s -> s.Attack.Campaign.succeeded) steps)) );
+      ("total", num_i (List.length steps));
+    ]
+
 (* --- E1/E2/E3: the red-team experiment --------------------------------------- *)
 
 let exp_e1 () =
@@ -40,31 +73,37 @@ let exp_e1 () =
   let engine = Sim.Engine.create () in
   let trace = Sim.Trace.create () in
   let tb = Attack.Testbed.create ~engine ~trace () in
-  print_campaign_table (Attack.Campaign.run_commercial tb);
+  let steps = Attack.Campaign.run_commercial tb in
+  print_campaign_table steps;
   print_endline "\nPaper: from the enterprise network the red team dumped and replaced the";
   print_endline "PLC configuration within hours; from the operations network they additionally";
-  print_endline "MITM'd the HMI, \"sending modified updates ... and preventing correct updates\"."
+  print_endline "MITM'd the HMI, \"sending modified updates ... and preventing correct updates\".";
+  campaign_json steps
 
 let exp_e2 () =
   section "E2" "Red team vs Spire, network attacks (Section IV-B)";
   let engine = Sim.Engine.create () in
   let trace = Sim.Trace.create () in
   let tb = Attack.Testbed.create ~engine ~trace () in
-  print_campaign_table (Attack.Campaign.run_spire_network tb);
+  let steps = Attack.Campaign.run_spire_network tb in
+  print_campaign_table steps;
   print_endline "\nPaper: \"they had no visibility into the system\" from the enterprise;";
   print_endline "\"port scanning, ARP poisoning, IP address spoofing, and denial of service";
-  print_endline "attempts ... none of these attacks were successful\"."
+  print_endline "attempts ... none of these attacks were successful\".";
+  campaign_json steps
 
 let exp_e3 () =
   section "E3" "Red team vs Spire, compromised-replica excursion (Section IV-B)";
   let engine = Sim.Engine.create () in
   let trace = Sim.Trace.create () in
   let tb = Attack.Testbed.create ~engine ~trace () in
-  print_campaign_table (Attack.Campaign.run_excursion tb);
+  let steps = Attack.Campaign.run_excursion tb in
+  print_campaign_table steps;
   print_endline "\nPaper: daemon stop had no effect; the keyless daemon was locked out by the";
   print_endline "\"newly added encryption\"; dirtycow/sshd failed on up-to-date CentOS; the";
   print_endline "patched keyed binary was accepted but its exploit lives in code \"disabled";
-  print_endline "when Spines is run in intrusion-tolerant mode\"."
+  print_endline "when Spines is run in intrusion-tolerant mode\".";
+  campaign_json steps
 
 (* --- E2b: the hardening ablation -------------------------------------------------- *)
 
@@ -74,11 +113,13 @@ let exp_e2b () =
   let engine = Sim.Engine.create () in
   let trace = Sim.Trace.create () in
   let tb = Attack.Testbed.create ~spire_hardened:false ~engine ~trace () in
-  print_campaign_table (Attack.Campaign.run_spire_network tb);
+  let steps = Attack.Campaign.run_spire_network tb in
+  print_campaign_table steps;
   print_endline "\nPaper (Section VI-A): \"if we had not performed the low-level network setup";
   print_endline "... the red team would likely have been able to succeed in at least causing a";
   print_endline "denial of service without even attempting attacks at the Spines or SCADA";
-  print_endline "system levels.\" Compare with E2: the hardening is what turns these attacks off."
+  print_endline "system levels.\" Compare with E2: the hardening is what turns these attacks off.";
+  campaign_json steps
 
 (* --- E4: plant reaction time --------------------------------------------------- *)
 
@@ -89,9 +130,9 @@ let reaction_row name stats completed samples =
     (ms (Sim.Stats.Summary.percentile stats 99.0))
     (ms (Sim.Stats.Summary.max stats))
 
-let exp_e4 () =
-  section "E4" "End-to-end reaction time: breaker flip -> HMI update (Section V)";
-  let samples = 50 in
+(* The E4 Spire-side measurement, shared verbatim with E10 so the span
+   decomposition runs the exact same schedule E4 reports on. *)
+let e4_spire_run ~samples =
   let engine = Sim.Engine.create () in
   let trace = Sim.Trace.create () in
   let config = Prime.Config.power_plant () in
@@ -101,6 +142,12 @@ let exp_e4 () =
     Spire.Measure.spire_reaction_time ~deployment ~breaker:"B57" ~samples ~gap:1.5 ()
   in
   Sim.Engine.run ~until:(3.0 +. (1.5 *. float_of_int (samples + 4))) engine;
+  (spire_stats, !spire_done)
+
+let exp_e4 () =
+  section "E4" "End-to-end reaction time: breaker flip -> HMI update (Section V)";
+  let samples = 50 in
+  let spire_stats, spire_done = e4_spire_run ~samples in
   let engine2 = Sim.Engine.create () in
   let trace2 = Sim.Trace.create () in
   let commercial = Spire.Commercial.create ~engine:engine2 ~trace:trace2 mini_scenario in
@@ -112,13 +159,23 @@ let exp_e4 () =
   Sim.Engine.run ~until:(3.0 +. (1.5 *. float_of_int (samples + 4))) engine2;
   Printf.printf "  %-26s %-9s %9s %9s %9s %9s\n" "system" "samples" "mean(ms)" "p50(ms)"
     "p99(ms)" "max(ms)";
-  reaction_row "Spire (6 replicas)" spire_stats !spire_done samples;
+  reaction_row "Spire (6 replicas)" spire_stats spire_done samples;
   reaction_row "Commercial (pri/backup)" comm_stats !comm_done samples;
   Printf.printf "\n  Spire/commercial mean ratio: %.2fx faster\n"
     (Sim.Stats.Summary.mean comm_stats /. Sim.Stats.Summary.mean spire_stats);
   print_endline "\nPaper: \"Spire successfully met the timing requirements of the plant";
   print_endline "engineers, and was even able to reflect changes more quickly than the";
-  print_endline "commercial system.\" (No absolute numbers published; shape: Spire < commercial.)"
+  print_endline "commercial system.\" (No absolute numbers published; shape: Spire < commercial.)";
+  Obs.Json.Obj
+    [
+      ("samples", num_i samples);
+      ("spire", summary_json spire_stats);
+      ("spire_completed", num_i spire_done);
+      ("commercial", summary_json comm_stats);
+      ("commercial_completed", num_i !comm_done);
+      ( "mean_ratio",
+        Obs.Json.Num (Sim.Stats.Summary.mean comm_stats /. Sim.Stats.Summary.mean spire_stats) );
+    ]
 
 (* --- E4b: reaction-time ablations ---------------------------------------------- *)
 
@@ -157,27 +214,47 @@ let exp_e4b () =
   in
   Printf.printf "  %-36s %9s %9s %9s %9s
 " "condition" "samples" "mean(ms)" "p50(ms)" "p99(ms)";
-  List.iter
-    (fun poll ->
-      let stats, done_ = measure ~poll () in
-      Printf.printf "  %-36s %6d/%d %9.1f %9.1f %9.1f
+  let sweep =
+    List.map
+      (fun poll ->
+        let stats, done_ = measure ~poll () in
+        Printf.printf "  %-36s %6d/%d %9.1f %9.1f %9.1f
 "
-        (Printf.sprintf "poll every %.0f ms" (ms poll))
-        done_ samples
-        (ms (Sim.Stats.Summary.mean stats))
-        (ms (Sim.Stats.Summary.median stats))
-        (ms (Sim.Stats.Summary.percentile stats 99.0)))
-    [ 0.05; 0.1; 0.25; 0.5 ];
-  let stats, done_ = measure ~attack:true ~poll:0.1 () in
+          (Printf.sprintf "poll every %.0f ms" (ms poll))
+          done_ samples
+          (ms (Sim.Stats.Summary.mean stats))
+          (ms (Sim.Stats.Summary.median stats))
+          (ms (Sim.Stats.Summary.percentile stats 99.0));
+        (poll, stats, done_))
+      [ 0.05; 0.1; 0.25; 0.5 ]
+  in
+  let dos_stats, dos_done = measure ~attack:true ~poll:0.1 () in
   Printf.printf "  %-36s %6d/%d %9.1f %9.1f %9.1f
-" "poll 100 ms + 10k pkt/s DoS" done_
+" "poll 100 ms + 10k pkt/s DoS" dos_done
     samples
-    (ms (Sim.Stats.Summary.mean stats))
-    (ms (Sim.Stats.Summary.median stats))
-    (ms (Sim.Stats.Summary.percentile stats 99.0));
+    (ms (Sim.Stats.Summary.mean dos_stats))
+    (ms (Sim.Stats.Summary.median dos_stats))
+    (ms (Sim.Stats.Summary.percentile dos_stats 99.0));
   print_endline "
   The proxy's polling period dominates Spire's reaction time (Prime adds";
-  print_endline "  ~40 ms); a volumetric flood on the operations network does not move it."
+  print_endline "  ~40 ms); a volumetric flood on the operations network does not move it.";
+  let open Obs.Json in
+  Obj
+    [
+      ( "poll_sweep",
+        List
+          (List.map
+             (fun (poll, stats, done_) ->
+               Obj
+                 [
+                   ("poll_period", Num poll);
+                   ("latency", summary_json stats);
+                   ("completed", num_i done_);
+                 ])
+             sweep) );
+      ( "dos",
+        Obj [ ("latency", summary_json dos_stats); ("completed", num_i dos_done) ] );
+    ]
 
 (* --- E5: Prime bounded delay under attack ---------------------------------------- *)
 
@@ -196,24 +273,39 @@ let exp_e5 () =
   in
   Printf.printf "  %-34s %9s %9s %9s %9s %6s %10s\n" "leader behaviour" "mean(ms)" "p50(ms)"
     "p99(ms)" "max(ms)" "views" "confirmed";
-  List.iter
-    (fun (name, misbehavior) ->
-      let stats, submitted, max_view =
-        Harness.measure_latencies ~rate:10.0 ~duration:20.0 ~misbehavior ~config:(config ()) ()
-      in
-      Printf.printf "  %-34s %9.1f %9.1f %9.1f %9.1f %6d %6d/%d\n" name
-        (ms (Sim.Stats.Summary.mean stats))
-        (ms (Sim.Stats.Summary.median stats))
-        (ms (Sim.Stats.Summary.percentile stats 99.0))
-        (ms (Sim.Stats.Summary.max stats))
-        max_view
-        (Sim.Stats.Summary.count stats)
-        submitted)
-    cases;
+  let rows =
+    List.map
+      (fun (name, misbehavior) ->
+        let stats, submitted, max_view =
+          Harness.measure_latencies ~rate:10.0 ~duration:20.0 ~misbehavior ~config:(config ()) ()
+        in
+        Printf.printf "  %-34s %9.1f %9.1f %9.1f %9.1f %6d %6d/%d\n" name
+          (ms (Sim.Stats.Summary.mean stats))
+          (ms (Sim.Stats.Summary.median stats))
+          (ms (Sim.Stats.Summary.percentile stats 99.0))
+          (ms (Sim.Stats.Summary.max stats))
+          max_view
+          (Sim.Stats.Summary.count stats)
+          submitted;
+        (name, stats, submitted, max_view))
+      cases
+  in
   Printf.printf
     "\n  Detection bound (tat_allowance): %.0f ms. A leader delaying below the bound\n" (ms tat);
   print_endline "  inflates latency but is not replaced (bounded delay); beyond the bound, or";
-  print_endline "  censoring an origin's updates, it is detected and evicted by a view change."
+  print_endline "  censoring an origin's updates, it is detected and evicted by a view change.";
+  let open Obs.Json in
+  Obj
+    (List.map
+       (fun (name, stats, submitted, max_view) ->
+         ( name,
+           Obj
+             [
+               ("latency", summary_json stats);
+               ("submitted", num_i submitted);
+               ("max_view", num_i max_view);
+             ] ))
+       rows)
 
 (* --- E6: proactive recovery availability --------------------------------------------- *)
 
@@ -224,6 +316,7 @@ type e6_row = {
   mean_ms : float;
   p99_ms : float;
   max_ms : float;
+  latency_json : Obs.Json.t;
 }
 
 let run_e6_case ~config ~with_recovery ~with_intrusion ~label =
@@ -274,6 +367,7 @@ let run_e6_case ~config ~with_recovery ~with_intrusion ~label =
     mean_ms = ms (Sim.Stats.Summary.mean stats);
     p99_ms = ms (Sim.Stats.Summary.percentile stats 99.0);
     max_ms = ms (Sim.Stats.Summary.max stats);
+    latency_json = summary_json stats;
   }
 
 let exp_e6 () =
@@ -305,7 +399,19 @@ let exp_e6 () =
   print_endline "\n  n = 3f + 2k + 1: the 6-replica plant configuration keeps bounded delay";
   print_endline "  through a proactive recovery plus a simultaneous intrusion; the 4-replica";
   print_endline "  red-team configuration loses quorum whenever a recovery coincides with the";
-  print_endline "  intrusion (confirmed stalls until the recovering replica returns)."
+  print_endline "  intrusion (confirmed stalls until the recovering replica returns).";
+  let open Obs.Json in
+  Obj
+    (List.map
+       (fun r ->
+         ( r.label,
+           Obj
+             [
+               ("issued", num_i r.issued);
+               ("confirmed", num_i r.confirmed);
+               ("latency", r.latency_json);
+             ] ))
+       rows)
 
 (* --- E7: MANA detection --------------------------------------------------------------- *)
 
@@ -385,7 +491,19 @@ let exp_e7 () =
         (String.concat ", " r.categories))
     (List.rev !rows);
   print_endline "\n  Passive metadata-only detection trained on a baseline capture — the";
-  print_endline "  operating mode the plant engineers approved (out-of-band, non-invasive)."
+  print_endline "  operating mode the plant engineers approved (out-of-band, non-invasive).";
+  let open Obs.Json in
+  Obj
+    (List.map
+       (fun r ->
+         ( r.attack_name,
+           Obj
+             [
+               ("windows", num_i r.windows);
+               ("alerts", num_i r.alerted);
+               ("categories", List (List.map (fun c -> Str c) r.categories));
+             ] ))
+       (List.rev !rows))
 
 (* --- E8: ground-truth rebuild ------------------------------------------------------------ *)
 
@@ -444,7 +562,16 @@ let exp_e8 () =
     (Scada.Historian.lost_events historian);
   print_endline "\n  Paper: the masters' view of the *active* state can be rebuilt by polling";
   print_endline "  the field devices — \"a traditional BFT system cannot recover from this";
-  print_endline "  situation\" — while historians \"cannot recover historical state\"."
+  print_endline "  situation\" — while historians \"cannot recover historical state\".";
+  let open Obs.Json in
+  Obj
+    [
+      ( "recovered_after_s",
+        match !recovered_at with Some t -> Num (t -. 5.0) | None -> Null );
+      ("historian_records_before", num_i archived);
+      ("historian_records_after", num_i (Scada.Historian.length historian));
+      ("historian_lost", num_i (Scada.Historian.lost_events historian));
+    ]
 
 (* --- E9: diversity + proactive recovery ablation ------------------------------------------- *)
 
@@ -507,35 +634,112 @@ let exp_e9 () =
     "  horizon %d days; exploit-crafting effort %.0f days; n=%d replicas, f=%d tolerated\n\n"
     (int_of_float horizon) craft n f;
   Printf.printf "  %-42s %16s %14s %10s\n" "configuration" "breach" "max simult." "exploits";
-  List.iter
-    (fun (name, diversify, recovery_days) ->
-      let runs =
-        List.map
-          (fun seed ->
-            run_e9_case ~diversify ~recovery_days ~horizon_days:horizon ~craft_days:craft ~n ~f
-              ~seed:(Int64.of_int (1000 + seed)))
-          [ 1; 2; 3; 4; 5 ]
-      in
-      let breaches = List.filter_map (fun (b, _, _) -> b) runs in
-      let max_simul = List.fold_left (fun acc (_, m, _) -> max acc m) 0 runs in
-      let exploits = List.fold_left (fun acc (_, _, e) -> acc + e) 0 runs / List.length runs in
-      let breach_text =
-        if breaches = [] then "never"
-        else
-          Printf.sprintf "day %.0f (%d/5)"
-            (List.fold_left ( +. ) 0.0 breaches /. float_of_int (List.length breaches))
-            (List.length breaches)
-      in
-      Printf.printf "  %-42s %16s %14d %10d\n" name breach_text max_simul exploits)
-    cases;
+  let case_rows =
+    List.map
+      (fun (name, diversify, recovery_days) ->
+        let runs =
+          List.map
+            (fun seed ->
+              run_e9_case ~diversify ~recovery_days ~horizon_days:horizon ~craft_days:craft ~n ~f
+                ~seed:(Int64.of_int (1000 + seed)))
+            [ 1; 2; 3; 4; 5 ]
+        in
+        let breaches = List.filter_map (fun (b, _, _) -> b) runs in
+        let max_simul = List.fold_left (fun acc (_, m, _) -> max acc m) 0 runs in
+        let exploits = List.fold_left (fun acc (_, _, e) -> acc + e) 0 runs / List.length runs in
+        let breach_text =
+          if breaches = [] then "never"
+          else
+            Printf.sprintf "day %.0f (%d/5)"
+              (List.fold_left ( +. ) 0.0 breaches /. float_of_int (List.length breaches))
+              (List.length breaches)
+        in
+        Printf.printf "  %-42s %16s %14d %10d\n" name breach_text max_simul exploits;
+        (name, breaches, max_simul, exploits, List.length runs))
+      cases
+  in
   print_endline "\n  Without diversity one exploit fells every replica at once; diversity forces";
   print_endline "  one exploit per variant; proactive recovery bounds the exposure window so a";
-  print_endline "  slow-enough attacker never holds more than f replicas simultaneously."
+  print_endline "  slow-enough attacker never holds more than f replicas simultaneously.";
+  let open Obs.Json in
+  Obj
+    (List.map
+       (fun (name, breaches, max_simul, exploits, runs) ->
+         ( name,
+           Obj
+             [
+               ("breached_runs", num_i (List.length breaches));
+               ("runs", num_i runs);
+               ( "mean_breach_day",
+                 if breaches = [] then Null
+                 else
+                   Num
+                     (List.fold_left ( +. ) 0.0 breaches /. float_of_int (List.length breaches))
+               );
+               ("max_simultaneous", num_i max_simul);
+               ("exploits_crafted", num_i exploits);
+             ] ))
+       case_rows)
 
-(* --- E10: micro benches (Bechamel) ----------------------------------------------------------- *)
+(* --- E10: reaction-time decomposition via span tracing ------------------------------------ *)
+
+let exp_e10 () =
+  section "E10"
+    "Reaction-time decomposition: per-stage latency via causal span tracing (telemetry on)";
+  let samples = 50 in
+  let reg = Obs.Registry.default in
+  let (spire_stats, spire_done), breakdown, completed, orphans =
+    Obs.Registry.with_enabled reg (fun () ->
+        let result = e4_spire_run ~samples in
+        ( result,
+          Obs.Export.reaction_breakdown reg,
+          Obs.Span.completed_count (Obs.Registry.spans reg),
+          Obs.Span.orphan_count (Obs.Registry.spans reg) ))
+  in
+  Printf.printf "  %-22s %7s %10s %10s %10s %10s\n" "stage" "count" "mean(ms)" "p50(ms)"
+    "p99(ms)" "max(ms)";
+  List.iter
+    (fun (label, s) ->
+      Printf.printf "  %-22s %7d %10.2f %10.2f %10.2f %10.2f\n" label
+        (Sim.Stats.Summary.count s)
+        (ms (Sim.Stats.Summary.mean s))
+        (ms (Sim.Stats.Summary.median s))
+        (ms (Sim.Stats.Summary.percentile s 99.0))
+        (ms (Sim.Stats.Summary.max s)))
+    breakdown;
+  let stage_mean_sum =
+    List.fold_left
+      (fun acc (label, s) ->
+        if String.equal label "end-to-end" then acc else acc +. Sim.Stats.Summary.mean s)
+      0.0 breakdown
+  in
+  let e2e_mean =
+    match List.assoc_opt "end-to-end" breakdown with
+    | Some s -> Sim.Stats.Summary.mean s
+    | None -> nan
+  in
+  Printf.printf
+    "\n  consistency: stage means sum to %.2f ms; traced end-to-end %.2f ms; E4-style\n"
+    (ms stage_mean_sum) (ms e2e_mean);
+  Printf.printf "  measured mean %.2f ms over %d/%d flips (%d traced, %d orphan marks)\n"
+    (ms (Sim.Stats.Summary.mean spire_stats))
+    spire_done samples completed orphans;
+  print_endline "\n  Stages telescope on the same virtual clock, so the per-stage means sum";
+  print_endline "  exactly to the traced end-to-end mean, which matches the Section V";
+  print_endline "  measurement. The poll interval dominates; Prime's rounds are the rest.";
+  let open Obs.Json in
+  Obj
+    (List.map (fun (label, s) -> (label, summary_json s)) breakdown
+    @ [
+        ("e4_measured", summary_json spire_stats);
+        ("completed_traces", num_i completed);
+        ("orphan_marks", num_i orphans);
+      ])
+
+(* --- E11: micro benches (Bechamel) ----------------------------------------------------------- *)
 
 let exp_micro () =
-  section "E10" "Micro-benchmarks (Bechamel, substrate sanity)";
+  section "E11" "Micro-benchmarks (Bechamel, substrate sanity)";
   let open Bechamel in
   let payload_1k = String.init 1024 (fun i -> Char.chr (i land 0xFF)) in
   let keystore = Crypto.Signature.create_keystore () in
@@ -579,25 +783,44 @@ let exp_micro () =
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   Printf.printf "  %-32s %14s %10s\n" "operation" "ns/op" "r2";
-  List.iter
-    (fun (name, ols) ->
-      let estimate = match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan in
-      let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
-      Printf.printf "  %-32s %14.1f %10.4f\n" name estimate r2)
-    (List.sort compare rows)
+  let printed =
+    List.map
+      (fun (name, ols) ->
+        let estimate = match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan in
+        let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
+        Printf.printf "  %-32s %14.1f %10.4f\n" name estimate r2;
+        (name, estimate, r2))
+      (List.sort compare rows)
+  in
+  let open Obs.Json in
+  Obj
+    (List.map
+       (fun (name, estimate, r2) ->
+         (name, Obj [ ("ns_per_op", Num estimate); ("r_square", Num r2) ]))
+       printed)
 
 let exp_throughput () =
-  section "E10b" "Prime ordering under load vs cluster size (loopback transport)";
-  List.iter
-    (fun (f, k) ->
-      let config = Prime.Config.create ~f ~k () in
-      let stats, submitted, _ = Harness.measure_latencies ~rate:200.0 ~duration:10.0 ~config () in
-      Printf.printf
-        "  n=%2d (f=%d,k=%d): %4d/%d updates confirmed, mean %6.1f ms, p99 %6.1f ms\n"
-        config.Prime.Config.n f k (Sim.Stats.Summary.count stats) submitted
-        (ms (Sim.Stats.Summary.mean stats))
-        (ms (Sim.Stats.Summary.percentile stats 99.0)))
-    [ (1, 0); (1, 1); (2, 0); (2, 2) ]
+  section "E11b" "Prime ordering under load vs cluster size (loopback transport)";
+  let rows =
+    List.map
+      (fun (f, k) ->
+        let config = Prime.Config.create ~f ~k () in
+        let stats, submitted, _ = Harness.measure_latencies ~rate:200.0 ~duration:10.0 ~config () in
+        Printf.printf
+          "  n=%2d (f=%d,k=%d): %4d/%d updates confirmed, mean %6.1f ms, p99 %6.1f ms\n"
+          config.Prime.Config.n f k (Sim.Stats.Summary.count stats) submitted
+          (ms (Sim.Stats.Summary.mean stats))
+          (ms (Sim.Stats.Summary.percentile stats 99.0));
+        (config, stats, submitted))
+      [ (1, 0); (1, 1); (2, 0); (2, 2) ]
+  in
+  let open Obs.Json in
+  Obj
+    (List.map
+       (fun (config, stats, submitted) ->
+         ( Printf.sprintf "n=%d" config.Prime.Config.n,
+           Obj [ ("latency", summary_json stats); ("submitted", num_i submitted) ] ))
+       rows)
 
 (* --- driver ----------------------------------------------------------------------------------- *)
 
@@ -614,9 +837,25 @@ let experiments =
     ("e7", exp_e7);
     ("e8", exp_e8);
     ("e9", exp_e9);
+    ("e10", exp_e10);
     ("micro", exp_micro);
     ("throughput", exp_throughput);
   ]
+
+let write_json_file file results =
+  let doc =
+    Obs.Json.Obj
+      [ ("schema", Obs.Json.Str "spire-bench/1"); ("experiments", Obs.Json.Obj results) ]
+  in
+  match open_out file with
+  | exception Sys_error msg ->
+      Printf.eprintf "cannot write %s: %s\n" file msg;
+      exit 1
+  | oc ->
+      output_string oc (Obs.Json.to_string_pretty doc);
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "wrote %s\n%!" file
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -624,6 +863,15 @@ let () =
     List.iter (fun (id, _) -> print_endline id) experiments;
     exit 0
   end;
+  let json_file =
+    let rec find = function
+      | "--json" :: next :: _ when String.length next > 0 && next.[0] <> '-' -> Some next
+      | "--json" :: _ -> Some "bench.json"
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   let selected =
     let rec find = function
       | "--exp" :: id :: _ -> Some id
@@ -632,14 +880,17 @@ let () =
     in
     find args
   in
-  match selected with
-  | Some id when id <> "all" -> (
-      match List.assoc_opt id experiments with
-      | Some f -> f ()
-      | None ->
-          Printf.eprintf "unknown experiment %s (use --list)\n" id;
-          exit 1)
-  | _ ->
-      print_endline "Spire reproduction benchmark suite";
-      print_endline "(DESIGN.md holds the experiment index; EXPERIMENTS.md paper-vs-measured)";
-      List.iter (fun (_, f) -> f ()) experiments
+  let results =
+    match selected with
+    | Some id when id <> "all" -> (
+        match List.assoc_opt id experiments with
+        | Some f -> [ (id, f ()) ]
+        | None ->
+            Printf.eprintf "unknown experiment %s (use --list)\n" id;
+            exit 1)
+    | _ ->
+        print_endline "Spire reproduction benchmark suite";
+        print_endline "(DESIGN.md holds the experiment index; EXPERIMENTS.md paper-vs-measured)";
+        List.map (fun (id, f) -> (id, f ())) experiments
+  in
+  match json_file with Some file -> write_json_file file results | None -> ()

@@ -42,7 +42,7 @@ let redteam_cmd =
 
 (* --- latency ------------------------------------------------------------------ *)
 
-let latency samples poll gap =
+let latency samples poll gap json_file =
   let pr name stats completed =
     Printf.printf "%-24s %3d/%d samples  mean %7.1f ms  p50 %7.1f ms  p99 %7.1f ms\n" name
       completed samples
@@ -72,7 +72,33 @@ let latency samples poll gap =
   Sim.Engine.run ~until:horizon engine2;
   pr "Commercial" cstats !cdone;
   Printf.printf "\nSpire is %.2fx faster (mean).\n"
-    (Sim.Stats.Summary.mean cstats /. Sim.Stats.Summary.mean stats)
+    (Sim.Stats.Summary.mean cstats /. Sim.Stats.Summary.mean stats);
+  match json_file with
+  | None -> ()
+  | Some file ->
+      let doc =
+        Obs.Json.Obj
+          [
+            ("schema", Obs.Json.Str "spire-cli-latency/1");
+            ("samples", Obs.Json.Num (float_of_int samples));
+            ("poll_period", Obs.Json.Num poll);
+            ("spire", Obs.Export.summary_to_json stats);
+            ("spire_completed", Obs.Json.Num (float_of_int !done_));
+            ("commercial", Obs.Export.summary_to_json cstats);
+            ("commercial_completed", Obs.Json.Num (float_of_int !cdone));
+            ( "mean_ratio",
+              Obs.Json.Num (Sim.Stats.Summary.mean cstats /. Sim.Stats.Summary.mean stats) );
+          ]
+      in
+      (match open_out file with
+      | exception Sys_error msg ->
+          Printf.eprintf "cannot write %s: %s\n" file msg;
+          exit 1
+      | oc ->
+          output_string oc (Obs.Json.to_string_pretty doc);
+          output_char oc '\n';
+          close_out oc;
+          Printf.eprintf "wrote %s\n%!" file)
 
 let latency_cmd =
   let samples =
@@ -82,9 +108,15 @@ let latency_cmd =
     Arg.(value & opt float 0.1 & info [ "poll" ] ~doc:"Spire proxy polling period (seconds).")
   in
   let gap = Arg.(value & opt float 1.5 & info [ "gap" ] ~doc:"Seconds between flips.") in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write latency summaries to $(docv) as JSON.")
+  in
   Cmd.v
     (Cmd.info "latency" ~doc:"Measure breaker-flip-to-HMI reaction time (Section V).")
-    Term.(const latency $ samples $ poll $ gap)
+    Term.(const latency $ samples $ poll $ gap $ json)
 
 (* --- plant -------------------------------------------------------------------- *)
 

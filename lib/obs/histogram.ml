@@ -1,0 +1,114 @@
+(* Fixed-bucket latency histogram.
+
+   Bucket edges are upper bounds: observation x lands in the first bucket
+   whose edge satisfies x <= edge, or in the overflow bucket past the last
+   edge. Fixed buckets keep [observe] O(log buckets) with zero allocation,
+   which is what lets the registry stay near-free on hot protocol paths.
+   Exact sums/min/max ride along so the exporter can cross-check against
+   Sim.Stats summaries. *)
+
+type t = {
+  edges : float array; (* ascending upper bounds *)
+  counts : int array; (* length = edges + 1; last is overflow *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+(* Default edges suit millisecond-scale SCADA latencies: 1ms .. 10s. *)
+let default_edges =
+  [| 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 500.0; 1000.0; 2000.0; 5000.0; 10000.0 |]
+
+let create ?(edges = default_edges) () =
+  if Array.length edges = 0 then invalid_arg "Histogram.create: no edges";
+  Array.iteri
+    (fun i e ->
+      if i > 0 && e <= edges.(i - 1) then
+        invalid_arg "Histogram.create: edges must be strictly increasing")
+    edges;
+  {
+    edges = Array.copy edges;
+    counts = Array.make (Array.length edges + 1) 0;
+    count = 0;
+    sum = 0.0;
+    min = infinity;
+    max = neg_infinity;
+  }
+
+(* Index of the first edge >= x, or overflow. *)
+let bucket_index t x =
+  let n = Array.length t.edges in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if x <= t.edges.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let observe t x =
+  t.counts.(bucket_index t x) <- t.counts.(bucket_index t x) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. x;
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.count
+
+let sum t = t.sum
+
+let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
+
+let min t = if t.count = 0 then nan else t.min
+
+let max t = if t.count = 0 then nan else t.max
+
+let buckets t =
+  Array.to_list
+    (Array.mapi
+       (fun i c ->
+         let edge = if i < Array.length t.edges then t.edges.(i) else infinity in
+         (edge, c))
+       t.counts)
+
+(* Approximate nearest-rank percentile: the upper edge of the bucket that
+   contains the rank. The overflow bucket reports the observed max. *)
+let percentile t p =
+  if t.count = 0 then nan
+  else if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p out of [0,100]"
+  else begin
+    let rank = Stdlib.max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int t.count))) in
+    let n = Array.length t.counts in
+    let rec go i seen =
+      if i >= n - 1 then t.max
+      else
+        let seen = seen + t.counts.(i) in
+        if seen >= rank then t.edges.(i) else go (i + 1) seen
+    in
+    go 0 0
+  end
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.count <- 0;
+  t.sum <- 0.0;
+  t.min <- infinity;
+  t.max <- neg_infinity
+
+let to_json t =
+  let open Json in
+  let buckets_json =
+    List.map
+      (fun (edge, c) ->
+        let le = if edge = infinity then Str "inf" else Num edge in
+        Obj [ ("le", le); ("count", Num (float_of_int c)) ])
+      (buckets t)
+  in
+  Obj
+    [
+      ("count", Num (float_of_int t.count));
+      ("sum", Num t.sum);
+      ("min", if t.count = 0 then Null else Num t.min);
+      ("max", if t.count = 0 then Null else Num t.max);
+      ("buckets", List buckets_json);
+    ]

@@ -1,0 +1,38 @@
+(** Fixed-bucket latency histogram: O(log buckets), allocation-free
+    [observe], approximate percentiles from bucket upper edges. *)
+
+type t
+
+(** Default edges cover millisecond-scale SCADA latencies (1ms – 10s). *)
+val default_edges : float array
+
+(** [create ?edges ()] with strictly-increasing upper-bound [edges]; an
+    implicit overflow bucket catches anything beyond the last edge.
+    Raises [Invalid_argument] on empty or non-increasing edges. *)
+val create : ?edges:float array -> unit -> t
+
+(** Record one observation (x lands in the first bucket with
+    [x <= edge]). *)
+val observe : t -> float -> unit
+
+val count : t -> int
+
+val sum : t -> float
+
+val mean : t -> float
+
+val min : t -> float
+
+val max : t -> float
+
+(** [(upper_edge, count)] pairs, overflow last with edge [infinity]. *)
+val buckets : t -> (float * int) list
+
+(** Approximate nearest-rank percentile: the upper edge of the bucket
+    containing the rank (observed max for the overflow bucket). Raises
+    [Invalid_argument] outside [0, 100]; NaN when empty. *)
+val percentile : t -> float -> float
+
+val reset : t -> unit
+
+val to_json : t -> Json.t

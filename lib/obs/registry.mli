@@ -1,0 +1,75 @@
+(** Telemetry registry: counters, gauges, histograms, and the span store
+    behind one default-off [enabled] switch. Recording functions cost a
+    load and a branch when disabled, and instrumentation is purely
+    passive, so telemetry off leaves the deterministic simulation
+    schedule bit-identical. *)
+
+type t
+
+(** Standard SCADA pipeline stage names, in causal order. *)
+
+val stage_flip : string
+val stage_report : string
+val stage_accept : string
+val stage_preorder : string
+val stage_execute : string
+val stage_push : string
+val stage_repaint : string
+val stage_command : string
+val stage_actuate : string
+
+val pipeline_opens : string list
+val pipeline_closes : string list
+
+(** Fresh registry, disabled, with the standard pipeline stage
+    configuration unless overridden. *)
+val create : ?opens:string list -> ?closes:string list -> unit -> t
+
+(** The global registry the stack's instrumentation records into. *)
+val default : t
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+
+(** {2 Recording — no-ops while disabled} *)
+
+val incr : ?by:int -> t -> string -> unit
+
+val set_gauge : t -> string -> float -> unit
+
+(** Observe into a named histogram, created on first use (with [edges]
+    if given, default edges otherwise). *)
+val observe : ?edges:float array -> t -> string -> float -> unit
+
+(** Record a pipeline stage mark (see {!Span.mark}). *)
+val mark : t -> trace:string -> stage:string -> time:float -> unit
+
+(** Open a generic span; returns 0 when disabled. *)
+val span_start : t -> name:string -> ?parent:int -> time:float -> unit -> int
+
+val span_finish : t -> int -> time:float -> unit
+
+(** {2 Reading} *)
+
+val counter : t -> string -> int
+
+val gauge : t -> string -> float option
+
+val histogram : t -> string -> Histogram.t option
+
+(** Sorted by name. *)
+val counters : t -> (string * int) list
+
+val gauges : t -> (string * float) list
+
+val histograms : t -> (string * Histogram.t) list
+
+val spans : t -> Span.store
+
+(** Drop all recorded data (keeps the enabled flag and stage config). *)
+val reset : t -> unit
+
+(** [with_enabled t f]: reset [t], enable it, run [f], restore the
+    previous enabled state (even on exceptions). *)
+val with_enabled : t -> (unit -> 'a) -> 'a

@@ -42,6 +42,14 @@ let on_change t f = t.listeners <- f :: t.listeners
 
 let notify t = List.iter (fun f -> f t) t.listeners
 
+(* Every physical position change opens a pipeline trace: the status
+   update it will cause carries the same key all the way to the HMI. *)
+let mark_flip t =
+  Obs.Registry.mark Obs.Registry.default
+    ~trace:(Obs.Span.status_key ~breaker:t.name ~closed:(t.actual = Closed))
+    ~stage:Obs.Registry.stage_flip
+    ~time:(Sim.Engine.now t.engine)
+
 (* Drive the breaker toward the commanded position after the mechanical
    delay. A newer command supersedes an in-flight one: the check against
    [commanded] at fire time makes stale actuations harmless. *)
@@ -53,6 +61,7 @@ let command t position =
            if t.commanded = position && t.actual <> position then begin
              t.actual <- position;
              t.actuations <- t.actuations + 1;
+             mark_flip t;
              notify t
            end))
 
@@ -64,6 +73,7 @@ let force t position =
   if t.actual <> position then begin
     t.actual <- position;
     t.actuations <- t.actuations + 1;
+    mark_flip t;
     notify t
   end
 

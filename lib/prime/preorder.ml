@@ -29,6 +29,9 @@ type t = {
   acked : (int * int, unit) Hashtbl.t; (* slots I already acked *)
   seen_updates : (string * int, unit) Hashtbl.t; (* client update dedup *)
   mutable dirty : bool; (* aru changed since last summary emission *)
+  mutable on_certified : (origin:int -> po_seq:int -> unit) option;
+      (* telemetry hook: fires once per slot, whichever message completed
+         the quorum (request, ack, or own assignment) *)
 }
 
 let create config ~my_id =
@@ -43,7 +46,10 @@ let create config ~my_id =
     acked = Hashtbl.create 4096;
     seen_updates = Hashtbl.create 4096;
     dirty = false;
+    on_certified = None;
   }
+
+let set_on_certified t f = t.on_certified <- Some f
 
 let slot_for t key =
   match Hashtbl.find_opt t.slots key with
@@ -136,8 +142,10 @@ let advance_aru t origin =
 let check_certified t ~origin key slot =
   if (not slot.certified) && Hashtbl.length slot.endorsers >= t.config.Config.quorum then begin
     slot.certified <- true;
-    ignore key;
-    advance_aru t origin
+    advance_aru t origin;
+    match t.on_certified with
+    | Some f -> f ~origin ~po_seq:(snd key)
+    | None -> ()
   end
 
 (* Assign one of my client updates to my next preorder slot; returns the

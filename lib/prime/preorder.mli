@@ -7,6 +7,10 @@ type t
 
 val create : Config.t -> my_id:int -> t
 
+(** Telemetry hook: called once per slot the moment it certifies,
+    whichever message completed the quorum. *)
+val set_on_certified : t -> (origin:int -> po_seq:int -> unit) -> unit
+
 (** Copy of my cumulative certified vector. *)
 val aru : t -> int array
 

@@ -94,6 +94,7 @@ let null_app =
   { apply = (fun ~exec_seq:_ _ -> ()); state_transfer_needed = (fun () -> ()) }
 
 let create ~engine ~trace ~keystore ~keypair ~transport ~id config =
+  let t =
   {
     config;
     id;
@@ -130,6 +131,20 @@ let create ~engine ~trace ~keystore ~keypair ~transport ~id config =
     counters = Sim.Stats.Counter.create ();
     on_execute_hook = None;
   }
+  in
+  (* Telemetry: certification has no single message of its own — it is
+     completed by whichever request/ack closed the quorum — so the
+     preorder state machine reports it through this hook. The global
+     span store keeps only the first mark per stage, i.e. the earliest
+     certification across the replica group. *)
+  Preorder.set_on_certified t.preorder (fun ~origin ~po_seq ->
+      if Obs.Registry.enabled Obs.Registry.default then
+        match Preorder.update_for t.preorder ~origin ~po_seq with
+        | Some u ->
+            Obs.Registry.mark Obs.Registry.default ~trace:u.Msg.Update.op
+              ~stage:Obs.Registry.stage_preorder ~time:(Sim.Engine.now engine)
+        | None -> ());
+  t
 
 let id t = t.id
 
@@ -222,6 +237,9 @@ let handle_client_update t (u : Msg.Update.t) =
     | None -> ()
   end
   else begin
+    Obs.Registry.mark Obs.Registry.default ~trace:u.Msg.Update.op
+      ~stage:Obs.Registry.stage_accept ~time:(now t);
+    Obs.Registry.incr Obs.Registry.default "prime.update.accepted";
     let po_seq = Preorder.assign t.preorder u in
     Sim.Stats.Counter.incr t.counters "update.accepted";
     let body = Msg.encode_po_request ~origin:t.id ~po_seq u in
@@ -352,6 +370,9 @@ let execute_ready t =
         if not (Hashtbl.mem t.executed_clients (Msg.Update.key u)) then begin
           Hashtbl.replace t.executed_clients (Msg.Update.key u) exec_seq;
           Sim.Stats.Counter.incr t.counters "executed";
+          Obs.Registry.incr Obs.Registry.default "prime.executed";
+          Obs.Registry.mark Obs.Registry.default ~trace:u.Msg.Update.op
+            ~stage:Obs.Registry.stage_execute ~time:(now t);
           t.app.apply ~exec_seq u;
           (match t.on_execute_hook with Some h -> h ~exec_seq u | None -> ());
           reply_to_client t ~exec_seq u

@@ -88,9 +88,15 @@ let apply_update t ~exec_seq (u : Prime.Msg.Update.t) =
       (match op with
       | Op.Status { breaker; closed } ->
           Sim.Stats.Counter.incr t.counters "apply.status";
-          if changed then push_hmi_state t ~exec_seq ~breaker ~closed
+          Obs.Registry.incr Obs.Registry.default "master.apply.status";
+          if changed then begin
+            Obs.Registry.mark Obs.Registry.default ~trace:u.Prime.Msg.Update.op
+              ~stage:Obs.Registry.stage_push ~time:(Sim.Engine.now t.engine);
+            push_hmi_state t ~exec_seq ~breaker ~closed
+          end
       | Op.Command { breaker; close } ->
           Sim.Stats.Counter.incr t.counters "apply.command";
+          Obs.Registry.incr Obs.Registry.default "master.apply.command";
           send_breaker_command t ~exec_seq ~breaker ~close)
 
 (* --- application-level state transfer -------------------------------------- *)

@@ -89,9 +89,11 @@ let handle_registers t regs =
         if report then begin
           t.last_known.(i) <- Some closed;
           Sim.Stats.Counter.incr t.counters "status.reported";
-          ignore
-            (Prime.Client.submit t.client
-               ~op:(Op.encode (Op.Status { breaker = t.breaker_names.(i); closed })))
+          let op = Op.encode (Op.Status { breaker = t.breaker_names.(i); closed }) in
+          Obs.Registry.incr Obs.Registry.default "proxy.status.reported";
+          Obs.Registry.mark Obs.Registry.default ~trace:op
+            ~stage:Obs.Registry.stage_report ~time:(Sim.Engine.now t.engine);
+          ignore (Prime.Client.submit t.client ~op)
         end
       end)
     regs
@@ -123,6 +125,10 @@ let handle_breaker_command t ~rep ~exec_seq ~breaker ~close signature =
       match coil_of_breaker t breaker with
       | Some coil ->
           Sim.Stats.Counter.incr t.counters "command.actuated";
+          Obs.Registry.incr Obs.Registry.default "proxy.command.actuated";
+          Obs.Registry.mark Obs.Registry.default
+            ~trace:(Obs.Span.command_key ~breaker ~close)
+            ~stage:Obs.Registry.stage_actuate ~time:(Sim.Engine.now t.engine);
           Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"proxy"
             "%s: actuating %s -> %s" t.name breaker (if close then "closed" else "open");
           send_modbus t (Plc.Modbus.Write_single_coil { addr = coil; value = close })

@@ -81,9 +81,11 @@ let report t ~index ~closed =
     if changed then begin
       t.last_known.(index) <- Some closed;
       Sim.Stats.Counter.incr t.counters "status.reported";
-      ignore
-        (Prime.Client.submit t.client
-           ~op:(Op.encode (Op.Status { breaker = t.breaker_names.(index); closed })))
+      let op = Op.encode (Op.Status { breaker = t.breaker_names.(index); closed }) in
+      Obs.Registry.incr Obs.Registry.default "proxy.status.reported";
+      Obs.Registry.mark Obs.Registry.default ~trace:op
+        ~stage:Obs.Registry.stage_report ~time:(Sim.Engine.now t.engine);
+      ignore (Prime.Client.submit t.client ~op)
     end
   end
 
@@ -120,6 +122,10 @@ let handle_breaker_command t ~rep ~exec_seq ~breaker ~close signature =
       match point_of_breaker t breaker with
       | Some index ->
           Sim.Stats.Counter.incr t.counters "command.actuated";
+          Obs.Registry.incr Obs.Registry.default "proxy.command.actuated";
+          Obs.Registry.mark Obs.Registry.default
+            ~trace:(Obs.Span.command_key ~breaker ~close)
+            ~stage:Obs.Registry.stage_actuate ~time:(Sim.Engine.now t.engine);
           Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"proxy"
             "%s: DNP3 operate %s -> %s" t.name breaker (if close then "closed" else "open");
           send_dnp3 t (Plc.Dnp3.Operate { index; close })

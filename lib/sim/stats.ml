@@ -54,7 +54,7 @@ module Summary = struct
     | Some a -> a
     | None ->
         let a = Array.of_list t.samples in
-        Array.sort compare a;
+        Array.sort Float.compare a;
         t.sorted <- Some a;
         a
 
@@ -75,6 +75,15 @@ module Summary = struct
     else
       Fmt.pf ppf "n=%d mean=%.6f sd=%.6f min=%.6f p50=%.6f p99=%.6f max=%.6f" t.count
         (mean t) (stddev t) (min t) (median t) (percentile t 99.0) (max t)
+
+  (* JSON object with the fields every exporter needs. NaN is not valid
+     JSON, so empty summaries carry only the count. *)
+  let to_json t =
+    if t.count = 0 then "{\"count\":0}"
+    else
+      Printf.sprintf
+        "{\"count\":%d,\"mean\":%.6f,\"stddev\":%.6f,\"min\":%.6f,\"p50\":%.6f,\"p99\":%.6f,\"max\":%.6f}"
+        t.count (mean t) (stddev t) (min t) (median t) (percentile t 99.0) (max t)
 end
 
 module Counter = struct
@@ -94,13 +103,15 @@ module Counter = struct
 end
 
 module Timeseries = struct
-  type t = { mutable points : (float * float) list }
+  type t = { mutable points : (float * float) list; mutable n : int }
 
-  let create () = { points = [] }
+  let create () = { points = []; n = 0 }
 
-  let add t ~time value = t.points <- (time, value) :: t.points
+  let add t ~time value =
+    t.points <- (time, value) :: t.points;
+    t.n <- t.n + 1
 
   let to_list t = List.rev t.points
 
-  let length t = List.length t.points
+  let length t = t.n
 end

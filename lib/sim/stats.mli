@@ -27,6 +27,11 @@ module Summary : sig
   val median : t -> float
 
   val pp : Format.formatter -> t -> unit
+
+  (** Compact JSON object: [{"count","mean","stddev","min","p50","p99","max"}].
+      An empty summary yields [{"count":0}] (NaN is not representable in
+      JSON). *)
+  val to_json : t -> string
 end
 
 module Counter : sig

@@ -1,0 +1,35 @@
+(* Allocation-free string search helpers shared by the trace and the
+   telemetry layer.
+
+   [contains] is a memcmp-style scan: it compares characters in place
+   instead of carving a [String.sub] per candidate position, so scanning a
+   large trace allocates nothing. Worst-case O(n·m) like any naive scan,
+   but needle lengths here are short (breaker names, protocol tags) and
+   the first-character prefilter keeps the common case linear. *)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else if n > h then false
+  else begin
+    let first = String.unsafe_get needle 0 in
+    let limit = h - n in
+    let rec matches_at pos j =
+      j >= n
+      || String.unsafe_get haystack (pos + j) = String.unsafe_get needle j
+         && matches_at pos (j + 1)
+    in
+    let rec scan pos =
+      if pos > limit then false
+      else if String.unsafe_get haystack pos = first && matches_at pos 1 then true
+      else scan (pos + 1)
+    in
+    scan 0
+  end
+
+let starts_with ~prefix s =
+  let n = String.length prefix in
+  n <= String.length s
+  &&
+  let rec go i = i >= n || (String.unsafe_get s i = String.unsafe_get prefix i && go (i + 1)) in
+  go 0

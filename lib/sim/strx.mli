@@ -1,0 +1,10 @@
+(** Allocation-free string search helpers shared by [Trace] and the
+    telemetry layer. *)
+
+(** [contains ~needle haystack] is [true] iff [needle] occurs in
+    [haystack]. The empty needle occurs in every string. Performs no
+    allocation. *)
+val contains : needle:string -> string -> bool
+
+(** [starts_with ~prefix s] without allocating. *)
+val starts_with : prefix:string -> string -> bool

@@ -5,7 +5,11 @@ type entry = { time : float; category : string; message : string }
 
 type t
 
-val create : ?echo:bool -> unit -> t
+(** [create ?capacity ()] makes an empty trace. With [capacity] the trace
+    is a ring keeping only the newest [capacity] entries (long plant
+    deployments stay bounded); without it the trace grows as needed.
+    Raises [Invalid_argument] on a non-positive capacity. *)
+val create : ?capacity:int -> ?echo:bool -> unit -> t
 
 (** Toggle live echoing of entries to stderr. *)
 val set_echo : t -> bool -> unit
@@ -13,15 +17,22 @@ val set_echo : t -> bool -> unit
 (** [record t ~time ~category fmt ...] appends a formatted entry. *)
 val record : t -> time:float -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
 
-(** All entries in chronological order. *)
+(** Retained entries in chronological order (the newest [capacity] when
+    bounded). *)
 val entries : t -> entry list
 
+(** Total entries ever recorded, including any evicted from a bounded
+    ring. *)
 val length : t -> int
 
-(** Entries in one category, chronological. *)
+(** Entries currently held (= [length] unless a bounded ring evicted). *)
+val retained : t -> int
+
+(** Retained entries in one category, chronological. *)
 val by_category : t -> string -> entry list
 
-(** First entry in [category] whose message contains [contains]. *)
+(** First retained entry in [category] whose message contains
+    [contains]. *)
 val find : t -> category:string -> contains:string -> entry option
 
 val pp_entry : Format.formatter -> entry -> unit

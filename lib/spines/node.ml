@@ -229,6 +229,7 @@ let send_link t ~to_ inner =
           { auth = compute_auth t inner; encrypted = t.config.group_key <> None; inner }
       in
       Sim.Stats.Counter.incr t.counters "link.tx";
+      Obs.Registry.incr Obs.Registry.default "spines.link.tx";
       Netbase.Host.udp_send t.host ~dst_ip:ip ~dst_port:t.config.port
         ~src_port:t.config.port ~size:(inner_size inner) msg
 
@@ -243,6 +244,7 @@ let live_neighbors t =
 let deliver_local t (d : data) =
   let deliver_to client_id client =
     Sim.Stats.Counter.incr t.counters "deliver";
+    Obs.Registry.incr Obs.Registry.default "spines.deliver";
     ignore client_id;
     client.handler ~src:(d.origin, d.origin_client) ~size:d.app_size d.app_payload
   in
@@ -306,6 +308,7 @@ let forward_data t ~from (d : data) =
     Sim.Stats.Counter.incr t.counters "dedup.drop"
   else begin
     Hashtbl.replace t.dedup (d.origin, d.data_seq) ();
+    Obs.Registry.incr Obs.Registry.default "spines.data.forwarded";
     (* Source fairness: a flooding origin is clipped at every honest hop. *)
     let admitted = (not t.config.it_mode) || d.origin = t.id || within_rate t d.origin in
     if not admitted then Sim.Stats.Counter.incr t.counters "fairness.clipped"

@@ -1,0 +1,329 @@
+(* Tests for the telemetry subsystem: registry semantics, histogram
+   bucket edges, span tracing, and the JSONL export round-trip. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+let check_string = Alcotest.(check string)
+
+(* --- Json -------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let open Obs.Json in
+  let doc =
+    Obj
+      [
+        ("null", Null);
+        ("yes", Bool true);
+        ("int", Num 42.0);
+        ("frac", Num 1.5);
+        ("text", Str "a \"quoted\"\nline");
+        ("list", List [ Num 1.0; Str "two"; Bool false ]);
+        ("nested", Obj [ ("k", Null) ]);
+      ]
+  in
+  let reparsed = parse (to_string doc) in
+  check "compact round-trips" true (reparsed = doc);
+  let reparsed_pretty = parse (to_string_pretty doc) in
+  check "pretty round-trips" true (reparsed_pretty = doc);
+  check_string "integral floats print as ints" "42" (to_string (Num 42.0));
+  check "member" true (member "int" doc = Some (Num 42.0));
+  check "member missing" true (member "absent" doc = None)
+
+let test_json_parse_errors () =
+  let bad s = Obs.Json.parse_opt s = None in
+  check "trailing garbage" true (bad "{} x");
+  check "unterminated string" true (bad "\"abc");
+  check "bare word" true (bad "flase");
+  check "unterminated object" true (bad "{\"a\": 1");
+  check "valid stays valid" true (not (bad "{\"a\": [1, 2, {\"b\": null}]}"))
+
+(* --- Histogram --------------------------------------------------------- *)
+
+let test_histogram_bucket_edges () =
+  let h = Obs.Histogram.create ~edges:[| 1.0; 2.0; 5.0 |] () in
+  (* x lands in the first bucket with x <= edge; beyond the last edge is
+     the overflow bucket. *)
+  List.iter (Obs.Histogram.observe h) [ 0.5; 1.0; 1.0001; 2.0; 5.0; 7.0 ];
+  (match Obs.Histogram.buckets h with
+  | [ (e1, c1); (e2, c2); (e3, c3); (einf, cinf) ] ->
+      check_float "edge 1" 1.0 e1;
+      check_int "<=1" 2 c1;
+      check_float "edge 2" 2.0 e2;
+      check_int "<=2" 2 c2;
+      check_float "edge 5" 5.0 e3;
+      check_int "<=5" 1 c3;
+      check "overflow edge" true (einf = infinity);
+      check_int "overflow" 1 cinf
+  | _ -> Alcotest.fail "expected 4 buckets");
+  check_int "count" 6 (Obs.Histogram.count h);
+  check_float "sum" 16.5001 (Obs.Histogram.sum h);
+  check_float "min" 0.5 (Obs.Histogram.min h);
+  check_float "max" 7.0 (Obs.Histogram.max h)
+
+let test_histogram_percentile () =
+  let h = Obs.Histogram.create ~edges:[| 1.0; 2.0; 5.0 |] () in
+  check "empty percentile is nan" true (Float.is_nan (Obs.Histogram.percentile h 50.0));
+  List.iter (Obs.Histogram.observe h) [ 0.5; 0.6; 0.7; 3.0 ];
+  (* Percentiles resolve to the upper edge of the rank's bucket. *)
+  check_float "p50 upper edge" 1.0 (Obs.Histogram.percentile h 50.0);
+  check_float "p100 upper edge" 5.0 (Obs.Histogram.percentile h 100.0);
+  Obs.Histogram.observe h 99.0;
+  (* Overflow bucket reports the observed max instead of infinity. *)
+  check_float "overflow percentile" 99.0 (Obs.Histogram.percentile h 100.0);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Histogram.percentile: p out of [0,100]") (fun () ->
+      ignore (Obs.Histogram.percentile h 101.0))
+
+let test_histogram_bad_edges () =
+  let bad edges =
+    match Obs.Histogram.create ~edges () with
+    | (_ : Obs.Histogram.t) -> false
+    | exception Invalid_argument _ -> true
+  in
+  check "empty edges rejected" true (bad [||]);
+  check "non-increasing rejected" true (bad [| 1.0; 1.0 |]);
+  check "decreasing rejected" true (bad [| 2.0; 1.0 |])
+
+(* --- Spans ------------------------------------------------------------- *)
+
+let test_span_parent_child () =
+  let store = Obs.Span.create_store () in
+  let root = Obs.Span.start store ~name:"request" ~time:1.0 () in
+  let child_a = Obs.Span.start store ~name:"order" ~parent:root ~time:1.2 () in
+  let child_b = Obs.Span.start store ~name:"execute" ~parent:root ~time:1.5 () in
+  Obs.Span.finish store child_a ~time:1.4;
+  Obs.Span.finish store child_b ~time:1.9;
+  Obs.Span.finish store root ~time:2.0;
+  (match Obs.Span.span store root with
+  | Some s ->
+      check_float "root start" 1.0 s.Obs.Span.start_time;
+      check "root duration" true (Obs.Span.duration s = Some 1.0)
+  | None -> Alcotest.fail "root span missing");
+  (match Obs.Span.children store root with
+  | [ a; b ] ->
+      check_string "first child by start time" "order" a.Obs.Span.name;
+      check_string "second child" "execute" b.Obs.Span.name;
+      check "child duration" true
+        (match Obs.Span.duration a with
+        | Some d -> abs_float (d -. 0.2) < 1e-9
+        | None -> false)
+  | _ -> Alcotest.fail "expected two children");
+  check_int "all spans" 3 (List.length (Obs.Span.all_spans store))
+
+let test_pipeline_marks () =
+  let store = Obs.Span.create_store ~opens:[ "flip" ] ~closes:[ "repaint" ] () in
+  let mark stage time = Obs.Span.mark store ~trace:"status:B57:0" ~stage ~time in
+  (* A mark with no open instance is an orphan. *)
+  Obs.Span.mark store ~trace:"status:B57:0" ~stage:"report" ~time:0.5;
+  check_int "orphan counted" 1 (Obs.Span.orphan_count store);
+  mark "flip" 1.0;
+  mark "report" 1.05;
+  (* Only the first occurrence of a stage is kept. *)
+  mark "report" 1.06;
+  mark "repaint" 1.08;
+  check_int "completed" 1 (Obs.Span.completed_count store);
+  (match Obs.Span.completed store with
+  | [ inst ] ->
+      check "marks in causal order" true
+        (Obs.Span.marks inst = [ ("flip", 1.0); ("report", 1.05); ("repaint", 1.08) ]);
+      check "mark_time" true (Obs.Span.mark_time inst "report" = Some 1.05)
+  | _ -> Alcotest.fail "expected one completed instance");
+  (* Re-opening before closing abandons the open instance. *)
+  mark "flip" 2.0;
+  mark "flip" 3.0;
+  check_int "abandoned" 1 (Obs.Span.abandoned_count store);
+  check_int "still one active" 1 (Obs.Span.active_count store);
+  mark "repaint" 3.1;
+  check_int "second completion" 2 (Obs.Span.completed_count store)
+
+let test_stage_breakdown () =
+  let store = Obs.Span.create_store ~opens:[ "a" ] ~closes:[ "c" ] () in
+  let run trace t0 =
+    Obs.Span.mark store ~trace ~stage:"a" ~time:t0;
+    Obs.Span.mark store ~trace ~stage:"b" ~time:(t0 +. 0.1);
+    Obs.Span.mark store ~trace ~stage:"c" ~time:(t0 +. 0.3)
+  in
+  run "k1" 1.0;
+  run "k2" 2.0;
+  let breakdown =
+    Obs.Span.stage_breakdown store
+      ~stages:[ ("first", "a", "b"); ("second", "b", "c"); ("whole", "a", "c") ]
+  in
+  List.iter
+    (fun (label, expected) ->
+      match List.assoc_opt label breakdown with
+      | Some s ->
+          check_int (label ^ " count") 2 (Sim.Stats.Summary.count s);
+          check (label ^ " mean") true
+            (abs_float (Sim.Stats.Summary.mean s -. expected) < 1e-9)
+      | None -> Alcotest.fail (label ^ " missing"))
+    [ ("first", 0.1); ("second", 0.2); ("whole", 0.3) ]
+
+let test_trace_keys () =
+  check_string "status key" "status:B57:1" (Obs.Span.status_key ~breaker:"B57" ~closed:true);
+  check_string "status key open" "status:B57:0"
+    (Obs.Span.status_key ~breaker:"B57" ~closed:false);
+  check_string "command key" "cmd:B10-1:0" (Obs.Span.command_key ~breaker:"B10-1" ~close:false);
+  (* Must match the canonical Scada.Op encoding exactly — the whole
+     correlation scheme rests on it. *)
+  check_string "matches Scada.Op status"
+    (Scada.Op.encode (Scada.Op.Status { breaker = "B57"; closed = true }))
+    (Obs.Span.status_key ~breaker:"B57" ~closed:true);
+  check_string "matches Scada.Op command"
+    (Scada.Op.encode (Scada.Op.Command { breaker = "B57"; close = false }))
+    (Obs.Span.command_key ~breaker:"B57" ~close:false)
+
+(* --- Registry ----------------------------------------------------------- *)
+
+let test_registry_disabled_noop () =
+  let r = Obs.Registry.create () in
+  check "fresh registry disabled" false (Obs.Registry.enabled r);
+  Obs.Registry.incr r "a";
+  Obs.Registry.set_gauge r "g" 1.0;
+  Obs.Registry.observe r "h" 0.5;
+  Obs.Registry.mark r ~trace:"k" ~stage:Obs.Registry.stage_flip ~time:1.0;
+  let id = Obs.Registry.span_start r ~name:"s" ~time:1.0 () in
+  check_int "disabled span id" 0 id;
+  check_int "counter untouched" 0 (Obs.Registry.counter r "a");
+  check "gauge untouched" true (Obs.Registry.gauge r "g" = None);
+  check "histogram untouched" true (Obs.Registry.histogram r "h" = None);
+  check_int "no pipeline activity" 0 (Obs.Span.active_count (Obs.Registry.spans r));
+  check_int "not even orphans" 0 (Obs.Span.orphan_count (Obs.Registry.spans r))
+
+let test_registry_enabled_records () =
+  let r = Obs.Registry.create () in
+  Obs.Registry.set_enabled r true;
+  Obs.Registry.incr r "b";
+  Obs.Registry.incr r "a";
+  Obs.Registry.incr ~by:3 r "a";
+  Obs.Registry.set_gauge r "g" 2.5;
+  Obs.Registry.observe r "h" 0.5;
+  Obs.Registry.observe r "h" 1.5;
+  check_int "counter a" 4 (Obs.Registry.counter r "a");
+  check_int "counter b" 1 (Obs.Registry.counter r "b");
+  check "counters sorted by name" true
+    (List.map fst (Obs.Registry.counters r) = [ "a"; "b" ]);
+  check "gauge" true (Obs.Registry.gauge r "g" = Some 2.5);
+  (match Obs.Registry.histogram r "h" with
+  | Some h -> check_int "histogram count" 2 (Obs.Histogram.count h)
+  | None -> Alcotest.fail "histogram missing");
+  Obs.Registry.reset r;
+  check "reset keeps enabled" true (Obs.Registry.enabled r);
+  check_int "reset clears counters" 0 (Obs.Registry.counter r "a");
+  check "reset clears histograms" true (Obs.Registry.histogram r "h" = None)
+
+let test_registry_with_enabled () =
+  let r = Obs.Registry.create () in
+  Obs.Registry.set_enabled r true;
+  Obs.Registry.incr r "stale";
+  Obs.Registry.set_enabled r false;
+  let result =
+    Obs.Registry.with_enabled r (fun () ->
+        check "enabled inside" true (Obs.Registry.enabled r);
+        check_int "previous data cleared" 0 (Obs.Registry.counter r "stale");
+        Obs.Registry.incr r "fresh";
+        "done")
+  in
+  check_string "returns body result" "done" result;
+  check "restored to disabled" false (Obs.Registry.enabled r);
+  check_int "data survives exit" 1 (Obs.Registry.counter r "fresh");
+  (* The previous state is restored even when the body raises. *)
+  (try
+     Obs.Registry.with_enabled r (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check "restored after exception" false (Obs.Registry.enabled r)
+
+let test_registry_pipeline_stages () =
+  let r = Obs.Registry.create () in
+  Obs.Registry.set_enabled r true;
+  let trace = Obs.Span.status_key ~breaker:"B57" ~closed:false in
+  List.iter
+    (fun (stage, time) -> Obs.Registry.mark r ~trace ~stage ~time)
+    [
+      (Obs.Registry.stage_flip, 1.0);
+      (Obs.Registry.stage_report, 1.05);
+      (Obs.Registry.stage_accept, 1.06);
+      (Obs.Registry.stage_preorder, 1.08);
+      (Obs.Registry.stage_execute, 1.09);
+      (Obs.Registry.stage_repaint, 1.1);
+    ];
+  check_int "one completed instance" 1 (Obs.Span.completed_count (Obs.Registry.spans r));
+  let breakdown = Obs.Export.reaction_breakdown r in
+  let total =
+    List.fold_left
+      (fun acc (label, s) ->
+        if String.equal label "end-to-end" then acc else acc +. Sim.Stats.Summary.mean s)
+      0.0 breakdown
+  in
+  (match List.assoc_opt "end-to-end" breakdown with
+  | Some s ->
+      check "stage sums telescope to end-to-end" true
+        (abs_float (total -. Sim.Stats.Summary.mean s) < 1e-9)
+  | None -> Alcotest.fail "end-to-end row missing")
+
+(* --- Export ------------------------------------------------------------- *)
+
+let test_summary_to_json () =
+  let s = Sim.Stats.Summary.create () in
+  let empty = Obs.Export.summary_to_json s in
+  check "empty summary has count 0" true (Obs.Json.member "count" empty = Some (Obs.Json.Num 0.0));
+  check "empty summary has no mean" true (Obs.Json.member "mean" empty = None);
+  List.iter (Sim.Stats.Summary.add s) [ 1.0; 2.0; 3.0 ];
+  let j = Obs.Export.summary_to_json s in
+  let field k = Option.bind (Obs.Json.member k j) Obs.Json.num in
+  check "count" true (field "count" = Some 3.0);
+  check "mean" true (match field "mean" with Some m -> abs_float (m -. 2.0) < 1e-6 | None -> false);
+  check "p50" true (match field "p50" with Some m -> abs_float (m -. 2.0) < 1e-6 | None -> false);
+  check "p99 present" true (field "p99" <> None)
+
+let test_jsonl_roundtrip () =
+  let r = Obs.Registry.create () in
+  Obs.Registry.with_enabled r (fun () ->
+      Obs.Registry.incr ~by:2 r "events";
+      Obs.Registry.set_gauge r "depth" 3.5;
+      Obs.Registry.observe r "lat" 0.02;
+      let id = Obs.Registry.span_start r ~name:"op" ~time:1.0 () in
+      Obs.Registry.span_finish r id ~time:1.5;
+      let trace = Obs.Span.status_key ~breaker:"B1" ~closed:true in
+      Obs.Registry.mark r ~trace ~stage:Obs.Registry.stage_flip ~time:2.0;
+      Obs.Registry.mark r ~trace ~stage:Obs.Registry.stage_repaint ~time:2.1);
+  let dump = Obs.Export.jsonl_to_string r in
+  let rows = Obs.Export.parse_jsonl dump in
+  let of_type ty = List.filter (fun (t, _) -> String.equal t ty) rows in
+  check_int "one counter row" 1 (List.length (of_type "counter"));
+  check_int "one gauge row" 1 (List.length (of_type "gauge"));
+  check_int "one histogram row" 1 (List.length (of_type "histogram"));
+  check_int "one span row" 1 (List.length (of_type "span"));
+  check_int "one pipeline row" 1 (List.length (of_type "pipeline"));
+  (match of_type "counter" with
+  | [ (_, j) ] ->
+      check "counter name" true (Obs.Json.member "name" j = Some (Obs.Json.Str "events"));
+      check "counter value" true (Obs.Json.member "value" j = Some (Obs.Json.Num 2.0))
+  | _ -> Alcotest.fail "counter row shape");
+  (match of_type "pipeline" with
+  | [ (_, j) ] ->
+      check "pipeline trace" true
+        (Obs.Json.member "trace" j = Some (Obs.Json.Str "status:B1:1"))
+  | _ -> Alcotest.fail "pipeline row shape")
+
+let suite =
+  [
+    ("json roundtrip", `Quick, test_json_roundtrip);
+    ("json parse errors", `Quick, test_json_parse_errors);
+    ("histogram bucket edges", `Quick, test_histogram_bucket_edges);
+    ("histogram percentile", `Quick, test_histogram_percentile);
+    ("histogram bad edges", `Quick, test_histogram_bad_edges);
+    ("span parent child", `Quick, test_span_parent_child);
+    ("pipeline marks", `Quick, test_pipeline_marks);
+    ("stage breakdown", `Quick, test_stage_breakdown);
+    ("trace keys", `Quick, test_trace_keys);
+    ("registry disabled noop", `Quick, test_registry_disabled_noop);
+    ("registry enabled records", `Quick, test_registry_enabled_records);
+    ("registry with_enabled", `Quick, test_registry_with_enabled);
+    ("registry pipeline stages", `Quick, test_registry_pipeline_stages);
+    ("summary to_json", `Quick, test_summary_to_json);
+    ("jsonl roundtrip", `Quick, test_jsonl_roundtrip);
+  ]
+
+let () = Alcotest.run "obs" [ ("obs", suite) ]

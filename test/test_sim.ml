@@ -210,6 +210,36 @@ let test_stats_counter () =
   check_int "b" 3 (Sim.Stats.Counter.get c "b");
   check_int "missing" 0 (Sim.Stats.Counter.get c "zzz")
 
+let test_stats_percentile_edges () =
+  let empty = Sim.Stats.Summary.create () in
+  check "empty mean is nan" true (Float.is_nan (Sim.Stats.Summary.mean empty));
+  check "empty percentile is nan" true (Float.is_nan (Sim.Stats.Summary.percentile empty 50.0));
+  let one = Sim.Stats.Summary.create () in
+  Sim.Stats.Summary.add one 7.0;
+  check_float "n=1 p0" 7.0 (Sim.Stats.Summary.percentile one 0.0);
+  check_float "n=1 p100" 7.0 (Sim.Stats.Summary.percentile one 100.0);
+  let s = Sim.Stats.Summary.create () in
+  List.iter (Sim.Stats.Summary.add s) [ 4.0; 1.0; 3.0; 2.0 ];
+  check_float "p0 is min" 1.0 (Sim.Stats.Summary.percentile s 0.0);
+  check_float "p100 is max" 4.0 (Sim.Stats.Summary.percentile s 100.0);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p out of [0,100]") (fun () ->
+      ignore (Sim.Stats.Summary.percentile s 101.0));
+  let dup = Sim.Stats.Summary.create () in
+  List.iter (Sim.Stats.Summary.add dup) [ 5.0; 5.0; 5.0; 5.0 ];
+  check_float "duplicates p50" 5.0 (Sim.Stats.Summary.median dup);
+  check_float "duplicates p99" 5.0 (Sim.Stats.Summary.percentile dup 99.0);
+  check_float "duplicates stddev" 0.0 (Sim.Stats.Summary.stddev dup)
+
+let test_stats_timeseries_length () =
+  let ts = Sim.Stats.Timeseries.create () in
+  check_int "empty" 0 (Sim.Stats.Timeseries.length ts);
+  for i = 1 to 5 do
+    Sim.Stats.Timeseries.add ts ~time:(float_of_int i) 1.0
+  done;
+  check_int "five points" 5 (Sim.Stats.Timeseries.length ts);
+  check_int "to_list agrees" 5 (List.length (Sim.Stats.Timeseries.to_list ts))
+
 let prop_stats_mean_matches_naive =
   QCheck.Test.make ~count:200 ~name:"Welford mean matches naive mean"
     QCheck.(list_of_size Gen.(int_range 1 100) (float_bound_exclusive 1000.0))
@@ -233,6 +263,69 @@ let test_trace_roundtrip () =
     (Sim.Trace.find t ~category:"net" ~contains:"nonexistent" = None);
   check_int "category filter" 1 (List.length (Sim.Trace.by_category t "net"))
 
+let test_trace_find_edges () =
+  let t = Sim.Trace.create () in
+  Sim.Trace.record t ~time:1.0 ~category:"net" "%s" "tail-match-xyz";
+  Sim.Trace.record t ~time:2.0 ~category:"net" "%s" "ab";
+  (* Needle at the very end of the message (the old scan missed nothing,
+     but the boundary is where an off-by-one would hide). *)
+  check "match at end" true (Sim.Trace.find t ~category:"net" ~contains:"xyz" <> None);
+  check "needle longer than message" true
+    (Sim.Trace.find t ~category:"net" ~contains:"abc" = None);
+  check "empty needle matches" true (Sim.Trace.find t ~category:"net" ~contains:"" <> None);
+  check "category must match too" true
+    (Sim.Trace.find t ~category:"attack" ~contains:"xyz" = None);
+  (* find returns the FIRST retained match in chronological order. *)
+  Sim.Trace.record t ~time:3.0 ~category:"net" "%s" "xyz again";
+  (match Sim.Trace.find t ~category:"net" ~contains:"xyz" with
+  | Some e -> check_float "first match wins" 1.0 e.Sim.Trace.time
+  | None -> Alcotest.fail "match expected")
+
+let test_trace_ring_buffer () =
+  let t = Sim.Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Sim.Trace.record t ~time:(float_of_int i) ~category:"c" "entry %d" i
+  done;
+  check_int "length counts everything ever recorded" 5 (Sim.Trace.length t);
+  check_int "retained is bounded" 3 (Sim.Trace.retained t);
+  (match Sim.Trace.entries t with
+  | [ a; b; c ] ->
+      check_float "oldest evicted" 3.0 a.Sim.Trace.time;
+      check_float "middle" 4.0 b.Sim.Trace.time;
+      check_float "newest kept" 5.0 c.Sim.Trace.time
+  | l -> Alcotest.failf "expected 3 entries, got %d" (List.length l));
+  check "evicted entries are not findable" true
+    (Sim.Trace.find t ~category:"c" ~contains:"entry 1" = None);
+  check "retained entries are findable" true
+    (Sim.Trace.find t ~category:"c" ~contains:"entry 4" <> None);
+  check_int "by_category sees retained only" 3 (List.length (Sim.Trace.by_category t "c"));
+  (match Sim.Trace.create ~capacity:0 () with
+  | (_ : Sim.Trace.t) -> Alcotest.fail "capacity 0 accepted"
+  | exception Invalid_argument _ -> ())
+
+let prop_strx_contains_matches_naive =
+  (* Reference implementation: check every alignment with String.sub. *)
+  let naive ~needle hay =
+    let n = String.length needle and h = String.length hay in
+    if n > h then false
+    else
+      let rec at i = i <= h - n && (String.equal (String.sub hay i n) needle || at (i + 1)) in
+      at 0
+  in
+  QCheck.Test.make ~count:500 ~name:"Strx.contains agrees with naive substring search"
+    QCheck.(pair (string_of_size Gen.(int_range 0 30)) (string_of_size Gen.(int_range 0 4)))
+    (fun (hay, needle) ->
+      Sim.Strx.contains ~needle hay = naive ~needle hay)
+
+let test_strx_basics () =
+  check "empty needle" true (Sim.Strx.contains ~needle:"" "abc");
+  check "empty haystack" false (Sim.Strx.contains ~needle:"a" "");
+  check "both empty" true (Sim.Strx.contains ~needle:"" "");
+  check "full match" true (Sim.Strx.contains ~needle:"abc" "abc");
+  check "repeated prefix" true (Sim.Strx.contains ~needle:"aab" "aaab");
+  check "starts_with" true (Sim.Strx.starts_with ~prefix:"sta" "status:B57:1");
+  check "starts_with miss" false (Sim.Strx.starts_with ~prefix:"cmd" "status:B57:1")
+
 let suite =
   [
     ("rng deterministic", `Quick, test_rng_deterministic);
@@ -252,11 +345,17 @@ let suite =
     ("engine rejects past", `Quick, test_engine_past_rejected);
     ("stats summary", `Quick, test_stats_summary);
     ("stats percentile small", `Quick, test_stats_percentile_small);
+    ("stats percentile edges", `Quick, test_stats_percentile_edges);
+    ("stats timeseries length", `Quick, test_stats_timeseries_length);
     ("stats counter", `Quick, test_stats_counter);
     ("trace roundtrip", `Quick, test_trace_roundtrip);
+    ("trace find edges", `Quick, test_trace_find_edges);
+    ("trace ring buffer", `Quick, test_trace_ring_buffer);
+    ("strx basics", `Quick, test_strx_basics);
     QCheck_alcotest.to_alcotest prop_heap_sorts;
     QCheck_alcotest.to_alcotest prop_engine_event_times_monotone;
     QCheck_alcotest.to_alcotest prop_stats_mean_matches_naive;
+    QCheck_alcotest.to_alcotest prop_strx_contains_matches_naive;
   ]
 
 let () = Alcotest.run "sim" [ ("sim", suite) ]
