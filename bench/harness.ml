@@ -87,3 +87,23 @@ let measure_latencies ?(rate = 10.0) ?(duration = 30.0) ?(misbehavior = Prime.Re
   let views = Array.map Prime.Replica.view c.replicas in
   let max_view = Array.fold_left max 0 views in
   (stats, n_updates, max_view)
+
+(* --- chaos fault classes (E12) ------------------------------------------------
+
+   One seeded chaos run per fault class, over the full deployment: the
+   runner drives SCADA load, injects two fault windows of the class, and
+   keeps the invariant checker attached throughout. *)
+
+let chaos_classes =
+  [
+    ("crash", Chaos.Fault.Crash);
+    ("partition", Chaos.Fault.Net_partition);
+    ("lossy", Chaos.Fault.Lossy);
+    ("leader", Chaos.Fault.Leader_fault);
+  ]
+
+let run_chaos_class ?(seed = 11) ?(duration = 60.0) fault_class =
+  let config = Prime.Config.power_plant () in
+  let rng = Sim.Rng.create (Int64.of_int seed) in
+  let schedule = Chaos.Fault.of_class ~rng ~n:config.Prime.Config.n ~duration fault_class in
+  Chaos.Runner.run ~config ~duration ~schedule ~seed ()

@@ -736,6 +736,39 @@ let exp_e10 () =
         ("orphan_marks", num_i orphans);
       ])
 
+(* --- E12: chaos fault classes ----------------------------------------------------------------- *)
+
+let exp_e12 () =
+  section "E12" "Fault injection: execution progress and view-change latency per fault class";
+  let mean_ms = function
+    | [] -> "--"
+    | l -> Printf.sprintf "%.1f ms" (ms (List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)))
+  in
+  let rows =
+    List.map
+      (fun (label, cls) ->
+        let r = Harness.run_chaos_class cls in
+        Printf.printf
+          "  %-10s exec %5d  view-changes %d (mean %8s)  recoveries %d (mean %8s)\n"
+          label r.Chaos.Runner.final_exec_seq
+          (List.length r.Chaos.Runner.view_change_latencies)
+          (mean_ms r.Chaos.Runner.view_change_latencies)
+          (List.length r.Chaos.Runner.recovery_latencies)
+          (mean_ms r.Chaos.Runner.recovery_latencies);
+        Printf.printf "  %-10s link faults: %d dropped / %d duplicated / %d delayed; %s\n" ""
+          r.Chaos.Runner.link_dropped r.Chaos.Runner.link_duplicated
+          r.Chaos.Runner.link_delayed
+          (match r.Chaos.Runner.violations with
+          | [] -> "invariants OK"
+          | vs -> Printf.sprintf "%d INVARIANT VIOLATIONS" (List.length vs));
+        (label, Chaos.Runner.result_to_json r))
+      Harness.chaos_classes
+  in
+  print_endline "\n  Every fault class is injected under load with the invariant checker";
+  print_endline "  attached: agreement safety, at-most-once actuation, bounded-delay";
+  print_endline "  liveness while at most f replicas are faulty, and recovery liveness.";
+  Obs.Json.Obj rows
+
 (* --- E11: micro benches (Bechamel) ----------------------------------------------------------- *)
 
 let exp_micro () =
@@ -838,6 +871,7 @@ let experiments =
     ("e8", exp_e8);
     ("e9", exp_e9);
     ("e10", exp_e10);
+    ("e12", exp_e12);
     ("micro", exp_micro);
     ("throughput", exp_throughput);
   ]

@@ -219,10 +219,79 @@ let breach_cmd =
     (Cmd.info "breach" ~doc:"Diversity + proactive recovery breach simulation (Section II).")
     Term.(const breach $ craft $ recovery $ horizon)
 
+(* --- chaos -------------------------------------------------------------------- *)
+
+let chaos seed duration load_period json_file =
+  let result = Chaos.Runner.run ~seed ~duration ~load_period () in
+  Printf.printf "chaos seed %d: %.0f s, %d faults injected\n" seed duration
+    (List.length result.Chaos.Runner.schedule);
+  List.iter
+    (fun (at, desc) -> Printf.printf "  t=%6.1f  %s\n" at desc)
+    result.Chaos.Runner.schedule;
+  Printf.printf "commands issued: %d, executed through seq %d (%d executions checked)\n"
+    result.commands_issued result.final_exec_seq result.executions_checked;
+  Printf.printf "view transitions: %d, view-change latencies: [%s] s\n"
+    (List.length result.view_transitions)
+    (String.concat "; " (List.map (Printf.sprintf "%.2f") result.view_change_latencies));
+  Printf.printf "recovery latencies: [%s] s\n"
+    (String.concat "; " (List.map (Printf.sprintf "%.2f") result.recovery_latencies));
+  Printf.printf "link faults: %d dropped, %d duplicated, %d delayed (%d dedup evictions)\n"
+    result.link_dropped result.link_duplicated result.link_delayed result.dedup_evictions;
+  (match json_file with
+  | None -> ()
+  | Some file -> (
+      let doc =
+        Obs.Json.Obj
+          [
+            ("schema", Obs.Json.Str "spire-chaos/1");
+            ("result", Chaos.Runner.result_to_json result);
+          ]
+      in
+      match open_out file with
+      | exception Sys_error msg ->
+          Printf.eprintf "cannot write %s: %s\n" file msg;
+          exit 1
+      | oc ->
+          output_string oc (Obs.Json.to_string_pretty doc);
+          output_char oc '\n';
+          close_out oc;
+          Printf.eprintf "wrote %s\n%!" file));
+  match result.violations with
+  | [] -> Printf.printf "invariants: OK (0 violations)\n"
+  | vs ->
+      Printf.printf "invariants: %d VIOLATIONS\n" (List.length vs);
+      List.iter
+        (fun v ->
+          Printf.printf "  t=%.2f [%s] %s\n" v.Chaos.Invariant.v_time
+            v.Chaos.Invariant.v_invariant v.Chaos.Invariant.v_detail)
+        vs;
+      exit 1
+
+let chaos_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fault-schedule seed.") in
+  let duration =
+    Arg.(value & opt float 120.0 & info [ "duration" ] ~doc:"Chaos window in simulated seconds.")
+  in
+  let load_period =
+    Arg.(value & opt float 1.0 & info [ "load-period" ] ~doc:"Seconds between HMI commands.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the full chaos result to $(docv) as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded fault-injection scenario with continuous invariant checking; exits \
+          non-zero on any violation.")
+    Term.(const chaos $ seed $ duration $ load_period $ json)
+
 let main =
   Cmd.group
     (Cmd.info "spire_cli" ~version:"1.0"
        ~doc:"Spire intrusion-tolerant SCADA reproduction (DSN 2019).")
-    [ redteam_cmd; latency_cmd; plant_cmd; breach_cmd ]
+    [ redteam_cmd; latency_cmd; plant_cmd; breach_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -155,7 +155,6 @@ let dos_flood (a : Attacker.t) (pos : Attacker.position) ~target_ip ~target_port
     ~duration =
   let sent = ref 0 in
   let batch = max 1 (int_of_float (rate /. 100.0)) in
-  let timer_ref = ref None in
   let timer =
     Sim.Engine.every a.Attacker.engine ~period:0.01 (fun () ->
         for _ = 1 to batch do
@@ -164,7 +163,6 @@ let dos_flood (a : Attacker.t) (pos : Attacker.position) ~target_ip ~target_port
             ~src_port:44444 ~size:1400 (Netbase.Packet.Raw "flood")
         done)
   in
-  timer_ref := Some timer;
   ignore
     (Sim.Engine.schedule a.Attacker.engine ~delay:duration (fun () ->
          Sim.Engine.cancel_timer a.Attacker.engine timer));

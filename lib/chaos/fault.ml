@@ -1,0 +1,130 @@
+(* Fault-schedule DSL.
+
+   A schedule is a time-ordered list of fault events against a running
+   deployment: replica crash/restart, Spines link partition/heal, lossy
+   links (probabilistic drop/duplicate/delay, which also reorders), and
+   leader misbehaviour (silence or equivocation). Schedules are plain
+   data: generated from a seeded RNG, they replay byte-identically. *)
+
+type link = int * int
+
+type action =
+  | Crash_replica of int
+  | Restart_replica of int
+  | Partition of link list
+  | Heal of link list
+  | Lossy_link of { link : link; drop : float; duplicate : float; delay_max : float }
+  | Clear_link of link
+  | Leader_silent
+  | Leader_equivocate
+  | Leader_restore
+
+type event = { at : float; action : action }
+
+type schedule = event list
+
+type fault_class = Crash | Net_partition | Lossy | Leader_fault
+
+let describe_link (a, b) = Printf.sprintf "%d-%d" a b
+
+let describe = function
+  | Crash_replica i -> Printf.sprintf "crash replica %d" i
+  | Restart_replica i -> Printf.sprintf "restart replica %d" i
+  | Partition links ->
+      Printf.sprintf "partition [%s]" (String.concat "," (List.map describe_link links))
+  | Heal links ->
+      Printf.sprintf "heal [%s]" (String.concat "," (List.map describe_link links))
+  | Lossy_link { link; drop; duplicate; delay_max } ->
+      Printf.sprintf "lossy %s drop=%.2f dup=%.2f delay<=%.3f" (describe_link link) drop
+        duplicate delay_max
+  | Clear_link link -> Printf.sprintf "clear %s" (describe_link link)
+  | Leader_silent -> "leader silent"
+  | Leader_equivocate -> "leader equivocate"
+  | Leader_restore -> "leader restore"
+
+let sort schedule = List.stable_sort (fun a b -> Float.compare a.at b.at) schedule
+
+(* Links that cut one replica off from every other replica. *)
+let isolate_links ~n victim =
+  let rec build peer acc =
+    if peer < 0 then acc
+    else build (peer - 1) (if peer = victim then acc else (victim, peer) :: acc)
+  in
+  build (n - 1) []
+
+(* A crash+partition+lossy acceptance schedule: one fault window per
+   class in sequence, each healed before the next begins, with victims
+   and loss parameters drawn from [rng]. Fits in [duration] seconds,
+   leaving a clean tail for the system to settle. *)
+let mixed ~rng ~n ~duration () =
+  let window = duration /. 5.0 in
+  let lossy_victim = (Sim.Rng.int rng (n - 1), n - 1) in
+  let crash_victim = 1 + Sim.Rng.int rng (n - 1) in
+  let partition_victim = Sim.Rng.int rng n in
+  sort
+    [
+      {
+        at = 0.2 *. window;
+        action =
+          Lossy_link
+            {
+              link = lossy_victim;
+              drop = 0.05 +. Sim.Rng.float rng 0.15;
+              duplicate = Sim.Rng.float rng 0.2;
+              delay_max = 0.01 +. Sim.Rng.float rng 0.04;
+            };
+      };
+      { at = 1.0 *. window; action = Clear_link lossy_victim };
+      { at = 1.2 *. window; action = Crash_replica crash_victim };
+      { at = 2.0 *. window; action = Restart_replica crash_victim };
+      { at = 2.7 *. window; action = Partition (isolate_links ~n partition_victim) };
+      { at = 3.4 *. window; action = Heal (isolate_links ~n partition_victim) };
+      { at = 3.8 *. window; action = Leader_silent };
+      { at = 4.4 *. window; action = Leader_restore };
+    ]
+
+(* A single-class schedule: repeated fault windows of one class, for the
+   per-class latency experiments. *)
+let of_class ~rng ~n ~duration fault_class =
+  let window = duration /. 3.0 in
+  let events_for base =
+    match fault_class with
+    | Crash ->
+        let victim = 1 + Sim.Rng.int rng (n - 1) in
+        [
+          { at = base +. (0.1 *. window); action = Crash_replica victim };
+          { at = base +. (0.6 *. window); action = Restart_replica victim };
+        ]
+    | Net_partition ->
+        let victim = Sim.Rng.int rng n in
+        [
+          { at = base +. (0.1 *. window); action = Partition (isolate_links ~n victim) };
+          { at = base +. (0.6 *. window); action = Heal (isolate_links ~n victim) };
+        ]
+    | Lossy ->
+        let link = (Sim.Rng.int rng (n - 1), n - 1) in
+        [
+          {
+            at = base +. (0.1 *. window);
+            action =
+              Lossy_link
+                {
+                  link;
+                  drop = 0.05 +. Sim.Rng.float rng 0.2;
+                  duplicate = Sim.Rng.float rng 0.15;
+                  delay_max = 0.01 +. Sim.Rng.float rng 0.03;
+                };
+          };
+          { at = base +. (0.6 *. window); action = Clear_link link };
+        ]
+    | Leader_fault ->
+        let silent = Sim.Rng.bool rng in
+        [
+          {
+            at = base +. (0.1 *. window);
+            action = (if silent then Leader_silent else Leader_equivocate);
+          };
+          { at = base +. (0.6 *. window); action = Leader_restore };
+        ]
+  in
+  sort (List.concat_map (fun i -> events_for (float_of_int i *. window)) [ 0; 1 ])

@@ -1,0 +1,37 @@
+(** Fault-schedule DSL: time-ordered fault events against a running
+    deployment. Schedules are plain data generated from a seeded RNG, so
+    every run replays byte-identically from its seed. *)
+
+type link = int * int
+
+type action =
+  | Crash_replica of int
+  | Restart_replica of int
+  | Partition of link list
+  | Heal of link list
+  | Lossy_link of { link : link; drop : float; duplicate : float; delay_max : float }
+  | Clear_link of link
+  | Leader_silent
+  | Leader_equivocate
+  | Leader_restore
+
+type event = { at : float; action : action }
+
+type schedule = event list
+
+type fault_class = Crash | Net_partition | Lossy | Leader_fault
+
+val describe : action -> string
+
+(** Stable sort by event time. *)
+val sort : schedule -> schedule
+
+(** All links from [victim] to every other replica in [0..n-1]. *)
+val isolate_links : n:int -> int -> link list
+
+(** Crash + partition + lossy-link + leader-fault windows in sequence,
+    parameters drawn from [rng]. *)
+val mixed : rng:Sim.Rng.t -> n:int -> duration:float -> unit -> schedule
+
+(** Repeated fault windows of a single class. *)
+val of_class : rng:Sim.Rng.t -> n:int -> duration:float -> fault_class -> schedule

@@ -1,0 +1,182 @@
+(* Continuously-running invariant checker.
+
+   Attached to a live deployment, it observes every replica execution,
+   every gated breaker actuation, and global execution progress, and
+   records a violation whenever:
+
+   - agreement safety: two replicas execute different updates at the same
+     global sequence number;
+   - at-most-once actuation: a proxy actuates the same decided command
+     key twice (the f+1 threshold gate must fire exactly once per key);
+   - bounded-delay liveness: while the runner reports the system healthy
+     (at most f faulty replicas, no quorum-isolating partition), the
+     global execution frontier fails to advance for [liveness_bound]
+     seconds;
+   - recovery liveness: a replica brought back from a clean image fails
+     to rejoin — running with its preorder origin re-based — within
+     [recovery_bound] seconds.
+
+   All observations come through deterministic simulation hooks, so a
+   violation found under some seed reproduces under that seed. *)
+
+type violation = { v_time : float; v_invariant : string; v_detail : string }
+
+type pending_recovery = { pr_replica : int; pr_started : float; pr_deadline : float }
+
+type t = {
+  engine : Sim.Engine.t;
+  liveness_bound : float;
+  recovery_bound : float;
+  is_healthy : unit -> bool;
+  executed : (int, string) Hashtbl.t; (* exec_seq -> update identity *)
+  actuated : (string, int) Hashtbl.t; (* proxy ^ key -> actuation count *)
+  mutable violations : violation list; (* newest first *)
+  mutable recoveries : pending_recovery list;
+  mutable recovery_latencies : float list; (* newest first *)
+  mutable deployment : Spire.Deployment.t option;
+  mutable last_exec : int;
+  mutable last_progress : float;
+  mutable executions : int;
+  mutable actuations : int;
+  mutable poll : Sim.Engine.timer option;
+}
+
+let create ?(liveness_bound = 20.0) ?(recovery_bound = 30.0) ~engine ~is_healthy () =
+  {
+    engine;
+    liveness_bound;
+    recovery_bound;
+    is_healthy;
+    executed = Hashtbl.create 4096;
+    actuated = Hashtbl.create 1024;
+    violations = [];
+    recoveries = [];
+    recovery_latencies = [];
+    deployment = None;
+    last_exec = 0;
+    last_progress = 0.0;
+    executions = 0;
+    actuations = 0;
+    poll = None;
+  }
+
+let violate t ~invariant detail =
+  t.violations <-
+    { v_time = Sim.Engine.now t.engine; v_invariant = invariant; v_detail = detail }
+    :: t.violations
+
+let note_execution t ~replica ~exec_seq ~identity =
+  t.executions <- t.executions + 1;
+  match Hashtbl.find_opt t.executed exec_seq with
+  | None -> Hashtbl.replace t.executed exec_seq identity
+  | Some first when String.equal first identity -> ()
+  | Some first ->
+      violate t ~invariant:"agreement"
+        (Printf.sprintf "replica %d executed %s at seq %d, but %s was executed there first"
+           replica identity exec_seq first)
+
+let note_actuation t ~proxy ~key =
+  t.actuations <- t.actuations + 1;
+  let k = proxy ^ "|" ^ key in
+  let count = 1 + (Hashtbl.find_opt t.actuated k |> Option.value ~default:0) in
+  Hashtbl.replace t.actuated k count;
+  if count > 1 then
+    violate t ~invariant:"at-most-once"
+      (Printf.sprintf "proxy %s actuated key %s %d times" proxy key count)
+
+let expect_recovery t ~replica =
+  let now = Sim.Engine.now t.engine in
+  t.recoveries <-
+    { pr_replica = replica; pr_started = now; pr_deadline = now +. t.recovery_bound }
+    :: t.recoveries
+
+let check_progress t =
+  let now = Sim.Engine.now t.engine in
+  match t.deployment with
+  | None -> ()
+  | Some deployment ->
+      let frontier =
+        Array.fold_left
+          (fun acc r -> max acc (Prime.Replica.exec_seq r.Spire.Deployment.r_replica))
+          0
+          (Spire.Deployment.replicas deployment)
+      in
+      if frontier > t.last_exec then begin
+        t.last_exec <- frontier;
+        t.last_progress <- now
+      end
+      else if not (t.is_healthy ()) then
+        (* Degraded intervals (> f faulty, quorum-isolating partition,
+           post-heal grace) do not count against the bound. *)
+        t.last_progress <- now
+      else if now -. t.last_progress > t.liveness_bound then begin
+        violate t ~invariant:"liveness"
+          (Printf.sprintf "no execution progress past seq %d for %.1f s while healthy"
+             frontier (now -. t.last_progress));
+        t.last_progress <- now
+      end
+
+let check_recoveries t =
+  let now = Sim.Engine.now t.engine in
+  match t.deployment with
+  | None -> ()
+  | Some deployment ->
+      let replicas = Spire.Deployment.replicas deployment in
+      t.recoveries <-
+        List.filter
+          (fun pr ->
+            let r = replicas.(pr.pr_replica).Spire.Deployment.r_replica in
+            if Prime.Replica.is_running r && Prime.Replica.origin_synced r then begin
+              t.recovery_latencies <- (now -. pr.pr_started) :: t.recovery_latencies;
+              false
+            end
+            else if now > pr.pr_deadline then begin
+              violate t ~invariant:"recovery"
+                (Printf.sprintf
+                   "replica %d not rejoined %.1f s after clean restart (running=%b synced=%b)"
+                   pr.pr_replica t.recovery_bound (Prime.Replica.is_running r)
+                   (Prime.Replica.origin_synced r));
+              false
+            end
+            else true)
+          t.recoveries
+
+let attach t deployment =
+  t.deployment <- Some deployment;
+  t.last_progress <- Sim.Engine.now t.engine;
+  Array.iteri
+    (fun i r ->
+      Prime.Replica.set_on_execute r.Spire.Deployment.r_replica (fun ~exec_seq u ->
+          let client, client_seq = Prime.Msg.Update.key u in
+          note_execution t ~replica:i ~exec_seq
+            ~identity:(Printf.sprintf "%s#%d:%s" client client_seq u.Prime.Msg.Update.op)))
+    (Spire.Deployment.replicas deployment);
+  Array.iter
+    (fun p ->
+      match p.Spire.Deployment.p_frontend with
+      | Spire.Deployment.Modbus_plc { fe_proxy; _ } ->
+          let name = Scada.Proxy.name fe_proxy in
+          Scada.Proxy.set_on_actuate fe_proxy (fun ~key ~breaker:_ ~close:_ ->
+              note_actuation t ~proxy:name ~key)
+      | Spire.Deployment.Dnp3_rtu { fe_proxy; _ } ->
+          let name = Scada.Rtu_proxy.name fe_proxy in
+          Scada.Rtu_proxy.set_on_actuate fe_proxy (fun ~key ~breaker:_ ~close:_ ->
+              note_actuation t ~proxy:name ~key))
+    (Spire.Deployment.proxies deployment);
+  t.poll <-
+    Some
+      (Sim.Engine.every t.engine ~period:0.1 (fun () ->
+           check_progress t;
+           check_recoveries t))
+
+let stop t =
+  (match t.poll with Some timer -> Sim.Engine.cancel_timer t.engine timer | None -> ());
+  t.poll <- None
+
+let violations t = List.rev t.violations
+
+let recovery_latencies t = List.rev t.recovery_latencies
+
+let executions_checked t = t.executions
+
+let actuations_checked t = t.actuations

@@ -1,0 +1,44 @@
+(** Seeded chaos scenario runner: full deployment + SCADA load + fault
+    schedule + continuously-attached invariant checker. Runs replay
+    byte-identically from their seed ([result_to_json] is stable). *)
+
+type result = {
+  seed : int;
+  duration : float;
+  n_replicas : int;
+  schedule : (float * string) list;
+  commands_issued : int;
+  final_exec_seq : int;
+  view_transitions : (float * int) list; (* (offset into chaos window, new view) *)
+  view_change_latencies : float list; (* leader fault -> first view transition *)
+  recovery_latencies : float list; (* clean restart -> rejoined and re-based *)
+  executions_checked : int;
+  actuations_checked : int;
+  link_dropped : int;
+  link_duplicated : int;
+  link_delayed : int;
+  dedup_evictions : int;
+  violations : Invariant.violation list;
+}
+
+val default_scenario : Plc.Power.scenario
+
+(** [run ~seed ()] executes a chaos scenario. Without [schedule], a
+    mixed crash+partition+lossy+leader schedule is generated from the
+    seed. [liveness_bound] / [recovery_bound] parameterise the invariant
+    checker; [heal_grace] is the settle time granted after the fault
+    burden drops back to at most f replicas. *)
+val run :
+  ?config:Prime.Config.t ->
+  ?scenario:Plc.Power.scenario ->
+  ?duration:float ->
+  ?load_period:float ->
+  ?liveness_bound:float ->
+  ?recovery_bound:float ->
+  ?heal_grace:float ->
+  ?schedule:Fault.schedule ->
+  seed:int ->
+  unit ->
+  result
+
+val result_to_json : result -> Obs.Json.t

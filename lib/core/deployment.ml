@@ -103,6 +103,19 @@ let scenario t = t.scenario
 
 let replicas t = t.replicas
 
+(* The most advanced view any running replica has reached. A cleanly
+   restarted replica re-enters at view 0 and a crashed one's view is
+   frozen, so the maximum over running replicas is the deployment's
+   authoritative view. *)
+let max_view t =
+  Array.fold_left
+    (fun acc r ->
+      if Prime.Replica.is_running r.r_replica then max acc (Prime.Replica.view r.r_replica)
+      else acc)
+    0 t.replicas
+
+let current_leader t = Prime.Config.leader_of_view t.config (max_view t)
+
 let proxies t = t.proxies
 
 let hmis t = t.hmis

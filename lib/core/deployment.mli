@@ -77,6 +77,14 @@ val scenario : t -> Plc.Power.scenario
 
 val replicas : t -> replica_bundle array
 
+(** The most advanced view any running replica has reached (a cleanly
+    restarted replica re-enters at view 0, so this is the authoritative
+    view). *)
+val max_view : t -> int
+
+(** Leader of {!max_view} under this deployment's Prime configuration. *)
+val current_leader : t -> int
+
 val proxies : t -> proxy_bundle array
 
 val hmis : t -> hmi_bundle array

@@ -156,6 +156,10 @@ let exec_seq t = Order.exec_seq t.order
 
 let is_running t = t.running
 
+let origin_synced t = t.origin_synced
+
+let misbehavior t = t.misbehavior
+
 let is_leader t = t.id = Config.leader_of_view t.config t.view && t.leader_active
 
 let set_app t app = t.app <- app

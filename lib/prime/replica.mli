@@ -52,6 +52,15 @@ val exec_seq : t -> int
 
 val is_running : t -> bool
 
+(** Whether this replica's preorder sequence has been re-based above any
+    pre-recovery use (always true until a [restart_clean]; becomes true
+    again once a quorum of rebase reports arrives). Chaos recovery-
+    liveness checks poll this to decide a recovered replica has rejoined. *)
+val origin_synced : t -> bool
+
+(** The currently armed misbehaviour knob. *)
+val misbehavior : t -> misbehavior
+
 val set_app : t -> app -> unit
 
 val set_misbehavior : t -> misbehavior -> unit

@@ -37,7 +37,7 @@ let create ~engine ~trace ~keystore ~config ~scenario ~client name =
       scenario;
       client;
       display = Hashtbl.create 64;
-      display_gate = Threshold.create ~needed:(config.Prime.Config.f + 1);
+      display_gate = Threshold.create ~needed:(config.Prime.Config.f + 1) ();
       on_display_change = [];
       counters = Sim.Stats.Counter.create ();
     }

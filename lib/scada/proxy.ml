@@ -27,6 +27,7 @@ type t = {
   mutable transaction : int;
   mutable poll_timer : Sim.Engine.timer option;
   counters : Sim.Stats.Counter.t;
+  mutable on_actuate : (key:string -> breaker:string -> close:bool -> unit) option;
 }
 
 let modbus_local_port = 5020
@@ -44,10 +45,11 @@ let create ~engine ~trace ~keystore ~config ~host ~plc_ip ~breaker_names ~client
       breaker_names = Array.of_list breaker_names;
       client;
       last_known = Array.make (List.length breaker_names) None;
-      command_gate = Threshold.create ~needed:(config.Prime.Config.f + 1);
+      command_gate = Threshold.create ~needed:(config.Prime.Config.f + 1) ();
       transaction = 0;
       poll_timer = None;
       counters = Sim.Stats.Counter.create ();
+      on_actuate = None;
     }
   in
   t
@@ -55,6 +57,8 @@ let create ~engine ~trace ~keystore ~config ~host ~plc_ip ~breaker_names ~client
 let name t = t.name
 
 let counters t = t.counters
+
+let set_on_actuate t hook = t.on_actuate <- Some hook
 
 let coil_of_breaker t breaker =
   let rec scan i =
@@ -131,6 +135,7 @@ let handle_breaker_command t ~rep ~exec_seq ~breaker ~close signature =
             ~stage:Obs.Registry.stage_actuate ~time:(Sim.Engine.now t.engine);
           Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"proxy"
             "%s: actuating %s -> %s" t.name breaker (if close then "closed" else "open");
+          (match t.on_actuate with Some h -> h ~key ~breaker ~close | None -> ());
           send_modbus t (Plc.Modbus.Write_single_coil { addr = coil; value = close })
       | None -> Sim.Stats.Counter.incr t.counters "command.unknown_breaker"
     end

@@ -24,6 +24,11 @@ val name : t -> string
 
 val counters : t -> Sim.Stats.Counter.t
 
+(** Observer invoked each time a breaker command passes the f+1 gate and
+    is actuated on the device — exactly once per decided key. Chaos
+    invariant checks use it to assert at-most-once actuation. *)
+val set_on_actuate : t -> (key:string -> breaker:string -> close:bool -> unit) -> unit
+
 (** Handle a payload from the replicated system (breaker commands, Prime
     client replies). *)
 val handle_payload : t -> Netbase.Packet.payload -> unit

@@ -23,6 +23,7 @@ type t = {
   mutable sequence : int;
   mutable timers : Sim.Engine.timer list;
   counters : Sim.Stats.Counter.t;
+  mutable on_actuate : (key:string -> breaker:string -> close:bool -> unit) option;
 }
 
 let dnp3_local_port = 5021
@@ -39,15 +40,18 @@ let create ~engine ~trace ~keystore ~config ~host ~rtu_ip ~breaker_names ~client
     breaker_names = Array.of_list breaker_names;
     client;
     last_known = Array.make (List.length breaker_names) None;
-    command_gate = Threshold.create ~needed:(config.Prime.Config.f + 1);
+    command_gate = Threshold.create ~needed:(config.Prime.Config.f + 1) ();
     sequence = 0;
     timers = [];
     counters = Sim.Stats.Counter.create ();
+    on_actuate = None;
   }
 
 let name t = t.name
 
 let counters t = t.counters
+
+let set_on_actuate t hook = t.on_actuate <- Some hook
 
 let point_of_breaker t breaker =
   let rec scan i =
@@ -128,6 +132,7 @@ let handle_breaker_command t ~rep ~exec_seq ~breaker ~close signature =
             ~stage:Obs.Registry.stage_actuate ~time:(Sim.Engine.now t.engine);
           Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"proxy"
             "%s: DNP3 operate %s -> %s" t.name breaker (if close then "closed" else "open");
+          (match t.on_actuate with Some h -> h ~key ~breaker ~close | None -> ());
           send_dnp3 t (Plc.Dnp3.Operate { index; close })
       | None -> Sim.Stats.Counter.incr t.counters "command.unknown_breaker"
     end

@@ -4,10 +4,23 @@
 
 type t
 
-val create : needed:int -> t
+(** [create ?retention ~needed ()] builds a gate. Only the most recent
+    [retention] decided keys (default 4096) are kept for replay
+    suppression, and open vote sets idle for a full retention horizon
+    are discarded, so memory stays bounded over long runs. *)
+val create : ?retention:int -> needed:int -> unit -> t
 
 (** [vote t ~key ~voter] returns [true] exactly once per key — when this
     vote completes the threshold. *)
 val vote : t -> key:string -> voter:int -> bool
 
 val decided : t -> string -> bool
+
+(** Decided keys currently retained for replay suppression. *)
+val decided_count : t -> int
+
+(** Vote sets that have not yet reached threshold. *)
+val open_votes : t -> int
+
+(** Total decided keys and stale vote sets evicted so far. *)
+val evictions : t -> int

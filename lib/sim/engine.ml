@@ -13,6 +13,7 @@ type t = {
   mutable now : float;
   queue : event Heap.t;
   cancelled : (event_id, unit) Hashtbl.t;
+  pending_ids : (event_id, unit) Hashtbl.t;
   mutable next_id : int;
   rng : Rng.t;
   mutable executed : int;
@@ -24,6 +25,7 @@ let create ?(seed = 0x5CADAL) () =
     now = 0.0;
     queue = Heap.create ();
     cancelled = Hashtbl.create 64;
+    pending_ids = Hashtbl.create 64;
     next_id = 0;
     rng = Rng.create seed;
     executed = 0;
@@ -45,13 +47,19 @@ let schedule_at t ~time thunk =
   let id = t.next_id in
   t.next_id <- t.next_id + 1;
   Heap.push t.queue ~key:time { id; thunk };
+  Hashtbl.replace t.pending_ids id ();
   id
 
 let schedule t ~delay thunk =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.now +. delay) thunk
 
-let cancel t id = Hashtbl.replace t.cancelled id ()
+(* Only ids still in the heap may enter [cancelled]; marking an already
+   executed (or already cancelled-and-popped) id would leak the entry
+   forever, since [step] removes it only when popping that id. *)
+let cancel t id = if Hashtbl.mem t.pending_ids id then Hashtbl.replace t.cancelled id ()
+
+let cancelled_backlog t = Hashtbl.length t.cancelled
 
 let pending t = Heap.length t.queue
 
@@ -62,6 +70,7 @@ let step t =
   | None -> false
   | Some (time, event) ->
       t.now <- time;
+      Hashtbl.remove t.pending_ids event.id;
       (match Hashtbl.find_opt t.cancelled event.id with
       | Some () -> Hashtbl.remove t.cancelled event.id
       | None ->

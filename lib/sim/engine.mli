@@ -33,8 +33,14 @@ val schedule : t -> delay:float -> (unit -> unit) -> event_id
     [Invalid_argument] if [time] is in the past. *)
 val schedule_at : t -> time:float -> (unit -> unit) -> event_id
 
-(** [cancel t id] prevents a scheduled event from running. Idempotent. *)
+(** [cancel t id] prevents a scheduled event from running. Idempotent;
+    cancelling an event that already executed is a no-op and leaves no
+    residual bookkeeping. *)
 val cancel : t -> event_id -> unit
+
+(** Number of cancelled-but-not-yet-popped events (bookkeeping size).
+    Exposed so tests can assert cancellation does not leak. *)
+val cancelled_backlog : t -> int
 
 (** Number of events still queued (including lazily-cancelled ones). *)
 val pending : t -> int

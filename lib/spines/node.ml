@@ -80,9 +80,11 @@ type config = {
   hello_timeout : float;
   source_rate_limit : float; (* data msgs/s accepted per origin in IT mode *)
   session_timeout : float; (* attachment freshness bound *)
+  dedup_window : int; (* per-origin sequence horizon for dedup eviction *)
 }
 
-let default_config ?(port = 8100) ?session_port ?(it_mode = true) ?group_key topology =
+let default_config ?(port = 8100) ?session_port ?(it_mode = true) ?group_key
+    ?(dedup_window = 4096) topology =
   {
     topology;
     port;
@@ -93,6 +95,7 @@ let default_config ?(port = 8100) ?session_port ?(it_mode = true) ?group_key top
     hello_timeout = 1.0;
     source_rate_limit = 2000.0;
     session_timeout = 5.0;
+    dedup_window;
   }
 
 type client = {
@@ -103,6 +106,13 @@ type client = {
 type neighbor_state = { mutable last_ack : float; mutable up : bool }
 
 type bucket = { mutable tokens : float; mutable updated : float }
+
+(* Fault-injection verdict for one outgoing link message. Consulted by
+   [send_link] when a chaos injector is installed; the injector owns its
+   own RNG so link faults replay deterministically from a chaos seed. *)
+type fault_decision = { fd_drop : bool; fd_duplicate : bool; fd_delay : float }
+
+let no_fault = { fd_drop = false; fd_duplicate = false; fd_delay = 0.0 }
 
 type t = {
   id : node_id;
@@ -115,7 +125,7 @@ type t = {
   mutable seq : int;
   mutable hello_seq : int;
   mutable lsa_seq : int;
-  dedup : (node_id * int, unit) Hashtbl.t;
+  dedup : Window.t;
   lsa_seen : (node_id * int, unit) Hashtbl.t;
   view : Topology.View.view;
   neighbor_states : (node_id, neighbor_state) Hashtbl.t;
@@ -125,6 +135,7 @@ type t = {
   mutable running : bool;
   mutable timers : Sim.Engine.timer list;
   mutable exploit : string option;
+  mutable fault_injector : (peer:node_id -> fault_decision) option;
 }
 
 and session_entry = {
@@ -146,7 +157,7 @@ let create ~engine ~trace ~host ~id config =
       seq = 0;
       hello_seq = 0;
       lsa_seq = 0;
-      dedup = Hashtbl.create 1024;
+      dedup = Window.create ~span:config.dedup_window ();
       lsa_seen = Hashtbl.create 64;
       view = Topology.View.all_up config.topology;
       neighbor_states = Hashtbl.create 16;
@@ -156,6 +167,7 @@ let create ~engine ~trace ~host ~id config =
       running = false;
       timers = [];
       exploit = None;
+      fault_injector = None;
     }
   in
   List.iter
@@ -172,6 +184,12 @@ let is_running t = t.running
 let set_peer_address t peer ip = Hashtbl.replace t.peer_addrs peer ip
 
 let inject_exploit t name = t.exploit <- Some name
+
+let set_fault_injector t f = t.fault_injector <- f
+
+let dedup_evictions t = Window.evictions t.dedup
+
+let dedup_retained t = Window.retained t.dedup
 
 (* --- canonical encoding for authentication ----------------------------- *)
 
@@ -224,14 +242,33 @@ let send_link t ~to_ inner =
   match Hashtbl.find_opt t.peer_addrs to_ with
   | None -> Sim.Stats.Counter.incr t.counters "link.no_address"
   | Some ip ->
-      let msg =
-        Link_msg
-          { auth = compute_auth t inner; encrypted = t.config.group_key <> None; inner }
+      let transmit () =
+        let msg =
+          Link_msg
+            { auth = compute_auth t inner; encrypted = t.config.group_key <> None; inner }
+        in
+        Sim.Stats.Counter.incr t.counters "link.tx";
+        Obs.Registry.incr Obs.Registry.default "spines.link.tx";
+        Netbase.Host.udp_send t.host ~dst_ip:ip ~dst_port:t.config.port
+          ~src_port:t.config.port ~size:(inner_size inner) msg
       in
-      Sim.Stats.Counter.incr t.counters "link.tx";
-      Obs.Registry.incr Obs.Registry.default "spines.link.tx";
-      Netbase.Host.udp_send t.host ~dst_ip:ip ~dst_port:t.config.port
-        ~src_port:t.config.port ~size:(inner_size inner) msg
+      let d =
+        match t.fault_injector with None -> no_fault | Some inject -> inject ~peer:to_
+      in
+      if d.fd_drop then Sim.Stats.Counter.incr t.counters "chaos.dropped"
+      else begin
+        (* A delayed copy overtakes later undelayed traffic, so delay also
+           models reordering. *)
+        if d.fd_delay > 0.0 then begin
+          Sim.Stats.Counter.incr t.counters "chaos.delayed";
+          ignore (Sim.Engine.schedule t.engine ~delay:d.fd_delay transmit)
+        end
+        else transmit ();
+        if d.fd_duplicate then begin
+          Sim.Stats.Counter.incr t.counters "chaos.duplicated";
+          transmit ()
+        end
+      end
 
 let live_neighbors t =
   List.filter
@@ -304,10 +341,12 @@ let flood t ?except inner =
     (live_neighbors t)
 
 let forward_data t ~from (d : data) =
-  if Hashtbl.mem t.dedup (d.origin, d.data_seq) then
-    Sim.Stats.Counter.incr t.counters "dedup.drop"
+  let before = Window.evictions t.dedup in
+  let fresh = Window.mark t.dedup ~origin:d.origin ~seq:d.data_seq in
+  let evicted = Window.evictions t.dedup - before in
+  if evicted > 0 then Sim.Stats.Counter.incr ~by:evicted t.counters "dedup.evicted";
+  if not fresh then Sim.Stats.Counter.incr t.counters "dedup.drop"
   else begin
-    Hashtbl.replace t.dedup (d.origin, d.data_seq) ();
     Obs.Registry.incr Obs.Registry.default "spines.data.forwarded";
     (* Source fairness: a flooding origin is clipped at every honest hop. *)
     let admitted = (not t.config.it_mode) || d.origin = t.id || within_rate t d.origin in
@@ -545,7 +584,7 @@ module Session = struct
     mutable current : int; (* index into daemons *)
     mutable last_ack : float;
     mutable handler : (size:int -> Netbase.Packet.payload -> unit) option;
-    sess_dedup : (node_id * int, unit) Hashtbl.t;
+    sess_dedup : Window.t;
     sess_counters : Sim.Stats.Counter.t;
     mutable sess_timers : Sim.Engine.timer list;
     mutable sess_running : bool;
@@ -554,7 +593,8 @@ module Session = struct
   }
 
   let create ?(attach_period = 1.0) ?(failover_timeout = 3.0) ?(local_port = 9001)
-      ~engine ~trace ~host ~key ~daemons ~daemon_session_port ~name () =
+      ?(dedup_window = 4096) ~engine ~trace ~host ~key ~daemons ~daemon_session_port ~name
+      () =
     if daemons = [] then invalid_arg "Session.create: no daemons";
     {
       sess_name = name;
@@ -568,7 +608,7 @@ module Session = struct
       current = 0;
       last_ack = 0.0;
       handler = None;
-      sess_dedup = Hashtbl.create 1024;
+      sess_dedup = Window.create ~span:dedup_window ();
       sess_counters = Sim.Stats.Counter.create ();
       sess_timers = [];
       sess_running = false;
@@ -621,8 +661,12 @@ module Session = struct
           | Sess_attach_ack _ -> s.last_ack <- Sim.Engine.now s.engine
           | Sess_deliver { sd_origin; sd_seq; sd_size; sd_payload } ->
               (* Stale double-attachments during failover may duplicate. *)
-              if not (Hashtbl.mem s.sess_dedup (sd_origin, sd_seq)) then begin
-                Hashtbl.replace s.sess_dedup (sd_origin, sd_seq) ();
+              let before = Window.evictions s.sess_dedup in
+              let fresh = Window.mark s.sess_dedup ~origin:sd_origin ~seq:sd_seq in
+              let evicted = Window.evictions s.sess_dedup - before in
+              if evicted > 0 then
+                Sim.Stats.Counter.incr ~by:evicted s.sess_counters "dedup.evicted";
+              if fresh then begin
                 Sim.Stats.Counter.incr s.sess_counters "delivered";
                 match s.handler with
                 | Some h -> h ~size:sd_size sd_payload

@@ -27,10 +27,17 @@ type config = {
   hello_timeout : float;
   source_rate_limit : float;
   session_timeout : float;
+  dedup_window : int; (* per-origin sequence horizon for dedup eviction *)
 }
 
 val default_config :
-  ?port:int -> ?session_port:int -> ?it_mode:bool -> ?group_key:string -> Topology.t -> config
+  ?port:int ->
+  ?session_port:int ->
+  ?it_mode:bool ->
+  ?group_key:string ->
+  ?dedup_window:int ->
+  Topology.t ->
+  config
 
 (** Overlay message overhead added to every client payload, bytes. *)
 val overhead_bytes : int
@@ -61,6 +68,22 @@ val stop : t -> unit
     daemon runs outside intrusion-tolerant mode. *)
 val inject_exploit : t -> string -> unit
 
+(** Fault-injection verdict for one outgoing link message, drawn by a
+    chaos injector: drop it, send a duplicate copy, and/or delay it (a
+    delayed message can overtake later traffic, modelling reordering). *)
+type fault_decision = { fd_drop : bool; fd_duplicate : bool; fd_delay : float }
+
+(** Install (or clear, with [None]) a per-message fault injector consulted
+    on every outgoing link transmission. The injector owns its randomness,
+    so schedules replay deterministically from the chaos seed. *)
+val set_fault_injector : t -> (peer:node_id -> fault_decision) option -> unit
+
+(** Dedup-window entries evicted / currently retained, for bounded-memory
+    assertions. *)
+val dedup_evictions : t -> int
+
+val dedup_retained : t -> int
+
 (** Attach a local client session. Raises [Invalid_argument] on duplicate
     client ids. *)
 val register_client :
@@ -88,6 +111,7 @@ module Session : sig
     ?attach_period:float ->
     ?failover_timeout:float ->
     ?local_port:int ->
+    ?dedup_window:int ->
     engine:Sim.Engine.t ->
     trace:Sim.Trace.t ->
     host:Netbase.Host.t ->

@@ -109,6 +109,54 @@ let test_recovery_validates_period () =
            ~take_down:(fun _ -> ())
            ~bring_up:(fun _ _ -> ())))
 
+let test_recovery_stop_during_downtime () =
+  (* [stop] cancels the rotation timer, but a bring-up already scheduled
+     for a machine mid-recovery still fires: a half-recovered replica is
+     not left down forever. *)
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let rng = Sim.Rng.create 21L in
+  let downs = ref [] and ups = ref [] in
+  let sched =
+    Diversity.Recovery.create ~engine ~trace ~rng ~n:6 ~rotation_period:10.0 ~downtime:2.0
+      ~take_down:(fun i -> downs := i :: !downs)
+      ~bring_up:(fun i _ -> ups := i :: !ups)
+  in
+  Diversity.Recovery.start sched;
+  (* First take-down at t=10; stop inside its downtime window. *)
+  Sim.Engine.run ~until:11.0 engine;
+  check_int "one down" 1 (List.length !downs);
+  check_int "not yet up" 0 (List.length !ups);
+  check "mid-recovery" true (Diversity.Recovery.recovering sched = Some 0);
+  Diversity.Recovery.stop sched;
+  Sim.Engine.run ~until:30.0 engine;
+  Alcotest.(check (list int)) "pending bring-up still fired" [ 0 ] (List.rev !ups);
+  check_int "no further take-downs after stop" 1 (List.length !downs)
+
+let test_recovery_restart_after_stop () =
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let rng = Sim.Rng.create 22L in
+  let downs = ref [] in
+  let sched =
+    Diversity.Recovery.create ~engine ~trace ~rng ~n:4 ~rotation_period:10.0 ~downtime:1.0
+      ~take_down:(fun i -> downs := i :: !downs)
+      ~bring_up:(fun _ _ -> ())
+  in
+  Diversity.Recovery.start sched;
+  Sim.Engine.run ~until:15.0 engine;
+  Diversity.Recovery.stop sched;
+  Sim.Engine.run ~until:40.0 engine;
+  check_int "one rotation before stop" 1 (List.length !downs);
+  (* The timer restarts cleanly after a stop and resumes the round robin. *)
+  Diversity.Recovery.start sched;
+  Sim.Engine.run ~until:70.0 engine;
+  Diversity.Recovery.stop sched;
+  check "rotation resumed" true (List.length !downs >= 3);
+  Alcotest.(check (list int))
+    "round robin continues where it left off" [ 0; 1; 2 ]
+    (List.filteri (fun i _ -> i < 3) (List.rev !downs))
+
 let suite =
   [
     ("variants distinct", `Quick, test_variants_distinct);
@@ -119,6 +167,8 @@ let suite =
     ("recovery at most one down", `Quick, test_recovery_at_most_one_down);
     ("recovery exposure bound", `Quick, test_recovery_exposure_bound);
     ("recovery validates period", `Quick, test_recovery_validates_period);
+    ("recovery stop during downtime", `Quick, test_recovery_stop_during_downtime);
+    ("recovery restart after stop", `Quick, test_recovery_restart_after_stop);
     QCheck_alcotest.to_alcotest prop_diverse_exploit_reuse_rate;
   ]
 

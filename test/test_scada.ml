@@ -133,6 +133,43 @@ let test_historian_wipe_is_permanent () =
   check_int "empty" 0 (Scada.Historian.length h);
   check_int "loss accounted" 10 (Scada.Historian.lost_events h)
 
+(* --- threshold gate ------------------------------------------------------- *)
+
+let test_threshold_fires_once () =
+  let g = Scada.Threshold.create ~needed:2 () in
+  check "first vote below threshold" false (Scada.Threshold.vote g ~key:"k" ~voter:0);
+  check "same voter does not stack" false (Scada.Threshold.vote g ~key:"k" ~voter:0);
+  check "second voter completes" true (Scada.Threshold.vote g ~key:"k" ~voter:1);
+  check "replay suppressed" false (Scada.Threshold.vote g ~key:"k" ~voter:2);
+  check "decided" true (Scada.Threshold.decided g "k")
+
+let test_threshold_retention_bounds_decided () =
+  (* Regression: decided keys were retained forever. *)
+  let g = Scada.Threshold.create ~retention:4 ~needed:1 () in
+  for i = 1 to 10 do
+    check "each key fires" true (Scada.Threshold.vote g ~key:(string_of_int i) ~voter:0)
+  done;
+  check_int "decided bounded by retention" 4 (Scada.Threshold.decided_count g);
+  check_int "evictions counted" 6 (Scada.Threshold.evictions g);
+  (* Replay suppression holds within the retention horizon... *)
+  check "recent key still suppressed" false (Scada.Threshold.vote g ~key:"10" ~voter:3);
+  check "recent key still decided" true (Scada.Threshold.decided g "10");
+  (* ...while keys beyond it have been forgotten. *)
+  check "ancient key forgotten" false (Scada.Threshold.decided g "1")
+
+let test_threshold_prunes_stale_votes () =
+  (* Regression: vote sets that never reach threshold (equivocation,
+     partial delivery) were retained forever. *)
+  let g = Scada.Threshold.create ~retention:4 ~needed:2 () in
+  check "lone vote pends" false (Scada.Threshold.vote g ~key:"orphan" ~voter:0);
+  check_int "one open vote set" 1 (Scada.Threshold.open_votes g);
+  for i = 1 to 8 do
+    let key = Printf.sprintf "done-%d" i in
+    ignore (Scada.Threshold.vote g ~key ~voter:0);
+    check "decision completes" true (Scada.Threshold.vote g ~key ~voter:1)
+  done;
+  check_int "stale vote set pruned" 0 (Scada.Threshold.open_votes g)
+
 let suite =
   [
     ("op roundtrip", `Quick, test_op_roundtrip);
@@ -142,6 +179,9 @@ let suite =
     ("state serialize/load/digest", `Quick, test_state_serialize_load_digest);
     ("state load rejects malformed", `Quick, test_state_load_rejects_malformed);
     ("state reset", `Quick, test_state_reset);
+    ("threshold fires once", `Quick, test_threshold_fires_once);
+    ("threshold retention bounds decided", `Quick, test_threshold_retention_bounds_decided);
+    ("threshold prunes stale votes", `Quick, test_threshold_prunes_stale_votes);
     ("historian record and query", `Quick, test_historian_record_and_query);
     ("historian wipe permanent", `Quick, test_historian_wipe_is_permanent);
     QCheck_alcotest.to_alcotest prop_op_roundtrip;

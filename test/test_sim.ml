@@ -113,6 +113,40 @@ let test_engine_cancel () =
   Sim.Engine.run e;
   check "cancelled event does not fire" false !fired
 
+let test_engine_cancel_after_execution_no_leak () =
+  (* Regression: cancelling an id whose event already ran used to leave a
+     permanent entry in the cancellation table. *)
+  let e = Sim.Engine.create () in
+  let id = Sim.Engine.schedule e ~delay:1.0 (fun () -> ()) in
+  Sim.Engine.run e;
+  Sim.Engine.cancel e id;
+  check_int "no backlog after cancelling executed event" 0 (Sim.Engine.cancelled_backlog e)
+
+let test_engine_double_cancel_no_leak () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let id = Sim.Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
+  Sim.Engine.cancel e id;
+  Sim.Engine.cancel e id;
+  check_int "one pending cancellation" 1 (Sim.Engine.cancelled_backlog e);
+  Sim.Engine.run e;
+  check "still cancelled" false !fired;
+  check_int "backlog drained when popped" 0 (Sim.Engine.cancelled_backlog e);
+  (* A third cancel, after the slot was consumed, must not re-insert. *)
+  Sim.Engine.cancel e id;
+  check_int "no backlog after late cancel" 0 (Sim.Engine.cancelled_backlog e)
+
+let test_engine_cancel_timer_no_leak () =
+  (* cancel_timer targets the next pending occurrence, so the entry is
+     consumed when that occurrence pops. *)
+  let e = Sim.Engine.create () in
+  let timer = Sim.Engine.every e ~period:1.0 (fun () -> ()) in
+  Sim.Engine.run ~until:5.5 e;
+  Sim.Engine.cancel_timer e timer;
+  Sim.Engine.cancel_timer e timer;
+  Sim.Engine.run ~until:10.0 e;
+  check_int "timer cancellation fully drained" 0 (Sim.Engine.cancelled_backlog e)
+
 let test_engine_nested_schedule () =
   let e = Sim.Engine.create () in
   let times = ref [] in
@@ -338,6 +372,9 @@ let suite =
     ("heap fifo ties", `Quick, test_heap_fifo_ties);
     ("engine time order", `Quick, test_engine_runs_in_time_order);
     ("engine cancel", `Quick, test_engine_cancel);
+    ("engine cancel after execution no leak", `Quick, test_engine_cancel_after_execution_no_leak);
+    ("engine double cancel no leak", `Quick, test_engine_double_cancel_no_leak);
+    ("engine cancel timer no leak", `Quick, test_engine_cancel_timer_no_leak);
     ("engine nested schedule", `Quick, test_engine_nested_schedule);
     ("engine until horizon", `Quick, test_engine_until_horizon);
     ("engine periodic timer", `Quick, test_engine_periodic_timer);

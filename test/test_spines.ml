@@ -18,7 +18,7 @@ type overlay = {
 }
 
 let make_overlay ?(it_mode = true) ?(keyed = fun _ -> Some "group-key") ?(rate = 2000.0)
-    topology =
+    ?(dedup_window = 4096) topology =
   let engine = Sim.Engine.create () in
   let trace = Sim.Trace.create () in
   let switch = Netbase.Switch.create ~engine ~trace "overlay-lan" in
@@ -35,7 +35,7 @@ let make_overlay ?(it_mode = true) ?(keyed = fun _ -> Some "group-key") ?(rate =
     Array.init n (fun i ->
         let config =
           {
-            (Spines.Node.default_config ~it_mode topology) with
+            (Spines.Node.default_config ~it_mode ~dedup_window topology) with
             Spines.Node.group_key = keyed ids.(i);
             source_rate_limit = rate;
           }
@@ -397,6 +397,40 @@ let prop_routing_survives_random_link_failures =
             else route = None)
         (List.init n (fun i -> i)))
 
+(* --- dedup sliding window --------------------------------------------------- *)
+
+let test_window_dedup_and_eviction () =
+  let w = Spines.Window.create ~span:4 () in
+  check "fresh seq accepted" true (Spines.Window.mark w ~origin:1 ~seq:1);
+  check "duplicate rejected" false (Spines.Window.mark w ~origin:1 ~seq:1);
+  check "other origin independent" true (Spines.Window.mark w ~origin:2 ~seq:1);
+  for seq = 2 to 20 do
+    check "advancing seqs accepted" true (Spines.Window.mark w ~origin:1 ~seq)
+  done;
+  (* seq 20 with span 4 puts the floor at 16: old seqs are gone... *)
+  check_int "evicted below horizon" 16 (Spines.Window.evictions w);
+  check "stale seq treated as duplicate" false (Spines.Window.mark w ~origin:1 ~seq:3);
+  (* ...and memory stays bounded by span per origin. *)
+  check "retained bounded" true (Spines.Window.retained w <= 5);
+  check "seen in-window seq rejected" false (Spines.Window.mark w ~origin:1 ~seq:18)
+
+let test_window_bounds_node_dedup () =
+  (* Regression: the node's dedup table grew without bound. With a small
+     configured window, sustained traffic must keep it clipped. *)
+  let o = make_overlay ~it_mode:true ~dedup_window:8 (Spines.Topology.full_mesh [ 0; 1; 2 ]) in
+  let received = ref 0 in
+  Spines.Node.register_client o.nodes.(1) ~client:7 (fun ~src:_ ~size:_ _ -> incr received);
+  Sim.Engine.run ~until:1.0 o.engine;
+  for _ = 1 to 50 do
+    Spines.Node.send o.nodes.(0) ~client:7 ~size:64
+      (Spines.Node.To_client { node = 1; client = 7 })
+      (Netbase.Packet.Raw "chaff")
+  done;
+  Sim.Engine.run ~until:3.0 o.engine;
+  check_int "all delivered" 50 !received;
+  check "dedup memory clipped to window" true (Spines.Node.dedup_retained o.nodes.(1) <= 16);
+  check "evictions counted" true (Spines.Node.dedup_evictions o.nodes.(1) > 0)
+
 let suite =
   [
     ("full mesh", `Quick, test_full_mesh);
@@ -413,6 +447,8 @@ let suite =
     ("wrong-key daemon rejected", `Quick, test_wrong_key_daemon_rejected);
     ("keyed member accepted", `Quick, test_keyed_member_accepted);
     ("replayed frames deduplicated", `Quick, test_replayed_frame_deduplicated);
+    ("window dedup and eviction", `Quick, test_window_dedup_and_eviction);
+    ("window bounds node dedup", `Quick, test_window_bounds_node_dedup);
     ("stopped daemon detected and rerouted", `Quick, test_stopped_daemon_detected_and_rerouted);
     ("flooding tolerates daemon stop", `Quick, test_flooding_tolerates_daemon_stop);
     ("recovered daemon rejoins", `Quick, test_recovered_daemon_rejoins);
