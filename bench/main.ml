@@ -769,6 +769,102 @@ let exp_e12 () =
   print_endline "  liveness while at most f replicas are faulty, and recovery liveness.";
   Obs.Json.Obj rows
 
+(* --- E13: amortized crypto pipeline ----------------------------------------------------------- *)
+
+type e13_row = {
+  e13_label : string;
+  confirmed : int;
+  submitted : int;
+  signs_per_update : float;
+  verifies_per_update : float;
+  cache_hits_per_update : float;
+  mean_batch : float;
+  mean_latency_ms : float;
+  elapsed_cpu_s : float;
+}
+
+let exp_e13 () =
+  section "E13" "Amortized crypto: signatures/verifications per ordered update (batch + cache)";
+  let rate = 1000.0 and duration = 10.0 in
+  let run ~label ~batch ~cache () =
+    (* The cache must hold the working set of in-flight triples at this
+       rate; at 1000 upd/s that is a few thousand entries. *)
+    let config =
+      Prime.Config.create ~f:1 ~k:0 ~batch_signing:batch ~batch_window:0.01
+        ~sig_cache_capacity:(if cache then 4096 else 0) ()
+    in
+    let c = Harness.make_cluster ~config () in
+    let t0 = Sys.time () in
+    let stats, submitted = Harness.run_load ~rate ~duration c in
+    let elapsed = Sys.time () -. t0 in
+    let total name =
+      Array.fold_left
+        (fun acc r -> acc + Sim.Stats.Counter.get (Prime.Replica.counters r) name)
+        0 c.Harness.replicas
+    in
+    let confirmed = max 1 (Sim.Stats.Summary.count stats) in
+    let flushes = total "crypto.batch_flush" in
+    let per x = float_of_int x /. float_of_int confirmed in
+    {
+      e13_label = label;
+      confirmed;
+      submitted;
+      signs_per_update = per (total "crypto.sign");
+      verifies_per_update = per (total "crypto.verify");
+      cache_hits_per_update = per (total "crypto.cache_hit");
+      mean_batch =
+        (if flushes = 0 then 1.0
+         else float_of_int (total "crypto.batch_msgs") /. float_of_int flushes);
+      mean_latency_ms = ms (Sim.Stats.Summary.mean stats);
+      elapsed_cpu_s = elapsed;
+    }
+  in
+  let rows =
+    [
+      run ~label:"direct signing, no cache" ~batch:false ~cache:false ();
+      run ~label:"verified-signature cache only" ~batch:false ~cache:true ();
+      run ~label:"batch signing + cache" ~batch:true ~cache:true ();
+    ]
+  in
+  Printf.printf "  %-32s %9s %10s %10s %10s %8s %9s %9s\n" "pipeline" "confirmed" "signs/upd"
+    "verify/upd" "hits/upd" "batch" "mean(ms)" "upd/cpu-s";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-32s %5d/%-4d %10.2f %10.2f %10.2f %8.1f %9.1f %9.0f\n" r.e13_label
+        r.confirmed r.submitted r.signs_per_update r.verifies_per_update r.cache_hits_per_update
+        r.mean_batch r.mean_latency_ms
+        (float_of_int r.confirmed /. max 1e-9 r.elapsed_cpu_s))
+    rows;
+  let baseline = List.nth rows 0 and full = List.nth rows 2 in
+  let verify_ratio = baseline.verifies_per_update /. max 1e-9 full.verifies_per_update in
+  let sign_ratio = baseline.signs_per_update /. max 1e-9 full.signs_per_update in
+  Printf.printf
+    "\n  HMAC verifications per ordered update: %.2f -> %.2f (%.1fx reduction);\n"
+    baseline.verifies_per_update full.verifies_per_update verify_ratio;
+  Printf.printf "  signing operations per ordered update: %.2f -> %.2f (%.1fx); mean batch %.1f\n"
+    baseline.signs_per_update full.signs_per_update sign_ratio full.mean_batch;
+  print_endline "\n  One Merkle-aggregated signature covers every ack/prepare/commit a replica";
+  print_endline "  emits within a batch window, and the verified-signature cache collapses";
+  print_endline "  each relayed/re-checked (signer, bytes, tag) triple to a table probe.";
+  let open Obs.Json in
+  Obj
+    (List.map
+       (fun r ->
+         ( r.e13_label,
+           Obj
+             [
+               ("confirmed", num_i r.confirmed);
+               ("submitted", num_i r.submitted);
+               ("signs_per_update", Num r.signs_per_update);
+               ("verifies_per_update", Num r.verifies_per_update);
+               ("cache_hits_per_update", Num r.cache_hits_per_update);
+               ("mean_batch_size", Num r.mean_batch);
+               ("mean_latency_ms", Num r.mean_latency_ms);
+               ("updates_per_cpu_second", Num (float_of_int r.confirmed /. max 1e-9 r.elapsed_cpu_s));
+             ] ))
+       rows
+    @ [ ("verify_reduction_ratio", Num verify_ratio); ("sign_reduction_ratio", Num sign_ratio) ])
+
 (* --- E11: micro benches (Bechamel) ----------------------------------------------------------- *)
 
 let exp_micro () =
@@ -787,6 +883,11 @@ let exp_micro () =
         body = Plc.Modbus.Read_holding_registers { addr = 0; count = 16 } }
   in
   let update = Prime.Msg.Update.create ~keypair ~client_seq:1 ~op:"status:B57:1" in
+  let batch_bodies =
+    Array.init 16 (fun i -> Printf.sprintf "ack-body-%d-%s" i (String.make 40 'x'))
+  in
+  let batch_atts = Crypto.Merkle.Batch.sign keypair batch_bodies in
+  let digest32 = Crypto.Sha256.digest "bench-digest" in
   let tests =
     Test.make_grouped ~name:"spire"
       [
@@ -807,6 +908,24 @@ let exp_micro () =
           (Staged.stage (fun () -> Plc.Modbus.decode_request modbus_frame));
         Test.make ~name:"prime-update-verify"
           (Staged.stage (fun () -> Prime.Msg.Update.verify keystore update));
+        Test.make ~name:"batch-sign-16"
+          (Staged.stage (fun () -> Crypto.Merkle.Batch.sign keypair batch_bodies));
+        Test.make ~name:"batch-verify-share"
+          (Staged.stage (fun () ->
+               Crypto.Merkle.Batch.verify keystore ~signer:"bench" ~body:batch_bodies.(3)
+                 batch_atts.(3)));
+        Test.make ~name:"wire-encode-po-ack"
+          (Staged.stage (fun () ->
+               Prime.Msg.encode_po_ack ~acker:2 ~origin:1 ~po_seq:4242 ~digest:digest32));
+        Test.make ~name:"engine-schedule-cancel-64"
+          (Staged.stage (fun () ->
+               let e = Sim.Engine.create ~hint:64 () in
+               let ids =
+                 Array.init 64 (fun i ->
+                     Sim.Engine.schedule e ~delay:(float_of_int i *. 0.001) (fun () -> ()))
+               in
+               Array.iteri (fun i id -> if i land 1 = 0 then Sim.Engine.cancel e id) ids;
+               Sim.Engine.run e));
       ]
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
@@ -872,6 +991,7 @@ let experiments =
     ("e9", exp_e9);
     ("e10", exp_e10);
     ("e12", exp_e12);
+    ("e13", exp_e13);
     ("micro", exp_micro);
     ("throughput", exp_throughput);
   ]
@@ -916,12 +1036,18 @@ let () =
   in
   let results =
     match selected with
-    | Some id when id <> "all" -> (
-        match List.assoc_opt id experiments with
-        | Some f -> [ (id, f ()) ]
-        | None ->
-            Printf.eprintf "unknown experiment %s (use --list)\n" id;
-            exit 1)
+    | Some ids when ids <> "all" ->
+        (* Comma-separated selection: --exp e13,micro runs both in order. *)
+        String.split_on_char ',' ids
+        |> List.filter_map (fun id ->
+               match String.trim id with
+               | "" -> None
+               | id -> (
+                   match List.assoc_opt id experiments with
+                   | Some f -> Some (id, f ())
+                   | None ->
+                       Printf.eprintf "unknown experiment %s (use --list)\n" id;
+                       exit 1))
     | _ ->
         print_endline "Spire reproduction benchmark suite";
         print_endline "(DESIGN.md holds the experiment index; EXPERIMENTS.md paper-vs-measured)";

@@ -42,7 +42,18 @@ let redteam_cmd =
 
 (* --- latency ------------------------------------------------------------------ *)
 
-let latency samples poll gap json_file =
+(* Shared by latency/chaos: drop back to sign-per-message with no
+   verified-signature cache, for measuring the amortized pipeline's gain. *)
+let plain_crypto (config : Prime.Config.t) =
+  { config with Prime.Config.batch_signing = false; sig_cache_capacity = 0 }
+
+let no_batch_arg =
+  Arg.(
+    value & flag
+    & info [ "no-batch-signing" ]
+        ~doc:"Disable Merkle batch signing and the verified-signature cache.")
+
+let latency samples poll gap no_batch json_file =
   let pr name stats completed =
     Printf.printf "%-24s %3d/%d samples  mean %7.1f ms  p50 %7.1f ms  p99 %7.1f ms\n" name
       completed samples
@@ -53,6 +64,7 @@ let latency samples poll gap json_file =
   let horizon = 5.0 +. (gap *. float_of_int (samples + 4)) in
   let engine, trace = fresh_world () in
   let config = Prime.Config.power_plant () in
+  let config = if no_batch then plain_crypto config else config in
   let deployment =
     Spire.Deployment.create ~proxy_poll_period:poll ~engine ~trace ~config mini_scenario
   in
@@ -116,7 +128,7 @@ let latency_cmd =
   in
   Cmd.v
     (Cmd.info "latency" ~doc:"Measure breaker-flip-to-HMI reaction time (Section V).")
-    Term.(const latency $ samples $ poll $ gap $ json)
+    Term.(const latency $ samples $ poll $ gap $ no_batch_arg $ json)
 
 (* --- plant -------------------------------------------------------------------- *)
 
@@ -221,8 +233,10 @@ let breach_cmd =
 
 (* --- chaos -------------------------------------------------------------------- *)
 
-let chaos seed duration load_period json_file =
-  let result = Chaos.Runner.run ~seed ~duration ~load_period () in
+let chaos seed duration load_period no_batch json_file =
+  let config = Prime.Config.power_plant () in
+  let config = if no_batch then plain_crypto config else config in
+  let result = Chaos.Runner.run ~config ~seed ~duration ~load_period () in
   Printf.printf "chaos seed %d: %.0f s, %d faults injected\n" seed duration
     (List.length result.Chaos.Runner.schedule);
   List.iter
@@ -286,7 +300,7 @@ let chaos_cmd =
        ~doc:
          "Run a seeded fault-injection scenario with continuous invariant checking; exits \
           non-zero on any violation.")
-    Term.(const chaos $ seed $ duration $ load_period $ json)
+    Term.(const chaos $ seed $ duration $ load_period $ no_batch_arg $ json)
 
 let main =
   Cmd.group

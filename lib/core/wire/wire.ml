@@ -1,0 +1,135 @@
+(* Binary wire codec for canonical (signed) message encodings.
+
+   Writers append fixed-width big-endian fields to a [Buffer.t]; the
+   reader walks the same layout back. The codec replaces the
+   sprintf/hex-string encodings that used to dominate the crypto hot
+   path: a 32-byte digest is written as 32 raw bytes instead of 64 hex
+   characters inside a formatted string, and integers cost no decimal
+   rendering.
+
+   Byte stability is a signature-compatibility property: two deployments
+   encoding the same logical message must produce identical bytes, or
+   signatures made by one would not verify at the other. Everything here
+   is therefore canonical — no varints, no optional padding. *)
+
+exception Truncated
+
+let w_u8 b v =
+  if v < 0 || v > 0xFF then invalid_arg "Wire.w_u8: out of range";
+  Buffer.add_char b (Char.unsafe_chr v)
+
+let w_u16 b v =
+  if v < 0 || v > 0xFFFF then invalid_arg "Wire.w_u16: out of range";
+  Buffer.add_char b (Char.unsafe_chr (v lsr 8));
+  Buffer.add_char b (Char.unsafe_chr (v land 0xFF))
+
+let w_u32 b v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Wire.w_u32: out of range";
+  Buffer.add_char b (Char.unsafe_chr ((v lsr 24) land 0xFF));
+  Buffer.add_char b (Char.unsafe_chr ((v lsr 16) land 0xFF));
+  Buffer.add_char b (Char.unsafe_chr ((v lsr 8) land 0xFF));
+  Buffer.add_char b (Char.unsafe_chr (v land 0xFF))
+
+(* Full OCaml int (63-bit, sign included) as 8 bytes big-endian. *)
+let w_int b v =
+  for i = 7 downto 0 do
+    Buffer.add_char b (Char.unsafe_chr ((v asr (i * 8)) land 0xFF))
+  done
+
+let w_bool b v = Buffer.add_char b (if v then '\001' else '\000')
+
+let w_str b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+(* Digests are fixed-width: 32 raw bytes, no length prefix. *)
+let w_digest b d =
+  if String.length d <> 32 then invalid_arg "Wire.w_digest: digest must be 32 bytes";
+  Buffer.add_string b d
+
+let w_int_array b a =
+  w_u32 b (Array.length a);
+  Array.iter (w_int b) a
+
+let w_opt b w = function
+  | None -> w_bool b false
+  | Some v ->
+      w_bool b true;
+      w b v
+
+(* --- reader ------------------------------------------------------------- *)
+
+type reader = { data : string; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+
+let remaining r = String.length r.data - r.pos
+
+let at_end r = remaining r = 0
+
+let need r n = if remaining r < n then raise Truncated
+
+let r_u8 r =
+  need r 1;
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let r_u16 r =
+  let hi = r_u8 r in
+  let lo = r_u8 r in
+  (hi lsl 8) lor lo
+
+let r_u32 r =
+  need r 4;
+  let v =
+    (Char.code r.data.[r.pos] lsl 24)
+    lor (Char.code r.data.[r.pos + 1] lsl 16)
+    lor (Char.code r.data.[r.pos + 2] lsl 8)
+    lor Char.code r.data.[r.pos + 3]
+  in
+  r.pos <- r.pos + 4;
+  v
+
+let r_int r =
+  need r 8;
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code r.data.[r.pos + i]
+  done;
+  r.pos <- r.pos + 8;
+  (* The wire carries a sign-extended 64-bit pattern of a native (63-bit)
+     int; accumulating with [lsl] discards the redundant top bit, leaving
+     the original value in native representation. *)
+  !v
+
+let r_bool r =
+  match r_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | _ -> raise Truncated
+
+let r_str r =
+  let len = r_u32 r in
+  need r len;
+  let s = String.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let r_digest r =
+  need r 32;
+  let s = String.sub r.data r.pos 32 in
+  r.pos <- r.pos + 32;
+  s
+
+let r_int_array r =
+  let len = r_u32 r in
+  Array.init len (fun _ -> r_int r)
+
+let r_opt rd r = if r_bool r then Some (rd r) else None
+
+(* Convenience: run writers against a fresh buffer and return the bytes. *)
+let encode ?(size_hint = 64) f =
+  let b = Buffer.create size_hint in
+  f b;
+  Buffer.contents b

@@ -1,0 +1,63 @@
+(** Binary wire codec for canonical (signed) message encodings.
+
+    Writers append fixed-width big-endian fields to a [Buffer.t]; the
+    reader walks the same layout back. Encodings are canonical by
+    construction — the same logical message always produces the same
+    bytes, the property signatures need (signature compatibility across
+    deployments). *)
+
+(** Raised by readers on truncated or malformed input. *)
+exception Truncated
+
+val w_u8 : Buffer.t -> int -> unit
+
+val w_u16 : Buffer.t -> int -> unit
+
+val w_u32 : Buffer.t -> int -> unit
+
+(** Full native int as 8 bytes big-endian (sign-extended). *)
+val w_int : Buffer.t -> int -> unit
+
+val w_bool : Buffer.t -> bool -> unit
+
+(** Length-prefixed (u32) byte string. *)
+val w_str : Buffer.t -> string -> unit
+
+(** Exactly 32 raw bytes, no length prefix. Raises [Invalid_argument] on
+    any other length. *)
+val w_digest : Buffer.t -> string -> unit
+
+val w_int_array : Buffer.t -> int array -> unit
+
+(** Presence flag byte, then the value if present. *)
+val w_opt : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a option -> unit
+
+type reader
+
+val reader : string -> reader
+
+val remaining : reader -> int
+
+val at_end : reader -> bool
+
+val r_u8 : reader -> int
+
+val r_u16 : reader -> int
+
+val r_u32 : reader -> int
+
+val r_int : reader -> int
+
+val r_bool : reader -> bool
+
+val r_str : reader -> string
+
+val r_digest : reader -> string
+
+val r_int_array : reader -> int array
+
+val r_opt : (reader -> 'a) -> reader -> 'a option
+
+(** [encode ?size_hint f] runs [f] against a fresh buffer and returns its
+    contents. *)
+val encode : ?size_hint:int -> (Buffer.t -> unit) -> string

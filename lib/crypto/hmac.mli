@@ -9,3 +9,16 @@ val mac_list : key:string -> string list -> string
 
 (** [verify ~key ~tag message] checks a tag in constant time. *)
 val verify : key:string -> tag:string -> string -> bool
+
+(** Precomputed key schedule: the inner and outer padded-key blocks are
+    absorbed once, so each MAC under a long-lived key costs two context
+    copies instead of two key-block compressions plus key normalization. *)
+type schedule
+
+val schedule : key:string -> schedule
+
+val mac_sched : schedule -> string -> string
+
+val mac_list_sched : schedule -> string list -> string
+
+val verify_sched : schedule -> tag:string -> string -> bool

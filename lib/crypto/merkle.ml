@@ -1,9 +1,19 @@
-(* Merkle hash trees over lists of byte strings.
+(* Merkle hash trees over byte strings.
 
-   Used for state-transfer integrity: a recovering SCADA master fetches
-   state chunks from peers and checks each against the root agreed through
-   the replication protocol. Leaves and interior nodes use distinct domain
-   separators so a leaf cannot be replayed as an interior node. *)
+   Used for state-transfer integrity (a recovering SCADA master checks
+   fetched chunks against the root agreed through replication) and for
+   batch signature aggregation (one signature over the root of a tree of
+   message bodies, Prime's signature-amortization trick). Leaves and
+   interior nodes use distinct domain separators so a leaf cannot be
+   replayed as an interior node.
+
+   The tree is built bottom-up into arrays: level 0 holds the leaf
+   hashes, each higher level the pairwise node hashes. Proof extraction
+   is then O(log n) array indexing; the previous list-based walk
+   re-materialized every level per proof (O(n) per level, O(n^2) for a
+   full batch of proofs), which dominated state-transfer verification on
+   large chunk lists. Odd nodes are promoted unchanged (Bitcoin-style
+   duplication would allow leaf-set ambiguity). *)
 
 type proof_step = { sibling : Sha256.digest; sibling_on_left : bool }
 
@@ -13,46 +23,52 @@ let leaf_hash data = Sha256.digest_list [ "\x00merkle-leaf"; data ]
 
 let node_hash left right = Sha256.digest_list [ "\x01merkle-node"; left; right ]
 
-(* Build all levels bottom-up; odd nodes are promoted unchanged (Bitcoin-
-   style duplication would allow leaf-set ambiguity). *)
-let levels leaves =
-  if leaves = [] then invalid_arg "Merkle.levels: no leaves";
-  let rec build level acc =
-    if List.length level = 1 then List.rev (level :: acc)
+type tree = { levels : Sha256.digest array array }
+(* levels.(0) = leaf hashes; last level has a single entry, the root. *)
+
+let build_of_leaf_hashes leaf_hashes =
+  let n = Array.length leaf_hashes in
+  if n = 0 then invalid_arg "Merkle.build: no leaves";
+  let rec up acc level =
+    let len = Array.length level in
+    if len = 1 then List.rev (level :: acc)
     else
-      let rec pair = function
-        | left :: right :: rest -> node_hash left right :: pair rest
-        | [ odd ] -> [ odd ]
-        | [] -> []
+      let next =
+        Array.init ((len + 1) / 2) (fun i ->
+            if (2 * i) + 1 < len then node_hash level.(2 * i) level.((2 * i) + 1)
+            else level.(2 * i) (* promoted odd node *))
       in
-      build (pair level) (level :: acc)
+      up (level :: acc) next
   in
-  build (List.map leaf_hash leaves) []
+  { levels = Array.of_list (up [] leaf_hashes) }
 
-let root leaves =
-  match List.rev (levels leaves) with
-  | [ r ] :: _ -> r
-  | _ -> assert false
+let build leaves = build_of_leaf_hashes (Array.map leaf_hash leaves)
 
-let proof leaves index =
-  let n = List.length leaves in
+let tree_root t =
+  let top = t.levels.(Array.length t.levels - 1) in
+  top.(0)
+
+let leaf_count t = Array.length t.levels.(0)
+
+let tree_proof t index =
+  let n = leaf_count t in
   if index < 0 || index >= n then invalid_arg "Merkle.proof: index out of range";
-  let all_levels = levels leaves in
-  let rec walk levels idx acc =
-    match levels with
-    | [] | [ _ ] -> List.rev acc
-    | level :: rest ->
-        let arr = Array.of_list level in
-        let len = Array.length arr in
-        let sibling_idx = if idx mod 2 = 0 then idx + 1 else idx - 1 in
-        let acc =
-          if sibling_idx < len then
-            { sibling = arr.(sibling_idx); sibling_on_left = sibling_idx < idx } :: acc
-          else acc (* promoted odd node: no sibling at this level *)
-        in
-        walk rest (idx / 2) acc
-  in
-  walk all_levels index []
+  let steps = ref [] in
+  let idx = ref index in
+  for l = 0 to Array.length t.levels - 2 do
+    let level = t.levels.(l) in
+    let i = !idx in
+    let sibling_idx = if i land 1 = 0 then i + 1 else i - 1 in
+    if sibling_idx < Array.length level then
+      steps := { sibling = level.(sibling_idx); sibling_on_left = sibling_idx < i } :: !steps;
+    (* A promoted odd node keeps its hash, so it contributes no step. *)
+    idx := i / 2
+  done;
+  List.rev !steps
+
+let root leaves = tree_root (build (Array.of_list leaves))
+
+let proof leaves index = tree_proof (build (Array.of_list leaves)) index
 
 let verify_proof ~root:expected ~leaf ~proof =
   let folded =
@@ -62,3 +78,37 @@ let verify_proof ~root:expected ~leaf ~proof =
       (leaf_hash leaf) proof
   in
   String.equal folded expected
+
+(* --- batch signature aggregation -----------------------------------------
+
+   One signature amortized over many message bodies: the signer builds a
+   tree over the bodies and signs the (domain-separated) root once; each
+   body travels with the shared root signature plus its inclusion proof.
+   A verifier checks the proof (hashing only) and the root signature —
+   and since every attestation of a batch shares the same signed root, a
+   verified-signature cache collapses the per-batch HMAC checks to one. *)
+
+module Batch = struct
+  type t = { root : Sha256.digest; agg : Signature.t }
+
+  type attestation = { batch : t; proof : proof }
+
+  (* The signed bytes are domain-separated so a batch root can never be
+     confused with (or replayed as) a directly-signed message body. *)
+  let root_binding root = "\x02merkle-batch-root:" ^ root
+
+  let sign kp bodies =
+    let tree = build bodies in
+    let root = tree_root tree in
+    let batch = { root; agg = Signature.sign kp (root_binding root) } in
+    Array.init (Array.length bodies) (fun i -> { batch; proof = tree_proof tree i })
+
+  let signer att = Signature.signer att.batch.agg
+
+  let verify ks ~signer ~body att =
+    verify_proof ~root:att.batch.root ~leaf:body ~proof:att.proof
+    && Signature.verify ks ~signer (root_binding att.batch.root) att.batch.agg
+
+  (* Wire size: root + aggregate signature + one digest per proof step. *)
+  let size_bytes att = 32 + Signature.size_bytes + (32 * List.length att.proof)
+end

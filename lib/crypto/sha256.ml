@@ -96,32 +96,47 @@ let compress ctx block off =
   state.(6) <- (state.(6) + !g) land mask;
   state.(7) <- (state.(7) + !h) land mask
 
-let feed_string ctx s =
-  let len = String.length s in
+let feed_sub ctx b off len =
   ctx.total_len <- ctx.total_len + len;
-  let pos = ref 0 in
+  let pos = ref off in
+  let stop = off + len in
   (* Fill a partially-filled buffer first. *)
   if ctx.buf_len > 0 then begin
     let need = 64 - ctx.buf_len in
     let take = min need len in
-    Bytes.blit_string s 0 ctx.buf ctx.buf_len take;
+    Bytes.blit b !pos ctx.buf ctx.buf_len take;
     ctx.buf_len <- ctx.buf_len + take;
-    pos := take;
+    pos := !pos + take;
     if ctx.buf_len = 64 then begin
       compress ctx ctx.buf 0;
       ctx.buf_len <- 0
     end
   end;
   (* Whole blocks straight from the input. *)
-  let bytes_s = Bytes.unsafe_of_string s in
-  while len - !pos >= 64 do
-    compress ctx bytes_s !pos;
+  while stop - !pos >= 64 do
+    compress ctx b !pos;
     pos := !pos + 64
   done;
-  if !pos < len then begin
-    Bytes.blit_string s !pos ctx.buf 0 (len - !pos);
-    ctx.buf_len <- len - !pos
+  if !pos < stop then begin
+    Bytes.blit b !pos ctx.buf 0 (stop - !pos);
+    ctx.buf_len <- stop - !pos
   end
+
+let feed_string ctx s =
+  feed_sub ctx (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let feed_bytes ctx b = feed_sub ctx b 0 (Bytes.length b)
+
+(* Independent continuation of a partially-fed context. The message
+   schedule is per-compression scratch, so a fresh one is fine. *)
+let copy ctx =
+  {
+    state = Array.copy ctx.state;
+    w = Array.make 64 0;
+    buf = Bytes.copy ctx.buf;
+    buf_len = ctx.buf_len;
+    total_len = ctx.total_len;
+  }
 
 let finalize ctx =
   let bit_len = ctx.total_len * 8 in

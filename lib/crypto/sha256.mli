@@ -13,6 +13,14 @@ val init : unit -> ctx
 (** Absorb input incrementally. *)
 val feed_string : ctx -> string -> unit
 
+(** Absorb a byte buffer incrementally (no string conversion). The buffer
+    is not retained; mutating it afterwards is safe. *)
+val feed_bytes : ctx -> Bytes.t -> unit
+
+(** Independent snapshot of a streaming context: feeding or finalizing
+    one does not affect the other. Used to precompute key schedules. *)
+val copy : ctx -> ctx
+
 (** Finish and return the digest. The context must not be reused. *)
 val finalize : ctx -> digest
 

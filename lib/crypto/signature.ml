@@ -15,11 +15,14 @@
 
 type identity = string
 
-type keypair = { id : identity; secret : string }
+(* The HMAC key schedule is precomputed at generation time: signing and
+   verifying then cost two context copies each instead of re-deriving the
+   padded key blocks per message. *)
+type keypair = { id : identity; sched : Hmac.schedule }
 
 type t = { signer : identity; tag : string }
 
-type keystore = { secrets : (identity, string) Hashtbl.t; mutable counter : int }
+type keystore = { secrets : (identity, Hmac.schedule) Hashtbl.t; mutable counter : int }
 
 let create_keystore () = { secrets = Hashtbl.create 32; counter = 0 }
 
@@ -31,21 +34,26 @@ let generate ks id =
      the simulation; deriving them from the keystore instance and a counter
      keeps runs deterministic. *)
   let secret = Sha256.digest (Printf.sprintf "keystore-secret:%s:%d" id ks.counter) in
-  Hashtbl.replace ks.secrets id secret;
-  { id; secret }
+  let sched = Hmac.schedule ~key:secret in
+  Hashtbl.replace ks.secrets id sched;
+  { id; sched }
 
 let identity kp = kp.id
 
 let signer t = t.signer
 
-let sign kp message = { signer = kp.id; tag = Hmac.mac ~key:kp.secret message }
+let tag t = t.tag
+
+let sign kp message = { signer = kp.id; tag = Hmac.mac_sched kp.sched message }
+
+let sign_parts kp parts = { signer = kp.id; tag = Hmac.mac_list_sched kp.sched parts }
 
 let verify ks ~signer message t =
   String.equal t.signer signer
   &&
   match Hashtbl.find_opt ks.secrets signer with
   | None -> false
-  | Some secret -> Hmac.verify ~key:secret ~tag:t.tag message
+  | Some sched -> Hmac.verify_sched sched ~tag:t.tag message
 
 (* A deliberately invalid signature, used by attack code to model a forged
    message from an adversary who lacks the key. *)

@@ -27,8 +27,16 @@ val identity : keypair -> identity
 
 val signer : t -> identity
 
+(** The authentication tag (public wire material; exposed so verified-
+    signature caches can key on it). *)
+val tag : t -> string
+
 (** [sign kp message] signs the exact byte string [message]. *)
 val sign : keypair -> string -> t
+
+(** [sign_parts kp parts] signs the concatenation of [parts] without
+    building it. *)
+val sign_parts : keypair -> string list -> t
 
 (** [verify ks ~signer message t] checks that [t] is [signer]'s signature
     over [message]. *)

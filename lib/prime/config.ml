@@ -18,13 +18,19 @@ type t = {
   tat_allowance : float; (* acceptable turnaround beyond network delay *)
   reconcile_period : float; (* missing-update re-request interval *)
   log_retention : int; (* ordered-log entries kept for catchup *)
+  batch_signing : bool; (* aggregate outbound ack/prepare/commit signatures *)
+  batch_window : float; (* accumulation window before a batch flush *)
+  sig_cache_capacity : int; (* verified-signature cache entries (0 disables) *)
 }
 
 let create ?(f = 1) ?(k = 0) ?(delta_pp = 0.03) ?(summary_period = 0.01)
     ?(heartbeat_period = 0.5) ?(tat_check_period = 0.25) ?(tat_allowance = 0.25)
-    ?(reconcile_period = 0.1) ?(log_retention = 1000) () =
+    ?(reconcile_period = 0.1) ?(log_retention = 1000) ?(batch_signing = true)
+    ?(batch_window = 0.002) ?(sig_cache_capacity = 512) () =
   if f < 1 then invalid_arg "Config.create: f must be >= 1";
   if k < 0 then invalid_arg "Config.create: k must be >= 0";
+  if batch_window < 0.0 then invalid_arg "Config.create: batch_window must be >= 0";
+  if sig_cache_capacity < 0 then invalid_arg "Config.create: sig_cache_capacity must be >= 0";
   {
     f;
     k;
@@ -37,6 +43,9 @@ let create ?(f = 1) ?(k = 0) ?(delta_pp = 0.03) ?(summary_period = 0.01)
     tat_allowance;
     reconcile_period;
     log_retention;
+    batch_signing;
+    batch_window;
+    sig_cache_capacity;
   }
 
 (* The red-team configuration: 4 replicas, one intrusion, no recovery. *)

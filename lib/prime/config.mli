@@ -14,6 +14,9 @@ type t = {
   tat_allowance : float; (* acceptable turnaround beyond network delay *)
   reconcile_period : float; (* missing-update re-request interval *)
   log_retention : int; (* ordered-log entries kept for catchup *)
+  batch_signing : bool; (* aggregate outbound ack/prepare/commit signatures *)
+  batch_window : float; (* accumulation window before a batch flush *)
+  sig_cache_capacity : int; (* verified-signature cache entries (0 disables) *)
 }
 
 (** Raises [Invalid_argument] for f < 1 or k < 0. *)
@@ -27,6 +30,9 @@ val create :
   ?tat_allowance:float ->
   ?reconcile_period:float ->
   ?log_retention:int ->
+  ?batch_signing:bool ->
+  ?batch_window:float ->
+  ?sig_cache_capacity:int ->
   unit ->
   t
 

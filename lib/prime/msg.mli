@@ -1,8 +1,11 @@
-(** Prime protocol messages with canonical encodings for signing.
+(** Prime protocol messages with canonical binary encodings for signing.
 
-    Every protocol message is signed by its sender; client updates carry
-    their own end-to-end client signature (a replica cannot fabricate
-    supervisory commands on behalf of an HMI). *)
+    Every protocol message is authenticated by its sender; client updates
+    carry their own end-to-end client signature (a replica cannot
+    fabricate supervisory commands on behalf of an HMI). Replica
+    authenticators are {!Crypto.Auth.t}: direct signatures or shares of a
+    Merkle-aggregated batch signature. Canonical bodies use the binary
+    {!Wire} codec — byte-stable across deployments by construction. *)
 
 module Update : sig
   type t = {
@@ -15,6 +18,9 @@ module Update : sig
   val create : keypair:Crypto.Signature.keypair -> client_seq:int -> op:string -> t
 
   val encode : t -> string
+
+  (** Append the canonical body to a buffer (for enclosing encodings). *)
+  val write : Buffer.t -> t -> unit
 
   val verify : Crypto.Signature.keystore -> t -> bool
 
@@ -29,8 +35,8 @@ module Update : sig
   val pp : Format.formatter -> t -> unit
 end
 
-(** A replica's signed cumulative preorder vector. *)
-type summary = { sum_rep : int; aru : int array; sum_sig : Crypto.Signature.t }
+(** A replica's authenticated cumulative preorder vector. *)
+type summary = { sum_rep : int; aru : int array; sum_sig : Crypto.Auth.t }
 
 val encode_summary_body : sum_rep:int -> aru:int array -> string
 
@@ -39,7 +45,9 @@ val encode_summary : summary -> string
 val verify_summary : Crypto.Signature.keystore -> summary -> bool
 
 (** The proof matrix carried by a pre-prepare: freshest summary per
-    replica. *)
+    replica. Matrix encodings cover only the summary bodies (each
+    summary's authenticator is verified separately), so the digest is
+    canonical whether summaries arrived direct or batched. *)
 type matrix = summary option array
 
 val encode_matrix : matrix -> string
@@ -51,40 +59,40 @@ type prepared_cert = { pc_seq : int; pc_view : int; pc_matrix : matrix }
 
 type t =
   | Update_msg of Update.t
-  | Po_request of { origin : int; po_seq : int; update : Update.t; po_sig : Crypto.Signature.t }
+  | Po_request of { origin : int; po_seq : int; update : Update.t; po_sig : Crypto.Auth.t }
   | Po_ack of {
       acker : int;
       ack_origin : int;
       ack_po_seq : int;
       ack_digest : Crypto.Sha256.digest;
-      ack_sig : Crypto.Signature.t;
+      ack_sig : Crypto.Auth.t;
     }
   | Po_summary of summary
-  | Pre_prepare of { pp_view : int; pp_seq : int; pp_matrix : matrix; pp_sig : Crypto.Signature.t }
+  | Pre_prepare of { pp_view : int; pp_seq : int; pp_matrix : matrix; pp_sig : Crypto.Auth.t }
   | Prepare of {
       prep_rep : int;
       prep_view : int;
       prep_seq : int;
       prep_digest : Crypto.Sha256.digest;
-      prep_sig : Crypto.Signature.t;
+      prep_sig : Crypto.Auth.t;
     }
   | Commit of {
       com_rep : int;
       com_view : int;
       com_seq : int;
       com_digest : Crypto.Sha256.digest;
-      com_sig : Crypto.Signature.t;
+      com_sig : Crypto.Auth.t;
     }
-  | Suspect_leader of { sus_rep : int; sus_view : int; sus_sig : Crypto.Signature.t }
+  | Suspect_leader of { sus_rep : int; sus_view : int; sus_sig : Crypto.Auth.t }
   | Vc_report of {
       vc_rep : int;
       vc_view : int;
       vc_max_ordered : int;
       vc_prepared : prepared_cert list;
-      vc_sig : Crypto.Signature.t;
+      vc_sig : Crypto.Auth.t;
     }
-  | Origin_reset of { or_rep : int; or_new_start : int; or_sig : Crypto.Signature.t }
-  | Recon_floor of { rf_origin : int; rf_new_start : int; rf_sig : Crypto.Signature.t }
+  | Origin_reset of { or_rep : int; or_new_start : int; or_sig : Crypto.Auth.t }
+  | Recon_floor of { rf_origin : int; rf_new_start : int; rf_sig : Crypto.Auth.t }
   | Recon_request of { rr_rep : int; rr_origin : int; rr_po_seq : int }
   | Recon_reply of { rp_rep : int; rp_origin : int; rp_po_seq : int; rp_update : Update.t }
   | Catchup_request of { cu_rep : int; cu_from : int }
@@ -101,16 +109,16 @@ type t =
       crep_client : string;
       crep_client_seq : int;
       crep_exec_seq : int;
-      crep_sig : Crypto.Signature.t;
+      crep_sig : Crypto.Auth.t;
     }
 
 (** Prime messages as network payloads (carried inside Spines). *)
 type Netbase.Packet.payload += Prime_msg of t
 
-(** Signing identity of replica [i]. *)
+(** Signing identity of replica [i] (interned). *)
 val replica_identity : int -> string
 
-(** Canonical byte strings covered by each message's signature. *)
+(** Canonical byte strings covered by each message's authenticator. *)
 
 val encode_po_request : origin:int -> po_seq:int -> Update.t -> string
 

@@ -14,7 +14,7 @@ type instance = {
   mutable inst_view : int;
   mutable matrix : Msg.matrix option;
   mutable digest : Crypto.Sha256.digest option;
-  mutable pp_sig : Crypto.Signature.t option; (* leader's signature, for relay *)
+  mutable pp_sig : Crypto.Auth.t option; (* leader's authenticator, for relay *)
   prepares : (int, unit) Hashtbl.t;
   commits : (int, unit) Hashtbl.t;
   mutable prepared : bool;

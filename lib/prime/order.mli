@@ -25,7 +25,7 @@ val accept_pre_prepare :
   view:int ->
   pp_seq:int ->
   matrix:Msg.matrix ->
-  pp_sig:Crypto.Signature.t ->
+  pp_sig:Crypto.Auth.t ->
   [ `Accept of Crypto.Sha256.digest
   | `Already_ordered
   | `Conflicting_leader
@@ -34,11 +34,11 @@ val accept_pre_prepare :
 
 (** Oldest unordered instances with an accepted pre-prepare, for
     ordering-message retransmission: (pp_seq, view, matrix, digest,
-    leader signature, prepared?). *)
+    leader authenticator, prepared?). *)
 val stalled_instances :
   t ->
   limit:int ->
-  (int * int * Msg.matrix * Crypto.Sha256.digest * Crypto.Signature.t * bool) list
+  (int * int * Msg.matrix * Crypto.Sha256.digest * Crypto.Auth.t * bool) list
 
 (** Count a prepare; [true] when the instance just became prepared (a
     full quorum of distinct prepares — every replica, leader included,

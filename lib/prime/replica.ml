@@ -80,8 +80,12 @@ type t = {
   outstanding_recon : (int * int, float) Hashtbl.t;
   (* origin resets after proactive recovery *)
   mutable origin_synced : bool; (* my own sequence is safely above any prior use *)
-  stored_resets : (int, int * Crypto.Signature.t) Hashtbl.t; (* origin -> new_start, sig *)
+  stored_resets : (int, int * Crypto.Auth.t) Hashtbl.t; (* origin -> new_start, sig *)
   rebase_reports : (int, int) Hashtbl.t; (* reporter -> its view of my column *)
+  (* amortized crypto pipeline *)
+  sig_cache : Sigcache.t;
+  mutable outbox : (string * (Crypto.Auth.t -> unit)) list; (* newest first *)
+  mutable flush_scheduled : bool;
   (* lifecycle / behaviour *)
   mutable running : bool;
   mutable timers : Sim.Engine.timer list;
@@ -125,6 +129,9 @@ let create ~engine ~trace ~keystore ~keypair ~transport ~id config =
     origin_synced = true;
     stored_resets = Hashtbl.create 8;
     rebase_reports = Hashtbl.create 8;
+    sig_cache = Sigcache.create ~capacity:config.Config.sig_cache_capacity;
+    outbox = [];
+    flush_scheduled = false;
     running = false;
     timers = [];
     misbehavior = Honest;
@@ -178,10 +185,89 @@ let send t ~dst msg = if not (silent t) then t.transport.send ~dst msg
 
 let broadcast t msg = if not (silent t) then t.transport.broadcast msg
 
-let sign t body = Crypto.Signature.sign t.keypair body
+(* --- amortized crypto pipeline ---------------------------------------- *)
 
-let verify_from t ~rep body signature =
-  Crypto.Signature.verify t.keystore ~signer:(Msg.replica_identity rep) body signature
+let count_sign t =
+  Sim.Stats.Counter.incr t.counters "crypto.sign";
+  Obs.Registry.incr Obs.Registry.default "crypto.sign"
+
+let count_check t = function
+  | `Hit ->
+      Sim.Stats.Counter.incr t.counters "crypto.cache_hit";
+      Obs.Registry.incr Obs.Registry.default "crypto.cache_hit";
+      true
+  | `Valid ->
+      Sim.Stats.Counter.incr t.counters "crypto.verify";
+      Obs.Registry.incr Obs.Registry.default "crypto.verify";
+      true
+  | `Invalid ->
+      Sim.Stats.Counter.incr t.counters "crypto.verify";
+      Obs.Registry.incr Obs.Registry.default "crypto.verify";
+      false
+
+(* Direct (unbatched) signing: summaries, pre-prepares, view-change
+   traffic, client replies — messages that are rare, latency-critical for
+   protocol progress, or whose receivers span views. *)
+let sign t body =
+  count_sign t;
+  Crypto.Auth.sign t.keypair body
+
+let verify_from t ~rep body auth =
+  count_check t
+    (Sigcache.check t.sig_cache t.keystore ~signer:(Msg.replica_identity rep) body auth)
+
+(* Client update signatures go through the same cache: the identical
+   (client, body, tag) triple arrives via f+1 direct sends, n po-request
+   relays and every retransmission thereof. *)
+let verify_update t (u : Msg.Update.t) =
+  count_check t
+    (Sigcache.check_signature t.sig_cache t.keystore ~signer:u.Msg.Update.client
+       (Msg.Update.encode u) u.Msg.Update.signature)
+
+(* Summaries are re-verified inside every matrix; the cache collapses
+   each re-check of an already-seen summary to a hash-table probe. *)
+let verify_summary t (s : Msg.summary) =
+  verify_from t ~rep:s.Msg.sum_rep (Msg.encode_summary s) s.Msg.sum_sig
+
+(* Outbound batching: bodies queued within one batch window are signed
+   under a single Merkle-aggregated signature at flush time. Only wire
+   emission is deferred — local state transitions (our own prepare/commit
+   counting toward quorums) happen immediately at the call site. *)
+let flush_outbox t =
+  t.flush_scheduled <- false;
+  let items = List.rev t.outbox in
+  t.outbox <- [];
+  match items with
+  | [] -> ()
+  | [ (body, emit) ] ->
+      (* A batch of one gains nothing from the proof machinery. *)
+      count_sign t;
+      Sim.Stats.Counter.incr t.counters "crypto.batch_flush";
+      Sim.Stats.Counter.incr t.counters "crypto.batch_msgs";
+      Obs.Registry.observe Obs.Registry.default "crypto.batch_size" 1.0;
+      emit (Crypto.Auth.sign t.keypair body)
+  | items ->
+      let bodies = Array.of_list (List.map fst items) in
+      count_sign t;
+      Sim.Stats.Counter.incr t.counters "crypto.batch_flush";
+      Sim.Stats.Counter.incr ~by:(Array.length bodies) t.counters "crypto.batch_msgs";
+      Obs.Registry.observe Obs.Registry.default "crypto.batch_size"
+        (float_of_int (Array.length bodies));
+      let auths = Crypto.Auth.sign_batch t.keypair bodies in
+      List.iteri (fun i (_, emit) -> emit auths.(i)) items
+
+let enqueue_signed t body emit =
+  if (not t.config.Config.batch_signing) || t.config.Config.batch_window <= 0.0 then
+    emit (sign t body)
+  else begin
+    t.outbox <- (body, emit) :: t.outbox;
+    if not t.flush_scheduled then begin
+      t.flush_scheduled <- true;
+      ignore
+        (Sim.Engine.schedule t.engine ~delay:t.config.Config.batch_window (fun () ->
+             flush_outbox t))
+    end
+  end
 
 (* --- summaries --------------------------------------------------------- *)
 
@@ -230,7 +316,7 @@ let handle_client_update t (u : Msg.Update.t) =
        re-based our own sequence above anything used before the wipe.
        Clients retransmit, so dropping is safe. *)
     Sim.Stats.Counter.incr t.counters "update.deferred_unsynced"
-  else if not (Msg.Update.verify t.keystore u) then
+  else if not (verify_update t u) then
     Sim.Stats.Counter.incr t.counters "update.bad_sig"
   else if Preorder.seen_update t.preorder u then begin
     Sim.Stats.Counter.incr t.counters "update.duplicate";
@@ -247,27 +333,29 @@ let handle_client_update t (u : Msg.Update.t) =
     let po_seq = Preorder.assign t.preorder u in
     Sim.Stats.Counter.incr t.counters "update.accepted";
     let body = Msg.encode_po_request ~origin:t.id ~po_seq u in
-    broadcast t (Msg.Po_request { origin = t.id; po_seq; update = u; po_sig = sign t body })
+    enqueue_signed t body (fun po_sig ->
+        broadcast t (Msg.Po_request { origin = t.id; po_seq; update = u; po_sig }))
   end
 
 let handle_po_request t ~origin ~po_seq update po_sig =
   let body = Msg.encode_po_request ~origin ~po_seq update in
   if not (verify_from t ~rep:origin body po_sig) then
     Sim.Stats.Counter.incr t.counters "po_request.bad_sig"
-  else if not (Msg.Update.verify t.keystore update) then
+  else if not (verify_update t update) then
     Sim.Stats.Counter.incr t.counters "po_request.bad_update_sig"
   else
     let send_ack digest =
       let ack_body = Msg.encode_po_ack ~acker:t.id ~origin ~po_seq ~digest in
-      broadcast t
-        (Msg.Po_ack
-           {
-             acker = t.id;
-             ack_origin = origin;
-             ack_po_seq = po_seq;
-             ack_digest = digest;
-             ack_sig = sign t ack_body;
-           })
+      enqueue_signed t ack_body (fun ack_sig ->
+          broadcast t
+            (Msg.Po_ack
+               {
+                 acker = t.id;
+                 ack_origin = origin;
+                 ack_po_seq = po_seq;
+                 ack_digest = digest;
+                 ack_sig;
+               }))
     in
     match Preorder.receive_request t.preorder ~origin ~po_seq update with
     | `Conflict ->
@@ -314,7 +402,7 @@ let maybe_rebase_origin t (s : Msg.summary) =
   end
 
 let handle_po_summary t (s : Msg.summary) =
-  if Msg.verify_summary t.keystore s then begin
+  if verify_summary t s then begin
     maybe_rebase_origin t s;
     Preorder.receive_summary t.preorder s;
     (* Freshness bookkeeping for censorship detection: once I know origin
@@ -397,24 +485,24 @@ let matrix_for_proposal t =
   m
 
 let matrix_valid t (m : Msg.matrix) =
-  Array.for_all
-    (function None -> true | Some s -> Msg.verify_summary t.keystore s)
-    m
+  Array.for_all (function None -> true | Some s -> verify_summary t s) m
 
 let broadcast_commit t ~view ~pp_seq ~digest =
   let body = Msg.encode_commit ~rep:t.id ~view ~pp_seq ~digest in
-  broadcast t
-    (Msg.Commit
-       { com_rep = t.id; com_view = view; com_seq = pp_seq; com_digest = digest;
-         com_sig = sign t body });
+  enqueue_signed t body (fun com_sig ->
+      broadcast t
+        (Msg.Commit
+           { com_rep = t.id; com_view = view; com_seq = pp_seq; com_digest = digest;
+             com_sig }));
   if Order.add_commit t.order ~rep:t.id ~view ~pp_seq ~digest then execute_ready t
 
 let broadcast_prepare t ~view ~pp_seq ~digest =
   let body = Msg.encode_prepare ~rep:t.id ~view ~pp_seq ~digest in
-  broadcast t
-    (Msg.Prepare
-       { prep_rep = t.id; prep_view = view; prep_seq = pp_seq; prep_digest = digest;
-         prep_sig = sign t body });
+  enqueue_signed t body (fun prep_sig ->
+      broadcast t
+        (Msg.Prepare
+           { prep_rep = t.id; prep_view = view; prep_seq = pp_seq; prep_digest = digest;
+             prep_sig }));
   (* Our own prepare may complete the quorum (e.g. when ours is the last
      to be counted locally). *)
   if Order.add_prepare t.order ~rep:t.id ~view ~pp_seq ~digest then
@@ -683,12 +771,13 @@ and maybe_activate_leader t view =
         List.iter
           (fun (c : Msg.prepared_cert) ->
             let body = Msg.encode_pre_prepare ~view ~pp_seq:c.Msg.pc_seq c.Msg.pc_matrix in
+            let pp_sig = sign t body in
             broadcast t
               (Msg.Pre_prepare
                  { pp_view = view; pp_seq = c.Msg.pc_seq; pp_matrix = c.Msg.pc_matrix;
-                   pp_sig = sign t body });
+                   pp_sig });
             handle_pre_prepare t ~pp_view:view ~pp_seq:c.Msg.pc_seq ~matrix:c.Msg.pc_matrix
-              (sign t body))
+              pp_sig)
           reproposals
     | Some _ | None -> ()
 
@@ -745,7 +834,7 @@ let handle_recon_request t ~rr_rep ~rr_origin ~rr_po_seq =
     | None -> ()
 
 let handle_recon_reply t ~rp_origin ~rp_po_seq ~rp_update =
-  if Msg.Update.verify t.keystore rp_update then begin
+  if verify_update t rp_update then begin
     match Preorder.store_body t.preorder ~origin:rp_origin ~po_seq:rp_po_seq rp_update with
     | `Stored ->
         Hashtbl.remove t.outstanding_recon (rp_origin, rp_po_seq);
@@ -772,16 +861,18 @@ let reconcile_tick t =
         Sim.Stats.Counter.incr t.counters "order.retransmit";
         broadcast t (Msg.Pre_prepare { pp_view = view; pp_seq; pp_matrix = matrix; pp_sig });
         let prep_body = Msg.encode_prepare ~rep:t.id ~view ~pp_seq ~digest in
-        broadcast t
-          (Msg.Prepare
-             { prep_rep = t.id; prep_view = view; prep_seq = pp_seq; prep_digest = digest;
-               prep_sig = sign t prep_body });
+        enqueue_signed t prep_body (fun prep_sig ->
+            broadcast t
+              (Msg.Prepare
+                 { prep_rep = t.id; prep_view = view; prep_seq = pp_seq;
+                   prep_digest = digest; prep_sig }));
         if prepared then begin
           let com_body = Msg.encode_commit ~rep:t.id ~view ~pp_seq ~digest in
-          broadcast t
-            (Msg.Commit
-               { com_rep = t.id; com_view = view; com_seq = pp_seq; com_digest = digest;
-                 com_sig = sign t com_body })
+          enqueue_signed t com_body (fun com_sig ->
+              broadcast t
+                (Msg.Commit
+                   { com_rep = t.id; com_view = view; com_seq = pp_seq;
+                     com_digest = digest; com_sig }))
         end
       end)
     (Order.stalled_instances t.order ~limit:5);
@@ -799,20 +890,27 @@ let reconcile_tick t =
     | Some u ->
         Sim.Stats.Counter.incr t.counters "po_request.retransmit";
         let body = Msg.encode_po_request ~origin:t.id ~po_seq u in
-        broadcast t
-          (Msg.Po_request { origin = t.id; po_seq; update = u; po_sig = sign t body })
+        enqueue_signed t body (fun po_sig ->
+            broadcast t (Msg.Po_request { origin = t.id; po_seq; update = u; po_sig }))
     | None -> ()
   done
 
+(* Catchup replies are matched by the digest of their canonical binary
+   encoding; the digest only keys the local vote table, so raw bytes
+   suffice (no hex round-trip). *)
 let catchup_digest entries ~upto ~next_exec_pp ~cursor =
-  let parts =
-    List.map (fun (i, u) -> Printf.sprintf "%d=%s" i (Msg.Update.encode u)) entries
-  in
-  Crypto.Sha256.to_hex
-    (Crypto.Sha256.digest
-       (Printf.sprintf "catchup:%d:%d:%s:%s" upto next_exec_pp
-          (String.concat "," (Array.to_list (Array.map string_of_int cursor)))
-          (String.concat ";" parts)))
+  Crypto.Sha256.digest
+    (Wire.encode ~size_hint:256 (fun b ->
+         Buffer.add_string b "catchup:";
+         Wire.w_int b upto;
+         Wire.w_int b next_exec_pp;
+         Wire.w_int_array b cursor;
+         Wire.w_u32 b (List.length entries);
+         List.iter
+           (fun (i, u) ->
+             Wire.w_int b i;
+             Wire.w_str b (Msg.Update.encode u))
+           entries))
 
 let handle_catchup_request t ~cu_rep ~cu_from =
   let my_max = Order.exec_seq t.order in
@@ -866,7 +964,7 @@ let handle_catchup_reply t ~cr_entries ~cr_upto ~cr_behind_log ~cr_next_exec_pp 
       end
     end
     else begin
-      let all_valid = List.for_all (fun (_, u) -> Msg.Update.verify t.keystore u) cr_entries in
+      let all_valid = List.for_all (fun (_, u) -> verify_update t u) cr_entries in
       if all_valid then begin
         let key =
           "entries:"
@@ -1051,6 +1149,11 @@ let restart_clean t =
   Hashtbl.reset t.outstanding_recon;
   Hashtbl.reset t.stored_resets;
   Hashtbl.reset t.rebase_reports;
+  (* Forget cached verifications and drop queued-but-unsigned outbound
+     bodies: they reference pre-wipe state. *)
+  Sigcache.clear t.sig_cache;
+  t.outbox <- [];
+  t.flush_scheduled <- false;
   t.origin_synced <- false;
   t.misbehavior <- Honest;
   start t;

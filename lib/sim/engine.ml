@@ -20,12 +20,17 @@ type t = {
   mutable stop_requested : bool;
 }
 
-let create ?(seed = 0x5CADAL) () =
+(* [hint] pre-sizes the event queue and its id-tracking tables for the
+   expected number of in-flight events; long deployment runs hold tens of
+   thousands of pending events and the doubling churn (array copies plus
+   hashtable rehashes) showed up in profiles. *)
+let create ?(seed = 0x5CADAL) ?(hint = 64) () =
+  let hint = max 16 hint in
   {
     now = 0.0;
-    queue = Heap.create ();
-    cancelled = Hashtbl.create 64;
-    pending_ids = Hashtbl.create 64;
+    queue = Heap.create ~capacity:hint ();
+    cancelled = Hashtbl.create hint;
+    pending_ids = Hashtbl.create hint;
     next_id = 0;
     rng = Rng.create seed;
     executed = 0;
@@ -62,6 +67,8 @@ let cancel t id = if Hashtbl.mem t.pending_ids id then Hashtbl.replace t.cancell
 let cancelled_backlog t = Hashtbl.length t.cancelled
 
 let pending t = Heap.length t.queue
+
+let queue_capacity t = Heap.capacity t.queue
 
 let stop t = t.stop_requested <- true
 

@@ -10,8 +10,11 @@ type event_id
 
 type timer
 
-(** [create ?seed ()] makes an engine at time 0 with a deterministic RNG. *)
-val create : ?seed:int64 -> unit -> t
+(** [create ?seed ?hint ()] makes an engine at time 0 with a
+    deterministic RNG. [hint] pre-sizes the event queue and its
+    bookkeeping tables for the expected number of in-flight events,
+    avoiding doubling churn in long runs. *)
+val create : ?seed:int64 -> ?hint:int -> unit -> t
 
 (** Current virtual time in seconds. *)
 val now : t -> float
@@ -44,6 +47,10 @@ val cancelled_backlog : t -> int
 
 (** Number of events still queued (including lazily-cancelled ones). *)
 val pending : t -> int
+
+(** Allocated capacity of the event queue's backing array (0 before any
+    event is scheduled; at least the creation [hint] afterwards). *)
+val queue_capacity : t -> int
 
 (** [step t] executes the next event. Returns [false] if the queue was
     empty. *)

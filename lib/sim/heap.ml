@@ -11,11 +11,19 @@ type 'a t = {
   mutable data : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
+  (* Requested pre-size; the backing array cannot be allocated before the
+     first entry exists ('a has no dummy value), so it is applied on the
+     first push. *)
+  initial_capacity : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let create ?(capacity = 16) () =
+  if capacity < 1 then invalid_arg "Heap.create: capacity must be positive";
+  { data = [||]; size = 0; next_seq = 0; initial_capacity = capacity }
 
 let length t = t.size
+
+let capacity t = Array.length t.data
 
 let is_empty t = t.size = 0
 
@@ -56,7 +64,8 @@ let rec sift_down t i =
 let push t ~key value =
   let entry = { key; seq = t.next_seq; value } in
   t.next_seq <- t.next_seq + 1;
-  if t.size = 0 && Array.length t.data = 0 then t.data <- Array.make 16 entry;
+  if t.size = 0 && Array.length t.data = 0 then
+    t.data <- Array.make t.initial_capacity entry;
   if t.size = Array.length t.data then grow t;
   t.data.(t.size) <- entry;
   t.size <- t.size + 1;

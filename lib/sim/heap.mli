@@ -4,9 +4,16 @@
 
 type 'a t
 
-val create : unit -> 'a t
+(** [create ?capacity ()] pre-sizes the backing array for [capacity]
+    entries (applied lazily on first push; growth doubles beyond it).
+    Raises [Invalid_argument] when [capacity < 1]. *)
+val create : ?capacity:int -> unit -> 'a t
 
 val length : 'a t -> int
+
+(** Current allocated capacity of the backing array (0 before the first
+    push). Exposed so the engine can surface queue sizing. *)
+val capacity : 'a t -> int
 
 val is_empty : 'a t -> bool
 

@@ -439,6 +439,99 @@ let prop_safety_under_lossy_network =
       List.length reference = 10
       && List.for_all (fun id -> exec_history c id = reference) [ 1; 2; 3 ])
 
+(* --- verified-signature cache and batch signing ------------------------ *)
+
+let test_sigcache_bound_and_hits () =
+  let ks = Crypto.Signature.create_keystore () in
+  let kp = Crypto.Signature.generate ks "replica-0" in
+  let cache = Prime.Sigcache.create ~capacity:4 in
+  let auth body = Crypto.Auth.sign kp body in
+  let a0 = auth "m0" in
+  check "first check verifies" true
+    (Prime.Sigcache.check cache ks ~signer:"replica-0" "m0" a0 = `Valid);
+  check "second check hits" true
+    (Prime.Sigcache.check cache ks ~signer:"replica-0" "m0" a0 = `Hit);
+  (* Push five more distinct triples through a capacity-4 cache: the
+     size must never exceed the bound, and the oldest entry is evicted. *)
+  for i = 1 to 5 do
+    let body = Printf.sprintf "m%d" i in
+    ignore (Prime.Sigcache.check cache ks ~signer:"replica-0" body (auth body));
+    check (Printf.sprintf "bound holds after %d" i) true (Prime.Sigcache.size cache <= 4)
+  done;
+  check "oldest evicted, re-verifies" true
+    (Prime.Sigcache.check cache ks ~signer:"replica-0" "m0" a0 = `Valid);
+  (* Capacity 0 disables caching entirely. *)
+  let off = Prime.Sigcache.create ~capacity:0 in
+  ignore (Prime.Sigcache.check off ks ~signer:"replica-0" "m0" a0);
+  check "disabled cache stays empty" true (Prime.Sigcache.size off = 0);
+  check "disabled cache never hits" true
+    (Prime.Sigcache.check off ks ~signer:"replica-0" "m0" a0 = `Valid)
+
+let test_sigcache_never_accepts_forgery () =
+  let ks = Crypto.Signature.create_keystore () in
+  let kp = Crypto.Signature.generate ks "replica-0" in
+  let cache = Prime.Sigcache.create ~capacity:16 in
+  let forged = Crypto.Auth.forge ~signer:"replica-0" "open breaker" in
+  check "forged auth invalid" true
+    (Prime.Sigcache.check cache ks ~signer:"replica-0" "open breaker" forged = `Invalid);
+  check "forgery does not populate" true (Prime.Sigcache.size cache = 0);
+  (* A valid signature over the same body must not be confused with the
+     forged tag, and vice versa after caching the valid one. *)
+  let good = Crypto.Auth.sign kp "open breaker" in
+  check "valid after forgery" true
+    (Prime.Sigcache.check cache ks ~signer:"replica-0" "open breaker" good = `Valid);
+  check "forged still invalid after valid cached" true
+    (Prime.Sigcache.check cache ks ~signer:"replica-0" "open breaker" forged = `Invalid);
+  let forged_sig = Crypto.Signature.forge ~signer:"replica-0" "x" in
+  check "forged bare signature invalid" true
+    (Prime.Sigcache.check_signature cache ks ~signer:"replica-0" "x" forged_sig = `Invalid)
+
+let crypto_counter c name =
+  Array.fold_left
+    (fun acc r -> acc + Sim.Stats.Counter.get (Prime.Replica.counters r) name)
+    0 c.replicas
+
+let test_batch_signing_orders_and_amortizes () =
+  (* Under batch signing the protocol must stay correct AND actually
+     amortize: multi-message flushes and cache hits both observed. *)
+  let config = Prime.Config.create ~f:1 ~k:0 ~batch_window:0.005 () in
+  let c = make_cluster ~config () in
+  let client = add_client c "hmi" in
+  for i = 1 to 30 do
+    ignore
+      (Sim.Engine.schedule c.engine ~delay:(0.005 *. float_of_int i) (fun () ->
+           ignore (Prime.Client.submit ~targets:[ i mod 4 ] client ~op:(Printf.sprintf "b-%d" i))))
+  done;
+  run c ~until:5.0;
+  let reference = exec_history c 0 in
+  check_int "all executed" 30 (List.length reference);
+  for id = 1 to 3 do
+    Alcotest.(check (list (pair int (pair string int))))
+      (Printf.sprintf "replica %d matches replica 0" id)
+      reference (exec_history c id)
+  done;
+  check "multi-message batches occurred" true
+    (crypto_counter c "crypto.batch_msgs" > crypto_counter c "crypto.batch_flush");
+  check "cache hits occurred" true (crypto_counter c "crypto.cache_hit" > 0);
+  (* Each multi-message flush costs one signature, so signatures saved
+     relative to sign-per-message is exactly batch_msgs - batch_flush. *)
+  let saved = crypto_counter c "crypto.batch_msgs" - crypto_counter c "crypto.batch_flush" in
+  check "batching saved signatures" true (saved > 0)
+
+let test_batching_disabled_still_orders () =
+  let config = Prime.Config.create ~f:1 ~k:0 ~batch_signing:false ~sig_cache_capacity:0 () in
+  let c = make_cluster ~config () in
+  let client = add_client c "hmi" in
+  for i = 1 to 10 do
+    ignore
+      (Sim.Engine.schedule c.engine ~delay:(0.01 *. float_of_int i) (fun () ->
+           ignore (Prime.Client.submit ~targets:[ i mod 4 ] client ~op:(Printf.sprintf "d-%d" i))))
+  done;
+  run c ~until:5.0;
+  check_int "all executed" 10 (List.length (exec_history c 0));
+  check_int "no cache hits when disabled" 0 (crypto_counter c "crypto.cache_hit");
+  check_int "no batch flushes when disabled" 0 (crypto_counter c "crypto.batch_flush")
+
 let suite =
   [
     ("single update executes everywhere", `Quick, test_single_update_executes_everywhere);
@@ -457,6 +550,10 @@ let suite =
     ("catchup after downtime", `Quick, test_catchup_after_downtime);
     ("app state transfer when behind log", `Quick, test_app_state_transfer_signal_when_behind_log);
     ("config sizing", `Quick, test_config_sizing);
+    ("sigcache bound and hits", `Quick, test_sigcache_bound_and_hits);
+    ("sigcache never accepts forgery", `Quick, test_sigcache_never_accepts_forgery);
+    ("batch signing orders and amortizes", `Quick, test_batch_signing_orders_and_amortizes);
+    ("batching disabled still orders", `Quick, test_batching_disabled_still_orders);
     QCheck_alcotest.to_alcotest prop_replicas_agree_on_execution_order;
     QCheck_alcotest.to_alcotest prop_safety_under_lossy_network;
   ]

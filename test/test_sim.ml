@@ -80,6 +80,42 @@ let test_heap_fifo_ties () =
   Alcotest.(check string) "second" "b" (next ());
   Alcotest.(check string) "third" "c" (next ())
 
+let test_heap_capacity () =
+  let h = Sim.Heap.create ~capacity:100 () in
+  check_int "lazy: no allocation before first push" 0 (Sim.Heap.capacity h);
+  Sim.Heap.push h ~key:1.0 "x";
+  check "first push allocates at least the hint" true (Sim.Heap.capacity h >= 100);
+  let cap = Sim.Heap.capacity h in
+  for i = 0 to 98 do
+    Sim.Heap.push h ~key:(float_of_int i) "y"
+  done;
+  check_int "no growth within pre-sized capacity" cap (Sim.Heap.capacity h);
+  Sim.Heap.push h ~key:0.5 "z";
+  check "grows past the hint" true (Sim.Heap.capacity h > cap);
+  check_int "all entries retained" 101 (Sim.Heap.length h);
+  check "invalid capacity rejected" true
+    (match Sim.Heap.create ~capacity:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_engine_hint () =
+  let e = Sim.Engine.create ~hint:512 () in
+  check_int "queue unallocated before use" 0 (Sim.Engine.queue_capacity e);
+  ignore (Sim.Engine.schedule e ~delay:1.0 (fun () -> ()));
+  check "queue pre-sized to hint" true (Sim.Engine.queue_capacity e >= 512);
+  let cap = Sim.Engine.queue_capacity e in
+  let fired = ref 0 in
+  for i = 1 to 511 do
+    ignore (Sim.Engine.schedule e ~delay:(float_of_int i) (fun () -> incr fired))
+  done;
+  check_int "no reallocation within hint" cap (Sim.Engine.queue_capacity e);
+  Sim.Engine.run e;
+  check_int "all events fired" 511 !fired;
+  (* Tiny hints are clamped rather than rejected. *)
+  let tiny = Sim.Engine.create ~hint:1 () in
+  ignore (Sim.Engine.schedule tiny ~delay:1.0 (fun () -> ()));
+  check "hint clamped to a sane floor" true (Sim.Engine.queue_capacity tiny >= 16)
+
 let prop_heap_sorts =
   QCheck.Test.make ~count:200 ~name:"heap drains in sorted order"
     QCheck.(list (float_bound_exclusive 1000.0))
@@ -370,6 +406,8 @@ let suite =
     ("rng shuffle permutation", `Quick, test_rng_shuffle_permutation);
     ("heap ordering", `Quick, test_heap_ordering);
     ("heap fifo ties", `Quick, test_heap_fifo_ties);
+    ("heap capacity pre-sizing", `Quick, test_heap_capacity);
+    ("engine hint pre-sizes queue", `Quick, test_engine_hint);
     ("engine time order", `Quick, test_engine_runs_in_time_order);
     ("engine cancel", `Quick, test_engine_cancel);
     ("engine cancel after execution no leak", `Quick, test_engine_cancel_after_execution_no_leak);
