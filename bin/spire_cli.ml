@@ -53,7 +53,26 @@ let no_batch_arg =
     & info [ "no-batch-signing" ]
         ~doc:"Disable Merkle batch signing and the verified-signature cache.")
 
-let latency samples poll gap no_batch json_file =
+(* Spines data-plane escape hatches, parity with --no-batch-signing. *)
+let no_route_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-route-cache" ]
+        ~doc:"Recompute Dijkstra next hops per packet instead of caching per view epoch.")
+
+let no_coalescing_arg =
+  Arg.(
+    value & flag
+    & info [ "no-coalescing" ]
+        ~doc:"Send every overlay payload as its own link message instead of coalescing frames.")
+
+let apply_data_plane ~no_route_cache ~no_coalescing (config : Prime.Config.t) =
+  let config =
+    if no_route_cache then { config with Prime.Config.route_cache = false } else config
+  in
+  if no_coalescing then { config with Prime.Config.coalescing = false } else config
+
+let latency samples poll gap no_batch no_route_cache no_coalescing json_file =
   let pr name stats completed =
     Printf.printf "%-24s %3d/%d samples  mean %7.1f ms  p50 %7.1f ms  p99 %7.1f ms\n" name
       completed samples
@@ -65,6 +84,7 @@ let latency samples poll gap no_batch json_file =
   let engine, trace = fresh_world () in
   let config = Prime.Config.power_plant () in
   let config = if no_batch then plain_crypto config else config in
+  let config = apply_data_plane ~no_route_cache ~no_coalescing config in
   let deployment =
     Spire.Deployment.create ~proxy_poll_period:poll ~engine ~trace ~config mini_scenario
   in
@@ -128,7 +148,9 @@ let latency_cmd =
   in
   Cmd.v
     (Cmd.info "latency" ~doc:"Measure breaker-flip-to-HMI reaction time (Section V).")
-    Term.(const latency $ samples $ poll $ gap $ no_batch_arg $ json)
+    Term.(
+      const latency $ samples $ poll $ gap $ no_batch_arg $ no_route_cache_arg
+      $ no_coalescing_arg $ json)
 
 (* --- plant -------------------------------------------------------------------- *)
 
@@ -233,9 +255,10 @@ let breach_cmd =
 
 (* --- chaos -------------------------------------------------------------------- *)
 
-let chaos seed duration load_period no_batch json_file =
+let chaos seed duration load_period no_batch no_route_cache no_coalescing json_file =
   let config = Prime.Config.power_plant () in
   let config = if no_batch then plain_crypto config else config in
+  let config = apply_data_plane ~no_route_cache ~no_coalescing config in
   let result = Chaos.Runner.run ~config ~seed ~duration ~load_period () in
   Printf.printf "chaos seed %d: %.0f s, %d faults injected\n" seed duration
     (List.length result.Chaos.Runner.schedule);
@@ -300,7 +323,9 @@ let chaos_cmd =
        ~doc:
          "Run a seeded fault-injection scenario with continuous invariant checking; exits \
           non-zero on any violation.")
-    Term.(const chaos $ seed $ duration $ load_period $ no_batch_arg $ json)
+    Term.(
+      const chaos $ seed $ duration $ load_period $ no_batch_arg $ no_route_cache_arg
+      $ no_coalescing_arg $ json)
 
 let main =
   Cmd.group

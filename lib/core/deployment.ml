@@ -167,10 +167,15 @@ let create ?(hardened = true) ?(n_hmis = 1) ?(proxy_poll_period = 0.1) ?(dnp3_pl
      and HMIs attach as remote session clients. *)
   let internal_topology = Spines.Topology.full_mesh (List.init n (fun i -> i)) in
   let external_topology = Spines.Topology.full_mesh (List.init n (fun i -> i)) in
+  (* Data-plane knobs (route cache, coalescing, egress bounds) follow the
+     Prime config so one escape hatch governs both overlays. *)
   let internal_config node_key =
     {
       (Spines.Node.default_config ~port:Addressing.spines_internal_port ~it_mode:true
-         ~group_key:node_key internal_topology)
+         ~group_key:node_key ~route_cache:config.Prime.Config.route_cache
+         ~coalescing:config.Prime.Config.coalescing
+         ~egress_capacity:config.Prime.Config.egress_capacity
+         ~coalesce_window:config.Prime.Config.coalesce_window internal_topology)
       with
       Spines.Node.hello_period = 1.0;
       hello_timeout = 3.5;
@@ -180,7 +185,10 @@ let create ?(hardened = true) ?(n_hmis = 1) ?(proxy_poll_period = 0.1) ?(dnp3_pl
     {
       (Spines.Node.default_config ~port:Addressing.spines_external_port
          ~session_port:Addressing.spines_session_port ~it_mode:true ~group_key:node_key
-         external_topology)
+         ~route_cache:config.Prime.Config.route_cache
+         ~coalescing:config.Prime.Config.coalescing
+         ~egress_capacity:config.Prime.Config.egress_capacity
+         ~coalesce_window:config.Prime.Config.coalesce_window external_topology)
       with
       Spines.Node.hello_period = 1.0;
       hello_timeout = 3.5;

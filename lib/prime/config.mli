@@ -17,9 +17,14 @@ type t = {
   batch_signing : bool; (* aggregate outbound ack/prepare/commit signatures *)
   batch_window : float; (* accumulation window before a batch flush *)
   sig_cache_capacity : int; (* verified-signature cache entries (0 disables) *)
+  route_cache : bool; (* Spines: cache next-hop tables per view epoch *)
+  coalescing : bool; (* Spines: pack same-neighbor payloads into one frame *)
+  egress_capacity : int; (* Spines: per-neighbor egress queue bound *)
+  coalesce_window : float; (* Spines: egress flush window, seconds *)
 }
 
-(** Raises [Invalid_argument] for f < 1 or k < 0. *)
+(** Raises [Invalid_argument] for f < 1 or k < 0 (and on out-of-range
+    batching/egress knobs). *)
 val create :
   ?f:int ->
   ?k:int ->
@@ -33,6 +38,10 @@ val create :
   ?batch_signing:bool ->
   ?batch_window:float ->
   ?sig_cache_capacity:int ->
+  ?route_cache:bool ->
+  ?coalescing:bool ->
+  ?egress_capacity:int ->
+  ?coalesce_window:float ->
   unit ->
   t
 

@@ -1,0 +1,34 @@
+(** Coalesced link-frame header codec: a Wire-encoded manifest of the
+    sub-messages packed into one link frame.
+
+    Each manifest entry is length-prefixed, so a corrupted entry can
+    never desynchronise the reader into its neighbors, and {!decode_header}
+    is total — malformed or truncated input yields [None], never an
+    exception. The daemon drops (and counts) any frame whose manifest
+    fails to decode or disagrees with the carried payloads. *)
+
+type dst_meta =
+  | M_client of { node : int; client : int }
+  | M_group of string
+  | M_session of string
+
+(** Wire-relevant fields of one coalesced sub-message (the payload
+    itself travels alongside; hellos are never coalesced). *)
+type meta =
+  | M_data of {
+      origin : int;
+      origin_client : int;
+      data_seq : int;
+      dst : dst_meta;
+      priority : int;
+      app_size : int;
+    }
+  | M_lsa of { origin : int; seq : int; up_neighbors : int list }
+
+(** Raises [Invalid_argument] on an empty list or more than 65535
+    entries. *)
+val encode_header : meta list -> string
+
+(** Total decoder: [None] on any malformed, truncated, or
+    wrong-magic/version input. *)
+val decode_header : string -> meta list option

@@ -28,14 +28,24 @@ type config = {
   source_rate_limit : float;
   session_timeout : float;
   dedup_window : int; (* per-origin sequence horizon for dedup eviction *)
+  route_cache : bool; (* cache next-hop tables per view epoch *)
+  coalescing : bool; (* pack same-neighbor payloads into one link frame *)
+  egress_capacity : int; (* per-neighbor egress queue bound, messages *)
+  coalesce_window : float; (* egress flush window, seconds *)
 }
 
+(** Raises [Invalid_argument] on [egress_capacity < 1] or negative
+    [coalesce_window]. *)
 val default_config :
   ?port:int ->
   ?session_port:int ->
   ?it_mode:bool ->
   ?group_key:string ->
   ?dedup_window:int ->
+  ?route_cache:bool ->
+  ?coalescing:bool ->
+  ?egress_capacity:int ->
+  ?coalesce_window:float ->
   Topology.t ->
   config
 
@@ -83,6 +93,12 @@ val set_fault_injector : t -> (peer:node_id -> fault_decision) option -> unit
 val dedup_evictions : t -> int
 
 val dedup_retained : t -> int
+
+(** The daemon's current next-hop table as a sorted
+    [(destination, first hop)] list, forcing a cache rebuild if the view
+    epoch moved. Canonical (see {!Topology.next_hops}); the determinism
+    regression compares it across same-seed runs. *)
+val next_hop_snapshot : t -> (node_id * node_id) list
 
 (** Attach a local client session. Raises [Invalid_argument] on duplicate
     client ids. *)

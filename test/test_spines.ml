@@ -18,7 +18,7 @@ type overlay = {
 }
 
 let make_overlay ?(it_mode = true) ?(keyed = fun _ -> Some "group-key") ?(rate = 2000.0)
-    ?(dedup_window = 4096) topology =
+    ?(dedup_window = 4096) ?(egress_capacity = 256) topology =
   let engine = Sim.Engine.create () in
   let trace = Sim.Trace.create () in
   let switch = Netbase.Switch.create ~engine ~trace "overlay-lan" in
@@ -35,7 +35,7 @@ let make_overlay ?(it_mode = true) ?(keyed = fun _ -> Some "group-key") ?(rate =
     Array.init n (fun i ->
         let config =
           {
-            (Spines.Node.default_config ~it_mode ~dedup_window topology) with
+            (Spines.Node.default_config ~it_mode ~dedup_window ~egress_capacity topology) with
             Spines.Node.group_key = keyed ids.(i);
             source_rate_limit = rate;
           }
@@ -431,6 +431,221 @@ let test_window_bounds_node_dedup () =
   check "dedup memory clipped to window" true (Spines.Node.dedup_retained o.nodes.(1) <= 16);
   check "evictions counted" true (Spines.Node.dedup_evictions o.nodes.(1) > 0)
 
+(* --- data plane: route cache, egress, frames ---------------------------------- *)
+
+let test_duplicate_link_rejected () =
+  Alcotest.check_raises "same orientation"
+    (Invalid_argument "Topology.create: duplicate link 0-1") (fun () ->
+      ignore
+        (Spines.Topology.create ~nodes:[ 0; 1 ]
+           ~links:[ Spines.Topology.link 0 1; Spines.Topology.link 0 1 ]));
+  Alcotest.check_raises "reversed orientation"
+    (Invalid_argument "Topology.create: duplicate link 1-0") (fun () ->
+      ignore
+        (Spines.Topology.create ~nodes:[ 0; 1 ]
+           ~links:[ Spines.Topology.link 0 1; Spines.Topology.link 1 0 ]))
+
+let test_view_epoch_counts_transitions () =
+  let t = ring 4 in
+  let view = Spines.Topology.View.all_up t in
+  check_int "starts at 0" 0 (Spines.Topology.View.epoch view);
+  Spines.Topology.View.set_link view 0 1 ~up:true;
+  check_int "re-asserting up is a no-op" 0 (Spines.Topology.View.epoch view);
+  Spines.Topology.View.set_link view 0 1 ~up:false;
+  check_int "down transition bumps" 1 (Spines.Topology.View.epoch view);
+  Spines.Topology.View.set_link view 0 1 ~up:false;
+  check_int "re-asserting down is a no-op" 1 (Spines.Topology.View.epoch view);
+  Spines.Topology.View.set_link view 1 0 ~up:true;
+  check_int "up transition bumps (either orientation)" 2 (Spines.Topology.View.epoch view)
+
+let test_equal_cost_tie_break_canonical () =
+  (* Ring 4: both directions from 0 to 2 cost two hops; the canonical
+     table must pick the smaller first hop, and keep doing so however
+     often it is recomputed. *)
+  let t = ring 4 in
+  let view = Spines.Topology.View.all_up t in
+  for _ = 1 to 5 do
+    Alcotest.(check (option int)) "0->2 ties toward hop 1" (Some 1)
+      (Spines.Topology.route t view ~src:0 ~dst:2)
+  done;
+  let t6 = ring 6 in
+  let v6 = Spines.Topology.View.all_up t6 in
+  Alcotest.(check (option int)) "0->3 ties toward hop 1 on ring 6" (Some 1)
+    (Spines.Topology.route t6 v6 ~src:0 ~dst:3)
+
+let test_route_cache_hits_and_rebuilds () =
+  let o = make_overlay ~it_mode:false (ring 4) in
+  let sink = collect_client o.nodes.(2) ~client:9 () in
+  let c name = Sim.Stats.Counter.get (Spines.Node.counters o.nodes.(0)) name in
+  Sim.Engine.run ~until:0.5 o.engine;
+  Spines.Node.send o.nodes.(0) ~client:1 ~size:10
+    (Spines.Node.To_client { node = 2; client = 9 })
+    (Netbase.Packet.Raw "first");
+  Sim.Engine.run ~until:1.0 o.engine;
+  check_int "first unicast built the table once" 1 (c "route.rebuild");
+  let hits_before = c "route.cache_hit" in
+  Spines.Node.send o.nodes.(0) ~client:1 ~size:10
+    (Spines.Node.To_client { node = 2; client = 9 })
+    (Netbase.Packet.Raw "second");
+  Sim.Engine.run ~until:1.5 o.engine;
+  check_int "stable topology: no second Dijkstra" 1 (c "route.rebuild");
+  check "second unicast hit the cache" true (c "route.cache_hit" > hits_before);
+  (* A real link transition must invalidate the cache. *)
+  Spines.Node.stop o.nodes.(1);
+  Sim.Engine.run ~until:4.0 o.engine;
+  Spines.Node.send o.nodes.(0) ~client:1 ~size:10
+    (Spines.Node.To_client { node = 2; client = 9 })
+    (Netbase.Packet.Raw "rerouted");
+  Sim.Engine.run ~until:6.0 o.engine;
+  check "rebuild after view change" true (c "route.rebuild" >= 2);
+  check_int "all three delivered" 3 (List.length !sink)
+
+let test_next_hop_tables_deterministic () =
+  (* Two identical runs, including a failure-driven view change, must end
+     with byte-identical next-hop tables on every daemon. *)
+  let run () =
+    let o = make_overlay ~it_mode:false (ring 6) in
+    Sim.Engine.run ~until:1.0 o.engine;
+    Spines.Node.stop o.nodes.(3);
+    Sim.Engine.run ~until:5.0 o.engine;
+    Array.to_list
+      (Array.map
+         (fun n -> if Spines.Node.is_running n then Spines.Node.next_hop_snapshot n else [])
+         o.nodes)
+  in
+  let a = run () and b = run () in
+  check "same-seed runs produce identical tables" true (a = b)
+
+let test_egress_overflow_drops_lowest_priority () =
+  let q = Spines.Egress.create ~capacity:4 () in
+  ignore (Spines.Egress.enqueue q ~prio:1 ~origin:1 "a1");
+  ignore (Spines.Egress.enqueue q ~prio:1 ~origin:1 "a2");
+  ignore (Spines.Egress.enqueue q ~prio:2 ~origin:2 "b1");
+  ignore (Spines.Egress.enqueue q ~prio:2 ~origin:2 "b2");
+  (* Full. A higher-priority arrival evicts from the lowest band... *)
+  (match Spines.Egress.enqueue q ~prio:3 ~origin:3 "c1" with
+  | Spines.Egress.Evicted "a1" -> ()
+  | _ -> Alcotest.fail "expected eviction of the oldest lowest-priority message");
+  (* ...while a lowest-priority arrival is itself refused. *)
+  (match Spines.Egress.enqueue q ~prio:0 ~origin:4 "d1" with
+  | Spines.Egress.Rejected -> ()
+  | _ -> Alcotest.fail "expected lowest-priority arrival to be rejected");
+  check_int "both drops counted" 2 (Spines.Egress.drops q);
+  check_int "length stays at capacity" 4 (Spines.Egress.length q);
+  let order = List.map (fun (_, _, m) -> m) (Spines.Egress.drain q) in
+  check "highest priority first, survivors in order" true
+    (order = [ "c1"; "b1"; "b2"; "a2" ])
+
+let test_egress_round_robin_across_origins () =
+  let q = Spines.Egress.create ~capacity:16 () in
+  List.iter
+    (fun (origin, m) -> ignore (Spines.Egress.enqueue q ~prio:1 ~origin m))
+    [ (5, "x1"); (5, "x2"); (5, "x3"); (7, "y1"); (7, "y2"); (7, "y3") ];
+  let order = List.map (fun (_, o, m) -> (o, m)) (Spines.Egress.drain q) in
+  check "origins alternate within a band" true
+    (order = [ (5, "x1"); (7, "y1"); (5, "x2"); (7, "y2"); (5, "x3"); (7, "y3") ]);
+  (* The fairness cursor persists: after serving origin 7 last, a fresh
+     round starts above 7 (wrapping to the smallest origin). *)
+  ignore (Spines.Egress.enqueue q ~prio:1 ~origin:5 "x4");
+  ignore (Spines.Egress.enqueue q ~prio:1 ~origin:7 "y4");
+  let order2 = List.map (fun (_, o, _) -> o) (Spines.Egress.drain q) in
+  check "cursor wraps past the last origin served" true (order2 = [ 5; 7 ])
+
+let test_egress_drain_order_deterministic () =
+  let fill () =
+    let q = Spines.Egress.create ~capacity:5 () in
+    List.iter
+      (fun (prio, origin, m) -> ignore (Spines.Egress.enqueue q ~prio ~origin m))
+      [
+        (1, 9, "a"); (2, 3, "b"); (1, 4, "c"); (3, 9, "d"); (2, 3, "e");
+        (2, 8, "f"); (1, 4, "g"); (3, 1, "h");
+      ];
+    Spines.Egress.drain q
+  in
+  check "two identical fills drain identically" true (fill () = fill ())
+
+let test_frame_header_roundtrip () =
+  let metas =
+    [
+      Spines.Frame.M_data
+        {
+          origin = 3; origin_client = 7; data_seq = 42;
+          dst = Spines.Frame.M_client { node = 1; client = 2 };
+          priority = 5; app_size = 128;
+        };
+      Spines.Frame.M_data
+        {
+          origin = 1; origin_client = 0; data_seq = 7;
+          dst = Spines.Frame.M_group "replicas"; priority = 1; app_size = 64;
+        };
+      Spines.Frame.M_lsa { origin = 2; seq = 9; up_neighbors = [ 0; 1; 3 ] };
+      Spines.Frame.M_data
+        {
+          origin = 0; origin_client = 1; data_seq = 1;
+          dst = Spines.Frame.M_session "hmi-1"; priority = 2; app_size = 32;
+        };
+    ]
+  in
+  match Spines.Frame.decode_header (Spines.Frame.encode_header metas) with
+  | Some decoded -> check "round-trips" true (decoded = metas)
+  | None -> Alcotest.fail "well-formed header failed to decode"
+
+let test_frame_decode_total_on_garbage () =
+  let metas =
+    [ Spines.Frame.M_lsa { origin = 2; seq = 9; up_neighbors = [ 0; 1 ] } ]
+  in
+  let good = Spines.Frame.encode_header metas in
+  (* Every truncation of a valid header must decode to None, not raise. *)
+  for len = 0 to String.length good - 1 do
+    match Spines.Frame.decode_header (String.sub good 0 len) with
+    | None -> ()
+    | Some _ -> Alcotest.failf "truncated header of length %d decoded" len
+  done;
+  check "wrong magic rejected" true
+    (Spines.Frame.decode_header ("\x00" ^ String.sub good 1 (String.length good - 1)) = None);
+  check "garbage rejected" true
+    (Spines.Frame.decode_header (String.make 64 '\xff') = None);
+  (* A header whose count exceeds its entries must also be rejected. *)
+  let doctored = good ^ "trailing-junk" in
+  check "trailing bytes rejected" true (Spines.Frame.decode_header doctored = None)
+
+let test_corrupt_frames_dropped_not_crashing () =
+  (* A keyed-but-patched daemon ships frames whose HMAC covers a corrupted
+     manifest: receivers must drop them, count them, and keep serving
+     honest peers. *)
+  let o = make_overlay ~it_mode:true (Spines.Topology.full_mesh [ 0; 1; 2 ]) in
+  Spines.Node.inject_exploit o.nodes.(0) "corrupt-frames";
+  let sink = collect_client o.nodes.(1) ~client:9 ~groups:[ "g" ] () in
+  Spines.Node.send o.nodes.(0) ~client:1 ~size:50 (Spines.Node.To_group "g")
+    (Netbase.Packet.Raw "corrupted");
+  Sim.Engine.run ~until:1.0 o.engine;
+  check_int "corrupted frame not delivered" 0 (List.length !sink);
+  check "malformed frames counted" true
+    (Sim.Stats.Counter.get (Spines.Node.counters o.nodes.(1)) "frame.malformed" > 0);
+  (* The overlay survives: honest traffic still flows to the same sink. *)
+  Spines.Node.send o.nodes.(2) ~client:1 ~size:50 (Spines.Node.To_group "g")
+    (Netbase.Packet.Raw "honest");
+  Sim.Engine.run ~until:2.0 o.engine;
+  check_int "honest traffic unaffected" 1 (List.length !sink)
+
+let test_node_egress_overflow_counted () =
+  (* A burst far beyond a tiny egress bound inside one coalesce window
+     must shed load and count it instead of growing without bound. *)
+  let o = make_overlay ~it_mode:true ~egress_capacity:8 (Spines.Topology.full_mesh [ 0; 1 ]) in
+  let received = ref 0 in
+  Spines.Node.register_client o.nodes.(1) ~client:7 (fun ~src:_ ~size:_ _ -> incr received);
+  Sim.Engine.run ~until:0.5 o.engine;
+  for _ = 1 to 100 do
+    Spines.Node.send o.nodes.(0) ~client:7 ~size:16
+      (Spines.Node.To_client { node = 1; client = 7 })
+      (Netbase.Packet.Raw "burst")
+  done;
+  Sim.Engine.run ~until:2.0 o.engine;
+  check "overflow dropped" true
+    (Sim.Stats.Counter.get (Spines.Node.counters o.nodes.(0)) "egress.drop" > 0);
+  check "capacity's worth got through" true (!received >= 8);
+  check "shed load never arrived" true (!received < 100)
+
 let suite =
   [
     ("full mesh", `Quick, test_full_mesh);
@@ -456,6 +671,18 @@ let suite =
     ("exploit disabled in IT mode", `Quick, test_exploit_disabled_in_it_mode);
     ("exploit bites outside IT mode", `Quick, test_exploit_bites_outside_it_mode);
     QCheck_alcotest.to_alcotest prop_route_reaches_destination;
+    ("duplicate link rejected", `Quick, test_duplicate_link_rejected);
+    ("view epoch counts transitions", `Quick, test_view_epoch_counts_transitions);
+    ("equal-cost tie-break canonical", `Quick, test_equal_cost_tie_break_canonical);
+    ("route cache hits and rebuilds", `Quick, test_route_cache_hits_and_rebuilds);
+    ("next-hop tables deterministic", `Quick, test_next_hop_tables_deterministic);
+    ("egress overflow drops lowest priority", `Quick, test_egress_overflow_drops_lowest_priority);
+    ("egress round-robin across origins", `Quick, test_egress_round_robin_across_origins);
+    ("egress drain order deterministic", `Quick, test_egress_drain_order_deterministic);
+    ("frame header roundtrip", `Quick, test_frame_header_roundtrip);
+    ("frame decode total on garbage", `Quick, test_frame_decode_total_on_garbage);
+    ("corrupt frames dropped not crashing", `Quick, test_corrupt_frames_dropped_not_crashing);
+    ("node egress overflow counted", `Quick, test_node_egress_overflow_counted);
   ]
 
 let () = Alcotest.run "spines" [ ("spines", suite) ]
