@@ -108,6 +108,7 @@ let chaos_classes =
     ("partition", Chaos.Fault.Net_partition);
     ("lossy", Chaos.Fault.Lossy);
     ("leader", Chaos.Fault.Leader_fault);
+    ("disk", Chaos.Fault.Disk);
   ]
 
 let run_chaos_class ?(seed = 11) ?(duration = 60.0) fault_class =

@@ -72,7 +72,31 @@ let apply_data_plane ~no_route_cache ~no_coalescing (config : Prime.Config.t) =
   in
   if no_coalescing then { config with Prime.Config.coalescing = false } else config
 
-let latency samples poll gap no_batch no_route_cache no_coalescing json_file =
+(* Durable-store escape hatches, parity with the crypto and data-plane
+   flags above. *)
+let no_durable_store_arg =
+  Arg.(
+    value & flag
+    & info [ "no-durable-store" ]
+        ~doc:"Run replicas without the durable store (no WAL, no authenticated checkpoints).")
+
+let checkpoint_interval_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "checkpoint-interval" ] ~docv:"N"
+        ~doc:"Executions between authenticated checkpoints (default from the deployment config).")
+
+let apply_store ~no_durable_store ~checkpoint_interval (config : Prime.Config.t) =
+  let config =
+    if no_durable_store then { config with Prime.Config.durable_store = false } else config
+  in
+  match checkpoint_interval with
+  | None -> config
+  | Some k -> { config with Prime.Config.checkpoint_interval = max 1 k }
+
+let latency samples poll gap no_batch no_route_cache no_coalescing no_durable_store
+    checkpoint_interval json_file =
   let pr name stats completed =
     Printf.printf "%-24s %3d/%d samples  mean %7.1f ms  p50 %7.1f ms  p99 %7.1f ms\n" name
       completed samples
@@ -85,6 +109,7 @@ let latency samples poll gap no_batch no_route_cache no_coalescing json_file =
   let config = Prime.Config.power_plant () in
   let config = if no_batch then plain_crypto config else config in
   let config = apply_data_plane ~no_route_cache ~no_coalescing config in
+  let config = apply_store ~no_durable_store ~checkpoint_interval config in
   let deployment =
     Spire.Deployment.create ~proxy_poll_period:poll ~engine ~trace ~config mini_scenario
   in
@@ -143,14 +168,17 @@ let latency_cmd =
   let json =
     Arg.(
       value
-      & opt (some string) None
-      & info [ "json" ] ~docv:"FILE" ~doc:"Write latency summaries to $(docv) as JSON.")
+      & opt ~vopt:(Some "BENCH_latency_cli.json") (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write latency summaries as JSON to $(docv) (defaults to BENCH_latency_cli.json \
+             when given without a value).")
   in
   Cmd.v
     (Cmd.info "latency" ~doc:"Measure breaker-flip-to-HMI reaction time (Section V).")
     Term.(
       const latency $ samples $ poll $ gap $ no_batch_arg $ no_route_cache_arg
-      $ no_coalescing_arg $ json)
+      $ no_coalescing_arg $ no_durable_store_arg $ checkpoint_interval_arg $ json)
 
 (* --- plant -------------------------------------------------------------------- *)
 
@@ -166,8 +194,13 @@ let plant minutes rotation =
   let recovery =
     Diversity.Recovery.create ~engine ~trace ~rng ~n:config.Prime.Config.n
       ~rotation_period:rotation ~downtime:(Float.min 30.0 (rotation /. 3.0))
+      ~disk_policy:Diversity.Recovery.Alternate
       ~take_down:(fun i -> Spire.Deployment.take_down_replica deployment i)
-      ~bring_up:(fun i _ -> Spire.Deployment.bring_up_replica_clean deployment i)
+      ~bring_up:(fun i _ ~disk ->
+        match disk with
+        | Diversity.Recovery.Disk_wiped -> Spire.Deployment.bring_up_replica_clean deployment i
+        | Diversity.Recovery.Disk_intact -> Spire.Deployment.bring_up_replica_intact deployment i)
+      ()
   in
   Diversity.Recovery.start recovery;
   let driver = Spire.Scenario_driver.create deployment in
@@ -255,10 +288,12 @@ let breach_cmd =
 
 (* --- chaos -------------------------------------------------------------------- *)
 
-let chaos seed duration load_period no_batch no_route_cache no_coalescing json_file =
+let chaos seed duration load_period no_batch no_route_cache no_coalescing no_durable_store
+    checkpoint_interval json_file =
   let config = Prime.Config.power_plant () in
   let config = if no_batch then plain_crypto config else config in
   let config = apply_data_plane ~no_route_cache ~no_coalescing config in
+  let config = apply_store ~no_durable_store ~checkpoint_interval config in
   let result = Chaos.Runner.run ~config ~seed ~duration ~load_period () in
   Printf.printf "chaos seed %d: %.0f s, %d faults injected\n" seed duration
     (List.length result.Chaos.Runner.schedule);
@@ -315,8 +350,11 @@ let chaos_cmd =
   let json =
     Arg.(
       value
-      & opt (some string) None
-      & info [ "json" ] ~docv:"FILE" ~doc:"Write the full chaos result to $(docv) as JSON.")
+      & opt ~vopt:(Some "BENCH_chaos_cli.json") (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the full chaos result as JSON to $(docv) (defaults to BENCH_chaos_cli.json \
+             when given without a value).")
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -325,7 +363,7 @@ let chaos_cmd =
           non-zero on any violation.")
     Term.(
       const chaos $ seed $ duration $ load_period $ no_batch_arg $ no_route_cache_arg
-      $ no_coalescing_arg $ json)
+      $ no_coalescing_arg $ no_durable_store_arg $ checkpoint_interval_arg $ json)
 
 let main =
   Cmd.group

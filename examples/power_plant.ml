@@ -33,7 +33,11 @@ let () =
     Diversity.Recovery.create ~engine ~trace ~rng ~n:config.Prime.Config.n
       ~rotation_period:600.0 ~downtime:30.0
       ~take_down:(fun i -> Spire.Deployment.take_down_replica deployment i)
-      ~bring_up:(fun i _ -> Spire.Deployment.bring_up_replica_clean deployment i)
+      ~bring_up:(fun i _ ~disk ->
+        match disk with
+        | Diversity.Recovery.Disk_wiped -> Spire.Deployment.bring_up_replica_clean deployment i
+        | Diversity.Recovery.Disk_intact -> Spire.Deployment.bring_up_replica_intact deployment i)
+      ()
   in
   Diversity.Recovery.start recovery;
 

@@ -2,9 +2,11 @@
 
    A schedule is a time-ordered list of fault events against a running
    deployment: replica crash/restart, Spines link partition/heal, lossy
-   links (probabilistic drop/duplicate/delay, which also reorders), and
-   leader misbehaviour (silence or equivocation). Schedules are plain
-   data: generated from a seeded RNG, they replay byte-identically. *)
+   links (probabilistic drop/duplicate/delay, which also reorders),
+   leader misbehaviour (silence or equivocation), and durable-device
+   faults (torn writes, bit corruption, wipe) paired with disk-intact
+   restarts. Schedules are plain data: generated from a seeded RNG, they
+   replay byte-identically. *)
 
 type link = int * int
 
@@ -18,12 +20,16 @@ type action =
   | Leader_silent
   | Leader_equivocate
   | Leader_restore
+  | Restart_replica_intact of int (* restart keeping the durable device *)
+  | Disk_tear of int (* tear an unsynced tail on replica's device *)
+  | Disk_corrupt of int (* flip a bit in replica's durable region *)
+  | Disk_wipe of int (* destroy replica's device contents *)
 
 type event = { at : float; action : action }
 
 type schedule = event list
 
-type fault_class = Crash | Net_partition | Lossy | Leader_fault
+type fault_class = Crash | Net_partition | Lossy | Leader_fault | Disk
 
 let describe_link (a, b) = Printf.sprintf "%d-%d" a b
 
@@ -41,6 +47,10 @@ let describe = function
   | Leader_silent -> "leader silent"
   | Leader_equivocate -> "leader equivocate"
   | Leader_restore -> "leader restore"
+  | Restart_replica_intact i -> Printf.sprintf "restart replica %d (disk intact)" i
+  | Disk_tear i -> Printf.sprintf "tear disk of replica %d" i
+  | Disk_corrupt i -> Printf.sprintf "corrupt disk of replica %d" i
+  | Disk_wipe i -> Printf.sprintf "wipe disk of replica %d" i
 
 let sort schedule = List.stable_sort (fun a b -> Float.compare a.at b.at) schedule
 
@@ -125,6 +135,20 @@ let of_class ~rng ~n ~duration fault_class =
             action = (if silent then Leader_silent else Leader_equivocate);
           };
           { at = base +. (0.6 *. window); action = Leader_restore };
+        ]
+    | Disk ->
+        (* Crash the replica, damage its device while it is down, bring
+           it back disk-intact: recovery must survive the damage (torn
+           tail or flipped bit truncates the WAL; a wiped device falls
+           back to peer state transfer). *)
+        let victim = 1 + Sim.Rng.int rng (n - 1) in
+        let damage =
+          Sim.Rng.pick rng [| Disk_tear victim; Disk_corrupt victim; Disk_wipe victim |]
+        in
+        [
+          { at = base +. (0.1 *. window); action = Crash_replica victim };
+          { at = base +. (0.2 *. window); action = damage };
+          { at = base +. (0.6 *. window); action = Restart_replica_intact victim };
         ]
   in
   sort (List.concat_map (fun i -> events_for (float_of_int i *. window)) [ 0; 1 ])

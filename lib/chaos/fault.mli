@@ -14,12 +14,16 @@ type action =
   | Leader_silent
   | Leader_equivocate
   | Leader_restore
+  | Restart_replica_intact of int  (** restart keeping the durable device *)
+  | Disk_tear of int  (** tear an unsynced tail on the replica's device *)
+  | Disk_corrupt of int  (** flip a bit in the replica's durable region *)
+  | Disk_wipe of int  (** destroy the replica's device contents *)
 
 type event = { at : float; action : action }
 
 type schedule = event list
 
-type fault_class = Crash | Net_partition | Lossy | Leader_fault
+type fault_class = Crash | Net_partition | Lossy | Leader_fault | Disk
 
 val describe : action -> string
 

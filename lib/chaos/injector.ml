@@ -97,6 +97,26 @@ let apply t (action : Fault.action) =
           Prime.Replica.Honest;
         t.crashed.(i) <- false
       end
+  | Restart_replica_intact i ->
+      if t.crashed.(i) then begin
+        Spire.Deployment.bring_up_replica_intact t.deployment i;
+        Prime.Replica.set_misbehavior
+          (Spire.Deployment.replicas t.deployment).(i).Spire.Deployment.r_replica
+          Prime.Replica.Honest;
+        t.crashed.(i) <- false
+      end
+  | Disk_tear i ->
+      Option.iter
+        (fun d -> ignore (Store.Media.tear_any (Scada.Durable.media d)))
+        (Spire.Deployment.durable t.deployment i)
+  | Disk_corrupt i ->
+      Option.iter
+        (fun d -> ignore (Store.Media.corrupt_any (Scada.Durable.media d)))
+        (Spire.Deployment.durable t.deployment i)
+  | Disk_wipe i ->
+      Option.iter
+        (fun d -> Scada.Durable.wipe_disk d)
+        (Spire.Deployment.durable t.deployment i)
   | Partition links -> List.iter (fun l -> Hashtbl.replace t.partitioned (norm l) ()) links
   | Heal links -> List.iter (fun l -> Hashtbl.remove t.partitioned (norm l)) links
   | Lossy_link { link; drop; duplicate; delay_max } ->

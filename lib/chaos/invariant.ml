@@ -14,7 +14,10 @@
      seconds;
    - recovery liveness: a replica brought back from a clean image fails
      to rejoin — running with its preorder origin re-based — within
-     [recovery_bound] seconds.
+     [recovery_bound] seconds;
+   - state-digest agreement: two running replicas at the same execution
+     frontier hold different application state digests (a recovered
+     replica must converge to the quorum's state byte-for-byte).
 
    All observations come through deterministic simulation hooks, so a
    violation found under some seed reproduces under that seed. *)
@@ -116,6 +119,35 @@ let check_progress t =
         t.last_progress <- now
       end
 
+(* [Scada.State.digest] is a pure function of the executed prefix
+   (ops_applied and other incarnation-local bookkeeping are excluded
+   from the serialization), so any two running replicas standing at the
+   same execution frontier must hold byte-identical state — including a
+   replica that just rejoined through local WAL replay or an f+1-voted
+   checkpoint transfer. *)
+let check_state_digests t =
+  match t.deployment with
+  | None -> ()
+  | Some deployment ->
+      let seen = Hashtbl.create 8 in
+      (* exec_seq -> (first replica index, its digest) *)
+      Array.iteri
+        (fun i r ->
+          let rep = r.Spire.Deployment.r_replica in
+          if Prime.Replica.is_running rep then begin
+            let e = Prime.Replica.exec_seq rep in
+            let d = Scada.State.digest (Scada.Master.state r.Spire.Deployment.r_master) in
+            match Hashtbl.find_opt seen e with
+            | None -> Hashtbl.replace seen e (i, d)
+            | Some (first, d0) ->
+                if not (String.equal d0 d) then
+                  violate t ~invariant:"state-digest"
+                    (Printf.sprintf
+                       "replicas %d and %d disagree on the state digest at exec %d (%s vs %s)"
+                       first i e (String.sub d0 0 12) (String.sub d 0 12))
+          end)
+        (Spire.Deployment.replicas deployment)
+
 let check_recoveries t =
   let now = Sim.Engine.now t.engine in
   match t.deployment with
@@ -167,7 +199,8 @@ let attach t deployment =
     Some
       (Sim.Engine.every t.engine ~period:0.1 (fun () ->
            check_progress t;
-           check_recoveries t))
+           check_recoveries t;
+           check_state_digests t))
 
 let stop t =
   (match t.poll with Some timer -> Sim.Engine.cancel_timer t.engine timer | None -> ());

@@ -125,7 +125,8 @@ let run ?config ?(scenario = default_scenario) ?(duration = 120.0) ?(load_period
              | _ -> ());
              Injector.apply injector action;
              (match action with
-             | Fault.Restart_replica i -> Invariant.expect_recovery invariant ~replica:i
+             | Fault.Restart_replica i | Fault.Restart_replica_intact i ->
+                 Invariant.expect_recovery invariant ~replica:i
              | _ -> ());
              update_health ())))
     schedule;

@@ -31,6 +31,7 @@ type replica_bundle = {
   r_replica : Prime.Replica.t;
   r_master : Scada.Master.t;
   r_keypair : Crypto.Signature.keypair;
+  r_durable : Scada.Durable.t option;
 }
 
 (* A field site speaks either Modbus (PLC) or DNP3 (RTU); the proxy
@@ -102,6 +103,9 @@ let config t = t.config
 let scenario t = t.scenario
 
 let replicas t = t.replicas
+
+(* The durable store of replica [i] ([None] when [durable_store] is off). *)
+let durable t i = t.replicas.(i).r_durable
 
 (* The most advanced view any running replica has reached. A cleanly
    restarted replica re-enters at view 0 and a crashed one's view is
@@ -413,6 +417,24 @@ let create ?(hardened = true) ?(n_hmis = 1) ?(proxy_poll_period = 0.1) ?(dnp3_pl
           Scada.Master.create ~engine ~trace ~keystore ~keypair:replica_keypairs.(i) ~config
             ~replica ~scenario ~net
         in
+        (* Simulated durable device per replica machine: its RNG is a
+           split stream so disk fault draws never perturb the rest of the
+           simulation. *)
+        let durable =
+          if config.Prime.Config.durable_store then begin
+            let media =
+              Store.Media.create ~rng:(Sim.Engine.split_rng engine)
+                (Printf.sprintf "disk-%d" i)
+            in
+            let d =
+              Scada.Durable.create ~keystore ~keypair:replica_keypairs.(i) ~config ~replica
+                ~state:(Scada.Master.state master) ~media
+            in
+            Scada.Master.attach_durable master d;
+            Some d
+          end
+          else None
+        in
         for j = 0 to n_hmis - 1 do
           Scada.Master.register_hmi master (Printf.sprintf "hmi-%d" j)
         done;
@@ -442,6 +464,7 @@ let create ?(hardened = true) ?(n_hmis = 1) ?(proxy_poll_period = 0.1) ?(dnp3_pl
           r_replica = replica;
           r_master = master;
           r_keypair = replica_keypairs.(i);
+          r_durable = durable;
         })
   in
   (* --- proxies, PLCs, breakers --- *)
@@ -593,6 +616,8 @@ let find_breaker t name =
 let take_down_replica t i =
   let r = t.replicas.(i) in
   Prime.Replica.shutdown r.r_replica;
+  (* Power loss on the machine: the device drops its unsynced tails. *)
+  Option.iter Scada.Durable.on_crash r.r_durable;
   Spines.Node.stop r.r_internal_node;
   Spines.Node.stop r.r_external_node
 
@@ -600,9 +625,30 @@ let bring_up_replica_clean t i =
   let r = t.replicas.(i) in
   Spines.Node.start r.r_internal_node;
   Spines.Node.start r.r_external_node;
+  (* A clean (diverse-variant) reinstall wipes the machine's disk too:
+     the replica rejoins with nothing and relies on state transfer. *)
+  Option.iter Scada.Durable.wipe_disk r.r_durable;
   Scada.State.reset (Scada.Master.state r.r_master);
   Prime.Replica.restart_clean r.r_replica;
   Netbase.Host.set_compromise r.r_host Netbase.Host.Clean
+
+(* Restart that keeps the machine's disk: replay the durable state and
+   rejoin from it, leaning on Prime catchup only for the suffix past the
+   last durable execution boundary. Falls back to the clean path when the
+   device holds nothing installable (or the store is disabled). *)
+let bring_up_replica_intact t i =
+  match t.replicas.(i).r_durable with
+  | None -> bring_up_replica_clean t i
+  | Some d ->
+      let r = t.replicas.(i) in
+      Spines.Node.start r.r_internal_node;
+      Spines.Node.start r.r_external_node;
+      Scada.State.reset (Scada.Master.state r.r_master);
+      Prime.Replica.restart_clean r.r_replica;
+      if not (Scada.Durable.local_recover d) then
+        (* Nothing durable: equivalent to a clean rejoin. *)
+        ();
+      Netbase.Host.set_compromise r.r_host Netbase.Host.Clean
 
 (* Ground-truth rebuild after an assumption breach (Section III-A): every
    master resets; replication restarts from scratch; the proxies' polling
@@ -611,6 +657,8 @@ let ground_truth_reset t =
   Array.iter
     (fun r ->
       Prime.Replica.shutdown r.r_replica;
+      (* Post-breach, pre-breach durable state is untrusted by design. *)
+      Option.iter Scada.Durable.wipe_disk r.r_durable;
       Scada.Master.ground_truth_reset r.r_master)
     t.replicas;
   Array.iter

@@ -29,6 +29,7 @@ type replica_bundle = {
   r_replica : Prime.Replica.t;
   r_master : Scada.Master.t;
   r_keypair : Crypto.Signature.keypair;
+  r_durable : Scada.Durable.t option;  (** [None] when [durable_store] is off *)
 }
 
 type proxy_bundle = {
@@ -77,6 +78,10 @@ val scenario : t -> Plc.Power.scenario
 
 val replicas : t -> replica_bundle array
 
+(** The durable store of replica [i] ([None] when [durable_store] is
+    off). *)
+val durable : t -> int -> Scada.Durable.t option
+
 (** The most advanced view any running replica has reached (a cleanly
     restarted replica re-enters at view 0, so this is the authoritative
     view). *)
@@ -115,6 +120,12 @@ val take_down_replica : t -> int -> unit
 (** Bring replica [i] back from a clean image (protocol and application
     state wiped; catchup or state transfer rebuilds). *)
 val bring_up_replica_clean : t -> int -> unit
+
+(** Restart that keeps the machine's disk: recover the durable state
+    locally (checkpoint + WAL replay) and rely on Prime catchup only for
+    the suffix. Falls back to the clean path when the store is disabled
+    or the device holds nothing installable. *)
+val bring_up_replica_intact : t -> int -> unit
 
 (** Section III-A assumption-breach recovery: every master resets,
     replication restarts, proxies re-report the field ground truth. *)

@@ -38,6 +38,15 @@ let w_int b v =
 
 let w_bool b v = Buffer.add_char b (if v then '\001' else '\000')
 
+(* IEEE-754 double as its 8-byte big-endian bit pattern: bit-exact round
+   trips, which keeps float-carrying records canonical. *)
+let w_f64 b v =
+  let bits = Int64.bits_of_float v in
+  for i = 7 downto 0 do
+    Buffer.add_char b
+      (Char.unsafe_chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (i * 8)) 0xFFL)))
+  done
+
 let w_str b s =
   w_u32 b (String.length s);
   Buffer.add_string b s
@@ -102,6 +111,15 @@ let r_int r =
      int; accumulating with [lsl] discards the redundant top bit, leaving
      the original value in native representation. *)
   !v
+
+let r_f64 r =
+  need r 8;
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code r.data.[r.pos + i]))
+  done;
+  r.pos <- r.pos + 8;
+  Int64.float_of_bits !bits
 
 let r_bool r =
   match r_u8 r with

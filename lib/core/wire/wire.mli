@@ -20,6 +20,10 @@ val w_int : Buffer.t -> int -> unit
 
 val w_bool : Buffer.t -> bool -> unit
 
+(** IEEE-754 double as its 8-byte big-endian bit pattern (bit-exact
+    round trip). *)
+val w_f64 : Buffer.t -> float -> unit
+
 (** Length-prefixed (u32) byte string. *)
 val w_str : Buffer.t -> string -> unit
 
@@ -49,6 +53,8 @@ val r_u32 : reader -> int
 val r_int : reader -> int
 
 val r_bool : reader -> bool
+
+val r_f64 : reader -> float
 
 val r_str : reader -> string
 

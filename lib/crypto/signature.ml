@@ -55,6 +55,11 @@ let verify ks ~signer message t =
   | None -> false
   | Some sched -> Hmac.verify_sched sched ~tag:t.tag message
 
+(* Rehydrating persisted wire material (signer + tag) cannot mint valid
+   signatures: verification recomputes the HMAC, so a rehydrated tag only
+   verifies if [sign] produced it in the first place. *)
+let of_tag ~signer tag = { signer; tag }
+
 (* A deliberately invalid signature, used by attack code to model a forged
    message from an adversary who lacks the key. *)
 let forge ~signer message =

@@ -31,6 +31,11 @@ val signer : t -> identity
     signature caches can key on it). *)
 val tag : t -> string
 
+(** Rehydrate a signature from persisted wire material ([signer] plus
+    {!tag}). Safe against forgery: verification recomputes the HMAC, so a
+    rehydrated tag only verifies if {!sign} produced it. *)
+val of_tag : signer:identity -> string -> t
+
 (** [sign kp message] signs the exact byte string [message]. *)
 val sign : keypair -> string -> t
 

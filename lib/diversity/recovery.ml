@@ -8,7 +8,17 @@
    The scheduler rotates round-robin: one replica at a time, every
    [rotation_period] seconds, down for [downtime] seconds. The exposure
    window of any single compromised variant is therefore bounded by
-   n * rotation_period. *)
+   n * rotation_period.
+
+   [disk_policy] decides what happens to the machine's durable store
+   across the restart: a full diverse reinstall wipes the disk (the
+   replica rejoins by state transfer), while an in-place restart keeps it
+   (the replica replays its checkpoint + WAL and needs only the suffix
+   from its peers). [Alternate] exercises both paths deterministically. *)
+
+type disk = Disk_wiped | Disk_intact
+
+type disk_policy = Wipe_always | Keep_always | Alternate
 
 type t = {
   engine : Sim.Engine.t;
@@ -17,8 +27,9 @@ type t = {
   n : int;
   rotation_period : float;
   downtime : float;
+  disk_policy : disk_policy;
   take_down : int -> unit;
-  bring_up : int -> Variant.t -> unit;
+  bring_up : int -> Variant.t -> disk:disk -> unit;
   variants : Variant.t array;
   mutable next_replica : int;
   mutable timer : Sim.Engine.timer option;
@@ -26,7 +37,8 @@ type t = {
   mutable recovering : int option;
 }
 
-let create ~engine ~trace ~rng ~n ~rotation_period ~downtime ~take_down ~bring_up =
+let create ?(disk_policy = Wipe_always) ~engine ~trace ~rng ~n ~rotation_period ~downtime
+    ~take_down ~bring_up () =
   if rotation_period <= downtime then
     invalid_arg "Recovery.create: rotation_period must exceed downtime";
   {
@@ -34,6 +46,7 @@ let create ~engine ~trace ~rng ~n ~rotation_period ~downtime ~take_down ~bring_u
     trace;
     rng;
     n;
+    disk_policy;
     rotation_period;
     downtime;
     take_down;
@@ -54,10 +67,17 @@ let recovering t = t.recovering
 (* Bound on how long one compromised variant can persist. *)
 let max_exposure t = float_of_int t.n *. t.rotation_period
 
+let disk_for t =
+  match t.disk_policy with
+  | Wipe_always -> Disk_wiped
+  | Keep_always -> Disk_intact
+  | Alternate -> if t.recoveries mod 2 = 0 then Disk_wiped else Disk_intact
+
 let rotate_once t =
   let replica = t.next_replica in
   t.next_replica <- (t.next_replica + 1) mod t.n;
   t.recovering <- Some replica;
+  let disk = disk_for t in
   t.recoveries <- t.recoveries + 1;
   Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"recovery"
     "proactive recovery: taking replica %d down" replica;
@@ -68,8 +88,9 @@ let rotate_once t =
          t.variants.(replica) <- variant;
          t.recovering <- None;
          Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"recovery"
-           "proactive recovery: replica %d back with fresh variant" replica;
-         t.bring_up replica variant))
+           "proactive recovery: replica %d back with fresh variant (disk %s)" replica
+           (match disk with Disk_wiped -> "wiped" | Disk_intact -> "intact");
+         t.bring_up replica variant ~disk))
 
 let start t =
   if t.timer <> None then invalid_arg "Recovery.start: already running";

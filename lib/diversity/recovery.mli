@@ -5,8 +5,18 @@
 
 type t
 
+(** What a restart does to the machine's durable store. *)
+type disk = Disk_wiped | Disk_intact
+
+(** [Wipe_always] — full diverse reinstall, replica rejoins by state
+    transfer (the historical default). [Keep_always] — in-place restart,
+    replica replays its local checkpoint + WAL. [Alternate] — exercise
+    both paths deterministically, wiped first. *)
+type disk_policy = Wipe_always | Keep_always | Alternate
+
 (** Raises [Invalid_argument] unless rotation_period > downtime. *)
 val create :
+  ?disk_policy:disk_policy ->
   engine:Sim.Engine.t ->
   trace:Sim.Trace.t ->
   rng:Sim.Rng.t ->
@@ -14,7 +24,8 @@ val create :
   rotation_period:float ->
   downtime:float ->
   take_down:(int -> unit) ->
-  bring_up:(int -> Variant.t -> unit) ->
+  bring_up:(int -> Variant.t -> disk:disk -> unit) ->
+  unit ->
   t
 
 val current_variant : t -> int -> Variant.t

@@ -25,19 +25,28 @@ type t = {
   coalescing : bool; (* Spines: pack same-neighbor payloads into one frame *)
   egress_capacity : int; (* Spines: per-neighbor egress queue bound *)
   coalesce_window : float; (* Spines: egress flush window, seconds *)
+  durable_store : bool; (* WAL + authenticated checkpoints per replica *)
+  checkpoint_interval : int; (* executions between durable checkpoints *)
+  wal_segment_size : int; (* bytes per WAL segment before rotation *)
+  fsync_every : int; (* WAL appends between durability points *)
 }
 
 let create ?(f = 1) ?(k = 0) ?(delta_pp = 0.03) ?(summary_period = 0.01)
     ?(heartbeat_period = 0.5) ?(tat_check_period = 0.25) ?(tat_allowance = 0.25)
     ?(reconcile_period = 0.1) ?(log_retention = 1000) ?(batch_signing = true)
     ?(batch_window = 0.002) ?(sig_cache_capacity = 512) ?(route_cache = true)
-    ?(coalescing = true) ?(egress_capacity = 256) ?(coalesce_window = 0.0005) () =
+    ?(coalescing = true) ?(egress_capacity = 256) ?(coalesce_window = 0.0005)
+    ?(durable_store = true) ?(checkpoint_interval = 64) ?(wal_segment_size = 64 * 1024)
+    ?(fsync_every = 8) () =
   if f < 1 then invalid_arg "Config.create: f must be >= 1";
   if k < 0 then invalid_arg "Config.create: k must be >= 0";
   if batch_window < 0.0 then invalid_arg "Config.create: batch_window must be >= 0";
   if sig_cache_capacity < 0 then invalid_arg "Config.create: sig_cache_capacity must be >= 0";
   if egress_capacity < 1 then invalid_arg "Config.create: egress_capacity must be >= 1";
   if coalesce_window < 0.0 then invalid_arg "Config.create: coalesce_window must be >= 0";
+  if checkpoint_interval < 1 then invalid_arg "Config.create: checkpoint_interval must be >= 1";
+  if wal_segment_size < 64 then invalid_arg "Config.create: wal_segment_size must be >= 64";
+  if fsync_every < 1 then invalid_arg "Config.create: fsync_every must be >= 1";
   {
     f;
     k;
@@ -57,6 +66,10 @@ let create ?(f = 1) ?(k = 0) ?(delta_pp = 0.03) ?(summary_period = 0.01)
     coalescing;
     egress_capacity;
     coalesce_window;
+    durable_store;
+    checkpoint_interval;
+    wal_segment_size;
+    fsync_every;
   }
 
 (* The red-team configuration: 4 replicas, one intrusion, no recovery. *)

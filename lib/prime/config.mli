@@ -21,6 +21,10 @@ type t = {
   coalescing : bool; (* Spines: pack same-neighbor payloads into one frame *)
   egress_capacity : int; (* Spines: per-neighbor egress queue bound *)
   coalesce_window : float; (* Spines: egress flush window, seconds *)
+  durable_store : bool; (* WAL + authenticated checkpoints per replica *)
+  checkpoint_interval : int; (* executions between durable checkpoints *)
+  wal_segment_size : int; (* bytes per WAL segment before rotation *)
+  fsync_every : int; (* WAL appends between durability points *)
 }
 
 (** Raises [Invalid_argument] for f < 1 or k < 0 (and on out-of-range
@@ -42,6 +46,10 @@ val create :
   ?coalescing:bool ->
   ?egress_capacity:int ->
   ?coalesce_window:float ->
+  ?durable_store:bool ->
+  ?checkpoint_interval:int ->
+  ?wal_segment_size:int ->
+  ?fsync_every:int ->
   unit ->
   t
 

@@ -91,7 +91,20 @@ type t = {
   mutable timers : Sim.Engine.timer list;
   mutable misbehavior : misbehavior;
   counters : Sim.Stats.Counter.t;
-  mutable on_execute_hook : (exec_seq:int -> Msg.Update.t -> unit) option;
+  mutable on_execute_hooks : (exec_seq:int -> Msg.Update.t -> unit) list;
+  (* Called whenever execution reaches a settled point: the ordering
+     cursors, [Order.exec_seq], and the application state all describe the
+     same point of the agreed history. Fired after each fully-executed
+     batch and after a catchup reply is adopted in full — never mid-batch,
+     where [Order.try_execute] has already advanced the cursors past the
+     update currently being applied. *)
+  mutable on_batch_hooks : (unit -> unit) list;
+  (* False while catchup entries are being adopted: [Order.exec_cursor] and
+     [next_exec_pp] lag the true execution point until the responder's
+     cursors are installed at [cr_upto], so durable checkpoints taken in
+     that window would not be a deterministic function of the ordered
+     history. *)
+  mutable cursors_settled : bool;
 }
 
 let null_app =
@@ -136,7 +149,9 @@ let create ~engine ~trace ~keystore ~keypair ~transport ~id config =
     timers = [];
     misbehavior = Honest;
     counters = Sim.Stats.Counter.create ();
-    on_execute_hook = None;
+    on_execute_hooks = [];
+    on_batch_hooks = [];
+    cursors_settled = true;
   }
   in
   (* Telemetry: certification has no single message of its own — it is
@@ -173,7 +188,13 @@ let set_app t app = t.app <- app
 
 let set_misbehavior t m = t.misbehavior <- m
 
-let set_on_execute t hook = t.on_execute_hook <- Some hook
+(* Registration, not replacement: chaos invariants and the durable store
+   both observe executions. *)
+let set_on_execute t hook = t.on_execute_hooks <- t.on_execute_hooks @ [ hook ]
+
+let set_on_batch_end t hook = t.on_batch_hooks <- t.on_batch_hooks @ [ hook ]
+
+let cursors_settled t = t.cursors_settled
 
 let now t = Sim.Engine.now t.engine
 
@@ -466,11 +487,12 @@ let execute_ready t =
           Obs.Registry.mark Obs.Registry.default ~trace:u.Msg.Update.op
             ~stage:Obs.Registry.stage_execute ~time:(now t);
           t.app.apply ~exec_seq u;
-          (match t.on_execute_hook with Some h -> h ~exec_seq u | None -> ());
+          List.iter (fun h -> h ~exec_seq u) t.on_execute_hooks;
           reply_to_client t ~exec_seq u
         end
         else Sim.Stats.Counter.incr t.counters "executed.duplicate_client_seq")
       executed;
+    if executed <> [] then List.iter (fun h -> h ()) t.on_batch_hooks;
     if missing <> [] then request_missing t missing
   end
 
@@ -982,11 +1004,12 @@ let handle_catchup_reply t ~cr_entries ~cr_upto ~cr_behind_log ~cr_next_exec_pp 
             (fun (exec_seq, u) ->
               if exec_seq = Order.exec_seq t.order + 1 then begin
                 incr applied;
+                t.cursors_settled <- false;
                 Hashtbl.replace t.exec_log exec_seq u;
                 if not (Hashtbl.mem t.executed_clients (Msg.Update.key u)) then begin
                   Hashtbl.replace t.executed_clients (Msg.Update.key u) exec_seq;
                   t.app.apply ~exec_seq u;
-                  match t.on_execute_hook with Some h -> h ~exec_seq u | None -> ()
+                  List.iter (fun h -> h ~exec_seq u) t.on_execute_hooks
                 end;
                 Order.install_checkpoint t.order
                   ~next_exec_pp:(Order.next_exec_pp t.order)
@@ -1000,7 +1023,9 @@ let handle_catchup_reply t ~cr_entries ~cr_upto ~cr_behind_log ~cr_next_exec_pp 
           if Order.exec_seq t.order = cr_upto then begin
             Order.install_checkpoint t.order ~next_exec_pp:cr_next_exec_pp
               ~exec_seq:cr_upto ~cursor:cr_cursor;
-            Preorder.install_floors t.preorder ~cursor:cr_cursor
+            Preorder.install_floors t.preorder ~cursor:cr_cursor;
+            t.cursors_settled <- true;
+            List.iter (fun h -> h ()) t.on_batch_hooks
           end;
           if !applied > 0 then Sim.Stats.Counter.incr ~by:!applied t.counters "catchup.applied"
         end
@@ -1029,6 +1054,7 @@ let install_app_checkpoint t ~next_exec_pp ~exec_seq ~cursor ~client_seqs =
      contribute to the client's f+1 matching set). *)
   List.iter (fun key -> Hashtbl.replace t.executed_clients key 0) client_seqs;
   t.awaiting_app_transfer <- false;
+  t.cursors_settled <- true;
   Sim.Stats.Counter.incr t.counters "app_checkpoint.installed"
 
 let order_state t =
@@ -1145,6 +1171,7 @@ let restart_clean t =
   Hashtbl.reset t.executed_clients;
   Hashtbl.reset t.exec_log;
   t.awaiting_app_transfer <- false;
+  t.cursors_settled <- true;
   Hashtbl.reset t.catchup_votes;
   Hashtbl.reset t.outstanding_recon;
   Hashtbl.reset t.stored_resets;

@@ -65,8 +65,25 @@ val set_app : t -> app -> unit
 
 val set_misbehavior : t -> misbehavior -> unit
 
-(** Observer invoked after each executed update (testing/metrics). *)
+(** Register an observer invoked after each executed update (testing,
+    metrics, durable logging). Observers accumulate; each registered hook
+    fires in registration order and survives [restart_clean]. *)
 val set_on_execute : t -> (exec_seq:int -> Msg.Update.t -> unit) -> unit
+
+(** Register an observer invoked whenever execution reaches a settled
+    point: after each fully-executed batch and after a catchup reply is
+    adopted in full. At that moment [order_state] and the application
+    state describe the same point of the agreed history (mid-batch they
+    do not — [Order.try_execute] advances cursors wholesale before
+    per-update hooks run). Observers accumulate, as with
+    {!set_on_execute}. *)
+val set_on_batch_end : t -> (unit -> unit) -> unit
+
+(** False while catchup-applied entries have not yet adopted the
+    responder's ordering cursors: in that window [order_state] cursors
+    lag the execution point, so durable checkpoints should wait for the
+    next settled execution boundary. *)
+val cursors_settled : t -> bool
 
 (** Deliver a protocol message from the transport. *)
 val handle_message : t -> Msg.t -> unit

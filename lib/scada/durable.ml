@@ -1,0 +1,300 @@
+(* Durable state for one SCADA master / Prime replica pair.
+
+   Every executed update is appended to a write-ahead log on the
+   replica's simulated device, and every [checkpoint_interval] executions
+   the full application state plus replication cursors are snapshotted
+   into an authenticated [Store.Checkpoint] (two alternating slot files,
+   so a crash mid-write always leaves the previous checkpoint intact).
+   Recovery paths:
+
+   - [local_recover] (disk intact): load the best verified checkpoint
+     slot, replay the WAL suffix beyond it, and fast-forward the replica
+     via [Prime.Replica.install_app_checkpoint]. Anything past the last
+     durable execution boundary is re-fetched through normal Prime
+     catchup.
+   - [install_from_peer] (lagging or disk wiped): adopt a peer checkpoint
+     that won f + 1 matching-root votes, then restart the local log from
+     that point.
+
+   Two consistency subtleties shape the WAL record format:
+
+   - [Order.try_execute] advances the ordering cursors for a whole batch
+     before per-update hooks run, so no single update record carries
+     cursors consistent with its own execution point. The log therefore
+     interleaves two record kinds: [Exec] (one applied update) and [Mark]
+     (written from the replica's batch-end hook, where cursors, exec_seq
+     and application state all describe the same settled point). Recovery
+     installs at the last mark; a suffix with no trailing mark — a torn
+     tail, or a crash mid-catchup — is treated as unsynced loss and
+     re-fetched through normal Prime catchup.
+   - The checkpoint schedule must be a pure function of the agreed
+     history, or transfer votes on the root could never reach f + 1
+     matches: a checkpoint fires at the first settled batch end whose
+     exec_seq enters a new [checkpoint_interval] window, which every
+     replica observes at the same point. *)
+
+type t = {
+  keystore : Crypto.Signature.keystore;
+  keypair : Crypto.Signature.keypair;
+  replica : Prime.Replica.t;
+  state : State.t;
+  media : Store.Media.t;
+  wal : Store.Wal.t;
+  checkpoint_interval : int;
+  counters : Sim.Stats.Counter.t;
+  mutable latest : Store.Checkpoint.t option;
+  mutable slot : int; (* next checkpoint slot, alternating 0/1 *)
+  mutable last_ck_exec : int; (* exec_seq of the newest persisted checkpoint *)
+  mutable transfer_bytes : int;
+}
+
+let slot_file slot = Printf.sprintf "ck%d" slot
+
+let media t = t.media
+
+let wal t = t.wal
+
+let counters t = t.counters
+
+let latest_checkpoint t = t.latest
+
+let transfer_bytes t = t.transfer_bytes
+
+(* --- WAL record codec ------------------------------------------------------- *)
+
+type record =
+  | Exec of { x_exec_seq : int; x_client : string; x_client_seq : int; x_op : string }
+  | Mark of { m_next_exec_pp : int; m_exec_seq : int; m_cursor : int array }
+
+let encode_record = function
+  | Exec { x_exec_seq; x_client; x_client_seq; x_op } ->
+      Wire.encode ~size_hint:(32 + String.length x_op) (fun b ->
+          Wire.w_u8 b 0;
+          Wire.w_int b x_exec_seq;
+          Wire.w_str b x_client;
+          Wire.w_int b x_client_seq;
+          Wire.w_str b x_op)
+  | Mark { m_next_exec_pp; m_exec_seq; m_cursor } ->
+      Wire.encode ~size_hint:(16 + (4 * Array.length m_cursor)) (fun b ->
+          Wire.w_u8 b 1;
+          Wire.w_int b m_next_exec_pp;
+          Wire.w_int b m_exec_seq;
+          Wire.w_int_array b m_cursor)
+
+let decode_record payload =
+  let r = Wire.reader payload in
+  match Wire.r_u8 r with
+  | 0 ->
+      let x_exec_seq = Wire.r_int r in
+      let x_client = Wire.r_str r in
+      let x_client_seq = Wire.r_int r in
+      let x_op = Wire.r_str r in
+      Some (Exec { x_exec_seq; x_client; x_client_seq; x_op })
+  | 1 ->
+      let m_next_exec_pp = Wire.r_int r in
+      let m_exec_seq = Wire.r_int r in
+      let m_cursor = Wire.r_int_array r in
+      Some (Mark { m_next_exec_pp; m_exec_seq; m_cursor })
+  | _ -> None
+
+(* --- checkpointing ----------------------------------------------------------- *)
+
+let persist_checkpoint t ck =
+  let file = slot_file t.slot in
+  Store.Media.write t.media ~file (Store.Checkpoint.encode ck);
+  Store.Media.fsync t.media ~file;
+  t.slot <- 1 - t.slot;
+  t.latest <- Some ck;
+  t.last_ck_exec <- ck.Store.Checkpoint.ck_exec_seq;
+  (* Sealed segments below the live one are fully covered by the
+     checkpoint now on disk. *)
+  ignore (Store.Wal.gc_before t.wal ~segment:(Store.Wal.current_segment t.wal));
+  Sim.Stats.Counter.incr t.counters "durable.checkpoint";
+  Obs.Registry.incr Obs.Registry.default "store.checkpoint"
+
+let take_checkpoint t =
+  let next_exec_pp, exec_seq, cursor, client_seqs = Prime.Replica.order_state t.replica in
+  let ck =
+    Store.Checkpoint.make ~keypair:t.keypair ~replica:(Prime.Replica.id t.replica)
+      ~next_exec_pp ~exec_seq ~cursor ~client_seqs ~app_state:(State.serialize t.state)
+  in
+  persist_checkpoint t ck
+
+let on_execute t ~exec_seq (u : Prime.Msg.Update.t) =
+  Store.Wal.append t.wal
+    (encode_record
+       (Exec
+          {
+            x_exec_seq = exec_seq;
+            x_client = u.Prime.Msg.Update.client;
+            x_client_seq = u.Prime.Msg.Update.client_seq;
+            x_op = u.Prime.Msg.Update.op;
+          }))
+
+let on_batch_end t =
+  if Prime.Replica.cursors_settled t.replica then begin
+    let next_exec_pp, exec_seq, cursor, _ = Prime.Replica.order_state t.replica in
+    Store.Wal.append t.wal
+      (encode_record
+         (Mark { m_next_exec_pp = next_exec_pp; m_exec_seq = exec_seq; m_cursor = cursor }));
+    (* Batch ends are agreed points of the ordered history, so "first
+       settled batch end inside a new interval window" fires at the same
+       exec_seq on every replica — which is what lets transfer votes on
+       the checkpoint root reach f + 1 matches. *)
+    if exec_seq / t.checkpoint_interval > t.last_ck_exec / t.checkpoint_interval then
+      take_checkpoint t
+  end
+
+(* --- recovery ---------------------------------------------------------------- *)
+
+let load_slot t slot =
+  match Store.Media.read t.media ~file:(slot_file slot) with
+  | None -> None
+  | Some blob -> (
+      match Store.Checkpoint.decode blob with
+      | None ->
+          Sim.Stats.Counter.incr t.counters "durable.bad_checkpoint";
+          None
+      | Some ck ->
+          let signer = Prime.Msg.replica_identity ck.Store.Checkpoint.ck_replica in
+          if Store.Checkpoint.verify ~keystore:t.keystore ~signer ck then Some ck
+          else begin
+            Sim.Stats.Counter.incr t.counters "durable.bad_checkpoint";
+            None
+          end)
+
+let best_checkpoint t =
+  match (load_slot t 0, load_slot t 1) with
+  | None, None -> None
+  | Some ck, None | None, Some ck -> Some ck
+  | Some a, Some b ->
+      if a.Store.Checkpoint.ck_exec_seq >= b.Store.Checkpoint.ck_exec_seq then Some a else Some b
+
+(* Replay the WAL suffix beyond [from_exec]: buffer [Exec] records and
+   flush them into the application state whenever a [Mark] arrives, which
+   becomes the new install point. A trailing run of updates with no mark —
+   a torn tail, or a crash before the batch-end record — is dropped:
+   those executions return through Prime catchup instead of being
+   installed with inconsistent cursors. *)
+let replay_suffix t ~from_exec =
+  let install = ref None in
+  let pending = ref [] in
+  let keys = ref [] in
+  let replayed = ref 0 in
+  ignore
+    (Store.Wal.replay t.wal ~f:(fun payload ->
+         match decode_record payload with
+         | exception Wire.Truncated -> ()
+         | None -> ()
+         | Some (Exec x) -> if x.x_exec_seq > from_exec then pending := Exec x :: !pending
+         | Some (Mark m) ->
+             if m.m_exec_seq > from_exec then begin
+               List.iter
+                 (function
+                   | Exec x -> (
+                       incr replayed;
+                       keys := (x.x_client, x.x_client_seq) :: !keys;
+                       match Op.decode x.x_op with
+                       | None -> ()
+                       | Some op -> ignore (State.apply t.state ~exec_seq:x.x_exec_seq op))
+                   | Mark _ -> ())
+                 (List.rev !pending);
+               pending := [];
+               install := Some (m.m_next_exec_pp, m.m_exec_seq, m.m_cursor)
+             end));
+  (!install, !keys, !replayed)
+
+let local_recover t =
+  let ck = best_checkpoint t in
+  let base_exec, base_keys =
+    match ck with
+    | None -> (0, [])
+    | Some ck -> (ck.Store.Checkpoint.ck_exec_seq, ck.Store.Checkpoint.ck_client_seqs)
+  in
+  let loaded =
+    match ck with
+    | None -> true (* nothing durable: recover from an empty log *)
+    | Some ck -> (
+        match State.load t.state ck.Store.Checkpoint.ck_app_state with
+        | Ok () -> true
+        | Error _ ->
+            Sim.Stats.Counter.incr t.counters "durable.bad_checkpoint";
+            false)
+  in
+  if not loaded then false
+  else begin
+    let install, keys, replayed = replay_suffix t ~from_exec:base_exec in
+    let installed =
+      match (install, ck) with
+      | Some (next_exec_pp, exec_seq, cursor), _ ->
+          Prime.Replica.install_app_checkpoint t.replica ~next_exec_pp ~exec_seq ~cursor
+            ~client_seqs:(base_keys @ keys);
+          true
+      | None, Some c ->
+          Prime.Replica.install_app_checkpoint t.replica
+            ~next_exec_pp:c.Store.Checkpoint.ck_next_exec_pp
+            ~exec_seq:c.Store.Checkpoint.ck_exec_seq ~cursor:c.Store.Checkpoint.ck_cursor
+            ~client_seqs:base_keys;
+          true
+      | None, None -> false
+    in
+    t.latest <- ck;
+    t.last_ck_exec <- base_exec;
+    if installed then begin
+      Sim.Stats.Counter.incr ~by:(max 1 replayed) t.counters "durable.recovered_records";
+      Sim.Stats.Counter.incr t.counters "durable.local_recover"
+    end;
+    installed
+  end
+
+let install_from_peer t ck =
+  match State.load t.state ck.Store.Checkpoint.ck_app_state with
+  | Error e -> Error e
+  | Ok () ->
+      (* Our old log precedes the adopted point (we were the lagging
+         replica); a fresh log starts from the checkpoint. *)
+      Store.Wal.reset t.wal;
+      Prime.Replica.install_app_checkpoint t.replica
+        ~next_exec_pp:ck.Store.Checkpoint.ck_next_exec_pp
+        ~exec_seq:ck.Store.Checkpoint.ck_exec_seq ~cursor:ck.Store.Checkpoint.ck_cursor
+        ~client_seqs:ck.Store.Checkpoint.ck_client_seqs;
+      persist_checkpoint t ck;
+      t.transfer_bytes <- t.transfer_bytes + Store.Checkpoint.size ck;
+      Sim.Stats.Counter.incr t.counters "durable.peer_install";
+      Obs.Registry.incr Obs.Registry.default "store.transfer";
+      Ok ()
+
+(* --- lifecycle --------------------------------------------------------------- *)
+
+let on_crash t = Store.Media.crash t.media
+
+let wipe_disk t =
+  Store.Media.wipe t.media;
+  Store.Wal.reset t.wal;
+  t.latest <- None;
+  t.slot <- 0;
+  t.last_ck_exec <- 0
+
+let create ~keystore ~keypair ~config ~replica ~state ~media =
+  let t =
+    {
+      keystore;
+      keypair;
+      replica;
+      state;
+      media;
+      wal =
+        Store.Wal.create ~prefix:"wal"
+          ~segment_size:config.Prime.Config.wal_segment_size
+          ~fsync_every:config.Prime.Config.fsync_every media;
+      checkpoint_interval = config.Prime.Config.checkpoint_interval;
+      counters = Sim.Stats.Counter.create ();
+      latest = None;
+      slot = 0;
+      last_ck_exec = 0;
+      transfer_bytes = 0;
+    }
+  in
+  Prime.Replica.set_on_execute replica (fun ~exec_seq u -> on_execute t ~exec_seq u);
+  Prime.Replica.set_on_batch_end replica (fun () -> on_batch_end t);
+  t

@@ -1,6 +1,8 @@
-(** SCADA historian (the testbed's PI server): an append-only archive.
-    Unlike the masters' active state, lost history is unrecoverable —
-    the Section III-A asymmetry. *)
+(** SCADA historian (the testbed's PI server): an append-only archive
+    over a growable array. Unlike the masters' active state, lost history
+    is unrecoverable — the Section III-A asymmetry. A historian backed by
+    a durable device ({!attach_store}) narrows a breach's loss to the
+    unsynced tail of its write-ahead log. *)
 
 type event = { time : float; source : string; kind : string; detail : string }
 
@@ -10,15 +12,29 @@ val create : unit -> t
 
 val record : t -> time:float -> source:string -> kind:string -> detail:string -> unit
 
+(** All events in recording order. *)
 val events : t -> event list
 
 val length : t -> int
 
+(** Events with [time >= t], in recording order. Binary search while
+    recorded times are monotone; linear scan otherwise. *)
 val since : t -> float -> event list
 
 val by_kind : t -> string -> event list
 
-(** Assumption breach: everything archived is gone. *)
+(** Back the archive with a write-ahead log on [media] (a device
+    dedicated to this historian). History already on the device is
+    replayed into memory, counted by {!recovered_events}. *)
+val attach_store : t -> Store.Media.t -> unit
+
+(** Assumption breach. Plain historian: everything archived is gone.
+    Store-backed: the device loses its unsynced tail, the fsynced prefix
+    replays back, and only the tail counts as lost. *)
 val wipe : t -> unit
 
 val lost_events : t -> int
+
+(** Events repopulated from the durable log across {!attach_store} and
+    {!wipe}. *)
+val recovered_events : t -> int

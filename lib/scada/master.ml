@@ -27,6 +27,7 @@ type t = {
   mutable transfer_timer : Sim.Engine.timer option;
   counters : Sim.Stats.Counter.t;
   mutable on_apply : (exec_seq:int -> Op.t -> unit) list;
+  mutable durable : Durable.t option;
 }
 
 let id t = Prime.Replica.id t.replica
@@ -40,6 +41,10 @@ let register_hmi t endpoint =
     t.hmi_endpoints <- endpoint :: t.hmi_endpoints
 
 let on_apply t f = t.on_apply <- f :: t.on_apply
+
+let attach_durable t d = t.durable <- Some d
+
+let durable t = t.durable
 
 let proxy_endpoint_for_breaker t breaker =
   let scenario = State.scenario t.state in
@@ -108,19 +113,31 @@ let reply_vote_key ~state_blob ~next_exec_pp ~exec_seq ~cursor ~client_seqs =
           ~client_seqs))
 
 let send_state_reply t =
-  let next_exec_pp, exec_seq, cursor, client_seqs = Prime.Replica.order_state t.replica in
-  let state_blob = State.serialize t.state in
-  let body =
-    Messages.encode_app_state_reply ~rep:(id t) ~state_blob ~next_exec_pp ~exec_seq ~cursor
-      ~client_seqs
-  in
-  let msg =
-    Messages.App_state_reply
-      { rep = id t; state_blob; next_exec_pp; exec_seq; cursor; client_seqs;
-        reply_sig = sign t body }
-  in
-  Sim.Stats.Counter.incr t.counters "transfer.reply_sent";
-  t.net.broadcast_masters (Messages.Scada_msg msg) ~size:(Messages.size msg)
+  (* Durable-store path: serve the latest authenticated checkpoint — the
+     requester votes by its Merkle root and replays forward from there.
+     Without a checkpoint yet (young run, store disabled) fall back to
+     the full App_state_reply. *)
+  match Option.bind t.durable Durable.latest_checkpoint with
+  | Some ck ->
+      let msg = Messages.Checkpoint_reply { ckr_rep = id t; ckr_ck = ck } in
+      Sim.Stats.Counter.incr t.counters "transfer.reply_sent";
+      Sim.Stats.Counter.incr ~by:(Messages.size msg) t.counters "transfer.bytes_sent";
+      t.net.broadcast_masters (Messages.Scada_msg msg) ~size:(Messages.size msg)
+  | None ->
+      let next_exec_pp, exec_seq, cursor, client_seqs = Prime.Replica.order_state t.replica in
+      let state_blob = State.serialize t.state in
+      let body =
+        Messages.encode_app_state_reply ~rep:(id t) ~state_blob ~next_exec_pp ~exec_seq ~cursor
+          ~client_seqs
+      in
+      let msg =
+        Messages.App_state_reply
+          { rep = id t; state_blob; next_exec_pp; exec_seq; cursor; client_seqs;
+            reply_sig = sign t body }
+      in
+      Sim.Stats.Counter.incr t.counters "transfer.reply_sent";
+      Sim.Stats.Counter.incr ~by:(Messages.size msg) t.counters "transfer.bytes_sent";
+      t.net.broadcast_masters (Messages.Scada_msg msg) ~size:(Messages.size msg)
 
 let request_state_transfer t =
   Sim.Stats.Counter.incr t.counters "transfer.requested";
@@ -141,6 +158,17 @@ let begin_state_transfer t =
              if t.awaiting_transfer then request_state_transfer t))
   end
 
+let transfer_done t ~exec_seq =
+  t.awaiting_transfer <- false;
+  (match t.transfer_timer with
+  | Some timer ->
+      Sim.Engine.cancel_timer t.engine timer;
+      t.transfer_timer <- None
+  | None -> ());
+  Sim.Stats.Counter.incr t.counters "transfer.completed";
+  Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"scada"
+    "master %d: application state transfer complete at exec %d" (id t) exec_seq
+
 let finish_state_transfer t (reply : Messages.t) =
   match reply with
   | Messages.App_state_reply { state_blob; next_exec_pp; exec_seq; cursor; client_seqs; _ } ->
@@ -148,21 +176,57 @@ let finish_state_transfer t (reply : Messages.t) =
       | Ok () ->
           Prime.Replica.install_app_checkpoint t.replica ~next_exec_pp ~exec_seq ~cursor
             ~client_seqs;
-          t.awaiting_transfer <- false;
-          (match t.transfer_timer with
-          | Some timer ->
-              Sim.Engine.cancel_timer t.engine timer;
-              t.transfer_timer <- None
-          | None -> ());
-          Sim.Stats.Counter.incr t.counters "transfer.completed";
-          Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"scada"
-            "master %d: application state transfer complete at exec %d" (id t) exec_seq
+          transfer_done t ~exec_seq
       | Error e -> Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"scada"
             "master %d: rejected state blob: %s" (id t) e)
+  | Messages.Checkpoint_reply { ckr_ck = ck; _ } -> (
+      let exec_seq = ck.Store.Checkpoint.ck_exec_seq in
+      let install_result =
+        match t.durable with
+        | Some d -> Durable.install_from_peer d ck
+        | None -> (
+            (* Store disabled locally: adopt the checkpoint's state
+               without persisting it. *)
+            match State.load t.state ck.Store.Checkpoint.ck_app_state with
+            | Error _ as e -> e
+            | Ok () ->
+                Prime.Replica.install_app_checkpoint t.replica
+                  ~next_exec_pp:ck.Store.Checkpoint.ck_next_exec_pp ~exec_seq
+                  ~cursor:ck.Store.Checkpoint.ck_cursor
+                  ~client_seqs:ck.Store.Checkpoint.ck_client_seqs;
+                Ok ())
+      in
+      match install_result with
+      | Ok () -> transfer_done t ~exec_seq
+      | Error e ->
+          Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"scada"
+            "master %d: rejected peer checkpoint: %s" (id t) e)
   | _ -> ()
 
 let handle_state_reply t (reply : Messages.t) =
   match reply with
+  | Messages.Checkpoint_reply { ckr_rep; ckr_ck } when t.awaiting_transfer ->
+      Sim.Stats.Counter.incr ~by:(Messages.size reply) t.counters "transfer.bytes_received";
+      (* The signature pins the checkpoint to the replica that produced
+         it (which may differ from the sender when the sender itself
+         adopted it from a peer); trust in the content comes from f + 1
+         matching roots. *)
+      let producer = ckr_ck.Store.Checkpoint.ck_replica in
+      ignore ckr_rep;
+      let valid =
+        producer >= 0
+        && producer < t.config.Prime.Config.n
+        && Store.Checkpoint.verify ~keystore:t.keystore
+             ~signer:(Prime.Msg.replica_identity producer) ckr_ck
+      in
+      if valid then begin
+        let key = "ck:" ^ Crypto.Sha256.to_hex ckr_ck.Store.Checkpoint.ck_root in
+        let count =
+          match Hashtbl.find_opt t.transfer_votes key with Some (c, _) -> c + 1 | None -> 1
+        in
+        Hashtbl.replace t.transfer_votes key (count, reply);
+        if count >= t.config.Prime.Config.f + 1 then finish_state_transfer t reply
+      end
   | Messages.App_state_reply { rep; state_blob; next_exec_pp; exec_seq; cursor; client_seqs; reply_sig }
     when t.awaiting_transfer ->
       let body =
@@ -188,7 +252,8 @@ let handle_payload t payload =
   match payload with
   | Messages.Scada_msg (Messages.App_state_request { asr_rep }) ->
       if asr_rep <> id t && not t.awaiting_transfer then send_state_reply t
-  | Messages.Scada_msg (Messages.App_state_reply _ as reply) -> handle_state_reply t reply
+  | Messages.Scada_msg ((Messages.App_state_reply _ | Messages.Checkpoint_reply _) as reply) ->
+      handle_state_reply t reply
   | Messages.Scada_msg (Messages.Breaker_command _) | Messages.Scada_msg (Messages.Hmi_state _)
     ->
       () (* destined for proxies / HMIs, not masters *)
@@ -224,6 +289,7 @@ let create ~engine ~trace ~keystore ~keypair ~config ~replica ~scenario ~net =
       transfer_timer = None;
       counters = Sim.Stats.Counter.create ();
       on_apply = [];
+      durable = None;
     }
   in
   Prime.Replica.set_app replica

@@ -33,6 +33,13 @@ val register_hmi : t -> string -> unit
 (** Observer invoked on every applied operation (historian feed, tests). *)
 val on_apply : t -> (exec_seq:int -> Op.t -> unit) -> unit
 
+(** Bind the replica's durable store: state-transfer replies then serve
+    the latest authenticated checkpoint, and accepted peer checkpoints
+    are installed through it. *)
+val attach_durable : t -> Durable.t -> unit
+
+val durable : t -> Durable.t option
+
 (** Handle a SCADA-level payload from the network (state-transfer
     requests/replies from peer masters). *)
 val handle_payload : t -> Netbase.Packet.payload -> unit

@@ -8,7 +8,10 @@
      requires f + 1 agreeing replicas before repainting.
    - [App_state_request]/[App_state_reply]: the application-level state
      transfer protocol between SCADA masters (Section III-A). Replies are
-     accepted once f + 1 carry the same digest. *)
+     accepted once f + 1 carry the same digest.
+   - [Checkpoint_reply]: the durable-store variant of a transfer reply —
+     an authenticated [Store.Checkpoint.t]; the requester votes by the
+     checkpoint's Merkle root and accepts at f + 1 matching roots. *)
 
 type t =
   | Breaker_command of {
@@ -35,6 +38,7 @@ type t =
       client_seqs : (string * int) list;
       reply_sig : Crypto.Signature.t;
     }
+  | Checkpoint_reply of { ckr_rep : int; ckr_ck : Store.Checkpoint.t }
 
 type Netbase.Packet.payload += Scada_msg of t
 
@@ -59,6 +63,7 @@ let size = function
       80 + Crypto.Signature.size_bytes + String.length state_blob
       + (8 * Array.length cursor)
       + (24 * List.length client_seqs)
+  | Checkpoint_reply { ckr_ck; _ } -> 16 + Store.Checkpoint.size ckr_ck
 
 let describe = function
   | Breaker_command { bc_rep; bc_breaker; bc_close; _ } ->
@@ -68,3 +73,6 @@ let describe = function
   | App_state_request { asr_rep } -> Printf.sprintf "app-state-request from replica %d" asr_rep
   | App_state_reply { rep; exec_seq; _ } ->
       Printf.sprintf "app-state-reply from replica %d at exec %d" rep exec_seq
+  | Checkpoint_reply { ckr_rep; ckr_ck } ->
+      Printf.sprintf "checkpoint-reply from replica %d at exec %d" ckr_rep
+        ckr_ck.Store.Checkpoint.ck_exec_seq

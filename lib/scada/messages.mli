@@ -27,6 +27,9 @@ type t =
       client_seqs : (string * int) list;
       reply_sig : Crypto.Signature.t;
     }
+  | Checkpoint_reply of { ckr_rep : int; ckr_ck : Store.Checkpoint.t }
+      (** Durable-store transfer reply: vote by [ck_root], accept at
+          f + 1 matching roots. *)
 
 type Netbase.Packet.payload += Scada_msg of t
 

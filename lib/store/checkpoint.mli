@@ -1,0 +1,55 @@
+(** Authenticated replica checkpoints: a snapshot of the replication
+    execution point (exec seq, next pre-prepare, per-origin cursors,
+    client dedup keys) plus the serialized SCADA application state,
+    identified by a [Crypto.Merkle] root over its content and signed via
+    the [Crypto.Auth] path. Peers accept a transferred checkpoint only
+    once f + 1 replicas present the same root. *)
+
+type t = {
+  ck_replica : int;
+  ck_exec_seq : int;
+  ck_next_exec_pp : int;
+  ck_cursor : int array;
+  ck_client_seqs : (string * int) list;  (** sorted canonical *)
+  ck_app_state : string;
+  ck_root : Crypto.Sha256.digest;
+  ck_auth : Crypto.Auth.t;
+}
+
+(** Canonical sort for client dedup keys (applied by {!make}). *)
+val sort_client_seqs : (string * int) list -> (string * int) list
+
+(** Merkle root over the checkpoint content. The same logical state
+    always produces the same root, whichever replica snapshots it. *)
+val root_of :
+  exec_seq:int ->
+  next_exec_pp:int ->
+  cursor:int array ->
+  client_seqs:(string * int) list ->
+  app_state:string ->
+  Crypto.Sha256.digest
+
+(** The domain-separated byte string the signature covers. *)
+val root_binding : Crypto.Sha256.digest -> string
+
+val make :
+  keypair:Crypto.Signature.keypair ->
+  replica:int ->
+  next_exec_pp:int ->
+  exec_seq:int ->
+  cursor:int array ->
+  client_seqs:(string * int) list ->
+  app_state:string ->
+  t
+
+(** Recompute the root from the content and check the signature binds it
+    to [signer]. *)
+val verify : keystore:Crypto.Signature.keystore -> signer:Crypto.Signature.identity -> t -> bool
+
+(** Canonical byte encoding (disk format and transfer-size model). *)
+val encode : t -> string
+
+(** [None] on truncated or malformed input. *)
+val decode : string -> t option
+
+val size : t -> int

@@ -50,7 +50,8 @@ let test_short_rotation_rejected_when_invalid () =
         (Diversity.Recovery.create ~engine ~trace ~rng ~n:6 ~rotation_period:10.0
            ~downtime:10.0
            ~take_down:(fun _ -> ())
-           ~bring_up:(fun _ _ -> ())))
+           ~bring_up:(fun _ _ ~disk:_ -> ())
+           ()))
 
 let suite =
   [

@@ -45,7 +45,8 @@ let test_recovery_rotates_round_robin () =
   let sched =
     Diversity.Recovery.create ~engine ~trace ~rng ~n:6 ~rotation_period:10.0 ~downtime:2.0
       ~take_down:(fun i -> downs := i :: !downs)
-      ~bring_up:(fun i _ -> ups := i :: !ups)
+      ~bring_up:(fun i _ ~disk:_ -> ups := i :: !ups)
+      ()
   in
   Diversity.Recovery.start sched;
   Sim.Engine.run ~until:65.0 engine;
@@ -61,7 +62,8 @@ let test_recovery_replaces_variant () =
   let sched =
     Diversity.Recovery.create ~engine ~trace ~rng ~n:4 ~rotation_period:5.0 ~downtime:1.0
       ~take_down:(fun _ -> ())
-      ~bring_up:(fun _ _ -> ())
+      ~bring_up:(fun _ _ ~disk:_ -> ())
+      ()
   in
   let before = Diversity.Recovery.current_variant sched 0 in
   Diversity.Recovery.start sched;
@@ -80,7 +82,8 @@ let test_recovery_at_most_one_down () =
       ~take_down:(fun _ ->
         incr down_now;
         if !down_now > !max_down then max_down := !down_now)
-      ~bring_up:(fun _ _ -> decr down_now)
+      ~bring_up:(fun _ _ ~disk:_ -> decr down_now)
+      ()
   in
   Diversity.Recovery.start sched;
   Sim.Engine.run ~until:50.0 engine;
@@ -94,7 +97,8 @@ let test_recovery_exposure_bound () =
   let sched =
     Diversity.Recovery.create ~engine ~trace ~rng ~n:6 ~rotation_period:10.0 ~downtime:2.0
       ~take_down:(fun _ -> ())
-      ~bring_up:(fun _ _ -> ())
+      ~bring_up:(fun _ _ ~disk:_ -> ())
+      ()
   in
   Alcotest.(check (float 1e-9)) "exposure bound" 60.0 (Diversity.Recovery.max_exposure sched)
 
@@ -107,7 +111,8 @@ let test_recovery_validates_period () =
       ignore
         (Diversity.Recovery.create ~engine ~trace ~rng ~n:6 ~rotation_period:1.0 ~downtime:2.0
            ~take_down:(fun _ -> ())
-           ~bring_up:(fun _ _ -> ())))
+           ~bring_up:(fun _ _ ~disk:_ -> ())
+      ()))
 
 let test_recovery_stop_during_downtime () =
   (* [stop] cancels the rotation timer, but a bring-up already scheduled
@@ -120,7 +125,8 @@ let test_recovery_stop_during_downtime () =
   let sched =
     Diversity.Recovery.create ~engine ~trace ~rng ~n:6 ~rotation_period:10.0 ~downtime:2.0
       ~take_down:(fun i -> downs := i :: !downs)
-      ~bring_up:(fun i _ -> ups := i :: !ups)
+      ~bring_up:(fun i _ ~disk:_ -> ups := i :: !ups)
+      ()
   in
   Diversity.Recovery.start sched;
   (* First take-down at t=10; stop inside its downtime window. *)
@@ -141,7 +147,8 @@ let test_recovery_restart_after_stop () =
   let sched =
     Diversity.Recovery.create ~engine ~trace ~rng ~n:4 ~rotation_period:10.0 ~downtime:1.0
       ~take_down:(fun i -> downs := i :: !downs)
-      ~bring_up:(fun _ _ -> ())
+      ~bring_up:(fun _ _ ~disk:_ -> ())
+      ()
   in
   Diversity.Recovery.start sched;
   Sim.Engine.run ~until:15.0 engine;

@@ -133,6 +133,63 @@ let test_historian_wipe_is_permanent () =
   check_int "empty" 0 (Scada.Historian.length h);
   check_int "loss accounted" 10 (Scada.Historian.lost_events h)
 
+let test_historian_matches_list_semantics () =
+  (* Regression for the growable-array rewrite: queries must agree with
+     the old list-based historian, including on out-of-order times (where
+     [since] degrades from binary search to the old linear filter). *)
+  let input =
+    [
+      (1.0, "m", "status", "a");
+      (4.0, "m", "command", "b");
+      (2.0, "p", "status", "c"); (* non-monotone *)
+      (4.0, "m", "status", "d"); (* duplicate time *)
+      (9.0, "p", "alarm", "e");
+    ]
+  in
+  let h = Scada.Historian.create () in
+  List.iter (fun (time, source, kind, detail) -> Scada.Historian.record h ~time ~source ~kind ~detail) input;
+  let reference = List.map (fun (time, source, kind, detail) -> { Scada.Historian.time; source; kind; detail }) input in
+  Alcotest.(check int) "recording order" (List.length reference) (Scada.Historian.length h);
+  check "events in recording order" true (Scada.Historian.events h = reference);
+  check "since filters like the old scan" true
+    (Scada.Historian.since h 4.0 = List.filter (fun e -> e.Scada.Historian.time >= 4.0) reference);
+  check "by_kind preserves order" true
+    (Scada.Historian.by_kind h "status"
+    = List.filter (fun e -> e.Scada.Historian.kind = "status") reference);
+  (* And on a monotone history the binary-search path gives the same
+     answers as the filter. *)
+  let hm = Scada.Historian.create () in
+  for i = 1 to 100 do
+    Scada.Historian.record hm ~time:(float_of_int i) ~source:"m" ~kind:"s" ~detail:""
+  done;
+  check_int "since mid" 51 (List.length (Scada.Historian.since hm 50.0));
+  check_int "since before start" 100 (List.length (Scada.Historian.since hm 0.0));
+  check_int "since past end" 0 (List.length (Scada.Historian.since hm 101.0))
+
+let test_historian_store_backed_wipe_keeps_synced_prefix () =
+  let media = Store.Media.create ~rng:(Sim.Rng.create 5L) "hist-disk" in
+  let h = Scada.Historian.create () in
+  Scada.Historian.attach_store h media;
+  for i = 1 to 10 do
+    Scada.Historian.record h ~time:(float_of_int i) ~source:"m" ~kind:"sample" ~detail:"x"
+  done;
+  (* Default WAL batching syncs in groups; whatever is past the last
+     durability point is the only thing a breach may take. *)
+  Scada.Historian.wipe h;
+  let survived = Scada.Historian.length h in
+  check "synced prefix survives" true (survived > 0);
+  check_int "only the unsynced tail is lost" (10 - survived) (Scada.Historian.lost_events h);
+  check_int "recovered accounted" survived (Scada.Historian.recovered_events h);
+  (* The survivors are the exact prefix, still queryable. *)
+  List.iteri
+    (fun i e -> check "prefix order" true (e.Scada.Historian.time = float_of_int (i + 1)))
+    (Scada.Historian.events h);
+  (* A second incarnation of the process re-attaching the same device
+     sees the same durable history. *)
+  let h2 = Scada.Historian.create () in
+  Scada.Historian.attach_store h2 media;
+  check_int "reattach replays prefix" survived (Scada.Historian.length h2)
+
 (* --- threshold gate ------------------------------------------------------- *)
 
 let test_threshold_fires_once () =
@@ -184,6 +241,8 @@ let suite =
     ("threshold prunes stale votes", `Quick, test_threshold_prunes_stale_votes);
     ("historian record and query", `Quick, test_historian_record_and_query);
     ("historian wipe permanent", `Quick, test_historian_wipe_is_permanent);
+    ("historian matches list semantics", `Quick, test_historian_matches_list_semantics);
+    ("historian store-backed wipe", `Quick, test_historian_store_backed_wipe_keeps_synced_prefix);
     QCheck_alcotest.to_alcotest prop_op_roundtrip;
     QCheck_alcotest.to_alcotest prop_state_digest_deterministic;
   ]
