@@ -44,7 +44,11 @@ type t = {
   counters : Sim.Stats.Counter.t;
   mutable latest : Store.Checkpoint.t option;
   mutable slot : int; (* next checkpoint slot, alternating 0/1 *)
-  mutable last_ck_exec : int; (* exec_seq of the newest persisted checkpoint *)
+  mutable last_ck_window : int;
+      (* last [checkpoint_interval] window whose boundary has been
+         crossed by a settled exec_seq — a pure function of the agreed
+         history, so every replica (including one that just recovered)
+         fires its next checkpoint at the same batch end *)
   mutable transfer_bytes : int;
 }
 
@@ -105,7 +109,8 @@ let persist_checkpoint t ck =
   Store.Media.fsync t.media ~file;
   t.slot <- 1 - t.slot;
   t.latest <- Some ck;
-  t.last_ck_exec <- ck.Store.Checkpoint.ck_exec_seq;
+  t.last_ck_window <-
+    max t.last_ck_window (ck.Store.Checkpoint.ck_exec_seq / t.checkpoint_interval);
   (* Sealed segments below the live one are fully covered by the
      checkpoint now on disk. *)
   ignore (Store.Wal.gc_before t.wal ~segment:(Store.Wal.current_segment t.wal));
@@ -141,8 +146,7 @@ let on_batch_end t =
        settled batch end inside a new interval window" fires at the same
        exec_seq on every replica — which is what lets transfer votes on
        the checkpoint root reach f + 1 matches. *)
-    if exec_seq / t.checkpoint_interval > t.last_ck_exec / t.checkpoint_interval then
-      take_checkpoint t
+    if exec_seq / t.checkpoint_interval > t.last_ck_window then take_checkpoint t
   end
 
 (* --- recovery ---------------------------------------------------------------- *)
@@ -163,49 +167,86 @@ let load_slot t slot =
             None
           end)
 
+(* The winning slot index rides along so recovery can resume the
+   alternation correctly: the next checkpoint must overwrite the *other*
+   slot, or a crash mid-write would destroy the newest checkpoint while
+   its covering WAL prefix is already gone. *)
 let best_checkpoint t =
   match (load_slot t 0, load_slot t 1) with
   | None, None -> None
-  | Some ck, None | None, Some ck -> Some ck
+  | Some ck, None -> Some (0, ck)
+  | None, Some ck -> Some (1, ck)
   | Some a, Some b ->
-      if a.Store.Checkpoint.ck_exec_seq >= b.Store.Checkpoint.ck_exec_seq then Some a else Some b
+      if a.Store.Checkpoint.ck_exec_seq >= b.Store.Checkpoint.ck_exec_seq then Some (0, a)
+      else Some (1, b)
 
 (* Replay the WAL suffix beyond [from_exec]: buffer [Exec] records and
    flush them into the application state whenever a [Mark] arrives, which
    becomes the new install point. A trailing run of updates with no mark —
    a torn tail, or a crash before the batch-end record — is dropped:
    those executions return through Prime catchup instead of being
-   installed with inconsistent cursors. *)
+   installed with inconsistent cursors.
+
+   The suffix must also reach back to [from_exec]. Per-record exec
+   contiguity cannot be demanded — client-level dedup executes an
+   ordered slot without logging an [Exec] record, so legitimate WALs
+   skip seqs — but the WAL is physically an append-only run whose only
+   discontinuity is the GC'd front (every install jump resets the log
+   and writes a base [Mark]). Coverage therefore reduces to the oldest
+   surviving record: it must sit at or before [from_exec], or be the
+   [Exec] immediately after it. When recovery falls back to the older
+   checkpoint slot (the newer one corrupted) after the covering WAL
+   prefix was GC'd, the oldest record sits past that point instead;
+   applying such a suffix would silently diverge from the agreed
+   history, so replay reports the gap and the caller abandons local
+   recovery in favour of an f + 1-voted peer transfer. *)
 let replay_suffix t ~from_exec =
   let install = ref None in
   let pending = ref [] in
   let keys = ref [] in
   let replayed = ref 0 in
+  let covered = ref false in
+  let suffix_present = ref false in
+  let first = ref true in
   ignore
     (Store.Wal.replay t.wal ~f:(fun payload ->
          match decode_record payload with
          | exception Wire.Truncated -> ()
          | None -> ()
-         | Some (Exec x) -> if x.x_exec_seq > from_exec then pending := Exec x :: !pending
-         | Some (Mark m) ->
-             if m.m_exec_seq > from_exec then begin
-               List.iter
-                 (function
-                   | Exec x -> (
-                       incr replayed;
-                       keys := (x.x_client, x.x_client_seq) :: !keys;
-                       match Op.decode x.x_op with
-                       | None -> ()
-                       | Some op -> ignore (State.apply t.state ~exec_seq:x.x_exec_seq op))
-                   | Mark _ -> ())
-                 (List.rev !pending);
-               pending := [];
-               install := Some (m.m_next_exec_pp, m.m_exec_seq, m.m_cursor)
-             end));
-  (!install, !keys, !replayed)
+         | Some r ->
+             (if !first then begin
+                first := false;
+                match r with
+                | Exec x -> covered := x.x_exec_seq <= from_exec + 1
+                | Mark m -> covered := m.m_exec_seq <= from_exec
+              end);
+             (match r with
+             | Exec x -> if x.x_exec_seq > from_exec then suffix_present := true
+             | Mark m -> if m.m_exec_seq > from_exec then suffix_present := true);
+             if !covered then
+               match r with
+               | Exec x -> if x.x_exec_seq > from_exec then pending := Exec x :: !pending
+               | Mark m ->
+                   if m.m_exec_seq > from_exec then begin
+                     List.iter
+                       (function
+                         | Exec x -> (
+                             incr replayed;
+                             keys := (x.x_client, x.x_client_seq) :: !keys;
+                             match Op.decode x.x_op with
+                             | None -> ()
+                             | Some op -> ignore (State.apply t.state ~exec_seq:x.x_exec_seq op))
+                         | Mark _ -> ())
+                       (List.rev !pending);
+                     pending := [];
+                     install := Some (m.m_next_exec_pp, m.m_exec_seq, m.m_cursor)
+                   end));
+  let gap = !suffix_present && not !covered in
+  (!install, !keys, !replayed, gap)
 
 let local_recover t =
-  let ck = best_checkpoint t in
+  let best = best_checkpoint t in
+  let ck = Option.map snd best in
   let base_exec, base_keys =
     match ck with
     | None -> (0, [])
@@ -223,29 +264,58 @@ let local_recover t =
   in
   if not loaded then false
   else begin
-    let install, keys, replayed = replay_suffix t ~from_exec:base_exec in
-    let installed =
-      match (install, ck) with
-      | Some (next_exec_pp, exec_seq, cursor), _ ->
-          Prime.Replica.install_app_checkpoint t.replica ~next_exec_pp ~exec_seq ~cursor
-            ~client_seqs:(base_keys @ keys);
-          true
-      | None, Some c ->
-          Prime.Replica.install_app_checkpoint t.replica
-            ~next_exec_pp:c.Store.Checkpoint.ck_next_exec_pp
-            ~exec_seq:c.Store.Checkpoint.ck_exec_seq ~cursor:c.Store.Checkpoint.ck_cursor
-            ~client_seqs:base_keys;
-          true
-      | None, None -> false
-    in
-    t.latest <- ck;
-    t.last_ck_exec <- base_exec;
-    if installed then begin
-      Sim.Stats.Counter.incr ~by:(max 1 replayed) t.counters "durable.recovered_records";
-      Sim.Stats.Counter.incr t.counters "durable.local_recover"
-    end;
-    installed
+    let install, keys, replayed, gap = replay_suffix t ~from_exec:base_exec in
+    if gap then begin
+      (* The durable trail cannot prove continuity past the checkpoint;
+         undo any partially replayed state and fail over to peer
+         transfer. *)
+      State.reset t.state;
+      Sim.Stats.Counter.incr t.counters "durable.replay_gap";
+      false
+    end
+    else begin
+      let installed_exec = ref base_exec in
+      let installed =
+        match (install, ck) with
+        | Some (next_exec_pp, exec_seq, cursor), _ ->
+            Prime.Replica.install_app_checkpoint t.replica ~next_exec_pp ~exec_seq ~cursor
+              ~client_seqs:(base_keys @ keys);
+            installed_exec := exec_seq;
+            true
+        | None, Some c ->
+            Prime.Replica.install_app_checkpoint t.replica
+              ~next_exec_pp:c.Store.Checkpoint.ck_next_exec_pp
+              ~exec_seq:c.Store.Checkpoint.ck_exec_seq ~cursor:c.Store.Checkpoint.ck_cursor
+              ~client_seqs:base_keys;
+            true
+        | None, None -> false
+      in
+      t.latest <- ck;
+      (match best with
+      | Some (slot, _) -> t.slot <- 1 - slot (* next write targets the other slot *)
+      | None -> t.slot <- 0);
+      (* The schedule is a function of the settled exec point, not of
+         when this replica last wrote a slot: a recovered replica's next
+         checkpoint then fires at the same window boundary as steady
+         peers, keeping the roots matchable for future rejoiners. *)
+      t.last_ck_window <- !installed_exec / t.checkpoint_interval;
+      if installed then begin
+        Sim.Stats.Counter.incr ~by:(max 1 replayed) t.counters "durable.recovered_records";
+        Sim.Stats.Counter.incr t.counters "durable.local_recover"
+      end;
+      installed
+    end
   end
+
+(* Restart the log at an install point: the old records precede the
+   adopted history, and a base [Mark] anchors the fresh log so recovery
+   can later prove the retained suffix reaches back to any checkpoint
+   taken from here on. *)
+let restart_log_at t ~next_exec_pp ~exec_seq ~cursor =
+  Store.Wal.reset t.wal;
+  Store.Wal.append t.wal
+    (encode_record (Mark { m_next_exec_pp = next_exec_pp; m_exec_seq = exec_seq; m_cursor = cursor }));
+  Store.Wal.sync t.wal
 
 let install_from_peer t ck =
   match State.load t.state ck.Store.Checkpoint.ck_app_state with
@@ -253,7 +323,8 @@ let install_from_peer t ck =
   | Ok () ->
       (* Our old log precedes the adopted point (we were the lagging
          replica); a fresh log starts from the checkpoint. *)
-      Store.Wal.reset t.wal;
+      restart_log_at t ~next_exec_pp:ck.Store.Checkpoint.ck_next_exec_pp
+        ~exec_seq:ck.Store.Checkpoint.ck_exec_seq ~cursor:ck.Store.Checkpoint.ck_cursor;
       Prime.Replica.install_app_checkpoint t.replica
         ~next_exec_pp:ck.Store.Checkpoint.ck_next_exec_pp
         ~exec_seq:ck.Store.Checkpoint.ck_exec_seq ~cursor:ck.Store.Checkpoint.ck_cursor
@@ -264,6 +335,14 @@ let install_from_peer t ck =
       Obs.Registry.incr Obs.Registry.default "store.transfer";
       Ok ()
 
+(* Adoption of a full [App_state_reply] (peers had no checkpoint yet):
+   the replica jumped to [exec_seq] outside the local log's history, so
+   the log must be rebased the same way a checkpoint adoption does — a
+   WAL spanning the jump would replay a discontinuous suffix. *)
+let rebase t ~next_exec_pp ~exec_seq ~cursor =
+  restart_log_at t ~next_exec_pp ~exec_seq ~cursor;
+  t.last_ck_window <- exec_seq / t.checkpoint_interval
+
 (* --- lifecycle --------------------------------------------------------------- *)
 
 let on_crash t = Store.Media.crash t.media
@@ -273,7 +352,7 @@ let wipe_disk t =
   Store.Wal.reset t.wal;
   t.latest <- None;
   t.slot <- 0;
-  t.last_ck_exec <- 0
+  t.last_ck_window <- 0
 
 let create ~keystore ~keypair ~config ~replica ~state ~media =
   let t =
@@ -291,7 +370,7 @@ let create ~keystore ~keypair ~config ~replica ~state ~media =
       counters = Sim.Stats.Counter.create ();
       latest = None;
       slot = 0;
-      last_ck_exec = 0;
+      last_ck_window = 0;
       transfer_bytes = 0;
     }
   in

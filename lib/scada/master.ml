@@ -23,7 +23,8 @@ type t = {
   net : net;
   mutable hmi_endpoints : string list;
   mutable awaiting_transfer : bool;
-  transfer_votes : (string, int * Messages.t) Hashtbl.t; (* vote key -> count, sample *)
+  transfer_votes : (string, int list * Messages.t) Hashtbl.t;
+      (* vote key -> distinct authenticated voter ids, sample reply *)
   mutable transfer_timer : Sim.Engine.timer option;
   counters : Sim.Stats.Counter.t;
   mutable on_apply : (exec_seq:int -> Op.t -> unit) list;
@@ -119,7 +120,10 @@ let send_state_reply t =
      the full App_state_reply. *)
   match Option.bind t.durable Durable.latest_checkpoint with
   | Some ck ->
-      let msg = Messages.Checkpoint_reply { ckr_rep = id t; ckr_ck = ck } in
+      let vote = Messages.encode_checkpoint_reply ~rep:(id t) ~root:ck.Store.Checkpoint.ck_root in
+      let msg =
+        Messages.Checkpoint_reply { ckr_rep = id t; ckr_ck = ck; ckr_sig = sign t vote }
+      in
       Sim.Stats.Counter.incr t.counters "transfer.reply_sent";
       Sim.Stats.Counter.incr ~by:(Messages.size msg) t.counters "transfer.bytes_sent";
       t.net.broadcast_masters (Messages.Scada_msg msg) ~size:(Messages.size msg)
@@ -176,6 +180,9 @@ let finish_state_transfer t (reply : Messages.t) =
       | Ok () ->
           Prime.Replica.install_app_checkpoint t.replica ~next_exec_pp ~exec_seq ~cursor
             ~client_seqs;
+          (* The local log, if any, precedes this install point; rebase
+             it so recovery never replays across the jump. *)
+          Option.iter (fun d -> Durable.rebase d ~next_exec_pp ~exec_seq ~cursor) t.durable;
           transfer_done t ~exec_seq
       | Error e -> Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"scada"
             "master %d: rejected state blob: %s" (id t) e)
@@ -203,30 +210,49 @@ let finish_state_transfer t (reply : Messages.t) =
             "master %d: rejected peer checkpoint: %s" (id t) e)
   | _ -> ()
 
+(* Count one vote from authenticated replica [voter] for [key]. Votes
+   are deduplicated by voter id: a single replica replaying its reply
+   (or answering every 1s retry round) still contributes one vote, so
+   f + 1 votes always involve f + 1 distinct replicas — at least one of
+   them correct. *)
+let record_transfer_vote t ~key ~voter reply =
+  let voters =
+    match Hashtbl.find_opt t.transfer_votes key with Some (vs, _) -> vs | None -> []
+  in
+  if not (List.mem voter voters) then begin
+    let voters = voter :: voters in
+    Hashtbl.replace t.transfer_votes key (voters, reply);
+    if List.length voters >= t.config.Prime.Config.f + 1 then finish_state_transfer t reply
+  end
+
 let handle_state_reply t (reply : Messages.t) =
   match reply with
-  | Messages.Checkpoint_reply { ckr_rep; ckr_ck } when t.awaiting_transfer ->
+  | Messages.Checkpoint_reply { ckr_rep; ckr_ck; ckr_sig } when t.awaiting_transfer ->
       Sim.Stats.Counter.incr ~by:(Messages.size reply) t.counters "transfer.bytes_received";
-      (* The signature pins the checkpoint to the replica that produced
-         it (which may differ from the sender when the sender itself
-         adopted it from a peer); trust in the content comes from f + 1
-         matching roots. *)
+      (* Two signatures, two roles: the checkpoint's own signature pins
+         it to the replica that produced it (which may differ from the
+         sender when the sender itself adopted it from a peer), while
+         [ckr_sig] binds the *sender* to the root it vouches for — the
+         authenticated identity the vote is counted under. Trust in the
+         content comes from f + 1 distinct replicas vouching for the
+         same root. *)
       let producer = ckr_ck.Store.Checkpoint.ck_replica in
-      ignore ckr_rep;
       let valid =
         producer >= 0
         && producer < t.config.Prime.Config.n
+        && ckr_rep >= 0
+        && ckr_rep < t.config.Prime.Config.n
         && Store.Checkpoint.verify ~keystore:t.keystore
              ~signer:(Prime.Msg.replica_identity producer) ckr_ck
+        && Crypto.Signature.verify t.keystore
+             ~signer:(Prime.Msg.replica_identity ckr_rep)
+             (Messages.encode_checkpoint_reply ~rep:ckr_rep
+                ~root:ckr_ck.Store.Checkpoint.ck_root)
+             ckr_sig
       in
-      if valid then begin
+      if valid then
         let key = "ck:" ^ Crypto.Sha256.to_hex ckr_ck.Store.Checkpoint.ck_root in
-        let count =
-          match Hashtbl.find_opt t.transfer_votes key with Some (c, _) -> c + 1 | None -> 1
-        in
-        Hashtbl.replace t.transfer_votes key (count, reply);
-        if count >= t.config.Prime.Config.f + 1 then finish_state_transfer t reply
-      end
+        record_transfer_vote t ~key ~voter:ckr_rep reply
   | Messages.App_state_reply { rep; state_blob; next_exec_pp; exec_seq; cursor; client_seqs; reply_sig }
     when t.awaiting_transfer ->
       let body =
@@ -234,18 +260,14 @@ let handle_state_reply t (reply : Messages.t) =
           ~client_seqs
       in
       let valid =
-        Crypto.Signature.verify t.keystore ~signer:(Prime.Msg.replica_identity rep) body
-          reply_sig
+        rep >= 0
+        && rep < t.config.Prime.Config.n
+        && Crypto.Signature.verify t.keystore ~signer:(Prime.Msg.replica_identity rep) body
+             reply_sig
       in
-      if valid then begin
+      if valid then
         let key = reply_vote_key ~state_blob ~next_exec_pp ~exec_seq ~cursor ~client_seqs in
-        let count =
-          match Hashtbl.find_opt t.transfer_votes key with Some (c, _) -> c + 1 | None -> 1
-        in
-        Hashtbl.replace t.transfer_votes key (count, reply);
-        (* f + 1 matching replies: at least one is from a correct master. *)
-        if count >= t.config.Prime.Config.f + 1 then finish_state_transfer t reply
-      end
+        record_transfer_vote t ~key ~voter:rep reply
   | _ -> ()
 
 let handle_payload t payload =

@@ -11,7 +11,11 @@
      accepted once f + 1 carry the same digest.
    - [Checkpoint_reply]: the durable-store variant of a transfer reply —
      an authenticated [Store.Checkpoint.t]; the requester votes by the
-     checkpoint's Merkle root and accepts at f + 1 matching roots. *)
+     checkpoint's Merkle root and accepts once f + 1 *distinct* replicas
+     vouch for the same root. The checkpoint's own signature pins it to
+     the replica that produced it; [ckr_sig] separately binds the sending
+     replica to the root it vouches for, so votes can be deduplicated by
+     authenticated sender. *)
 
 type t =
   | Breaker_command of {
@@ -38,7 +42,11 @@ type t =
       client_seqs : (string * int) list;
       reply_sig : Crypto.Signature.t;
     }
-  | Checkpoint_reply of { ckr_rep : int; ckr_ck : Store.Checkpoint.t }
+  | Checkpoint_reply of {
+      ckr_rep : int;
+      ckr_ck : Store.Checkpoint.t;
+      ckr_sig : Crypto.Signature.t; (* sender's vote: covers (ckr_rep, ck_root) *)
+    }
 
 type Netbase.Packet.payload += Scada_msg of t
 
@@ -47,6 +55,9 @@ let encode_breaker_command ~rep ~exec_seq ~breaker ~close =
 
 let encode_hmi_state ~rep ~exec_seq ~breaker ~closed =
   Printf.sprintf "hs:%d:%d:%s:%d" rep exec_seq breaker (if closed then 1 else 0)
+
+let encode_checkpoint_reply ~rep ~root =
+  Printf.sprintf "ckr:%d:%s" rep (Crypto.Sha256.to_hex root)
 
 let encode_app_state_reply ~rep ~state_blob ~next_exec_pp ~exec_seq ~cursor ~client_seqs =
   Printf.sprintf "asr:%d:%d:%d:%s:%s:%s" rep next_exec_pp exec_seq
@@ -63,7 +74,8 @@ let size = function
       80 + Crypto.Signature.size_bytes + String.length state_blob
       + (8 * Array.length cursor)
       + (24 * List.length client_seqs)
-  | Checkpoint_reply { ckr_ck; _ } -> 16 + Store.Checkpoint.size ckr_ck
+  | Checkpoint_reply { ckr_ck; _ } ->
+      16 + Crypto.Signature.size_bytes + Store.Checkpoint.size ckr_ck
 
 let describe = function
   | Breaker_command { bc_rep; bc_breaker; bc_close; _ } ->
@@ -73,6 +85,6 @@ let describe = function
   | App_state_request { asr_rep } -> Printf.sprintf "app-state-request from replica %d" asr_rep
   | App_state_reply { rep; exec_seq; _ } ->
       Printf.sprintf "app-state-reply from replica %d at exec %d" rep exec_seq
-  | Checkpoint_reply { ckr_rep; ckr_ck } ->
+  | Checkpoint_reply { ckr_rep; ckr_ck; _ } ->
       Printf.sprintf "checkpoint-reply from replica %d at exec %d" ckr_rep
         ckr_ck.Store.Checkpoint.ck_exec_seq

@@ -27,9 +27,15 @@ type t =
       client_seqs : (string * int) list;
       reply_sig : Crypto.Signature.t;
     }
-  | Checkpoint_reply of { ckr_rep : int; ckr_ck : Store.Checkpoint.t }
-      (** Durable-store transfer reply: vote by [ck_root], accept at
-          f + 1 matching roots. *)
+  | Checkpoint_reply of {
+      ckr_rep : int;
+      ckr_ck : Store.Checkpoint.t;
+      ckr_sig : Crypto.Signature.t;
+    }
+      (** Durable-store transfer reply: vote by [ck_root], accept once
+          f + 1 distinct replicas vouch for the same root. [ckr_sig]
+          covers [encode_checkpoint_reply] so the sender's vote is
+          authenticated independently of the checkpoint's producer. *)
 
 type Netbase.Packet.payload += Scada_msg of t
 
@@ -38,6 +44,8 @@ type Netbase.Packet.payload += Scada_msg of t
 val encode_breaker_command : rep:int -> exec_seq:int -> breaker:string -> close:bool -> string
 
 val encode_hmi_state : rep:int -> exec_seq:int -> breaker:string -> closed:bool -> string
+
+val encode_checkpoint_reply : rep:int -> root:Crypto.Sha256.digest -> string
 
 val encode_app_state_reply :
   rep:int ->

@@ -68,10 +68,11 @@ let append t ~file s =
   f.len <- f.len + String.length s;
   Sim.Stats.Counter.incr t.counters "media.append"
 
-(* Replace the file's contents outright (checkpoint slots). The write is
-   unsynced until the next [fsync]; a crash in between keeps the shorter
-   of old and new durable prefixes readable, which is why checkpoint
-   writers alternate between two slots. *)
+(* Replace the file's contents outright (checkpoint slots). The old
+   durable contents are invalidated immediately ([synced] drops to 0
+   before the new bytes land), so a crash between [write] and the next
+   [fsync] leaves this file empty — alternating between two slot files
+   is the checkpoint writers' sole protection. *)
 let write t ~file s =
   let f = get_file t file in
   f.len <- 0;

@@ -216,7 +216,7 @@ let make_spire ?(config = Prime.Config.create ~f:1 ~k:0 ~checkpoint_interval:8 (
   in
   let trace = Sim.Trace.create () in
   let d = Spire.Deployment.create ~engine ~trace ~config mini_scenario in
-  (engine, d)
+  (engine, trace, d)
 
 let run engine ~until = Sim.Engine.run ~until engine
 
@@ -244,7 +244,7 @@ let durable_counter d i key =
   | Some dur -> Sim.Stats.Counter.get (Scada.Durable.counters dur) key
 
 let test_replicas_checkpoint_at_same_points () =
-  let engine, d = make_spire () in
+  let engine, _, d = make_spire () in
   run engine ~until:3.0;
   for i = 1 to 8 do
     ignore
@@ -277,7 +277,7 @@ let test_replicas_checkpoint_at_same_points () =
   | [] -> Alcotest.fail "no replicas"
 
 let test_local_recovery_replays_wal () =
-  let engine, d = make_spire () in
+  let engine, _, d = make_spire () in
   run engine ~until:3.0;
   for i = 1 to 6 do
     ignore
@@ -295,12 +295,14 @@ let test_local_recovery_replays_wal () =
   check "follows new commands" false (Plc.Breaker.is_closed (main_breaker d "B56"));
   check_converged d
 
-let gap_recovery_scenario ?seed () =
+let gap_recovery_scenario ?seed ?(prepare = fun _engine _d -> ()) () =
   (* Tiny replication log: a replica that misses more updates than the
      log retains cannot catch up at the ordering level and must adopt an
-     f+1-verified checkpoint. *)
+     f+1-verified checkpoint. [prepare] runs right after the lagging
+     replica rejoins, before the final run — attack-injection tests hook
+     in there. *)
   let config = Prime.Config.create ~f:1 ~k:0 ~log_retention:8 ~checkpoint_interval:8 () in
-  let engine, d = make_spire ~config ?seed () in
+  let engine, trace, d = make_spire ~config ?seed () in
   run engine ~until:3.0;
   Spire.Deployment.take_down_replica d 3;
   for i = 1 to 12 do
@@ -310,16 +312,17 @@ let gap_recovery_scenario ?seed () =
   done;
   run engine ~until:12.0;
   Spire.Deployment.bring_up_replica_clean d 3;
+  prepare engine d;
   for i = 1 to 6 do
     ignore
       (Sim.Engine.schedule engine ~delay:(12.5 +. (2.0 *. float_of_int i)) (fun () ->
            Plc.Breaker.toggle_force (main_breaker d "B56")))
   done;
   run engine ~until:40.0;
-  (engine, d)
+  (engine, trace, d)
 
 let test_gap_recovery_via_checkpoint_transfer () =
-  let _, d = gap_recovery_scenario () in
+  let _, _, d = gap_recovery_scenario () in
   let r3 = (Spire.Deployment.replicas d).(3) in
   (* Ordered-certificate GC passed the lagging cursor, so replication-level
      catchup gave up and the [state_transfer_needed] hook fired... *)
@@ -341,7 +344,7 @@ let test_gap_recovery_via_checkpoint_transfer () =
 
 let test_gap_recovery_transfer_is_deterministic () =
   let observe () =
-    let _, d = gap_recovery_scenario ~seed:99 () in
+    let _, _, d = gap_recovery_scenario ~seed:99 () in
     let r3 = (Spire.Deployment.replicas d).(3) in
     let received =
       Sim.Stats.Counter.get (Scada.Master.counters r3.Spire.Deployment.r_master)
@@ -367,8 +370,171 @@ let test_gap_recovery_transfer_is_deterministic () =
   let b = observe () in
   check "two same-seed runs move byte-identical transfer traffic" true (a = b)
 
+let test_single_replica_cannot_force_fabricated_checkpoint () =
+  (* One compromised replica serves a fabricated, self-signed checkpoint
+     and replays it over and over during the rejoiner's transfer window.
+     Votes are counted per distinct authenticated replica, so a single
+     voter never reaches f + 1 and the fabricated state is never
+     installed.
+
+     Two same-seed passes: the first finds the (deterministic) moment
+     the transfer starts from the trace; the second replays the run and
+     fires the flood right inside that window, before any honest reply
+     can arrive. *)
+  let seed = 7 in
+  let _, trace, _ = gap_recovery_scenario ~seed () in
+  let t_start =
+    match
+      Sim.Trace.find trace ~category:"scada"
+        ~contains:"master 3: starting application-level state transfer"
+    with
+    | Some e -> e.Sim.Trace.time
+    | None -> Alcotest.fail "transfer never started"
+  in
+  let inject engine d =
+    let r0 = (Spire.Deployment.replicas d).(0) in
+    let r3 = (Spire.Deployment.replicas d).(3) in
+    ignore
+      (Sim.Engine.schedule_at engine ~time:(t_start +. 1e-6) (fun () ->
+           let fake =
+             Store.Checkpoint.make ~keypair:r0.Spire.Deployment.r_keypair ~replica:0
+               ~next_exec_pp:999 ~exec_seq:9000
+               ~cursor:[| 0; 0; 0; 0 |]
+               ~client_seqs:[]
+               ~app_state:
+                 (Scada.State.serialize (Scada.Master.state r0.Spire.Deployment.r_master))
+           in
+           let vote =
+             Scada.Messages.encode_checkpoint_reply ~rep:0
+               ~root:fake.Store.Checkpoint.ck_root
+           in
+           let msg =
+             Scada.Messages.Checkpoint_reply
+               {
+                 ckr_rep = 0;
+                 ckr_ck = fake;
+                 ckr_sig = Crypto.Signature.sign r0.Spire.Deployment.r_keypair vote;
+               }
+           in
+           (* The compromised replica answers the request three times
+              over — once per 1s retry round and then some. *)
+           for _ = 1 to 3 do
+             Scada.Master.handle_payload r3.Spire.Deployment.r_master
+               (Scada.Messages.Scada_msg msg)
+           done))
+  in
+  let _, _, d = gap_recovery_scenario ~seed ~prepare:inject () in
+  let r0 = (Spire.Deployment.replicas d).(0) in
+  let r3 = (Spire.Deployment.replicas d).(3) in
+  check "fabricated exec point never installed" true
+    (Prime.Replica.exec_seq r3.Spire.Deployment.r_replica < 9000);
+  check_int "rejoiner agrees with the honest quorum"
+    (Prime.Replica.exec_seq r0.Spire.Deployment.r_replica)
+    (Prime.Replica.exec_seq r3.Spire.Deployment.r_replica);
+  check "transfer completed via honest replicas" true
+    (Sim.Stats.Counter.get (Scada.Master.counters r3.Spire.Deployment.r_master)
+       "transfer.completed"
+     >= 1);
+  check_converged d
+
+let slot_exec d i slot =
+  match Spire.Deployment.durable d i with
+  | None -> Alcotest.fail "durable store missing"
+  | Some dur -> (
+      match
+        Store.Media.read (Scada.Durable.media dur) ~file:(Printf.sprintf "ck%d" slot)
+      with
+      | None -> None
+      | Some blob ->
+          Option.map
+            (fun ck -> ck.Store.Checkpoint.ck_exec_seq)
+            (Store.Checkpoint.decode blob))
+
+(* Toggle the breaker until replica [i]'s checkpoint count reaches
+   [target], returning the reached simulated time. *)
+let drive_until_checkpoints engine d i ~target ~from_t =
+  let t = ref from_t in
+  while durable_counter d i "durable.checkpoint" < target && !t < from_t +. 120.0 do
+    Plc.Breaker.toggle_force (main_breaker d "B57");
+    t := !t +. 1.0;
+    run engine ~until:!t
+  done;
+  if durable_counter d i "durable.checkpoint" < target then
+    Alcotest.fail "checkpoints did not accumulate";
+  !t
+
+let test_recovery_resumes_slot_alternation () =
+  let engine, _, d = make_spire () in
+  run engine ~until:3.0;
+  (* Accumulate checkpoints until the *newest* lives in slot 0 — the
+     slot a recovery that forgot the alternation would overwrite next. *)
+  let ck_count = ref 0 in
+  let t = ref (drive_until_checkpoints engine d 3 ~target:2 ~from_t:3.0) in
+  ck_count := durable_counter d 3 "durable.checkpoint";
+  if !ck_count land 1 = 0 then begin
+    t := drive_until_checkpoints engine d 3 ~target:(!ck_count + 1) ~from_t:!t;
+    ck_count := durable_counter d 3 "durable.checkpoint"
+  end;
+  let newest =
+    match (slot_exec d 3 0, slot_exec d 3 1) with
+    | Some a, Some b -> max a b
+    | _ -> Alcotest.fail "both slots should hold checkpoints"
+  in
+  Spire.Deployment.take_down_replica d 3;
+  run engine ~until:(!t +. 2.0);
+  Spire.Deployment.bring_up_replica_intact d 3;
+  check_int "recovered locally" 1 (durable_counter d 3 "durable.local_recover");
+  (* Exactly one more checkpoint: it must land in the *older* slot, so
+     both slots now hold checkpoints at least as new as the pre-crash
+     best — a crash between its write and fsync can only lose the older
+     one. *)
+  ignore (drive_until_checkpoints engine d 3 ~target:(!ck_count + 1) ~from_t:(!t +. 2.0));
+  (match (slot_exec d 3 0, slot_exec d 3 1) with
+  | Some a, Some b ->
+      check "newest checkpoint was not overwritten" true (min a b >= newest)
+  | _ -> Alcotest.fail "a checkpoint slot went missing");
+  check_converged d
+
+let test_corrupt_newest_slot_past_gcd_wal_fails_over () =
+  (* Chaos corrupts the newest checkpoint slot; the older slot still
+     verifies, but the WAL prefix covering the span between the two was
+     collected at the newer checkpoint. Local recovery must detect that
+     the surviving suffix does not reach back to the older checkpoint
+     and fail over to peer transfer instead of installing a gapped —
+     silently divergent — state. *)
+  let config =
+    Prime.Config.create ~f:1 ~k:0 ~checkpoint_interval:8 ~wal_segment_size:64 ~fsync_every:1
+      ()
+  in
+  let engine, _, d = make_spire ~config () in
+  run engine ~until:3.0;
+  let t = drive_until_checkpoints engine d 3 ~target:3 ~from_t:3.0 in
+  Spire.Deployment.take_down_replica d 3;
+  let dur =
+    match Spire.Deployment.durable d 3 with
+    | Some dur -> dur
+    | None -> Alcotest.fail "durable store missing"
+  in
+  let newest_slot =
+    match (slot_exec d 3 0, slot_exec d 3 1) with
+    | Some a, Some b -> if a > b then 0 else 1
+    | _ -> Alcotest.fail "both slots should hold checkpoints"
+  in
+  check "newest slot corrupted" true
+    (Store.Media.corrupt (Scada.Durable.media dur)
+       ~file:(Printf.sprintf "ck%d" newest_slot));
+  run engine ~until:(t +. 2.0);
+  Spire.Deployment.bring_up_replica_intact d 3;
+  (* The older slot alone cannot anchor the surviving WAL suffix. *)
+  check_int "no gapped local recovery" 0 (durable_counter d 3 "durable.local_recover");
+  check "replay gap detected" true (durable_counter d 3 "durable.replay_gap" >= 1);
+  check "corrupt checkpoint counted" true
+    (durable_counter d 3 "durable.bad_checkpoint" >= 1);
+  run engine ~until:(t +. 25.0);
+  check_converged d
+
 let test_wiped_disk_means_fresh_store () =
-  let engine, d = make_spire () in
+  let engine, _, d = make_spire () in
   run engine ~until:3.0;
   for i = 1 to 6 do
     ignore
@@ -420,6 +586,12 @@ let () =
             test_gap_recovery_via_checkpoint_transfer);
           ("transfer traffic is deterministic", `Slow,
             test_gap_recovery_transfer_is_deterministic);
+          ("one replica cannot force a fabricated checkpoint", `Slow,
+            test_single_replica_cannot_force_fabricated_checkpoint);
+          ("recovery resumes slot alternation", `Slow,
+            test_recovery_resumes_slot_alternation);
+          ("corrupt newest slot past gc'd wal fails over", `Slow,
+            test_corrupt_newest_slot_past_gcd_wal_fails_over);
           ("wiped disk starts a fresh store", `Slow, test_wiped_disk_means_fresh_store);
         ] );
     ]
