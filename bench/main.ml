@@ -755,12 +755,15 @@ let exp_e12 () =
       (fun (label, cls) ->
         let r = Harness.run_chaos_class cls in
         Printf.printf
-          "  %-10s exec %5d  view-changes %d (mean %8s)  recoveries %d (mean %8s)\n"
+          "  %-10s exec %5d  view-changes %d (mean %8s)  recoveries %d (mean %8s)  alarmed %s\n"
           label r.Chaos.Runner.final_exec_seq
           (List.length r.Chaos.Runner.view_change_latencies)
           (mean_ms r.Chaos.Runner.view_change_latencies)
           (List.length r.Chaos.Runner.recovery_latencies)
-          (mean_ms r.Chaos.Runner.recovery_latencies);
+          (mean_ms r.Chaos.Runner.recovery_latencies)
+          (match r.Chaos.Runner.detection_latency with
+          | Some d -> Printf.sprintf "after %.0f ms" (ms d)
+          | None -> "never");
         Printf.printf "  %-10s link faults: %d dropped / %d duplicated / %d delayed; %s\n" ""
           r.Chaos.Runner.link_dropped r.Chaos.Runner.link_duplicated
           r.Chaos.Runner.link_delayed
@@ -1364,6 +1367,76 @@ let exp_e15 () =
              ] ))
        rows)
 
+(* --- E16: observability overhead and determinism ---------------------------------------------- *)
+
+let exp_e16 () =
+  section "E16" "Observability: flight-recorder overhead, event rate, and off-run determinism";
+  let seed = 11 and duration = 60.0 in
+  (* Fixed-seed, fault-free chaos-runner runs: same deployment, load and
+     invariant checker, with the recorder/probes/alerts switched on or
+     off. No-fault keeps the comparison about instrumentation cost, not
+     fault handling. *)
+  let run ~observe () =
+    Gc.full_major ();
+    let minor0 = Gc.minor_words () in
+    let cpu0 = Sys.time () in
+    let r = Chaos.Runner.run ~seed ~duration ~schedule:[] ~observe () in
+    (r, Sys.time () -. cpu0, Gc.minor_words () -. minor0)
+  in
+  let r_off, cpu_off, minor_off = run ~observe:false () in
+  let r_off2, _, _ = run ~observe:false () in
+  let r_on, cpu_on, minor_on = run ~observe:true () in
+  let row label (r : Chaos.Runner.result) cpu minor =
+    Printf.printf "  %-14s cpu %6.2f s  minor words %12.0f  flight events %6d  exec %5d\n"
+      label cpu minor r.Chaos.Runner.flight_events r.Chaos.Runner.final_exec_seq
+  in
+  row "telemetry off" r_off cpu_off minor_off;
+  row "telemetry on" r_on cpu_on minor_on;
+  let events_per_sim_s = float_of_int r_on.Chaos.Runner.flight_events /. duration in
+  let alloc_ratio = minor_on /. Float.max 1.0 minor_off in
+  Printf.printf "  recorder rate: %.1f events per simulated second; allocation ratio %.2fx\n"
+    events_per_sim_s alloc_ratio;
+  (* Determinism: two off runs must serialise byte-identically, and
+     turning observation on must not perturb the protocol schedule. *)
+  let off_identical =
+    String.equal
+      (Obs.Json.to_string (Chaos.Runner.result_to_json r_off))
+      (Obs.Json.to_string (Chaos.Runner.result_to_json r_off2))
+  in
+  let on_off_schedule_identical =
+    r_on.Chaos.Runner.final_exec_seq = r_off.Chaos.Runner.final_exec_seq
+    && r_on.Chaos.Runner.commands_issued = r_off.Chaos.Runner.commands_issued
+    && r_on.Chaos.Runner.view_transitions = r_off.Chaos.Runner.view_transitions
+    && r_on.Chaos.Runner.schedule = r_off.Chaos.Runner.schedule
+  in
+  Printf.printf "  off-runs byte-identical: %b; on/off protocol schedule identical: %b\n"
+    off_identical on_off_schedule_identical;
+  print_endline "\n  Observation is passive: the sampler timer draws no randomness and ties";
+  print_endline "  on the event heap break by insertion order, so enabling the recorder,";
+  print_endline "  probes and alert engine changes allocations but not one protocol event.";
+  let open Obs.Json in
+  let mode_json (r : Chaos.Runner.result) cpu minor =
+    Obj
+      [
+        ("cpu_s", Num cpu);
+        ("minor_words", Num minor);
+        ("flight_events", num_i r.Chaos.Runner.flight_events);
+        ("final_exec_seq", num_i r.Chaos.Runner.final_exec_seq);
+        ("commands_issued", num_i r.Chaos.Runner.commands_issued);
+      ]
+  in
+  Obj
+    [
+      ("seed", num_i seed);
+      ("duration_s", Num duration);
+      ("off", mode_json r_off cpu_off minor_off);
+      ("on", mode_json r_on cpu_on minor_on);
+      ("events_per_sim_s", Num events_per_sim_s);
+      ("alloc_ratio", Num alloc_ratio);
+      ("off_runs_byte_identical", Bool off_identical);
+      ("on_off_schedule_identical", Bool on_off_schedule_identical);
+    ]
+
 (* --- driver ----------------------------------------------------------------------------------- *)
 
 let experiments =
@@ -1384,6 +1457,7 @@ let experiments =
     ("e13", exp_e13);
     ("e14", exp_e14);
     ("e15", exp_e15);
+    ("e16", exp_e16);
     ("micro", exp_micro);
     ("throughput", exp_throughput);
   ]

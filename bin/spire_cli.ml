@@ -365,10 +365,144 @@ let chaos_cmd =
       const chaos $ seed $ duration $ load_period $ no_batch_arg $ no_route_cache_arg
       $ no_coalescing_arg $ no_durable_store_arg $ checkpoint_interval_arg $ json)
 
+(* --- monitor ------------------------------------------------------------------ *)
+
+(* Run a short fault-free deployment with the flight recorder, health
+   probes and alert engine switched on, then report what the run can say
+   about itself: a live health sample, any alarms, the tail of the
+   flight log, and recorder counters. *)
+let monitor duration poll tail json_file =
+  let flight = Obs.Flight.default and probes = Obs.Probe.default in
+  let prev_flight = Obs.Flight.enabled flight in
+  let prev_probes = Obs.Probe.enabled probes in
+  Obs.Flight.reset flight;
+  Obs.Flight.set_enabled flight true;
+  Obs.Probe.reset probes;
+  Obs.Probe.set_enabled probes true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Flight.reset flight;
+      Obs.Flight.set_enabled flight prev_flight;
+      Obs.Probe.reset probes;
+      Obs.Probe.set_enabled probes prev_probes)
+  @@ fun () ->
+  let engine, trace = fresh_world () in
+  Obs.Flight.set_clock flight (fun () -> Sim.Engine.now engine);
+  let config = Prime.Config.power_plant () in
+  let deployment =
+    Spire.Deployment.create ~proxy_poll_period:poll ~engine ~trace ~config mini_scenario
+  in
+  let alert = Obs.Alert.create ~flight () in
+  let sampler =
+    Sim.Engine.every engine ~period:0.05 (fun () ->
+        Obs.Alert.evaluate alert ~time:(Sim.Engine.now engine) (Obs.Probe.sample probes))
+  in
+  let driver = Spire.Scenario_driver.create deployment in
+  Spire.Scenario_driver.start driver ~period:1.0;
+  Sim.Engine.run ~until:duration engine;
+  Spire.Scenario_driver.stop driver;
+  Sim.Engine.cancel_timer engine sampler;
+  let sample = Obs.Probe.sample probes in
+  let alarms = Obs.Alert.alarms alert in
+  let events = Obs.Flight.events flight in
+  let tail_events =
+    let n = List.length events in
+    List.filteri (fun i _ -> i >= n - tail) events
+  in
+  Printf.printf
+    "monitored %.0f s: %d probes, %d flight events (%d warn, %d alarm), %d alarms raised\n"
+    duration (List.length sample) (Obs.Flight.total flight)
+    (Obs.Flight.warn_count flight)
+    (Obs.Flight.alarm_count flight)
+    (Obs.Alert.alarm_count alert);
+  Printf.printf "\n== health ==\n";
+  List.iter
+    (fun (name, metrics) ->
+      Printf.printf "  %-24s %s\n" name
+        (String.concat "  " (List.map (fun (m, v) -> Printf.sprintf "%s=%g" m v) metrics)))
+    sample;
+  Printf.printf "\n== alarms ==\n";
+  if alarms = [] then Printf.printf "  (none)\n"
+  else
+    List.iter
+      (fun a ->
+        Printf.printf "  t=%6.2f  %-18s %s\n" a.Obs.Alert.al_time a.Obs.Alert.al_rule
+          a.Obs.Alert.al_detail)
+      alarms;
+  Printf.printf "\n== flight tail (last %d of %d) ==\n" (List.length tail_events)
+    (Obs.Flight.total flight);
+  List.iter
+    (fun e ->
+      Printf.printf "  #%-5d t=%6.2f %-5s %-8s %-18s %s\n" e.Obs.Flight.ev_seq
+        e.Obs.Flight.ev_time
+        (Obs.Flight.severity_label e.Obs.Flight.ev_severity)
+        e.Obs.Flight.ev_subsystem e.Obs.Flight.ev_kind e.Obs.Flight.ev_detail)
+    tail_events;
+  match json_file with
+  | None -> ()
+  | Some file -> (
+      let num_i n = Obs.Json.Num (float_of_int n) in
+      let doc =
+        Obs.Json.Obj
+          [
+            ("schema", Obs.Json.Str "spire-monitor/1");
+            ("duration", Obs.Json.Num duration);
+            ("health", Obs.Probe.sample_json sample);
+            ("alarms", Obs.Json.List (List.map Obs.Alert.alarm_to_json alarms));
+            ("flight_tail", Obs.Json.List (List.map Obs.Flight.event_to_json tail_events));
+            ( "counters",
+              Obs.Json.Obj
+                [
+                  ("flight_total", num_i (Obs.Flight.total flight));
+                  ("flight_retained", num_i (Obs.Flight.retained flight));
+                  ("flight_warns", num_i (Obs.Flight.warn_count flight));
+                  ("flight_alarms", num_i (Obs.Flight.alarm_count flight));
+                  ("alarms_raised", num_i (Obs.Alert.alarm_count alert));
+                  ("probes", num_i (Obs.Probe.count probes));
+                  ("commands_issued", num_i (Spire.Scenario_driver.commands_issued driver));
+                ] );
+          ]
+      in
+      match open_out file with
+      | exception Sys_error msg ->
+          Printf.eprintf "cannot write %s: %s\n" file msg;
+          exit 1
+      | oc ->
+          output_string oc (Obs.Json.to_string_pretty doc);
+          output_char oc '\n';
+          close_out oc;
+          Printf.eprintf "wrote %s\n%!" file)
+
+let monitor_cmd =
+  let duration =
+    Arg.(value & opt float 30.0 & info [ "duration" ] ~doc:"Simulated seconds to observe.")
+  in
+  let poll =
+    Arg.(value & opt float 0.1 & info [ "poll" ] ~doc:"Spire proxy polling period (seconds).")
+  in
+  let tail =
+    Arg.(value & opt int 20 & info [ "tail" ] ~doc:"Flight-log events to show from the end.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt ~vopt:(Some "BENCH_monitor_cli.json") (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the health sample, alarms, flight tail and counters as JSON to $(docv) \
+             (defaults to BENCH_monitor_cli.json when given without a value).")
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Run a short observed deployment and report health probes, alarms and the flight-log \
+          tail.")
+    Term.(const monitor $ duration $ poll $ tail $ json)
+
 let main =
   Cmd.group
     (Cmd.info "spire_cli" ~version:"1.0"
        ~doc:"Spire intrusion-tolerant SCADA reproduction (DSN 2019).")
-    [ redteam_cmd; latency_cmd; plant_cmd; breach_cmd; chaos_cmd ]
+    [ redteam_cmd; latency_cmd; plant_cmd; breach_cmd; chaos_cmd; monitor_cmd ]
 
 let () = exit (Cmd.eval main)

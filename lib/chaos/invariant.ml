@@ -42,6 +42,7 @@ type t = {
   mutable executions : int;
   mutable actuations : int;
   mutable poll : Sim.Engine.timer option;
+  mutable on_violation : (violation -> unit) option;
 }
 
 let create ?(liveness_bound = 20.0) ?(recovery_bound = 30.0) ~engine ~is_healthy () =
@@ -61,12 +62,18 @@ let create ?(liveness_bound = 20.0) ?(recovery_bound = 30.0) ~engine ~is_healthy
     executions = 0;
     actuations = 0;
     poll = None;
+    on_violation = None;
   }
 
+(* Observer hook: the chaos runner uses this to dump the flight recorder
+   the moment the first violation lands, so the JSONL carries exactly the
+   events leading up to the verdict. *)
+let set_on_violation t f = t.on_violation <- Some f
+
 let violate t ~invariant detail =
-  t.violations <-
-    { v_time = Sim.Engine.now t.engine; v_invariant = invariant; v_detail = detail }
-    :: t.violations
+  let v = { v_time = Sim.Engine.now t.engine; v_invariant = invariant; v_detail = detail } in
+  t.violations <- v :: t.violations;
+  match t.on_violation with Some f -> f v | None -> ()
 
 let note_execution t ~replica ~exec_seq ~identity =
   t.executions <- t.executions + 1;

@@ -20,6 +20,10 @@ val create :
     deployment and start the periodic progress/recovery poll. *)
 val attach : t -> Spire.Deployment.t -> unit
 
+(** Observer called synchronously on every recorded violation (the chaos
+    runner dumps the flight recorder on the first one). *)
+val set_on_violation : t -> (violation -> unit) -> unit
+
 val stop : t -> unit
 
 (** Direct observation entry points (used by the hooks; exposed so tests

@@ -24,6 +24,15 @@ type result = {
   link_delayed : int;
   dedup_evictions : int;
   violations : Invariant.violation list;
+  (* Observability: alarms raised by the alert engine, detection latency
+     from the first injected fault to the first alarm at or after it, and
+     the flight-recorder narrative of the run. *)
+  alarms : Obs.Alert.alarm list;
+  first_fault_at : float option; (* absolute sim time of the first injection *)
+  detection_latency : float option; (* seconds; None = never alarmed *)
+  flight_events : int;
+  flight_jsonl : string option; (* full JSONL dump (observing runs only) *)
+  flight_dump_path : string option; (* written on the first violation *)
 }
 
 let default_scenario =
@@ -68,9 +77,34 @@ let sum_dedup_evictions deployment =
 
 let run ?config ?(scenario = default_scenario) ?(duration = 120.0) ?(load_period = 1.0)
     ?(liveness_bound = 20.0) ?(recovery_bound = 30.0) ?(heal_grace = 10.0) ?schedule
-    ~seed () =
+    ?(observe = true) ?flight_dump ~seed () =
   let config = match config with Some c -> c | None -> Prime.Config.power_plant () in
+  (* Observation is opt-in per run and restored afterwards: the default
+     recorder and probe registry are process globals shared with whatever
+     else the process does. Enabling happens BEFORE the deployment is
+     built so subsystem constructors register their probes; everything
+     recorded is a deterministic function of the simulation, and a
+     disabled run draws no RNG and schedules nothing extra, so observe:
+     false leaves the schedule bit-identical to a build without obs. *)
+  let prev_flight = Obs.Flight.enabled Obs.Flight.default in
+  let prev_probe = Obs.Probe.enabled Obs.Probe.default in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Flight.set_enabled Obs.Flight.default prev_flight;
+      Obs.Probe.set_enabled Obs.Probe.default prev_probe)
+  @@ fun () ->
+  if observe then begin
+    Obs.Flight.reset Obs.Flight.default;
+    Obs.Flight.set_enabled Obs.Flight.default true;
+    Obs.Probe.reset Obs.Probe.default;
+    Obs.Probe.set_enabled Obs.Probe.default true
+  end;
   let engine = Sim.Engine.create ~seed:(Int64.of_int seed) () in
+  if observe then
+    Obs.Flight.set_clock Obs.Flight.default (fun () -> Sim.Engine.now engine);
+  let alert =
+    if observe then Some (Obs.Alert.create ~flight:Obs.Flight.default ()) else None
+  in
   let trace = Sim.Trace.create () in
   let deployment = Spire.Deployment.create ~engine ~trace ~config scenario in
   Sim.Engine.run ~until:warmup engine;
@@ -106,6 +140,23 @@ let run ?config ?(scenario = default_scenario) ?(duration = 120.0) ?(load_period
     Invariant.create ~liveness_bound ~recovery_bound ~engine ~is_healthy ()
   in
   Invariant.attach invariant deployment;
+  (* First violation → dump the flight narrative immediately, so the
+     JSONL holds exactly the events leading up to the verdict. *)
+  let dump_path = ref None in
+  if observe then
+    Invariant.set_on_violation invariant (fun _v ->
+        if !dump_path = None then begin
+          let path =
+            match flight_dump with
+            | Some p -> p
+            | None ->
+                Filename.concat
+                  (Filename.get_temp_dir_name ())
+                  (Printf.sprintf "spire-flight-seed%d.jsonl" seed)
+          in
+          Obs.Flight.dump_file Obs.Flight.default ~path;
+          dump_path := Some path
+        end);
   (* Apply the schedule; leader-disabling events arm a view-change
      latency measurement consumed by the view poller below. *)
   let pending_leader_fault = ref None in
@@ -145,12 +196,45 @@ let run ?config ?(scenario = default_scenario) ?(duration = 120.0) ?(load_period
           | None -> ()
         end)
   in
+  (* Health sampler: polls the probe registry and runs the alert rules.
+     Purely passive — [Sim.Engine.every] without jitter draws no RNG and
+     the heap breaks same-time ties by insertion order, so protocol
+     events are never reordered by observation. *)
+  let sampler =
+    match alert with
+    | Some a ->
+        Some
+          (Sim.Engine.every engine ~period:0.05 (fun () ->
+               Obs.Alert.evaluate a ~time:(Sim.Engine.now engine)
+                 (Obs.Probe.sample Obs.Probe.default)))
+    | None -> None
+  in
   let driver = Spire.Scenario_driver.create deployment in
   Spire.Scenario_driver.start driver ~period:load_period;
   Sim.Engine.run ~until:(warmup +. duration) engine;
   Spire.Scenario_driver.stop driver;
   Sim.Engine.cancel_timer engine view_poll;
+  (match sampler with Some s -> Sim.Engine.cancel_timer engine s | None -> ());
   Invariant.stop invariant;
+  let first_fault_at =
+    match schedule with [] -> None | { Fault.at; _ } :: _ -> Some (warmup +. at)
+  in
+  let alarms = match alert with Some a -> Obs.Alert.alarms a | None -> [] in
+  let detection_latency =
+    match (alert, first_fault_at) with
+    | Some a, Some t0 ->
+        Option.map
+          (fun al -> al.Obs.Alert.al_time -. t0)
+          (Obs.Alert.first_alarm_after a t0)
+    | _ -> None
+  in
+  let flight_events = if observe then Obs.Flight.total Obs.Flight.default else 0 in
+  let flight_jsonl = if observe then Some (Obs.Flight.to_jsonl Obs.Flight.default) else None in
+  (* Leave the process globals clean for whoever runs next. *)
+  if observe then begin
+    Obs.Flight.reset Obs.Flight.default;
+    Obs.Probe.reset Obs.Probe.default
+  end;
   {
     seed;
     duration;
@@ -168,6 +252,12 @@ let run ?config ?(scenario = default_scenario) ?(duration = 120.0) ?(load_period
     link_delayed = sum_node_counter deployment "chaos.delayed";
     dedup_evictions = sum_dedup_evictions deployment;
     violations = Invariant.violations invariant;
+    alarms;
+    first_fault_at;
+    detection_latency;
+    flight_events;
+    flight_jsonl;
+    flight_dump_path = !dump_path;
   }
 
 let summary_of latencies =
@@ -216,4 +306,14 @@ let result_to_json r =
                    ("detail", Obs.Json.Str v.Invariant.v_detail);
                  ])
              r.violations) );
+      ("alarms", Obs.Json.List (List.map Obs.Alert.alarm_to_json r.alarms));
+      ( "first_fault_at",
+        match r.first_fault_at with Some t -> num t | None -> Obs.Json.Null );
+      ( "detection_latency_ms",
+        match r.detection_latency with
+        | Some d -> num (d *. 1000.0)
+        | None -> Obs.Json.Str "never" );
+      ("flight_events", num (float_of_int r.flight_events));
+      ( "flight_dump",
+        match r.flight_dump_path with Some p -> Obs.Json.Str p | None -> Obs.Json.Null );
     ]

@@ -19,6 +19,12 @@ type result = {
   link_delayed : int;
   dedup_evictions : int;
   violations : Invariant.violation list;
+  alarms : Obs.Alert.alarm list; (* raised by the alert engine, oldest first *)
+  first_fault_at : float option; (* absolute sim time of the first injection *)
+  detection_latency : float option; (* first fault -> first alarm; None = never *)
+  flight_events : int; (* flight events recorded over the run *)
+  flight_jsonl : string option; (* full flight dump (observing runs only) *)
+  flight_dump_path : string option; (* written on the first violation *)
 }
 
 val default_scenario : Plc.Power.scenario
@@ -27,7 +33,14 @@ val default_scenario : Plc.Power.scenario
     mixed crash+partition+lossy+leader schedule is generated from the
     seed. [liveness_bound] / [recovery_bound] parameterise the invariant
     checker; [heal_grace] is the settle time granted after the fault
-    burden drops back to at most f replicas. *)
+    burden drops back to at most f replicas.
+
+    [observe] (default true) turns on the flight recorder, health-probe
+    sampler and alert engine for the run (process-global enablement is
+    saved and restored); observation is purely passive, so [observe:
+    false] leaves the schedule bit-identical. [flight_dump] overrides
+    the path the flight JSONL is written to when an invariant trips
+    (default: [spire-flight-seed<seed>.jsonl] in the temp directory). *)
 val run :
   ?config:Prime.Config.t ->
   ?scenario:Plc.Power.scenario ->
@@ -37,6 +50,8 @@ val run :
   ?recovery_bound:float ->
   ?heal_grace:float ->
   ?schedule:Fault.schedule ->
+  ?observe:bool ->
+  ?flight_dump:string ->
   seed:int ->
   unit ->
   result

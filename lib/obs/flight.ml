@@ -1,0 +1,187 @@
+(* Flight recorder: a bounded ring buffer of structured protocol events.
+
+   Subsystems record severity-tagged events (view changes, suspicions,
+   queue overflows, checkpoint fires, disk faults ...) into the default
+   recorder; a chaos or red-team campaign dumps the buffer as JSONL when
+   an invariant trips, so every verdict carries the narrative of the
+   events leading up to it.
+
+   The recorder follows the registry's discipline: recording is gated on
+   one [enabled] flag (a load and a branch when off) and is purely
+   passive — no engine events, no RNG draws, no message changes — so a
+   disabled recorder leaves the deterministic schedule bit-identical.
+   Call sites that must build a detail string guard the construction with
+   [recording] so the off path allocates nothing.
+
+   Storage mirrors [Sim.Trace]: a pre-sized ring that overwrites the
+   oldest event once full. [total] counts every event ever recorded.
+
+   Timestamps come from a [clock] closure installed by whichever harness
+   enables the recorder (pointing at its simulation engine); subsystems
+   with engine access may pass [?time] explicitly instead. Everything an
+   event carries is a deterministic function of the simulation, so two
+   same-seed runs dump byte-identical JSONL. *)
+
+type severity = Info | Warn | Alarm
+
+let severity_label = function Info -> "info" | Warn -> "warn" | Alarm -> "alarm"
+
+type event = {
+  ev_seq : int; (* 1-based total order over the whole run *)
+  ev_time : float;
+  ev_severity : severity;
+  ev_subsystem : string;
+  ev_kind : string;
+  ev_detail : string;
+}
+
+type t = {
+  mutable enabled : bool;
+  mutable clock : unit -> float;
+  capacity : int;
+  mutable buf : event array;
+  mutable len : int;
+  mutable start : int; (* ring read position *)
+  mutable total : int; (* events ever recorded *)
+  mutable warns : int;
+  mutable alarms : int;
+  mutable subscribers : (event -> unit) list; (* registration order *)
+}
+
+let dummy =
+  { ev_seq = 0; ev_time = 0.0; ev_severity = Info; ev_subsystem = ""; ev_kind = ""; ev_detail = "" }
+
+let default_capacity = 8192
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Flight.create: capacity must be positive";
+  {
+    enabled = false;
+    clock = (fun () -> 0.0);
+    capacity;
+    buf = Array.make (Stdlib.min capacity 64) dummy;
+    len = 0;
+    start = 0;
+    total = 0;
+    warns = 0;
+    alarms = 0;
+    subscribers = [];
+  }
+
+let default = create ()
+
+let enabled t = t.enabled
+
+let set_enabled t on = t.enabled <- on
+
+(* The hot-path guard: sites wrap detail-string construction in
+   [if recording t then ...] so a disabled recorder costs one branch. *)
+let recording t = t.enabled
+
+let set_clock t clock = t.clock <- clock
+
+let on_event t f = t.subscribers <- t.subscribers @ [ f ]
+
+let clear t =
+  t.len <- 0;
+  t.start <- 0;
+  t.total <- 0;
+  t.warns <- 0;
+  t.alarms <- 0
+
+(* Full reset: harnesses call this before a campaign so the buffer and
+   subscriber list hold only that campaign's observers. *)
+let reset t =
+  clear t;
+  t.subscribers <- [];
+  t.clock <- (fun () -> 0.0)
+
+let grow t =
+  let cap = Array.length t.buf in
+  let target = Stdlib.min t.capacity (cap * 2) in
+  if target > cap then begin
+    let buf = Array.make target dummy in
+    Array.blit t.buf 0 buf 0 t.len;
+    t.buf <- buf
+  end
+
+let push t event =
+  if t.len = t.capacity then begin
+    t.buf.(t.start) <- event;
+    t.start <- (t.start + 1) mod t.capacity
+  end
+  else begin
+    if t.len = Array.length t.buf then grow t;
+    t.buf.((t.start + t.len) mod Array.length t.buf) <- event;
+    t.len <- t.len + 1
+  end
+
+let record t ?time ~severity ~subsystem ~kind detail =
+  if t.enabled then begin
+    let time = match time with Some x -> x | None -> t.clock () in
+    t.total <- t.total + 1;
+    (match severity with
+    | Info -> ()
+    | Warn -> t.warns <- t.warns + 1
+    | Alarm -> t.alarms <- t.alarms + 1);
+    let event =
+      {
+        ev_seq = t.total;
+        ev_time = time;
+        ev_severity = severity;
+        ev_subsystem = subsystem;
+        ev_kind = kind;
+        ev_detail = detail;
+      }
+    in
+    push t event;
+    List.iter (fun f -> f event) t.subscribers
+  end
+
+(* Reading *)
+
+let total t = t.total
+
+let retained t = t.len
+
+let warn_count t = t.warns
+
+let alarm_count t = t.alarms
+
+let fold t ~init ~f =
+  let cap = Array.length t.buf in
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.buf.((t.start + i) mod cap)
+  done;
+  !acc
+
+let events t = List.rev (fold t ~init:[] ~f:(fun acc e -> e :: acc))
+
+(* JSONL *)
+
+let event_to_json e =
+  Json.Obj
+    [
+      ("seq", Json.Num (float_of_int e.ev_seq));
+      ("time", Json.Num e.ev_time);
+      ("severity", Json.Str (severity_label e.ev_severity));
+      ("subsystem", Json.Str e.ev_subsystem);
+      ("kind", Json.Str e.ev_kind);
+      ("detail", Json.Str e.ev_detail);
+    ]
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Json.to_string (event_to_json e));
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+let write_jsonl oc t = output_string oc (to_jsonl t)
+
+let dump_file t ~path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_jsonl oc t)

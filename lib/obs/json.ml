@@ -27,7 +27,10 @@ let escape buf s =
     s
 
 let add_num buf x =
-  if Float.is_nan x || Float.is_integer x |> not || Float.abs x >= 1e15 then
+  (* JSON has no NaN/Infinity literals; emit null rather than a token no
+     parser accepts (empty-histogram percentiles are NaN, for one). *)
+  if Float.is_nan x || Float.abs x = Float.infinity then Buffer.add_string buf "null"
+  else if Float.is_integer x |> not || Float.abs x >= 1e15 then
     (* %.12g survives a round-trip for every float we emit. *)
     Buffer.add_string buf (Printf.sprintf "%.12g" x)
   else Buffer.add_string buf (Printf.sprintf "%.0f" x)

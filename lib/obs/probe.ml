@@ -1,0 +1,76 @@
+(* Health probes: live subsystem snapshots on demand.
+
+   A probe is a named closure returning (metric, value) pairs — view and
+   ARU for a Prime replica, egress occupancy and route-cache hit rate
+   for a Spines daemon, WAL and checkpoint-lag figures for the durable
+   store, sigcache hit rate for the crypto pipeline. Subsystems register
+   a probe at construction time; [sample] polls every registered probe.
+
+   Registration is gated on [enabled] (default off) so ordinary tests
+   and benches — which construct thousands of short-lived replicas —
+   never accumulate dead closures in the default registry. A harness
+   that wants health data (chaos runner, spire_cli monitor, E16)
+   enables the registry *before* building its deployment and resets it
+   afterwards.
+
+   Sampling is read-only over subsystem state and both probes and their
+   metrics are returned in sorted order, so a periodic sampler driven by
+   the simulation clock is deterministic and purely passive. *)
+
+type snapshot = (string * float) list
+
+type t = {
+  mutable enabled : bool;
+  probes : (string, unit -> snapshot) Hashtbl.t;
+}
+
+let create () = { enabled = false; probes = Hashtbl.create 32 }
+
+let default = create ()
+
+let enabled t = t.enabled
+
+let set_enabled t on = t.enabled <- on
+
+(* Replace semantics: a restarted subsystem re-registers under its name
+   and the newest instance wins. *)
+let register t ~name f = if t.enabled then Hashtbl.replace t.probes name f
+
+let unregister t name = Hashtbl.remove t.probes name
+
+let count t = Hashtbl.length t.probes
+
+let reset t = Hashtbl.reset t.probes
+
+let sample t =
+  Hashtbl.fold (fun name f acc -> (name, f) :: acc) t.probes []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map (fun (name, f) ->
+         (name, List.sort (fun (a, _) (b, _) -> String.compare a b) (f ())))
+
+(* Publish a sample as registry gauges named [health.<probe>.<metric>] —
+   the timeseries face of the snapshots. No-op while [registry] has
+   telemetry off. *)
+let publish ?(prefix = "health") ~registry sample =
+  List.iter
+    (fun (name, metrics) ->
+      List.iter
+        (fun (metric, value) ->
+          Registry.set_gauge registry (String.concat "." [ prefix; name; metric ]) value)
+        metrics)
+    sample
+
+let sample_json sample =
+  Json.Obj
+    (List.map
+       (fun (name, metrics) ->
+         (name, Json.Obj (List.map (fun (m, v) -> (m, Json.Num v)) metrics)))
+       sample)
+
+(* Periodic sampler: polls every probe and publishes gauges. Only
+   opt-in harnesses may start one — it schedules engine events, so it is
+   never armed by default instrumentation. *)
+let start_sampler ?registry ~engine ~period t =
+  Sim.Engine.every engine ~period (fun () ->
+      let s = sample t in
+      match registry with Some r -> publish ~registry:r s | None -> ())

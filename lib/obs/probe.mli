@@ -1,0 +1,46 @@
+(** Health probes: named closures returning live (metric, value)
+    snapshots of a subsystem, registered at construction time and polled
+    on demand. Registration is gated on [enabled] (default off) so the
+    default registry never accumulates closures outside an observing
+    harness; sampling is read-only and deterministic (probes and metrics
+    sorted by name). *)
+
+type snapshot = (string * float) list
+
+type t
+
+val create : unit -> t
+
+(** The global probe registry subsystems register into. *)
+val default : t
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+
+(** Register (or replace — newest instance wins) a probe. No-op while
+    disabled. *)
+val register : t -> name:string -> (unit -> snapshot) -> unit
+
+val unregister : t -> string -> unit
+
+val count : t -> int
+
+(** Drop every registered probe. *)
+val reset : t -> unit
+
+(** Poll every probe: [(probe name, metrics)] sorted by probe name,
+    metrics sorted by metric name. *)
+val sample : t -> (string * snapshot) list
+
+(** Publish a sample as gauges named [<prefix>.<probe>.<metric>]
+    (default prefix ["health"]). No-op while [registry] is disabled. *)
+val publish : ?prefix:string -> registry:Registry.t -> (string * snapshot) list -> unit
+
+val sample_json : (string * snapshot) list -> Json.t
+
+(** Start a periodic sampler that polls the probes (and publishes into
+    [registry] when given). Schedules engine events — opt-in harnesses
+    only, never default instrumentation. *)
+val start_sampler :
+  ?registry:Registry.t -> engine:Sim.Engine.t -> period:float -> t -> Sim.Engine.timer

@@ -34,13 +34,13 @@ type t = {
   spans : Span.store;
 }
 
-let create ?(opens = pipeline_opens) ?(closes = pipeline_closes) () =
+let create ?span_capacity ?(opens = pipeline_opens) ?(closes = pipeline_closes) () =
   {
     enabled = false;
     counters = Hashtbl.create 64;
     gauges = Hashtbl.create 16;
     histograms = Hashtbl.create 16;
-    spans = Span.create_store ~opens ~closes ();
+    spans = Span.create_store ?capacity:span_capacity ~opens ~closes ();
   }
 
 let default = create ()

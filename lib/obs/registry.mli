@@ -22,8 +22,10 @@ val pipeline_opens : string list
 val pipeline_closes : string list
 
 (** Fresh registry, disabled, with the standard pipeline stage
-    configuration unless overridden. *)
-val create : ?opens:string list -> ?closes:string list -> unit -> t
+    configuration unless overridden. [?span_capacity] bounds the span
+    store's retained completed instances (see
+    {!Span.create_store}). *)
+val create : ?span_capacity:int -> ?opens:string list -> ?closes:string list -> unit -> t
 
 (** The global registry the stack's instrumentation records into. *)
 val default : t

@@ -45,15 +45,23 @@ type store = {
   opens : (string, unit) Hashtbl.t;
   closes : (string, unit) Hashtbl.t;
   active : (string, instance) Hashtbl.t; (* open instance per trace key *)
-  mutable completed : instance list; (* newest first *)
-  mutable completed_n : int;
+  capacity : int option; (* retention cap on completed instances *)
+  mutable completed_buf : instance array; (* ring, mirrors Sim.Trace *)
+  mutable completed_len : int;
+  mutable completed_start : int;
+  mutable completed_n : int; (* instances ever completed *)
   mutable abandoned : int; (* re-opened before closing *)
   mutable orphans : int; (* marks with no open instance *)
   spans : (int, span) Hashtbl.t;
   mutable next_span : int;
 }
 
-let create_store ?(opens = []) ?(closes = []) () =
+let dummy_instance = { trace = ""; marks = []; complete = false }
+
+let create_store ?capacity ?(opens = []) ?(closes = []) () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Span.create_store: capacity must be positive"
+  | _ -> ());
   let table keys =
     let h = Hashtbl.create 8 in
     List.iter (fun k -> Hashtbl.replace h k ()) keys;
@@ -63,13 +71,40 @@ let create_store ?(opens = []) ?(closes = []) () =
     opens = table opens;
     closes = table closes;
     active = Hashtbl.create 64;
-    completed = [];
+    capacity;
+    completed_buf = Array.make (match capacity with Some c -> Stdlib.min c 64 | None -> 64) dummy_instance;
+    completed_len = 0;
+    completed_start = 0;
     completed_n = 0;
     abandoned = 0;
     orphans = 0;
     spans = Hashtbl.create 64;
     next_span = 0;
   }
+
+(* Append a completed instance, overwriting the oldest once the
+   retention cap is reached; an uncapped store just keeps growing. *)
+let push_completed store inst =
+  let cap_reached = match store.capacity with Some c -> store.completed_len = c | None -> false in
+  if cap_reached then begin
+    store.completed_buf.(store.completed_start) <- inst;
+    store.completed_start <- (store.completed_start + 1) mod store.completed_len
+  end
+  else begin
+    if store.completed_len = Array.length store.completed_buf then begin
+      let target =
+        match store.capacity with
+        | Some c -> Stdlib.min c (store.completed_len * 2)
+        | None -> store.completed_len * 2
+      in
+      let buf = Array.make target dummy_instance in
+      Array.blit store.completed_buf 0 buf 0 store.completed_len;
+      store.completed_buf <- buf
+    end;
+    store.completed_buf.((store.completed_start + store.completed_len) mod Array.length store.completed_buf) <- inst;
+    store.completed_len <- store.completed_len + 1
+  end;
+  store.completed_n <- store.completed_n + 1
 
 (* Generic spans *)
 
@@ -116,14 +151,21 @@ let mark store ~trace ~stage ~time =
             inst.complete <- true;
             inst.marks <- List.rev inst.marks; (* freeze in causal order *)
             Hashtbl.remove store.active trace;
-            store.completed <- inst :: store.completed;
-            store.completed_n <- store.completed_n + 1
+            push_completed store inst
           end
         end
 
-let completed store = List.rev store.completed
+let completed store =
+  let cap = Array.length store.completed_buf in
+  let acc = ref [] in
+  for i = store.completed_len - 1 downto 0 do
+    acc := store.completed_buf.((store.completed_start + i) mod cap) :: !acc
+  done;
+  !acc
 
 let completed_count store = store.completed_n
+
+let completed_retained store = store.completed_len
 
 let active_count store = Hashtbl.length store.active
 
@@ -153,7 +195,9 @@ let stage_breakdown store ~stages =
 
 let reset store =
   Hashtbl.reset store.active;
-  store.completed <- [];
+  Array.fill store.completed_buf 0 (Array.length store.completed_buf) dummy_instance;
+  store.completed_len <- 0;
+  store.completed_start <- 0;
   store.completed_n <- 0;
   store.abandoned <- 0;
   store.orphans <- 0;

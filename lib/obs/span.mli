@@ -20,8 +20,11 @@ type instance = {
 type store
 
 (** [create_store ~opens ~closes ()]: stages in [opens] begin a new
-    instance for their trace key; stages in [closes] complete it. *)
-val create_store : ?opens:string list -> ?closes:string list -> unit -> store
+    instance for their trace key; stages in [closes] complete it. With
+    [?capacity] the store retains at most that many completed instances
+    (oldest evicted first — [completed_count] stays exact); raises
+    [Invalid_argument] on [capacity <= 0]. *)
+val create_store : ?capacity:int -> ?opens:string list -> ?closes:string list -> unit -> store
 
 (** {2 Generic spans} *)
 
@@ -51,10 +54,14 @@ val all_spans : store -> span list
     as orphans and dropped. *)
 val mark : store -> trace:string -> stage:string -> time:float -> unit
 
-(** Completed instances, oldest first, marks in causal order. *)
+(** Retained completed instances, oldest first, marks in causal order. *)
 val completed : store -> instance list
 
+(** Instances ever completed (a capped store may retain fewer). *)
 val completed_count : store -> int
+
+(** Completed instances currently retained. *)
+val completed_retained : store -> int
 
 val active_count : store -> int
 

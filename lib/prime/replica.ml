@@ -166,6 +166,27 @@ let create ~engine ~trace ~keystore ~keypair ~transport ~id config =
             Obs.Registry.mark Obs.Registry.default ~trace:u.Msg.Update.op
               ~stage:Obs.Registry.stage_preorder ~time:(Sim.Engine.now engine)
         | None -> ());
+  (* Health probes: no-ops unless a harness enabled the registry before
+     building the deployment (ordinary tests never accumulate these). *)
+  Obs.Probe.register Obs.Probe.default ~name:(Printf.sprintf "prime.replica.%d" id)
+    (fun () ->
+      [
+        ("aru", float_of_int (Array.fold_left ( + ) 0 (Preorder.aru t.preorder)));
+        ("backlog", float_of_int (List.length t.outbox));
+        ("exec_seq", float_of_int (Order.exec_seq t.order));
+        ("running", if t.running then 1.0 else 0.0);
+        ("view", float_of_int t.view);
+      ]);
+  Obs.Probe.register Obs.Probe.default ~name:(Printf.sprintf "crypto.sigcache.%d" id)
+    (fun () ->
+      let hits = float_of_int (Sim.Stats.Counter.get t.counters "crypto.cache_hit") in
+      let verifies = float_of_int (Sim.Stats.Counter.get t.counters "crypto.verify") in
+      [
+        ("hit_rate", if hits +. verifies > 0.0 then hits /. (hits +. verifies) else 0.0);
+        ("hits", hits);
+        ("size", float_of_int (Sigcache.size t.sig_cache));
+        ("verifies", verifies);
+      ]);
   t
 
 let id t = t.id
@@ -258,6 +279,13 @@ let flush_outbox t =
   t.flush_scheduled <- false;
   let items = List.rev t.outbox in
   t.outbox <- [];
+  (match items with
+  | [] -> ()
+  | _ ->
+      if Obs.Flight.recording Obs.Flight.default then
+        Obs.Flight.record Obs.Flight.default ~time:(now t) ~severity:Obs.Flight.Info
+          ~subsystem:"prime" ~kind:"batch.flush"
+          (Printf.sprintf "replica %d flushed %d signed bodies" t.id (List.length items)));
   match items with
   | [] -> ()
   | [ (body, emit) ] ->
@@ -679,6 +707,10 @@ and suspect_leader t view =
   if view >= t.view && t.suspected_view < view then begin
     t.suspected_view <- view;
     Sim.Stats.Counter.incr t.counters "suspect.sent";
+    if Obs.Flight.recording Obs.Flight.default then
+      Obs.Flight.record Obs.Flight.default ~time:(now t) ~severity:Obs.Flight.Warn
+        ~subsystem:"prime" ~kind:"leader.suspect"
+        (Printf.sprintf "replica %d suspects leader of view %d" t.id view);
     tracef t "replica %d suspects leader of view %d" t.id view;
     let body = Msg.encode_suspect ~rep:t.id ~view in
     broadcast t (Msg.Suspect_leader { sus_rep = t.id; sus_view = view; sus_sig = sign t body });
@@ -710,6 +742,10 @@ and enter_view t view ~report =
        information must not arm deadlines against the new leader. *)
     Hashtbl.iter (fun _ f -> f.cover_deadline <- None) t.origin_freshness;
     Sim.Stats.Counter.incr t.counters "view_change";
+    if Obs.Flight.recording Obs.Flight.default then
+      Obs.Flight.record Obs.Flight.default ~time:(now t) ~severity:Obs.Flight.Warn
+        ~subsystem:"prime" ~kind:"view.change"
+        (Printf.sprintf "replica %d enters view %d" t.id view);
     if report then begin
       let prepared = Order.prepared_certs t.order in
       let max_ordered = Order.max_executed t.order in
@@ -757,6 +793,10 @@ and maybe_activate_leader t view =
     | Some tbl when Hashtbl.length tbl >= t.config.Config.quorum ->
         t.leader_active <- true;
         Sim.Stats.Counter.incr t.counters "leader.activated";
+        if Obs.Flight.recording Obs.Flight.default then
+          Obs.Flight.record Obs.Flight.default ~time:(now t) ~severity:Obs.Flight.Info
+            ~subsystem:"prime" ~kind:"leader.activated"
+            (Printf.sprintf "replica %d leads view %d" t.id view);
         tracef t "replica %d is the active leader of view %d" t.id view;
         (* Re-propose every prepared certificate above the highest ordered
            point any reporter disclosed, then continue fresh. *)

@@ -54,6 +54,14 @@ type t = {
 
 let slot_file slot = Printf.sprintf "ck%d" slot
 
+(* Flight events: the durable store has no engine handle, so timestamps
+   fall back to the recorder's clock (installed by whichever harness
+   enabled it). *)
+let flight ~severity ~kind detail =
+  Obs.Flight.record Obs.Flight.default ~severity ~subsystem:"store" ~kind detail
+
+let flight_on () = Obs.Flight.recording Obs.Flight.default
+
 let media t = t.media
 
 let wal t = t.wal
@@ -115,7 +123,11 @@ let persist_checkpoint t ck =
      checkpoint now on disk. *)
   ignore (Store.Wal.gc_before t.wal ~segment:(Store.Wal.current_segment t.wal));
   Sim.Stats.Counter.incr t.counters "durable.checkpoint";
-  Obs.Registry.incr Obs.Registry.default "store.checkpoint"
+  Obs.Registry.incr Obs.Registry.default "store.checkpoint";
+  if flight_on () then
+    flight ~severity:Obs.Flight.Info ~kind:"checkpoint.persist"
+      (Printf.sprintf "replica %d checkpointed exec %d"
+         (Prime.Replica.id t.replica) ck.Store.Checkpoint.ck_exec_seq)
 
 let take_checkpoint t =
   let next_exec_pp, exec_seq, cursor, client_seqs = Prime.Replica.order_state t.replica in
@@ -158,12 +170,20 @@ let load_slot t slot =
       match Store.Checkpoint.decode blob with
       | None ->
           Sim.Stats.Counter.incr t.counters "durable.bad_checkpoint";
+          if flight_on () then
+            flight ~severity:Obs.Flight.Warn ~kind:"checkpoint.bad"
+              (Printf.sprintf "replica %d: slot %d does not decode"
+                 (Prime.Replica.id t.replica) slot);
           None
       | Some ck ->
           let signer = Prime.Msg.replica_identity ck.Store.Checkpoint.ck_replica in
           if Store.Checkpoint.verify ~keystore:t.keystore ~signer ck then Some ck
           else begin
             Sim.Stats.Counter.incr t.counters "durable.bad_checkpoint";
+            if flight_on () then
+              flight ~severity:Obs.Flight.Warn ~kind:"checkpoint.bad"
+                (Printf.sprintf "replica %d: slot %d fails verification"
+                   (Prime.Replica.id t.replica) slot);
             None
           end)
 
@@ -271,6 +291,10 @@ let local_recover t =
          transfer. *)
       State.reset t.state;
       Sim.Stats.Counter.incr t.counters "durable.replay_gap";
+      if flight_on () then
+        flight ~severity:Obs.Flight.Alarm ~kind:"wal.replay_gap"
+          (Printf.sprintf "replica %d: WAL suffix does not reach exec %d, abandoning local recovery"
+             (Prime.Replica.id t.replica) base_exec);
       false
     end
     else begin
@@ -333,6 +357,11 @@ let install_from_peer t ck =
       t.transfer_bytes <- t.transfer_bytes + Store.Checkpoint.size ck;
       Sim.Stats.Counter.incr t.counters "durable.peer_install";
       Obs.Registry.incr Obs.Registry.default "store.transfer";
+      if flight_on () then
+        flight ~severity:Obs.Flight.Warn ~kind:"checkpoint.install"
+          (Printf.sprintf "replica %d adopted peer checkpoint at exec %d (%d bytes)"
+             (Prime.Replica.id t.replica) ck.Store.Checkpoint.ck_exec_seq
+             (Store.Checkpoint.size ck));
       Ok ()
 
 (* Adoption of a full [App_state_reply] (peers had no checkpoint yet):
@@ -352,7 +381,10 @@ let wipe_disk t =
   Store.Wal.reset t.wal;
   t.latest <- None;
   t.slot <- 0;
-  t.last_ck_window <- 0
+  t.last_ck_window <- 0;
+  if flight_on () then
+    flight ~severity:Obs.Flight.Alarm ~kind:"disk.wipe"
+      (Printf.sprintf "replica %d: durable media wiped" (Prime.Replica.id t.replica))
 
 let create ~keystore ~keypair ~config ~replica ~state ~media =
   let t =
@@ -376,4 +408,18 @@ let create ~keystore ~keypair ~config ~replica ~state ~media =
   in
   Prime.Replica.set_on_execute replica (fun ~exec_seq u -> on_execute t ~exec_seq u);
   Prime.Replica.set_on_batch_end replica (fun () -> on_batch_end t);
+  (* Health probe; no-op unless a harness enabled the registry. *)
+  Obs.Probe.register Obs.Probe.default
+    ~name:(Printf.sprintf "store.durable.%d" (Prime.Replica.id replica))
+    (fun () ->
+      let exec = Prime.Replica.exec_seq t.replica in
+      [
+        ( "ck_exec",
+          float_of_int
+            (match t.latest with Some ck -> ck.Store.Checkpoint.ck_exec_seq | None -> 0) );
+        ( "ck_lag_windows",
+          float_of_int ((exec / t.checkpoint_interval) - t.last_ck_window) );
+        ("wal_records", float_of_int (Store.Wal.records_appended t.wal));
+        ("wal_segments", float_of_int (Store.Wal.segment_count t.wal));
+      ]);
   t

@@ -98,8 +98,13 @@ let handle_hmi_state t ~rep ~exec_seq ~breaker ~closed signature =
   if not valid then Sim.Stats.Counter.incr t.counters "display.bad_sig"
   else begin
     let key = Printf.sprintf "%d:%s:%b" exec_seq breaker closed in
-    if Threshold.vote t.display_gate ~key ~voter:rep then
+    if Threshold.vote t.display_gate ~key ~voter:rep then begin
+      if Obs.Flight.recording Obs.Flight.default then
+        Obs.Flight.record Obs.Flight.default ~time:(Sim.Engine.now t.engine)
+          ~severity:Obs.Flight.Info ~subsystem:"scada" ~kind:"gate.display"
+          (Printf.sprintf "%s: display gate crossed for %s" t.name key);
       apply_display_update t ~exec_seq ~breaker ~closed
+    end
   end
 
 let handle_payload t payload =

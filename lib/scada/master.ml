@@ -152,6 +152,10 @@ let begin_state_transfer t =
   if not t.awaiting_transfer then begin
     t.awaiting_transfer <- true;
     Hashtbl.reset t.transfer_votes;
+    if Obs.Flight.recording Obs.Flight.default then
+      Obs.Flight.record Obs.Flight.default ~time:(Sim.Engine.now t.engine)
+        ~severity:Obs.Flight.Warn ~subsystem:"scada" ~kind:"transfer.begin"
+        (Printf.sprintf "master %d requests application state transfer" (id t));
     Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"scada"
       "master %d: starting application-level state transfer" (id t);
     request_state_transfer t;
@@ -170,6 +174,10 @@ let transfer_done t ~exec_seq =
       t.transfer_timer <- None
   | None -> ());
   Sim.Stats.Counter.incr t.counters "transfer.completed";
+  if Obs.Flight.recording Obs.Flight.default then
+    Obs.Flight.record Obs.Flight.default ~time:(Sim.Engine.now t.engine)
+      ~severity:Obs.Flight.Info ~subsystem:"scada" ~kind:"transfer.done"
+      (Printf.sprintf "master %d transfer complete at exec %d" (id t) exec_seq);
   Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"scada"
     "master %d: application state transfer complete at exec %d" (id t) exec_seq
 

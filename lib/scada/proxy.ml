@@ -126,6 +126,10 @@ let handle_breaker_command t ~rep ~exec_seq ~breaker ~close signature =
     (* f + 1 distinct replicas agreeing: at least one is correct, and a
        correct replica only sends commands the system ordered. *)
     if Threshold.vote t.command_gate ~key ~voter:rep then begin
+      if Obs.Flight.recording Obs.Flight.default then
+        Obs.Flight.record Obs.Flight.default ~time:(Sim.Engine.now t.engine)
+          ~severity:Obs.Flight.Info ~subsystem:"scada" ~kind:"gate.command"
+          (Printf.sprintf "%s: command gate crossed for %s" t.name key);
       match coil_of_breaker t breaker with
       | Some coil ->
           Sim.Stats.Counter.incr t.counters "command.actuated";

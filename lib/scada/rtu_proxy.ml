@@ -123,6 +123,10 @@ let handle_breaker_command t ~rep ~exec_seq ~breaker ~close signature =
   else begin
     let key = Printf.sprintf "%d:%s:%b" exec_seq breaker close in
     if Threshold.vote t.command_gate ~key ~voter:rep then begin
+      if Obs.Flight.recording Obs.Flight.default then
+        Obs.Flight.record Obs.Flight.default ~time:(Sim.Engine.now t.engine)
+          ~severity:Obs.Flight.Info ~subsystem:"scada" ~kind:"gate.command"
+          (Printf.sprintf "%s: command gate crossed for %s" t.name key);
       match point_of_breaker t breaker with
       | Some index ->
           Sim.Stats.Counter.incr t.counters "command.actuated";

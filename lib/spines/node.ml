@@ -203,6 +203,25 @@ let create ~engine ~trace ~host ~id config =
   List.iter
     (fun n -> Hashtbl.replace t.neighbor_states n { last_ack = 0.0; up = true })
     (Topology.neighbors config.topology id);
+  (* Health probe; the port disambiguates internal/external daemons that
+     share node ids. No-op unless a harness enabled the registry. *)
+  Obs.Probe.register Obs.Probe.default
+    ~name:(Printf.sprintf "spines.node.%d.%d" id config.port)
+    (fun () ->
+      let c name = Sim.Stats.Counter.get t.counters name in
+      let hits = float_of_int (c "route.cache_hit") in
+      let misses = float_of_int (c "route.cache_miss") in
+      [
+        ("chaos_dropped", float_of_int (c "chaos.dropped"));
+        ("drops_total", float_of_int (c "egress.drop" + c "chaos.dropped"));
+        ( "egress_len",
+          float_of_int
+            (Hashtbl.fold (fun _ es acc -> acc + Egress.length es.eq) t.egress 0) );
+        ("epoch", float_of_int (Topology.View.epoch t.view));
+        ( "route_hit_rate",
+          if hits +. misses > 0.0 then hits /. (hits +. misses) else 0.0 );
+        ("running", if t.running then 1.0 else 0.0);
+      ]);
   t
 
 let id t = t.id
@@ -431,7 +450,11 @@ let enqueue_link t ~to_ ~prio ~origin inner =
     let dropped = Egress.drops es.eq - before in
     if dropped > 0 then begin
       Sim.Stats.Counter.incr ~by:dropped t.counters "egress.drop";
-      Obs.Registry.incr ~by:dropped Obs.Registry.default "spines.egress.drop"
+      Obs.Registry.incr ~by:dropped Obs.Registry.default "spines.egress.drop";
+      if Obs.Flight.recording Obs.Flight.default then
+        Obs.Flight.record Obs.Flight.default ~time:(Sim.Engine.now t.engine)
+          ~severity:Obs.Flight.Warn ~subsystem:"spines" ~kind:"egress.drop"
+          (Printf.sprintf "node %d dropped %d toward %d (queue full)" t.id dropped to_)
     end;
     schedule_flush t to_ es
   end
@@ -450,6 +473,10 @@ let ensure_route_table t =
     Sim.Stats.Counter.incr t.counters "route.dijkstra";
     Obs.Registry.incr Obs.Registry.default "spines.route.cache_miss";
     Obs.Registry.incr Obs.Registry.default "spines.route.rebuild";
+    if Obs.Flight.recording Obs.Flight.default then
+      Obs.Flight.record Obs.Flight.default ~time:(Sim.Engine.now t.engine)
+        ~severity:Obs.Flight.Info ~subsystem:"spines" ~kind:"route.rebuild"
+        (Printf.sprintf "node %d rebuilt routes for epoch %d" t.id ep);
     t.route_table <- Topology.next_hops t.config.topology t.view ~src:t.id;
     t.route_table_epoch <- ep
   end
@@ -619,6 +646,12 @@ let mark_neighbor t n ~up =
       if s.up <> up then begin
         s.up <- up;
         Topology.View.set_link t.view t.id n ~up;
+        if Obs.Flight.recording Obs.Flight.default then
+          Obs.Flight.record Obs.Flight.default ~time:(Sim.Engine.now t.engine)
+            ~severity:(if up then Obs.Flight.Info else Obs.Flight.Warn)
+            ~subsystem:"spines"
+            ~kind:(if up then "link.up" else "link.down")
+            (Printf.sprintf "node %d: link to %d %s" t.id n (if up then "up" else "down"));
         Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"spines"
           "node %d: link to %d %s" t.id n (if up then "up" else "down");
         originate_lsa t
@@ -694,6 +727,10 @@ let receive t ~src ~dst_port:_ ~size:_ payload =
               | Some _ | None ->
                   Sim.Stats.Counter.incr t.counters "frame.malformed";
                   Obs.Registry.incr Obs.Registry.default "spines.frame.malformed";
+                  if Obs.Flight.recording Obs.Flight.default then
+                    Obs.Flight.record Obs.Flight.default ~time:(Sim.Engine.now t.engine)
+                      ~severity:Obs.Flight.Warn ~subsystem:"spines" ~kind:"frame.malformed"
+                      (Printf.sprintf "node %d dropped malformed frame from %d" t.id from);
                   Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine)
                     ~category:"spines" "node %d dropped malformed coalesced frame from %d"
                     t.id from))

@@ -98,6 +98,64 @@ let test_recovery_overlapping_leader_crash () =
     (List.length r.Chaos.Runner.recovery_latencies);
   check "system kept executing" true (r.Chaos.Runner.final_exec_seq > 50)
 
+(* --- observability ------------------------------------------------------------ *)
+
+let test_flight_replay_byte_identical () =
+  (* The flight recorder is fed only by deterministic protocol events, so
+     two same-seed observed campaigns must dump byte-identical JSONL. *)
+  let dump seed = Chaos.Runner.run ~duration:30.0 ~seed () in
+  let a = dump 42 and b = dump 42 in
+  (match (a.Chaos.Runner.flight_jsonl, b.Chaos.Runner.flight_jsonl) with
+  | Some ja, Some jb ->
+      check "flight log non-empty" true (a.Chaos.Runner.flight_events > 0);
+      check_str "same seed, same flight JSONL" ja jb;
+      List.iter
+        (fun line -> check "every line is valid JSON" true (Obs.Json.parse_opt line <> None))
+        (String.split_on_char '\n' (String.trim ja))
+  | _ -> Alcotest.fail "observing runs must return a flight dump")
+
+let test_observation_is_passive () =
+  (* Flipping the recorder/probes/alerts on must not move one protocol
+     event: the observed run and the dark run agree on every core result. *)
+  let on = Chaos.Runner.run ~duration:30.0 ~seed:42 ~observe:true () in
+  let off = Chaos.Runner.run ~duration:30.0 ~seed:42 ~observe:false () in
+  check_int "same final exec seq" off.Chaos.Runner.final_exec_seq
+    on.Chaos.Runner.final_exec_seq;
+  check_int "same commands issued" off.Chaos.Runner.commands_issued
+    on.Chaos.Runner.commands_issued;
+  check "same view transitions" true
+    (off.Chaos.Runner.view_transitions = on.Chaos.Runner.view_transitions);
+  check "same fault schedule" true (off.Chaos.Runner.schedule = on.Chaos.Runner.schedule);
+  check_int "same link drops" off.Chaos.Runner.link_dropped on.Chaos.Runner.link_dropped;
+  check_int "dark run records nothing" 0 off.Chaos.Runner.flight_events;
+  check "dark run returns no dump" true (off.Chaos.Runner.flight_jsonl = None);
+  check "observed run records events" true (on.Chaos.Runner.flight_events > 0)
+
+let test_violation_dumps_flight_log () =
+  (* An impossible liveness bound trips the invariant checker; the first
+     violation must flush the flight log to the requested path. *)
+  let path = Filename.temp_file "spire-flight-test" ".jsonl" in
+  let r =
+    Chaos.Runner.run ~duration:20.0 ~schedule:[] ~liveness_bound:0.01 ~seed:3
+      ~flight_dump:path ()
+  in
+  check "bound actually tripped" true (List.length r.Chaos.Runner.violations > 0);
+  check "result reports the dump path" true
+    (r.Chaos.Runner.flight_dump_path = Some path);
+  check "dump file written" true (Sys.file_exists path);
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  check "dump is non-empty" true (!lines <> []);
+  List.iter
+    (fun line -> check "dump lines parse as JSON" true (Obs.Json.parse_opt line <> None))
+    !lines;
+  Sys.remove path
+
 let suite =
   [
     ("isolate links", `Quick, test_isolate_links);
@@ -107,6 +165,9 @@ let suite =
     ("mixed scenario zero violations", `Slow, test_mixed_scenario_zero_violations);
     ("replay byte-identical", `Slow, test_replay_byte_identical);
     ("recovery overlapping leader crash", `Slow, test_recovery_overlapping_leader_crash);
+    ("flight replay byte-identical", `Slow, test_flight_replay_byte_identical);
+    ("observation is passive", `Slow, test_observation_is_passive);
+    ("violation dumps flight log", `Slow, test_violation_dumps_flight_log);
   ]
 
 let () = Alcotest.run "chaos" [ ("chaos", suite) ]

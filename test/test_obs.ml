@@ -307,6 +307,182 @@ let test_jsonl_roundtrip () =
         (Obs.Json.member "trace" j = Some (Obs.Json.Str "status:B1:1"))
   | _ -> Alcotest.fail "pipeline row shape")
 
+(* --- Json: non-finite numbers ------------------------------------------- *)
+
+let test_json_nonfinite () =
+  let open Obs.Json in
+  (* JSON has no NaN/Infinity literals; the printer must emit null, not a
+     token no parser accepts. *)
+  check_string "nan prints as null" "null" (to_string (Num Float.nan));
+  check_string "inf prints as null" "null" (to_string (Num Float.infinity));
+  check_string "-inf prints as null" "null" (to_string (Num Float.neg_infinity));
+  let doc = Obj [ ("p50", Num Float.nan); ("count", Num 0.0) ] in
+  check "round-trips with non-finite leaves as null" true
+    (parse (to_string doc) = Obj [ ("p50", Null); ("count", Num 0.0) ]);
+  check "pretty form parses too" true (parse_opt (to_string_pretty doc) <> None);
+  (* The empty histogram was the original offender: its min/max and
+     percentiles are NaN before any observation. *)
+  let h = Obs.Histogram.create ~edges:[| 1.0 |] () in
+  check "empty histogram export parses" true
+    (parse_opt (to_string (Obs.Histogram.to_json h)) <> None)
+
+(* --- Span: bounded completed store -------------------------------------- *)
+
+let test_span_completed_capacity () =
+  let store = Obs.Span.create_store ~capacity:3 ~opens:[ "a" ] ~closes:[ "b" ] () in
+  for i = 1 to 5 do
+    let trace = Printf.sprintf "k%d" i in
+    Obs.Span.mark store ~trace ~stage:"a" ~time:(float_of_int i);
+    Obs.Span.mark store ~trace ~stage:"b" ~time:(float_of_int i +. 0.5)
+  done;
+  (* The count of ever-completed instances stays exact even once the
+     ring starts evicting. *)
+  check_int "completed_count exact" 5 (Obs.Span.completed_count store);
+  check_int "ring retains capacity" 3 (Obs.Span.completed_retained store);
+  (match Obs.Span.completed store with
+  | [ i3; i4; i5 ] ->
+      check "oldest survivor is k3" true (Obs.Span.mark_time i3 "a" = Some 3.0);
+      check "then k4" true (Obs.Span.mark_time i4 "a" = Some 4.0);
+      check "newest is k5" true (Obs.Span.mark_time i5 "a" = Some 5.0)
+  | l -> Alcotest.fail (Printf.sprintf "expected 3 retained, got %d" (List.length l)));
+  check "capacity 0 rejected" true
+    (match Obs.Span.create_store ~capacity:0 () with
+    | exception Invalid_argument _ -> true
+    | (_ : Obs.Span.store) -> false);
+  (* Unbounded stores keep everything, as before. *)
+  let u = Obs.Span.create_store ~opens:[ "a" ] ~closes:[ "b" ] () in
+  for i = 1 to 5 do
+    let trace = Printf.sprintf "k%d" i in
+    Obs.Span.mark u ~trace ~stage:"a" ~time:(float_of_int i);
+    Obs.Span.mark u ~trace ~stage:"b" ~time:(float_of_int i +. 0.5)
+  done;
+  check_int "unbounded retains all" 5 (List.length (Obs.Span.completed u))
+
+(* --- Flight recorder ----------------------------------------------------- *)
+
+let test_flight_recorder () =
+  let fl = Obs.Flight.create ~capacity:2 () in
+  Obs.Flight.record fl ~time:0.5 ~severity:Obs.Flight.Info ~subsystem:"x" ~kind:"k" "off";
+  check_int "disabled records nothing" 0 (Obs.Flight.total fl);
+  Obs.Flight.set_enabled fl true;
+  Obs.Flight.record fl ~time:1.0 ~severity:Obs.Flight.Info ~subsystem:"x" ~kind:"one" "first";
+  Obs.Flight.record fl ~time:2.0 ~severity:Obs.Flight.Warn ~subsystem:"x" ~kind:"two" "second";
+  Obs.Flight.record fl ~time:3.0 ~severity:Obs.Flight.Alarm ~subsystem:"y" ~kind:"three" "third";
+  check_int "total counts evicted events too" 3 (Obs.Flight.total fl);
+  check_int "ring retains capacity" 2 (Obs.Flight.retained fl);
+  check_int "warn count" 1 (Obs.Flight.warn_count fl);
+  check_int "alarm count" 1 (Obs.Flight.alarm_count fl);
+  (match Obs.Flight.events fl with
+  | [ e2; e3 ] ->
+      check_string "oldest retained" "two" e2.Obs.Flight.ev_kind;
+      check_string "newest retained" "three" e3.Obs.Flight.ev_kind;
+      check_int "seq numbers stay global" 3 e3.Obs.Flight.ev_seq
+  | _ -> Alcotest.fail "expected two retained events");
+  let lines = String.split_on_char '\n' (String.trim (Obs.Flight.to_jsonl fl)) in
+  check_int "one jsonl line per retained event" 2 (List.length lines);
+  List.iter (fun l -> check "jsonl line parses" true (Obs.Json.parse_opt l <> None)) lines;
+  check "capacity 0 rejected" true
+    (match Obs.Flight.create ~capacity:0 () with
+    | exception Invalid_argument _ -> true
+    | (_ : Obs.Flight.t) -> false)
+
+let test_flight_clock_and_subscribers () =
+  let fl = Obs.Flight.create () in
+  Obs.Flight.set_enabled fl true;
+  let clock = ref 7.5 in
+  Obs.Flight.set_clock fl (fun () -> !clock);
+  let seen = ref [] in
+  Obs.Flight.on_event fl (fun e -> seen := e.Obs.Flight.ev_kind :: !seen);
+  Obs.Flight.record fl ~severity:Obs.Flight.Info ~subsystem:"x" ~kind:"a" "";
+  (match Obs.Flight.events fl with
+  | [ e ] -> check_float "installed clock consulted" 7.5 e.Obs.Flight.ev_time
+  | _ -> Alcotest.fail "expected one event");
+  check "subscriber saw the event" true (!seen = [ "a" ]);
+  Obs.Flight.reset fl;
+  check_int "reset clears the buffer" 0 (Obs.Flight.total fl);
+  Obs.Flight.record fl ~time:1.0 ~severity:Obs.Flight.Info ~subsystem:"x" ~kind:"b" "";
+  check "reset dropped the subscriber" true (!seen = [ "a" ])
+
+(* --- Health probes -------------------------------------------------------- *)
+
+let test_probe_gating_and_sampling () =
+  let p = Obs.Probe.create () in
+  Obs.Probe.register p ~name:"b" (fun () -> [ ("m", 1.0) ]);
+  check_int "disabled register is a no-op" 0 (Obs.Probe.count p);
+  Obs.Probe.set_enabled p true;
+  Obs.Probe.register p ~name:"b" (fun () -> [ ("z", 2.0); ("a", 1.0) ]);
+  Obs.Probe.register p ~name:"a" (fun () -> [ ("m", 0.0) ]);
+  check_int "two probes registered" 2 (Obs.Probe.count p);
+  (match Obs.Probe.sample p with
+  | [ ("a", [ ("m", 0.0) ]); ("b", [ ("a", 1.0); ("z", 2.0) ]) ] -> ()
+  | _ -> Alcotest.fail "sample must sort probes and metrics by name");
+  (* Restarted subsystems re-register under the same name: newest wins. *)
+  Obs.Probe.register p ~name:"a" (fun () -> [ ("m", 9.0) ]);
+  check_int "re-register replaces" 2 (Obs.Probe.count p);
+  (match List.assoc_opt "a" (Obs.Probe.sample p) with
+  | Some [ ("m", 9.0) ] -> ()
+  | _ -> Alcotest.fail "newest registration must win");
+  check "sample_json parses" true
+    (Obs.Json.parse_opt (Obs.Json.to_string (Obs.Probe.sample_json (Obs.Probe.sample p)))
+    <> None);
+  Obs.Probe.reset p;
+  check_int "reset drops probes" 0 (Obs.Probe.count p)
+
+(* --- Alert engine --------------------------------------------------------- *)
+
+let test_alert_edge_trigger () =
+  let active = ref false in
+  let rule =
+    Obs.Alert.sample_rule ~name:"stuck" (fun _ -> if !active then Some "held" else None)
+  in
+  let a = Obs.Alert.create ~sample_rules:[ rule ] ~event_rules:[] () in
+  Obs.Alert.evaluate a ~time:1.0 [];
+  check_int "quiet start" 0 (Obs.Alert.alarm_count a);
+  active := true;
+  Obs.Alert.evaluate a ~time:2.0 [];
+  Obs.Alert.evaluate a ~time:3.0 [];
+  check_int "edge fires once, not per tick" 1 (Obs.Alert.alarm_count a);
+  active := false;
+  Obs.Alert.evaluate a ~time:4.0 [];
+  active := true;
+  Obs.Alert.evaluate a ~time:5.0 [];
+  check_int "re-arms after the condition clears" 2 (Obs.Alert.alarm_count a);
+  (match Obs.Alert.first_alarm_after a 4.5 with
+  | Some al ->
+      check_float "second alarm time" 5.0 al.Obs.Alert.al_time;
+      check_string "rule name" "stuck" al.Obs.Alert.al_rule
+  | None -> Alcotest.fail "expected an alarm after t=4.5")
+
+let test_alert_event_window () =
+  let fl = Obs.Flight.create () in
+  Obs.Flight.set_enabled fl true;
+  let rule =
+    Obs.Alert.event_rule ~name:"burst" ~kinds:[ "boom" ] ~threshold:2 ~window:1.0
+      ~cooldown:5.0 ()
+  in
+  let a = Obs.Alert.create ~sample_rules:[] ~event_rules:[ rule ] ~flight:fl () in
+  let boom t =
+    Obs.Flight.record fl ~time:t ~severity:Obs.Flight.Warn ~subsystem:"x" ~kind:"boom" ""
+  in
+  boom 1.0;
+  check_int "below threshold" 0 (Obs.Alert.alarm_count a);
+  boom 2.5;
+  check_int "stale events aged out of the window" 0 (Obs.Alert.alarm_count a);
+  boom 3.0;
+  check_int "two inside the window fire" 1 (Obs.Alert.alarm_count a);
+  boom 3.1;
+  boom 3.2;
+  check_int "cooldown suppresses a refire" 1 (Obs.Alert.alarm_count a);
+  boom 9.0;
+  boom 9.1;
+  check_int "fires again after the cooldown" 2 (Obs.Alert.alarm_count a);
+  (* Alarms are echoed into the recorder (and must not feed back into
+     the event rules). *)
+  check_int "alarms echoed to flight" 2 (Obs.Flight.alarm_count fl);
+  (match Obs.Alert.alarms a with
+  | first :: _ -> check_float "oldest first" 3.0 first.Obs.Alert.al_time
+  | [] -> Alcotest.fail "expected alarms")
+
 let suite =
   [
     ("json roundtrip", `Quick, test_json_roundtrip);
@@ -324,6 +500,13 @@ let suite =
     ("registry pipeline stages", `Quick, test_registry_pipeline_stages);
     ("summary to_json", `Quick, test_summary_to_json);
     ("jsonl roundtrip", `Quick, test_jsonl_roundtrip);
+    ("json non-finite", `Quick, test_json_nonfinite);
+    ("span completed capacity", `Quick, test_span_completed_capacity);
+    ("flight recorder", `Quick, test_flight_recorder);
+    ("flight clock and subscribers", `Quick, test_flight_clock_and_subscribers);
+    ("probe gating and sampling", `Quick, test_probe_gating_and_sampling);
+    ("alert edge trigger", `Quick, test_alert_edge_trigger);
+    ("alert event window", `Quick, test_alert_event_window);
   ]
 
 let () = Alcotest.run "obs" [ ("obs", suite) ]
