@@ -288,12 +288,54 @@ let breach_cmd =
 
 (* --- chaos -------------------------------------------------------------------- *)
 
-let chaos seed duration load_period no_batch no_route_cache no_coalescing no_durable_store
-    checkpoint_interval json_file =
+(* Multi-seed soak: hundreds of lossy-class campaigns back to back, one
+   line per seed, exiting non-zero if any seed trips an invariant. The
+   flight recorder stays off (observe:false) to keep the sweep fast; a
+   failing seed is replayed individually with `chaos --seed N` to get
+   the full dump. *)
+let chaos_soak ~config ~duration ~load_period seeds =
+  let failures = ref [] in
+  let started = Sys.time () in
+  for seed = 1 to seeds do
+    let result =
+      Chaos.Runner.run ~config ~seed ~duration ~load_period ~observe:false
+        ~fault_class:Chaos.Fault.Lossy ()
+    in
+    let n_viol = List.length result.Chaos.Runner.violations in
+    if n_viol > 0 then failures := (seed, result.Chaos.Runner.violations) :: !failures;
+    Printf.printf "soak seed %4d: exec_seq %5d, %2d faults, %d violations%s\n%!" seed
+      result.Chaos.Runner.final_exec_seq
+      (List.length result.Chaos.Runner.schedule)
+      n_viol
+      (if n_viol > 0 then "  <-- FAIL" else "")
+  done;
+  let elapsed = Sys.time () -. started in
+  match List.rev !failures with
+  | [] ->
+      Printf.printf "soak: %d lossy seeds, 0 violations (%.1f s)\n" seeds elapsed;
+      0
+  | fs ->
+      Printf.printf "soak: %d/%d seeds VIOLATED invariants (%.1f s)\n" (List.length fs)
+        seeds elapsed;
+      List.iter
+        (fun (seed, vs) ->
+          List.iter
+            (fun v ->
+              Printf.printf "  seed %d t=%.2f [%s] %s\n" seed v.Chaos.Invariant.v_time
+                v.Chaos.Invariant.v_invariant v.Chaos.Invariant.v_detail)
+            vs)
+        fs;
+      1
+
+let chaos seed duration load_period soak no_batch no_route_cache no_coalescing
+    no_durable_store checkpoint_interval json_file =
   let config = Prime.Config.power_plant () in
   let config = if no_batch then plain_crypto config else config in
   let config = apply_data_plane ~no_route_cache ~no_coalescing config in
   let config = apply_store ~no_durable_store ~checkpoint_interval config in
+  match soak with
+  | Some seeds when seeds > 0 -> exit (chaos_soak ~config ~duration ~load_period seeds)
+  | Some _ | None ->
   let result = Chaos.Runner.run ~config ~seed ~duration ~load_period () in
   Printf.printf "chaos seed %d: %.0f s, %d faults injected\n" seed duration
     (List.length result.Chaos.Runner.schedule);
@@ -347,6 +389,16 @@ let chaos_cmd =
   let load_period =
     Arg.(value & opt float 1.0 & info [ "load-period" ] ~doc:"Seconds between HMI commands.")
   in
+  let soak =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "soak" ] ~docv:"SEEDS"
+          ~doc:
+            "Soak mode: run $(docv) consecutive seeds (1..$(docv)) of lossy-class fault \
+             schedules and report per-seed invariant results; exits non-zero if any seed \
+             violates an invariant.")
+  in
   let json =
     Arg.(
       value
@@ -362,7 +414,7 @@ let chaos_cmd =
          "Run a seeded fault-injection scenario with continuous invariant checking; exits \
           non-zero on any violation.")
     Term.(
-      const chaos $ seed $ duration $ load_period $ no_batch_arg $ no_route_cache_arg
+      const chaos $ seed $ duration $ load_period $ soak $ no_batch_arg $ no_route_cache_arg
       $ no_coalescing_arg $ no_durable_store_arg $ checkpoint_interval_arg $ json)
 
 (* --- monitor ------------------------------------------------------------------ *)

@@ -77,7 +77,7 @@ let sum_dedup_evictions deployment =
 
 let run ?config ?(scenario = default_scenario) ?(duration = 120.0) ?(load_period = 1.0)
     ?(liveness_bound = 20.0) ?(recovery_bound = 30.0) ?(heal_grace = 10.0) ?schedule
-    ?(observe = true) ?flight_dump ~seed () =
+    ?(observe = true) ?flight_dump ?(backend = `Wheel) ?fault_class ~seed () =
   let config = match config with Some c -> c | None -> Prime.Config.power_plant () in
   (* Observation is opt-in per run and restored afterwards: the default
      recorder and probe registry are process globals shared with whatever
@@ -99,7 +99,7 @@ let run ?config ?(scenario = default_scenario) ?(duration = 120.0) ?(load_period
     Obs.Probe.reset Obs.Probe.default;
     Obs.Probe.set_enabled Obs.Probe.default true
   end;
-  let engine = Sim.Engine.create ~seed:(Int64.of_int seed) () in
+  let engine = Sim.Engine.create ~seed:(Int64.of_int seed) ~backend () in
   if observe then
     Obs.Flight.set_clock Obs.Flight.default (fun () -> Sim.Engine.now engine);
   let alert =
@@ -110,9 +110,12 @@ let run ?config ?(scenario = default_scenario) ?(duration = 120.0) ?(load_period
   Sim.Engine.run ~until:warmup engine;
   let chaos_rng = Sim.Rng.create (Int64.of_int (seed * 2 + 1)) in
   let schedule =
-    match schedule with
-    | Some s -> Fault.sort s
-    | None -> Fault.mixed ~rng:(Sim.Rng.split chaos_rng) ~n:config.Prime.Config.n ~duration ()
+    match (schedule, fault_class) with
+    | Some s, _ -> Fault.sort s
+    | None, Some cls ->
+        Fault.of_class ~rng:(Sim.Rng.split chaos_rng) ~n:config.Prime.Config.n ~duration cls
+    | None, None ->
+        Fault.mixed ~rng:(Sim.Rng.split chaos_rng) ~n:config.Prime.Config.n ~duration ()
   in
   let injector = Injector.create ~rng:(Sim.Rng.split chaos_rng) deployment in
   (* Health policy: liveness is only enforced while at most f replicas

@@ -40,7 +40,15 @@ val default_scenario : Plc.Power.scenario
     saved and restored); observation is purely passive, so [observe:
     false] leaves the schedule bit-identical. [flight_dump] overrides
     the path the flight JSONL is written to when an invariant trips
-    (default: [spire-flight-seed<seed>.jsonl] in the temp directory). *)
+    (default: [spire-flight-seed<seed>.jsonl] in the temp directory).
+
+    [backend] selects the engine's event-queue implementation (default
+    [`Wheel]); same-seed runs are byte-identical across backends, which
+    the sim bench gates on.
+
+    [fault_class] restricts the generated schedule (no explicit
+    [schedule] given) to repeated windows of one fault class — the soak
+    campaigns run hundreds of seeds of [Fault.Lossy] this way. *)
 val run :
   ?config:Prime.Config.t ->
   ?scenario:Plc.Power.scenario ->
@@ -52,6 +60,8 @@ val run :
   ?schedule:Fault.schedule ->
   ?observe:bool ->
   ?flight_dump:string ->
+  ?backend:[ `Wheel | `Heap ] ->
+  ?fault_class:Fault.fault_class ->
   seed:int ->
   unit ->
   result

@@ -146,8 +146,37 @@ let r_int_array r =
 
 let r_opt rd r = if r_bool r then Some (rd r) else None
 
-(* Convenience: run writers against a fresh buffer and return the bytes. *)
+(* Convenience: run writers against a buffer and return the bytes.
+
+   Encoding happens on the packet path (every signed body), so the
+   top-level call reuses one scratch buffer — [Buffer.clear] keeps the
+   backing bytes, leaving only the unavoidable result string allocated.
+   Encoders may themselves call [encode] (e.g. a digest over nested
+   update encodings); nested calls see the scratch busy and fall back to
+   a fresh buffer, preserving reentrancy. *)
+let scratch = Buffer.create 256
+
+let scratch_busy = ref false
+
+(* Don't let one huge encode (a checkpoint, say) pin megabytes forever. *)
+let scratch_retain_max = 1 lsl 16
+
 let encode ?(size_hint = 64) f =
-  let b = Buffer.create size_hint in
-  f b;
-  Buffer.contents b
+  if !scratch_busy then begin
+    let b = Buffer.create size_hint in
+    f b;
+    Buffer.contents b
+  end
+  else begin
+    scratch_busy := true;
+    Buffer.clear scratch;
+    match f scratch with
+    | () ->
+        let s = Buffer.contents scratch in
+        if Buffer.length scratch > scratch_retain_max then Buffer.reset scratch;
+        scratch_busy := false;
+        s
+    | exception e ->
+        scratch_busy := false;
+        raise e
+  end

@@ -40,6 +40,11 @@ let tag_vc_report = 0x0B
 
 let tag_client_reply = 0x0C
 
+(* 0x0D is reserved for Order_cert, which carries no signed body of its
+   own: a commit certificate is authenticated by its constituents (the
+   leader's pre-prepare authenticator plus a quorum of commit
+   authenticators, each already domain-separated by its own tag). *)
+
 module Update = struct
   type t = {
     client : string; (* signing identity of the submitting client *)
@@ -185,7 +190,19 @@ type t =
   | Recon_floor of { rf_origin : int; rf_new_start : int; rf_sig : Crypto.Auth.t }
   | Recon_request of { rr_rep : int; rr_origin : int; rr_po_seq : int }
   | Recon_reply of { rp_rep : int; rp_origin : int; rp_po_seq : int; rp_update : Update.t }
-  | Catchup_request of { cu_rep : int; cu_from : int (* next exec seq wanted *) }
+  | Order_cert of {
+      oc_rep : int; (* relaying replica (untrusted; the cert is self-certifying) *)
+      oc_seq : int;
+      oc_view : int;
+      oc_matrix : matrix;
+      oc_pp_sig : Crypto.Auth.t; (* leader's pre-prepare authenticator *)
+      oc_commits : (int * Crypto.Auth.t) list; (* quorum of commit authenticators *)
+    }
+  | Catchup_request of {
+      cu_rep : int;
+      cu_from : int; (* next exec seq wanted *)
+      cu_next_pp : int; (* requester's ordering cursor: serve commit certs from here *)
+    }
   | Catchup_reply of {
       cr_rep : int;
       cr_entries : (int * Update.t) list; (* exec_seq, update *)
@@ -304,6 +321,10 @@ let size _config_n = function
   | Recon_floor { rf_sig; _ } -> 48 + Crypto.Auth.size_bytes rf_sig
   | Recon_request _ -> 48
   | Recon_reply { rp_update; _ } -> 48 + Update.size rp_update
+  | Order_cert { oc_matrix; oc_pp_sig; oc_commits; _ } ->
+      48 + matrix_size oc_matrix
+      + Crypto.Auth.size_bytes oc_pp_sig
+      + List.fold_left (fun acc (_, a) -> acc + 16 + Crypto.Auth.size_bytes a) 0 oc_commits
   | Catchup_request _ -> 48
   | Catchup_reply { cr_entries; cr_cursor; _ } ->
       48 + (8 * Array.length cr_cursor)
@@ -330,7 +351,10 @@ let describe = function
       Printf.sprintf "recon-request by %d for (%d,%d)" rr_rep rr_origin rr_po_seq
   | Recon_reply { rp_origin; rp_po_seq; _ } ->
       Printf.sprintf "recon-reply for (%d,%d)" rp_origin rp_po_seq
-  | Catchup_request { cu_rep; cu_from } -> Printf.sprintf "catchup-request by %d from %d" cu_rep cu_from
+  | Order_cert { oc_rep; oc_seq; oc_view; _ } ->
+      Printf.sprintf "order-cert v%d #%d via %d" oc_view oc_seq oc_rep
+  | Catchup_request { cu_rep; cu_from; _ } ->
+      Printf.sprintf "catchup-request by %d from %d" cu_rep cu_from
   | Catchup_reply { cr_upto; _ } -> Printf.sprintf "catchup-reply upto %d" cr_upto
   | Client_reply { crep_client; crep_client_seq; _ } ->
       Printf.sprintf "client-reply %s#%d" crep_client crep_client_seq

@@ -95,7 +95,20 @@ type t =
   | Recon_floor of { rf_origin : int; rf_new_start : int; rf_sig : Crypto.Auth.t }
   | Recon_request of { rr_rep : int; rr_origin : int; rr_po_seq : int }
   | Recon_reply of { rp_rep : int; rp_origin : int; rp_po_seq : int; rp_update : Update.t }
-  | Catchup_request of { cu_rep : int; cu_from : int }
+  | Order_cert of {
+      oc_rep : int;
+      oc_seq : int;
+      oc_view : int;
+      oc_matrix : matrix;
+      oc_pp_sig : Crypto.Auth.t;
+      oc_commits : (int * Crypto.Auth.t) list;
+    }
+      (** Self-certifying commit certificate: the leader's pre-prepare
+          authenticator plus a quorum of commit authenticators over the
+          derived digest. Lets a replica that already ordered (and
+          possibly executed) an instance prove that fact to a lagging
+          peer, independent of views and of the relayer's honesty. *)
+  | Catchup_request of { cu_rep : int; cu_from : int; cu_next_pp : int }
   | Catchup_reply of {
       cr_rep : int;
       cr_entries : (int * Update.t) list;

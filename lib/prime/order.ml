@@ -17,6 +17,11 @@ type instance = {
   mutable pp_sig : Crypto.Auth.t option; (* leader's authenticator, for relay *)
   prepares : (int, unit) Hashtbl.t;
   commits : (int, unit) Hashtbl.t;
+  (* Commit authenticators retained past ordering: together with
+     [pp_sig] they form a self-certifying commit certificate that can be
+     served to lagging replicas (who may be unable to complete the
+     quorum themselves once everyone else has moved on). *)
+  commit_auths : (int, Crypto.Auth.t) Hashtbl.t;
   mutable prepared : bool;
   mutable ordered : bool;
 }
@@ -55,6 +60,7 @@ let instance_for t pp_seq =
           pp_sig = None;
           prepares = Hashtbl.create 8;
           commits = Hashtbl.create 8;
+          commit_auths = Hashtbl.create 8;
           prepared = false;
           ordered = false;
         }
@@ -94,6 +100,7 @@ let accept_pre_prepare t ~view ~pp_seq ~matrix ~pp_sig =
       inst.pp_sig <- Some pp_sig;
       Hashtbl.reset inst.prepares;
       Hashtbl.reset inst.commits;
+      Hashtbl.reset inst.commit_auths;
       inst.prepared <- false;
       `Accept digest
     end
@@ -144,6 +151,67 @@ let add_commit t ~rep ~view ~pp_seq ~digest =
       end
       else false
   | _ -> false
+
+(* Retain a commit authenticator for certificate serving. Unlike
+   [add_commit] this accepts authenticators for instances that are
+   already ordered — those are exactly the ones whose quorum a lagging
+   replica can no longer complete from live traffic. *)
+let record_commit_auth t ~rep ~view ~pp_seq ~digest auth =
+  match Hashtbl.find_opt t.instances pp_seq with
+  | Some inst -> (
+      match inst.digest with
+      | Some d when inst.inst_view = view && String.equal d digest ->
+          Hashtbl.replace inst.commit_auths rep auth
+      | _ -> ())
+  | None -> ()
+
+(* The self-certifying commit certificate for an ordered instance, once
+   enough authenticators have been retained (our own arrives via the
+   deferred batch-signing flush, so a freshly-ordered instance may be
+   briefly unservable). *)
+let ordered_cert t pp_seq =
+  match Hashtbl.find_opt t.instances pp_seq with
+  | Some ({ ordered = true; matrix = Some m; pp_sig = Some s; _ } as inst)
+    when Hashtbl.length inst.commit_auths >= t.config.Config.quorum ->
+      let commits = Hashtbl.fold (fun rep a acc -> (rep, a) :: acc) inst.commit_auths [] in
+      let commits = List.sort (fun (a, _) (b, _) -> compare a b) commits in
+      Some (inst.inst_view, m, s, commits)
+  | Some _ | None -> None
+
+(* Install a verified commit certificate: the instance is ordered by
+   fiat, overriding any locally-unfinished quorum state (the certificate
+   proves a commit quorum existed, which is strictly more than anything
+   a partial local count could establish). Returns [true] when the
+   instance was not already ordered. *)
+let install_cert t ~pp_seq ~view ~matrix ~digest ~pp_sig ~commits =
+  note_pp_seq t pp_seq;
+  let inst = instance_for t pp_seq in
+  if inst.ordered then false
+  else begin
+    inst.inst_view <- view;
+    inst.matrix <- Some matrix;
+    inst.digest <- Some digest;
+    inst.pp_sig <- Some pp_sig;
+    Hashtbl.reset inst.prepares;
+    Hashtbl.reset inst.commits;
+    Hashtbl.reset inst.commit_auths;
+    List.iter
+      (fun (rep, auth) ->
+        Hashtbl.replace inst.commits rep ();
+        Hashtbl.replace inst.commit_auths rep auth)
+      commits;
+    inst.prepared <- true;
+    inst.ordered <- true;
+    true
+  end
+
+(* Highest ordered instance at or above the execution cursor — the upper
+   bound of what we can serve commit certificates for. *)
+let max_ordered_seen t =
+  let best = ref (t.next_exec_pp - 1) in
+  Hashtbl.iter (fun pp_seq inst -> if inst.ordered && pp_seq > !best then best := pp_seq)
+    t.instances;
+  !best
 
 let is_ordered t pp_seq =
   match Hashtbl.find_opt t.instances pp_seq with Some i -> i.ordered | None -> false

@@ -50,6 +50,33 @@ val add_prepare :
 val add_commit :
   t -> rep:int -> view:int -> pp_seq:int -> digest:Crypto.Sha256.digest -> bool
 
+(** Retain a verified commit authenticator for later certificate
+    serving — accepted even for already-ordered instances, unlike
+    {!add_commit}. *)
+val record_commit_auth :
+  t -> rep:int -> view:int -> pp_seq:int -> digest:Crypto.Sha256.digest -> Crypto.Auth.t -> unit
+
+(** Self-certifying commit certificate for an ordered instance:
+    (view, matrix, leader authenticator, quorum of commit
+    authenticators), once enough authenticators are retained. *)
+val ordered_cert :
+  t -> int -> (int * Msg.matrix * Crypto.Auth.t * (int * Crypto.Auth.t) list) option
+
+(** Install a verified commit certificate; [true] when the instance was
+    not already ordered. *)
+val install_cert :
+  t ->
+  pp_seq:int ->
+  view:int ->
+  matrix:Msg.matrix ->
+  digest:Crypto.Sha256.digest ->
+  pp_sig:Crypto.Auth.t ->
+  commits:(int * Crypto.Auth.t) list ->
+  bool
+
+(** Highest ordered pp_seq (at or above the execution cursor). *)
+val max_ordered_seen : t -> int
+
 val is_ordered : t -> int -> bool
 
 val is_prepared : t -> int -> bool

@@ -62,6 +62,13 @@ type t = {
   suspects : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* view -> suspecting replicas *)
   vc_reports : (int, (int, Msg.t) Hashtbl.t) Hashtbl.t; (* view -> reports *)
   mutable leader_active : bool; (* I am leader of [view] and finished VC *)
+  (* View-change liveness: [view_live] turns true once the view's leader
+     demonstrably works (we accepted one of its pre-prepares, or we are
+     it); until then our Vc_report is retransmitted alongside other
+     reconciliation traffic, because a single lost report can otherwise
+     wedge the view change forever on a lossy network. *)
+  mutable view_live : bool;
+  mutable my_vc_report : Msg.t option;
   mutable next_pp_seq : int;
   mutable last_pp_matrix_digest : string;
   mutable last_pp_time : float;
@@ -128,6 +135,8 @@ let create ~engine ~trace ~keystore ~keypair ~transport ~id config =
     suspects = Hashtbl.create 8;
     vc_reports = Hashtbl.create 8;
     leader_active = id = Config.leader_of_view config 0;
+    view_live = true;
+    my_vc_report = None;
     next_pp_seq = 1;
     last_pp_matrix_digest = "";
     last_pp_time = 0.0;
@@ -540,6 +549,9 @@ let matrix_valid t (m : Msg.matrix) =
 let broadcast_commit t ~view ~pp_seq ~digest =
   let body = Msg.encode_commit ~rep:t.id ~view ~pp_seq ~digest in
   enqueue_signed t body (fun com_sig ->
+      (* Retain our own authenticator for commit-certificate serving (it
+         materializes only here, at batch-flush time). *)
+      Order.record_commit_auth t.order ~rep:t.id ~view ~pp_seq ~digest com_sig;
       broadcast t
         (Msg.Commit
            { com_rep = t.id; com_view = view; com_seq = pp_seq; com_digest = digest;
@@ -665,6 +677,9 @@ and handle_pre_prepare t ~pp_view ~pp_seq ~matrix pp_sig =
       tracef t "replica %d adopts view %d from pre-prepare" t.id pp_view;
       enter_view t pp_view ~report:false
     end;
+    (* A verified pre-prepare from the current view's leader is proof the
+       view works: stop retransmitting our view-change report. *)
+    if pp_view = t.view then t.view_live <- true;
     (* Learn peers' summaries from the matrix: keeps followers' matrices
        converging even when individual summary broadcasts were lost. *)
     Array.iter
@@ -694,6 +709,7 @@ and handle_prepare t ~rep ~view ~pp_seq ~digest sig_ =
 and handle_commit t ~rep ~view ~pp_seq ~digest sig_ =
   let body = Msg.encode_commit ~rep ~view ~pp_seq ~digest in
   if verify_from t ~rep body sig_ then begin
+    Order.record_commit_auth t.order ~rep ~view ~pp_seq ~digest sig_;
     if Order.add_commit t.order ~rep ~view ~pp_seq ~digest then begin
       Sim.Stats.Counter.incr t.counters "ordered";
       execute_ready t
@@ -736,6 +752,8 @@ and enter_view t view ~report =
   if view > t.view then begin
     t.view <- view;
     t.leader_active <- false;
+    t.view_live <- false;
+    t.my_vc_report <- None;
     t.tat_pending <- [];
     (* Give the new leader a clean slate of deadlines, but remember which
        sums we already know: re-announcements (periodic refreshes) of old
@@ -757,6 +775,7 @@ and enter_view t view ~report =
           { vc_rep = t.id; vc_view = view; vc_max_ordered = max_ordered;
             vc_prepared = prepared; vc_sig = sign t body }
       in
+      t.my_vc_report <- Some msg;
       broadcast t msg;
       handle_vc_report t ~rep:t.id ~view ~max_ordered ~prepared (sign t body)
     end
@@ -792,6 +811,7 @@ and maybe_activate_leader t view =
     match Hashtbl.find_opt t.vc_reports view with
     | Some tbl when Hashtbl.length tbl >= t.config.Config.quorum ->
         t.leader_active <- true;
+        t.view_live <- true;
         Sim.Stats.Counter.incr t.counters "leader.activated";
         if Obs.Flight.recording Obs.Flight.default then
           Obs.Flight.record Obs.Flight.default ~time:(now t) ~severity:Obs.Flight.Info
@@ -840,7 +860,37 @@ and maybe_activate_leader t view =
                    pp_sig });
             handle_pre_prepare t ~pp_view:view ~pp_seq:c.Msg.pc_seq ~matrix:c.Msg.pc_matrix
               pp_sig)
-          reproposals
+          reproposals;
+        (* Gap filling: sequences between [max_ordered] and [next_pp_seq]
+           covered by neither a re-proposal nor a local ordering are
+           pre-prepares of the old view that never gathered a prepare
+           quorum anywhere — the execution walk is strictly sequential,
+           so leaving them unproposed wedges every replica forever (the
+           old leader's retransmissions are now stale-view). Re-proposing
+           fresh content there is safe: had the sequence been ordered
+           anywhere, a quorum of reports necessarily includes either a
+           prepared certificate for it or a reporter whose max_ordered
+           covers it (quorum intersection). *)
+        let fill_matrix = ref None in
+        for pp_seq = max_ordered + 1 to t.next_pp_seq - 1 do
+          if (not (Hashtbl.mem to_repropose pp_seq)) && not (Order.is_ordered t.order pp_seq)
+          then begin
+            let matrix =
+              match !fill_matrix with
+              | Some m -> m
+              | None ->
+                  let m = matrix_for_proposal t in
+                  fill_matrix := Some m;
+                  m
+            in
+            Sim.Stats.Counter.incr t.counters "pre_prepare.gap_fill";
+            let body = Msg.encode_pre_prepare ~view ~pp_seq matrix in
+            let pp_sig = sign t body in
+            broadcast t
+              (Msg.Pre_prepare { pp_view = view; pp_seq; pp_matrix = matrix; pp_sig });
+            handle_pre_prepare t ~pp_view:view ~pp_seq ~matrix pp_sig
+          end
+        done
     | Some _ | None -> ()
 
 (* Suspect evaluation: any summary of mine that the leader failed to cover
@@ -931,6 +981,7 @@ let reconcile_tick t =
         if prepared then begin
           let com_body = Msg.encode_commit ~rep:t.id ~view ~pp_seq ~digest in
           enqueue_signed t com_body (fun com_sig ->
+              Order.record_commit_auth t.order ~rep:t.id ~view ~pp_seq ~digest com_sig;
               broadcast t
                 (Msg.Commit
                    { com_rep = t.id; com_view = view; com_seq = pp_seq;
@@ -938,6 +989,24 @@ let reconcile_tick t =
         end
       end)
     (Order.stalled_instances t.order ~limit:5);
+  (* View-change liveness: suspicion and reports are sent once on the
+     transition, so on a lossy network a dropped copy can leave the
+     cluster split across views (or the new leader one report short of
+     its activation quorum) forever. Retransmit both until the view
+     demonstrably works. *)
+  if t.suspected_view = t.view then begin
+    Sim.Stats.Counter.incr t.counters "suspect.retransmit";
+    let body = Msg.encode_suspect ~rep:t.id ~view:t.view in
+    broadcast t
+      (Msg.Suspect_leader { sus_rep = t.id; sus_view = t.view; sus_sig = sign t body })
+  end;
+  if not t.view_live then begin
+    match t.my_vc_report with
+    | Some msg ->
+        Sim.Stats.Counter.incr t.counters "vc.retransmit";
+        broadcast t msg
+    | None -> ()
+  end;
   (* Origin-side retransmission: rebroadcast our own PO-Requests that are
      not *executed* yet. Resending until execution (not merely until our
      own certification) matters: we may hold a certificate while peers
@@ -974,7 +1043,29 @@ let catchup_digest entries ~upto ~next_exec_pp ~cursor =
              Wire.w_str b (Msg.Update.encode u))
            entries))
 
-let handle_catchup_request t ~cu_rep ~cu_from =
+(* Commit certificates are served in a bounded window per request: the
+   requester re-probes once its cursor advances. *)
+let catchup_cert_window = 8
+
+let handle_catchup_request t ~cu_rep ~cu_from ~cu_next_pp =
+  (* Serve commit certificates for ordered instances at or above the
+     requester's ordering cursor. This is what re-drives ordering to
+     completion after a heal: a replica that already ordered (and maybe
+     executed) an instance never re-sends its commit, and the stragglers'
+     own quorums can be permanently incompletable — the certificate is
+     the proof they can no longer assemble from live traffic. *)
+  if cu_next_pp >= 1 then begin
+    let upper = min (Order.max_ordered_seen t.order) (cu_next_pp + catchup_cert_window - 1) in
+    for pp_seq = cu_next_pp to upper do
+      match Order.ordered_cert t.order pp_seq with
+      | Some (oc_view, oc_matrix, oc_pp_sig, oc_commits) ->
+          Sim.Stats.Counter.incr t.counters "order_cert.served";
+          send t ~dst:cu_rep
+            (Msg.Order_cert
+               { oc_rep = t.id; oc_seq = pp_seq; oc_view; oc_matrix; oc_pp_sig; oc_commits })
+      | None -> ()
+    done
+  end;
   let my_max = Order.exec_seq t.order in
   if cu_from <= my_max then begin
     let oldest_retained = max 1 (my_max - t.config.Config.log_retention + 1) in
@@ -1073,6 +1164,52 @@ let handle_catchup_reply t ~cr_entries ~cr_upto ~cr_behind_log ~cr_next_exec_pp 
     end
   end
 
+(* Install a relayed commit certificate after verifying every
+   constituent: the leader's pre-prepare authenticator over the matrix
+   and a quorum of distinct commit authenticators over the derived
+   digest. Nothing about the relayer is trusted. *)
+let handle_order_cert t ~oc_seq ~oc_view ~oc_matrix ~oc_pp_sig ~oc_commits =
+  if oc_seq >= Order.next_exec_pp t.order && not (Order.is_ordered t.order oc_seq) then begin
+    let leader = Config.leader_of_view t.config oc_view in
+    let pp_body = Msg.encode_pre_prepare ~view:oc_view ~pp_seq:oc_seq oc_matrix in
+    if not (verify_from t ~rep:leader pp_body oc_pp_sig) then
+      Sim.Stats.Counter.incr t.counters "order_cert.bad_pp_sig"
+    else if not (matrix_valid t oc_matrix) then
+      Sim.Stats.Counter.incr t.counters "order_cert.bad_matrix"
+    else begin
+      let digest = Msg.matrix_digest ~view:oc_view ~pp_seq:oc_seq oc_matrix in
+      let voters = Hashtbl.create 8 in
+      List.iter
+        (fun (rep, auth) ->
+          if rep >= 0 && rep < t.config.Config.n && not (Hashtbl.mem voters rep) then begin
+            let body = Msg.encode_commit ~rep ~view:oc_view ~pp_seq:oc_seq ~digest in
+            if verify_from t ~rep body auth then Hashtbl.replace voters rep auth
+          end)
+        oc_commits;
+      if Hashtbl.length voters < t.config.Config.quorum then
+        Sim.Stats.Counter.incr t.counters "order_cert.short_quorum"
+      else begin
+        (* Learn the matrix's summaries exactly as a pre-prepare would:
+           eligibility derivation needs the preorder state converging. *)
+        Array.iter
+          (function
+            | Some s ->
+                maybe_rebase_origin t s;
+                Preorder.receive_summary t.preorder s
+            | None -> ())
+          oc_matrix;
+        let commits = Hashtbl.fold (fun rep auth acc -> (rep, auth) :: acc) voters [] in
+        if
+          Order.install_cert t.order ~pp_seq:oc_seq ~view:oc_view ~matrix:oc_matrix ~digest
+            ~pp_sig:oc_pp_sig ~commits
+        then begin
+          Sim.Stats.Counter.incr t.counters "order_cert.installed";
+          execute_ready t
+        end
+      end
+    end
+  end
+
 let catchup_tick t =
   (* Probe when ordering has visibly moved past our execution point. *)
   if
@@ -1080,7 +1217,13 @@ let catchup_tick t =
     && not t.awaiting_app_transfer
   then begin
     Sim.Stats.Counter.incr t.counters "catchup.probe";
-    broadcast t (Msg.Catchup_request { cu_rep = t.id; cu_from = Order.exec_seq t.order + 1 })
+    broadcast t
+      (Msg.Catchup_request
+         {
+           cu_rep = t.id;
+           cu_from = Order.exec_seq t.order + 1;
+           cu_next_pp = Order.next_exec_pp t.order;
+         })
   end
 
 (* After the application completed its own state transfer (or ground-truth
@@ -1137,7 +1280,10 @@ let handle_message t msg =
         handle_recon_request t ~rr_rep ~rr_origin ~rr_po_seq
     | Msg.Recon_reply { rp_origin; rp_po_seq; rp_update; _ } ->
         handle_recon_reply t ~rp_origin ~rp_po_seq ~rp_update
-    | Msg.Catchup_request { cu_rep; cu_from } -> handle_catchup_request t ~cu_rep ~cu_from
+    | Msg.Order_cert { oc_seq; oc_view; oc_matrix; oc_pp_sig; oc_commits; oc_rep = _ } ->
+        handle_order_cert t ~oc_seq ~oc_view ~oc_matrix ~oc_pp_sig ~oc_commits
+    | Msg.Catchup_request { cu_rep; cu_from; cu_next_pp } ->
+        handle_catchup_request t ~cu_rep ~cu_from ~cu_next_pp
     | Msg.Catchup_reply { cr_entries; cr_upto; cr_behind_log; cr_next_exec_pp; cr_cursor; _ } ->
         handle_catchup_reply t ~cr_entries ~cr_upto ~cr_behind_log ~cr_next_exec_pp ~cr_cursor
     | Msg.Client_reply _ -> () (* replicas do not consume client replies *)
@@ -1203,6 +1349,8 @@ let restart_clean t =
   Hashtbl.reset t.suspects;
   Hashtbl.reset t.vc_reports;
   t.leader_active <- t.id = Config.leader_of_view t.config 0;
+  t.view_live <- true;
+  t.my_vc_report <- None;
   t.next_pp_seq <- 1;
   t.last_pp_matrix_digest <- "";
   t.last_pp_time <- 0.0;

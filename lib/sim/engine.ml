@@ -2,40 +2,61 @@
 
    Time is virtual (seconds as float). Events are thunks scheduled at
    absolute times; the run loop pops them in time order and executes them.
-   Cancellation is lazy: a cancelled event stays in the heap but its thunk
-   is skipped when popped. *)
+   Cancellation is lazy: a cancelled event stays in the queue but its thunk
+   is skipped when popped.
+
+   Two queue backends share one engine shell:
+   - [`Wheel] (default): hierarchical timer wheel ({!Wheel}) — O(1)
+     schedule/cancel for the dominant short-horizon timers, slab-allocated
+     event cells, no per-event id bookkeeping tables.
+   - [`Heap]: the original single binary heap plus id hashtables. Kept as
+     the determinism baseline: both backends pop in exactly (time,
+     schedule-order) order, so same-seed runs are byte-identical across
+     backends — asserted by tests and the bench-sim determinism gate. *)
 
 type event_id = int
 
 type event = { id : event_id; thunk : unit -> unit }
 
-type t = {
-  mutable now : float;
+type heap_q = {
   queue : event Heap.t;
   cancelled : (event_id, unit) Hashtbl.t;
   pending_ids : (event_id, unit) Hashtbl.t;
   mutable next_id : int;
+}
+
+type backend = Heap_q of heap_q | Wheel_q of Wheel.t
+
+type t = {
+  mutable now : float;
+  backend : backend;
   rng : Rng.t;
   mutable executed : int;
   mutable stop_requested : bool;
 }
 
-(* [hint] pre-sizes the event queue and its id-tracking tables for the
-   expected number of in-flight events; long deployment runs hold tens of
-   thousands of pending events and the doubling churn (array copies plus
-   hashtable rehashes) showed up in profiles. *)
-let create ?(seed = 0x5CADAL) ?(hint = 64) () =
+(* [hint] pre-sizes the event queue (wheel slab or heap array plus its
+   id-tracking tables) for the expected number of in-flight events; long
+   deployment runs hold tens of thousands of pending events and the
+   doubling churn (array copies plus hashtable rehashes) showed up in
+   profiles. *)
+let create ?(seed = 0x5CADAL) ?(hint = 64) ?(backend = `Wheel) () =
   let hint = max 16 hint in
-  {
-    now = 0.0;
-    queue = Heap.create ~capacity:hint ();
-    cancelled = Hashtbl.create hint;
-    pending_ids = Hashtbl.create hint;
-    next_id = 0;
-    rng = Rng.create seed;
-    executed = 0;
-    stop_requested = false;
-  }
+  let backend =
+    match backend with
+    | `Wheel -> Wheel_q (Wheel.create ~hint ())
+    | `Heap ->
+        Heap_q
+          {
+            queue = Heap.create ~capacity:hint ();
+            cancelled = Hashtbl.create hint;
+            pending_ids = Hashtbl.create hint;
+            next_id = 0;
+          }
+  in
+  { now = 0.0; backend; rng = Rng.create seed; executed = 0; stop_requested = false }
+
+let backend t = match t.backend with Heap_q _ -> `Heap | Wheel_q _ -> `Wheel
 
 let now t = t.now
 
@@ -49,41 +70,71 @@ let schedule_at t ~time thunk =
   if time < t.now then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %.9f is in the past (now %.9f)" time t.now);
-  let id = t.next_id in
-  t.next_id <- t.next_id + 1;
-  Heap.push t.queue ~key:time { id; thunk };
-  Hashtbl.replace t.pending_ids id ();
-  id
+  match t.backend with
+  | Wheel_q w -> Wheel.schedule w ~time thunk
+  | Heap_q h ->
+      let id = h.next_id in
+      h.next_id <- id + 1;
+      Heap.push h.queue ~key:time { id; thunk };
+      Hashtbl.replace h.pending_ids id ();
+      id
 
 let schedule t ~delay thunk =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.now +. delay) thunk
 
-(* Only ids still in the heap may enter [cancelled]; marking an already
-   executed (or already cancelled-and-popped) id would leak the entry
-   forever, since [step] removes it only when popping that id. *)
-let cancel t id = if Hashtbl.mem t.pending_ids id then Hashtbl.replace t.cancelled id ()
+(* Heap backend: only ids still in the heap may enter [cancelled];
+   marking an already executed (or already cancelled-and-popped) id would
+   leak the entry forever. The wheel's packed stamps make the same
+   guarantee without the id tables. *)
+let cancel t id =
+  match t.backend with
+  | Wheel_q w -> Wheel.cancel w id
+  | Heap_q h -> if Hashtbl.mem h.pending_ids id then Hashtbl.replace h.cancelled id ()
 
-let cancelled_backlog t = Hashtbl.length t.cancelled
+let cancelled_backlog t =
+  match t.backend with
+  | Wheel_q w -> Wheel.cancelled_backlog w
+  | Heap_q h -> Hashtbl.length h.cancelled
 
-let pending t = Heap.length t.queue
+let pending t =
+  match t.backend with Wheel_q w -> Wheel.length w | Heap_q h -> Heap.length h.queue
 
-let queue_capacity t = Heap.capacity t.queue
+let queue_capacity t =
+  match t.backend with Wheel_q w -> Wheel.capacity w | Heap_q h -> Heap.capacity h.queue
 
 let stop t = t.stop_requested <- true
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some (time, event) ->
-      t.now <- time;
-      Hashtbl.remove t.pending_ids event.id;
-      (match Hashtbl.find_opt t.cancelled event.id with
-      | Some () -> Hashtbl.remove t.cancelled event.id
-      | None ->
+  match t.backend with
+  | Wheel_q w -> (
+      match Wheel.pop w with
+      | Wheel.Empty -> false
+      | Wheel.Cancelled time ->
+          t.now <- time;
+          true
+      | Wheel.Event (time, thunk) ->
+          t.now <- time;
           t.executed <- t.executed + 1;
-          event.thunk ());
-      true
+          thunk ();
+          true)
+  | Heap_q h -> (
+      match Heap.pop h.queue with
+      | None -> false
+      | Some (time, event) ->
+          t.now <- time;
+          Hashtbl.remove h.pending_ids event.id;
+          (match Hashtbl.find_opt h.cancelled event.id with
+          | Some () -> Hashtbl.remove h.cancelled event.id
+          | None ->
+              t.executed <- t.executed + 1;
+              event.thunk ());
+          true)
+
+let peek_time t =
+  match t.backend with
+  | Wheel_q w -> Wheel.peek w
+  | Heap_q h -> ( match Heap.peek h.queue with Some (time, _) -> Some time | None -> None)
 
 let run ?until ?(max_events = max_int) t =
   t.stop_requested <- false;
@@ -92,10 +143,10 @@ let run ?until ?(max_events = max_int) t =
     (not t.stop_requested)
     && !budget > 0
     &&
-    match (Heap.peek t.queue, until) with
+    match (peek_time t, until) with
     | None, _ -> false
     | Some _, None -> true
-    | Some (time, _), Some limit -> time <= limit
+    | Some time, Some limit -> time <= limit
   in
   while continue () do
     decr budget;

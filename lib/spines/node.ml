@@ -287,20 +287,21 @@ let inner_size = function
   | Hello _ | Hello_ack _ -> overhead_bytes
   | Lsa _ -> overhead_bytes + 32
 
+(* Named rather than a local closure: the no-fault fast path below calls
+   it directly, so a steady-state link send allocates no thunk. *)
+let transmit_link t ~ip inner =
+  let msg =
+    Link_msg { auth = compute_auth t inner; encrypted = t.config.group_key <> None; inner }
+  in
+  Sim.Stats.Counter.incr t.counters "link.tx";
+  Obs.Registry.incr Obs.Registry.default "spines.link.tx";
+  Netbase.Host.udp_send t.host ~dst_ip:ip ~dst_port:t.config.port ~src_port:t.config.port
+    ~size:(inner_size inner) msg
+
 let send_link t ~to_ inner =
   match Hashtbl.find_opt t.peer_addrs to_ with
   | None -> Sim.Stats.Counter.incr t.counters "link.no_address"
   | Some ip ->
-      let transmit () =
-        let msg =
-          Link_msg
-            { auth = compute_auth t inner; encrypted = t.config.group_key <> None; inner }
-        in
-        Sim.Stats.Counter.incr t.counters "link.tx";
-        Obs.Registry.incr Obs.Registry.default "spines.link.tx";
-        Netbase.Host.udp_send t.host ~dst_ip:ip ~dst_port:t.config.port
-          ~src_port:t.config.port ~size:(inner_size inner) msg
-      in
       let d =
         match t.fault_injector with None -> no_fault | Some inject -> inject ~peer:to_
       in
@@ -310,12 +311,14 @@ let send_link t ~to_ inner =
            models reordering. *)
         if d.fd_delay > 0.0 then begin
           Sim.Stats.Counter.incr t.counters "chaos.delayed";
-          ignore (Sim.Engine.schedule t.engine ~delay:d.fd_delay transmit)
+          ignore
+            (Sim.Engine.schedule t.engine ~delay:d.fd_delay (fun () ->
+                 transmit_link t ~ip inner))
         end
-        else transmit ();
+        else transmit_link t ~ip inner;
         if d.fd_duplicate then begin
           Sim.Stats.Counter.incr t.counters "chaos.duplicated";
-          transmit ()
+          transmit_link t ~ip inner
         end
       end
 
@@ -370,6 +373,17 @@ let rec metas_match metas inners =
       | None -> false)
   | _, _ -> false
 
+(* Named for the same reason as [transmit_link]: the no-fault fast path
+   transmits without allocating a thunk. *)
+let transmit_frame t ~ip ~size ~header inners =
+  Sim.Stats.Counter.incr t.counters "link.tx";
+  Obs.Registry.incr Obs.Registry.default "spines.link.tx";
+  Obs.Registry.observe Obs.Registry.default "spines.frame.msgs"
+    (float_of_int (List.length inners));
+  Netbase.Host.udp_send t.host ~dst_ip:ip ~dst_port:t.config.port ~src_port:t.config.port
+    ~size
+    (Link_frame { fr_auth = frame_auth t header; fr_header = header; fr_inners = inners })
+
 let send_frame t ~to_ inners =
   match Hashtbl.find_opt t.peer_addrs to_ with
   | None -> Sim.Stats.Counter.incr t.counters "link.no_address"
@@ -388,15 +402,6 @@ let send_frame t ~to_ inners =
           (fun acc i -> acc + (inner_size i - overhead_bytes) + frame_sub_overhead)
           overhead_bytes inners
       in
-      let transmit () =
-        Sim.Stats.Counter.incr t.counters "link.tx";
-        Obs.Registry.incr Obs.Registry.default "spines.link.tx";
-        Obs.Registry.observe Obs.Registry.default "spines.frame.msgs"
-          (float_of_int (List.length inners));
-        Netbase.Host.udp_send t.host ~dst_ip:ip ~dst_port:t.config.port
-          ~src_port:t.config.port ~size
-          (Link_frame { fr_auth = frame_auth t header; fr_header = header; fr_inners = inners })
-      in
       (* Fault injection moves to the queue boundary: one verdict per
          frame, so a lossy link drops/delays coalesced payloads together
          (as a real lossy wire would). *)
@@ -407,12 +412,14 @@ let send_frame t ~to_ inners =
       else begin
         if d.fd_delay > 0.0 then begin
           Sim.Stats.Counter.incr t.counters "chaos.delayed";
-          ignore (Sim.Engine.schedule t.engine ~delay:d.fd_delay transmit)
+          ignore
+            (Sim.Engine.schedule t.engine ~delay:d.fd_delay (fun () ->
+                 transmit_frame t ~ip ~size ~header inners))
         end
-        else transmit ();
+        else transmit_frame t ~ip ~size ~header inners;
         if d.fd_duplicate then begin
           Sim.Stats.Counter.incr t.counters "chaos.duplicated";
-          transmit ()
+          transmit_frame t ~ip ~size ~header inners
         end
       end
 

@@ -413,35 +413,53 @@ let test_equivocating_leader_safety () =
     [ 2; 3 ]
 
 
+(* Shared body of the lossy-network property and its named regression
+   replays: drop [loss_pct]% of protocol messages until t=10, heal, and
+   require full convergence by t=90. *)
+let lossy_run_converges (seed, loss_pct) =
+  let c = make_cluster ~seed:(Int64.of_int (seed + 31)) () in
+  let drop_rng = Sim.Rng.create (Int64.of_int (seed + 131)) in
+  (* Drop [loss_pct]% of every protocol message, uniformly. *)
+  c.drop <- (fun ~src:_ ~dst:_ _ -> Sim.Rng.int drop_rng 100 < loss_pct);
+  let client = add_client c "gen" in
+  Prime.Client.enable_retransmit client ~period:0.5;
+  for i = 1 to 10 do
+    ignore
+      (Sim.Engine.schedule c.engine ~delay:(0.2 *. float_of_int i) (fun () ->
+           ignore (Prime.Client.submit ~targets:[ i mod 4 ] client ~op:(Printf.sprintf "l-%d" i))))
+  done;
+  (* Heal the network, then leave a generous convergence window: a
+     bad drop pattern can trigger view changes whose recovery takes
+     well past the heal point (e.g. seed 152 at 18% loss needed more
+     than the 20s this test originally allowed). The property is
+     that drops heal with no divergence, not that they heal fast. *)
+  ignore
+    (Sim.Engine.schedule c.engine ~delay:10.0 (fun () ->
+         c.drop <- (fun ~src:_ ~dst:_ _ -> false)));
+  run c ~until:90.0;
+  (* Safety: identical execution logs; liveness: everything landed. *)
+  let reference = exec_history c 0 in
+  List.length reference = 10
+  && List.for_all (fun id -> exec_history c id = reference) [ 1; 2; 3 ]
+
 let prop_safety_under_lossy_network =
   QCheck.Test.make ~count:10
     ~name:"replicas stay consistent over a lossy network (drops heal, no divergence)"
     QCheck.(pair (int_bound 1000) (int_range 5 20))
-    (fun (seed, loss_pct) ->
-      let c = make_cluster ~seed:(Int64.of_int (seed + 31)) () in
-      let drop_rng = Sim.Rng.create (Int64.of_int (seed + 131)) in
-      (* Drop [loss_pct]% of every protocol message, uniformly. *)
-      c.drop <- (fun ~src:_ ~dst:_ _ -> Sim.Rng.int drop_rng 100 < loss_pct);
-      let client = add_client c "gen" in
-      Prime.Client.enable_retransmit client ~period:0.5;
-      for i = 1 to 10 do
-        ignore
-          (Sim.Engine.schedule c.engine ~delay:(0.2 *. float_of_int i) (fun () ->
-               ignore (Prime.Client.submit ~targets:[ i mod 4 ] client ~op:(Printf.sprintf "l-%d" i))))
-      done;
-      (* Heal the network, then leave a generous convergence window: a
-         bad drop pattern can trigger view changes whose recovery takes
-         well past the heal point (e.g. seed 152 at 18% loss needed more
-         than the 20s this test originally allowed). The property is
-         that drops heal with no divergence, not that they heal fast. *)
-      ignore
-        (Sim.Engine.schedule c.engine ~delay:10.0 (fun () ->
-             c.drop <- (fun ~src:_ ~dst:_ _ -> false)));
-      run c ~until:90.0;
-      (* Safety: identical execution logs; liveness: everything landed. *)
-      let reference = exec_history c 0 in
-      List.length reference = 10
-      && List.for_all (fun id -> exec_history c id = reference) [ 1; 2; 3 ])
+    lossy_run_converges
+
+(* Named replays of inputs that stalled before the healed-network
+   retransmission fix (commit certificates + view-change gap filling +
+   vc-report retransmission): 35/10 wedged with every replica counting
+   the client's retransmissions as duplicates while laggards could never
+   complete their commit quorums; 870/17 wedged on a post-view-change
+   pp-sequence gap that no one could ever order. Each case was validated
+   to fail against the pre-fix code. *)
+let test_lossy_regression_35_10 () =
+  check "seed 35 at 10% loss converges after heal" true (lossy_run_converges (35, 10))
+
+let test_lossy_regression_870_17 () =
+  check "seed 870 at 17% loss converges after heal" true (lossy_run_converges (870, 17))
 
 (* --- verified-signature cache and batch signing ------------------------ *)
 
@@ -558,17 +576,10 @@ let suite =
     ("sigcache never accepts forgery", `Quick, test_sigcache_never_accepts_forgery);
     ("batch signing orders and amortizes", `Quick, test_batch_signing_orders_and_amortizes);
     ("batching disabled still orders", `Quick, test_batching_disabled_still_orders);
-    (* Pinned generator state: the properties themselves are pure
-       functions of the generated (seed, loss) inputs, so a fixed state
-       makes the whole suite deterministic. Certain unpinned inputs
-       (e.g. 35/10, 870/17) expose a pre-existing liveness stall where
-       healed-network retransmissions are counted as duplicates without
-       ever completing — tracked as follow-up work, not papered over by
-       re-rolling inputs per run. *)
-    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 7 |])
-      prop_replicas_agree_on_execution_order;
-    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 7 |])
-      prop_safety_under_lossy_network;
+    ("lossy regression 35/10", `Slow, test_lossy_regression_35_10);
+    ("lossy regression 870/17", `Slow, test_lossy_regression_870_17);
+    QCheck_alcotest.to_alcotest prop_replicas_agree_on_execution_order;
+    QCheck_alcotest.to_alcotest prop_safety_under_lossy_network;
   ]
 
 let () = Alcotest.run "prime" [ ("prime", suite) ]

@@ -235,6 +235,178 @@ let test_engine_past_rejected () =
     (Invalid_argument "Engine.schedule_at: time 0.500000000 is in the past (now 1.000000000)")
     (fun () -> ignore (Sim.Engine.schedule_at e ~time:0.5 (fun () -> ())))
 
+(* --- Wheel vs Heap backend equivalence -------------------------------- *)
+
+(* The timer wheel must pop in exactly (time, schedule-order) order — the
+   heap backend's (key, insertion-seq) — so same-seed runs are
+   byte-identical across backends. These tests drive both backends
+   through identical schedules and compare the full observable firing
+   sequence. Cancels are expressed by schedule-order index because raw
+   event ids differ between backends. *)
+
+let run_backend_script ~backend ~seed ~events ~horizon () =
+  let e = Sim.Engine.create ~backend () in
+  let rng = Sim.Rng.create (Int64.of_int seed) in
+  let log = Buffer.create 4096 in
+  let ids = ref [] in
+  let n_scheduled = ref 0 in
+  let remember id =
+    ids := id :: !ids;
+    incr n_scheduled
+  in
+  let nth_id i = List.nth !ids (!n_scheduled - 1 - i) in
+  let rec spawn tag depth =
+    let delay =
+      (* Mix of sub-tick ties, short-horizon, L1-range, and far-future
+         delays so every wheel layer (active/L0/L1/overflow) is hit. *)
+      match Sim.Rng.int rng 10 with
+      | 0 -> 0.0 (* same-time tie: pure insertion-order test *)
+      | 1 | 2 | 3 -> Sim.Rng.float rng 0.01
+      | 4 | 5 | 6 -> Sim.Rng.float rng 1.0
+      | 7 | 8 -> 1.0 +. Sim.Rng.float rng 60.0
+      | _ -> 65.0 +. Sim.Rng.float rng 300.0
+    in
+    remember
+      (Sim.Engine.schedule e ~delay (fun () ->
+           Buffer.add_string log
+             (Printf.sprintf "%s@%.9f;" tag (Sim.Engine.now e));
+           if depth < 3 && Sim.Rng.int rng 3 = 0 then
+             spawn (tag ^ "+") (depth + 1);
+           (* Occasionally cancel a random earlier schedule (may already
+              have fired or been cancelled — both must be no-op-equal
+              across backends). *)
+           if Sim.Rng.int rng 4 = 0 then
+             Sim.Engine.cancel e (nth_id (Sim.Rng.int rng !n_scheduled))))
+  in
+  for i = 1 to events do
+    spawn (string_of_int i) 0
+  done;
+  Sim.Engine.run ~until:horizon e;
+  Buffer.add_string log
+    (Printf.sprintf "|pending=%d backlog=%d executed=%d now=%.9f"
+       (Sim.Engine.pending e)
+       (Sim.Engine.cancelled_backlog e)
+       (Sim.Engine.executed_events e)
+       (Sim.Engine.now e));
+  Buffer.contents log
+
+let test_wheel_heap_identical_schedules () =
+  List.iter
+    (fun seed ->
+      let w = run_backend_script ~backend:`Wheel ~seed ~events:60 ~horizon:500.0 () in
+      let h = run_backend_script ~backend:`Heap ~seed ~events:60 ~horizon:500.0 () in
+      check "script produced events" true (String.length w > 100);
+      Alcotest.(check string) (Printf.sprintf "seed %d identical" seed) h w)
+    [ 1; 2; 3; 42; 1337 ]
+
+let test_wheel_tie_break_insertion_order () =
+  (* Many events at the same instant interleaved with other instants:
+     ties must fire in schedule order on both backends. *)
+  List.iter
+    (fun backend ->
+      let e = Sim.Engine.create ~backend () in
+      let order = ref [] in
+      for i = 0 to 99 do
+        let delay = if i mod 3 = 0 then 1.0 else if i mod 3 = 1 then 2.0 else 1.0 in
+        ignore (Sim.Engine.schedule e ~delay (fun () -> order := i :: !order))
+      done;
+      Sim.Engine.run e;
+      let fired = List.rev !order in
+      let at_1 = List.filter (fun i -> i mod 3 <> 1) fired
+      and at_2 = List.filter (fun i -> i mod 3 = 1) fired in
+      check "ties in insertion order (t=1)" true (List.sort compare at_1 = at_1);
+      check "ties in insertion order (t=2)" true (List.sort compare at_2 = at_2);
+      (* All t=1 events precede all t=2 events. *)
+      let rec split_ok = function
+        | a :: (b :: _ as rest) ->
+            ((a mod 3 <> 1) || b mod 3 = 1) && split_ok rest
+        | _ -> true
+      in
+      check "time order across ties" true (split_ok fired))
+    [ `Wheel; `Heap ]
+
+let test_wheel_overflow_migration () =
+  (* Far-future events park in the overflow heap and must migrate inward
+     as the cursor approaches — including events that become due while
+     the clock advances through intermediate wheel levels, and new near
+     events scheduled from thunks after the far ones were parked. *)
+  let e = Sim.Engine.create ~backend:`Wheel ~hint:16 () in
+  let log = ref [] in
+  let note tag () = log := (tag, Sim.Engine.now e) :: !log in
+  ignore (Sim.Engine.schedule e ~delay:3600.0 (note "far2"));
+  ignore (Sim.Engine.schedule e ~delay:100.0 (note "far1"));
+  ignore (Sim.Engine.schedule e ~delay:70.0 (note "mid"));
+  (* A near event that schedules another event landing *between* the
+     parked overflow events. *)
+  ignore
+    (Sim.Engine.schedule e ~delay:0.5 (fun () ->
+         note "near" ();
+         ignore (Sim.Engine.schedule e ~delay:99.0 (note "between"))));
+  Sim.Engine.run e;
+  Alcotest.(check (list string))
+    "overflow events fire in global time order"
+    [ "near"; "mid"; "between"; "far1"; "far2" ]
+    (List.rev_map fst !log);
+  check_float "clock at last event" 3600.0 (Sim.Engine.now e);
+  check_int "queue drained" 0 (Sim.Engine.pending e)
+
+let test_wheel_cancel_parity_both_backends () =
+  (* The cancel-bookkeeping contract (no leak on cancel-after-execute,
+     double cancel counted once, backlog drained on pop, late cancel of
+     a consumed slot ignored) must hold identically on both backends. *)
+  List.iter
+    (fun backend ->
+      let e = Sim.Engine.create ~backend () in
+      let fired = ref false in
+      let id = Sim.Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
+      Sim.Engine.cancel e id;
+      Sim.Engine.cancel e id;
+      check_int "double cancel counted once" 1 (Sim.Engine.cancelled_backlog e);
+      Sim.Engine.run e;
+      check "cancelled event did not fire" false !fired;
+      check_int "backlog drained when popped" 0 (Sim.Engine.cancelled_backlog e);
+      Sim.Engine.cancel e id;
+      check_int "late cancel is a no-op" 0 (Sim.Engine.cancelled_backlog e);
+      let id2 = Sim.Engine.schedule e ~delay:1.0 (fun () -> ()) in
+      Sim.Engine.run e;
+      Sim.Engine.cancel e id2;
+      check_int "cancel after execution no leak" 0 (Sim.Engine.cancelled_backlog e))
+    [ `Wheel; `Heap ]
+
+let prop_wheel_matches_heap =
+  QCheck.Test.make ~count:100 ~name:"wheel and heap backends fire identically"
+    QCheck.(
+      list_of_size Gen.(int_range 1 40)
+        (pair (float_bound_exclusive 200.0) (option (int_bound 39))))
+    (fun script ->
+      (* Each entry schedules an event at the given delay; the optional
+         int cancels the schedule with that index (if it exists) right
+         after all schedules are placed. *)
+      let run backend =
+        let e = Sim.Engine.create ~backend () in
+        let log = Buffer.create 256 in
+        let ids =
+          List.mapi
+            (fun i (d, _) ->
+              Sim.Engine.schedule e ~delay:d (fun () ->
+                  Buffer.add_string log
+                    (Printf.sprintf "%d@%.9f;" i (Sim.Engine.now e))))
+            script
+        in
+        let ids = Array.of_list ids in
+        List.iter
+          (fun (_, cancel) ->
+            match cancel with
+            | Some j when j < Array.length ids -> Sim.Engine.cancel e ids.(j)
+            | _ -> ())
+          script;
+        Sim.Engine.run e;
+        Printf.sprintf "%s|%d|%d" (Buffer.contents log)
+          (Sim.Engine.executed_events e)
+          (Sim.Engine.cancelled_backlog e)
+      in
+      String.equal (run `Wheel) (run `Heap))
+
 let prop_engine_event_times_monotone =
   QCheck.Test.make ~count:100 ~name:"engine executes events in non-decreasing time order"
     QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 100.0))
@@ -418,6 +590,10 @@ let suite =
     ("engine periodic timer", `Quick, test_engine_periodic_timer);
     ("engine stop", `Quick, test_engine_stop);
     ("engine rejects past", `Quick, test_engine_past_rejected);
+    ("wheel/heap identical schedules", `Quick, test_wheel_heap_identical_schedules);
+    ("wheel tie-break insertion order", `Quick, test_wheel_tie_break_insertion_order);
+    ("wheel overflow migration", `Quick, test_wheel_overflow_migration);
+    ("wheel/heap cancel parity", `Quick, test_wheel_cancel_parity_both_backends);
     ("stats summary", `Quick, test_stats_summary);
     ("stats percentile small", `Quick, test_stats_percentile_small);
     ("stats percentile edges", `Quick, test_stats_percentile_edges);
@@ -428,6 +604,7 @@ let suite =
     ("trace ring buffer", `Quick, test_trace_ring_buffer);
     ("strx basics", `Quick, test_strx_basics);
     QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_wheel_matches_heap;
     QCheck_alcotest.to_alcotest prop_engine_event_times_monotone;
     QCheck_alcotest.to_alcotest prop_stats_mean_matches_naive;
     QCheck_alcotest.to_alcotest prop_strx_contains_matches_naive;

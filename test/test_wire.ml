@@ -140,7 +140,7 @@ let canonical_body = function
         (Prime.Msg.encode_client_reply ~rep:crep_rep ~client:crep_client
            ~client_seq:crep_client_seq ~exec_seq:crep_exec_seq)
   | Prime.Msg.Recon_floor _ | Prime.Msg.Recon_request _ | Prime.Msg.Recon_reply _
-  | Prime.Msg.Catchup_request _ | Prime.Msg.Catchup_reply _ ->
+  | Prime.Msg.Order_cert _ | Prime.Msg.Catchup_request _ | Prime.Msg.Catchup_reply _ ->
       None
 
 let run_deployment ~seed =
