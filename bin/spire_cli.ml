@@ -419,11 +419,48 @@ let chaos_cmd =
 
 (* --- monitor ------------------------------------------------------------------ *)
 
+(* Group a probe sample by the shard label suffix ("name@s03"); probes
+   without a suffix land in the "" bucket, which sorts first and is
+   printed as the plain global section. *)
+let group_sample_by_shard sample =
+  let buckets = Hashtbl.create 8 in
+  List.iter
+    (fun (name, metrics) ->
+      let label, base =
+        match String.rindex_opt name '@' with
+        | Some i ->
+            (String.sub name (i + 1) (String.length name - i - 1), String.sub name 0 i)
+        | None -> ("", name)
+      in
+      let cell =
+        match Hashtbl.find_opt buckets label with
+        | Some c -> c
+        | None ->
+            let c = ref [] in
+            Hashtbl.add buckets label c;
+            c
+      in
+      cell := (base, metrics) :: !cell)
+    sample;
+  Hashtbl.fold (fun label cell acc -> (label, List.rev !cell) :: acc) buckets []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 (* Run a short fault-free deployment with the flight recorder, health
    probes and alert engine switched on, then report what the run can say
    about itself: a live health sample, any alarms, the tail of the
-   flight log, and recorder counters. *)
-let monitor duration poll tail json_file =
+   flight log, and recorder counters. With --shards > 1 the same run
+   drives a sharded grid instead: one replicated master group per shard,
+   probe output grouped by shard label, and a per-shard exec frontier /
+   agreement report from one aggregated query per shard. *)
+let monitor duration poll tail shards devices json_file =
+  if shards < 1 then begin
+    Printf.eprintf "--shards must be >= 1\n";
+    exit 2
+  end;
+  if devices < 0 then begin
+    Printf.eprintf "--devices must be >= 0\n";
+    exit 2
+  end;
   let flight = Obs.Flight.default and probes = Obs.Probe.default in
   let prev_flight = Obs.Flight.enabled flight in
   let prev_probes = Obs.Probe.enabled probes in
@@ -441,18 +478,27 @@ let monitor duration poll tail json_file =
   let engine, trace = fresh_world () in
   Obs.Flight.set_clock flight (fun () -> Sim.Engine.now engine);
   let config = Prime.Config.power_plant () in
-  let deployment =
-    Spire.Deployment.create ~proxy_poll_period:poll ~engine ~trace ~config mini_scenario
+  let scenario = if devices > 0 then Plc.Power.synthetic ~devices () else mini_scenario in
+  let grid =
+    if shards > 1 then
+      Some (Spire.Grid.create ~proxy_poll_period:poll ~engine ~trace ~config ~shards scenario)
+    else None
+  in
+  let deployments =
+    match grid with
+    | Some g -> Array.map (fun s -> s.Spire.Grid.s_deployment) (Spire.Grid.shards g)
+    | None ->
+        [| Spire.Deployment.create ~proxy_poll_period:poll ~engine ~trace ~config scenario |]
   in
   let alert = Obs.Alert.create ~flight () in
   let sampler =
     Sim.Engine.every engine ~period:0.05 (fun () ->
         Obs.Alert.evaluate alert ~time:(Sim.Engine.now engine) (Obs.Probe.sample probes))
   in
-  let driver = Spire.Scenario_driver.create deployment in
-  Spire.Scenario_driver.start driver ~period:1.0;
+  let drivers = Array.map Spire.Scenario_driver.create deployments in
+  Array.iter (fun dr -> Spire.Scenario_driver.start dr ~period:1.0) drivers;
   Sim.Engine.run ~until:duration engine;
-  Spire.Scenario_driver.stop driver;
+  Array.iter Spire.Scenario_driver.stop drivers;
   Sim.Engine.cancel_timer engine sampler;
   let sample = Obs.Probe.sample probes in
   let alarms = Obs.Alert.alarms alert in
@@ -467,12 +513,26 @@ let monitor duration poll tail json_file =
     (Obs.Flight.warn_count flight)
     (Obs.Flight.alarm_count flight)
     (Obs.Alert.alarm_count alert);
-  Printf.printf "\n== health ==\n";
   List.iter
-    (fun (name, metrics) ->
-      Printf.printf "  %-24s %s\n" name
-        (String.concat "  " (List.map (fun (m, v) -> Printf.sprintf "%s=%g" m v) metrics)))
-    sample;
+    (fun (label, entries) ->
+      if String.equal label "" then Printf.printf "\n== health ==\n"
+      else Printf.printf "\n== health (%s) ==\n" label;
+      List.iter
+        (fun (name, metrics) ->
+          Printf.printf "  %-24s %s\n" name
+            (String.concat "  " (List.map (fun (m, v) -> Printf.sprintf "%s=%g" m v) metrics)))
+        entries)
+    (group_sample_by_shard sample);
+  let overview = match grid with Some g -> Spire.Grid.overview g | None -> [] in
+  if overview <> [] then begin
+    Printf.printf "\n== shards ==\n";
+    List.iter
+      (fun r ->
+        Printf.printf "  %-4s exec frontier %6d  breakers %3d/%-3d closed  agreed %b\n"
+          r.Spire.Grid.o_label r.Spire.Grid.o_exec_frontier r.Spire.Grid.o_closed
+          r.Spire.Grid.o_breakers r.Spire.Grid.o_agreed)
+      overview
+  end;
   Printf.printf "\n== alarms ==\n";
   if alarms = [] then Printf.printf "  (none)\n"
   else
@@ -494,26 +554,44 @@ let monitor duration poll tail json_file =
   | None -> ()
   | Some file -> (
       let num_i n = Obs.Json.Num (float_of_int n) in
+      let commands =
+        Array.fold_left (fun a dr -> a + Spire.Scenario_driver.commands_issued dr) 0 drivers
+      in
+      let shard_rows =
+        List.map
+          (fun r ->
+            Obs.Json.Obj
+              [
+                ("shard", num_i r.Spire.Grid.o_shard);
+                ("label", Obs.Json.Str r.Spire.Grid.o_label);
+                ("agreed", Obs.Json.Bool r.Spire.Grid.o_agreed);
+                ("exec_frontier", num_i r.Spire.Grid.o_exec_frontier);
+                ("breakers", num_i r.Spire.Grid.o_breakers);
+                ("closed", num_i r.Spire.Grid.o_closed);
+              ])
+          overview
+      in
       let doc =
         Obs.Json.Obj
-          [
-            ("schema", Obs.Json.Str "spire-monitor/1");
-            ("duration", Obs.Json.Num duration);
-            ("health", Obs.Probe.sample_json sample);
-            ("alarms", Obs.Json.List (List.map Obs.Alert.alarm_to_json alarms));
-            ("flight_tail", Obs.Json.List (List.map Obs.Flight.event_to_json tail_events));
-            ( "counters",
-              Obs.Json.Obj
-                [
-                  ("flight_total", num_i (Obs.Flight.total flight));
-                  ("flight_retained", num_i (Obs.Flight.retained flight));
-                  ("flight_warns", num_i (Obs.Flight.warn_count flight));
-                  ("flight_alarms", num_i (Obs.Flight.alarm_count flight));
-                  ("alarms_raised", num_i (Obs.Alert.alarm_count alert));
-                  ("probes", num_i (Obs.Probe.count probes));
-                  ("commands_issued", num_i (Spire.Scenario_driver.commands_issued driver));
-                ] );
-          ]
+          ([
+             ("schema", Obs.Json.Str "spire-monitor/1");
+             ("duration", Obs.Json.Num duration);
+             ("health", Obs.Probe.sample_json sample);
+             ("alarms", Obs.Json.List (List.map Obs.Alert.alarm_to_json alarms));
+             ("flight_tail", Obs.Json.List (List.map Obs.Flight.event_to_json tail_events));
+             ( "counters",
+               Obs.Json.Obj
+                 [
+                   ("flight_total", num_i (Obs.Flight.total flight));
+                   ("flight_retained", num_i (Obs.Flight.retained flight));
+                   ("flight_warns", num_i (Obs.Flight.warn_count flight));
+                   ("flight_alarms", num_i (Obs.Flight.alarm_count flight));
+                   ("alarms_raised", num_i (Obs.Alert.alarm_count alert));
+                   ("probes", num_i (Obs.Probe.count probes));
+                   ("commands_issued", num_i commands);
+                 ] );
+           ]
+          @ if shard_rows = [] then [] else [ ("shards", Obs.Json.List shard_rows) ])
       in
       match open_out file with
       | exception Sys_error msg ->
@@ -535,6 +613,22 @@ let monitor_cmd =
   let tail =
     Arg.(value & opt int 20 & info [ "tail" ] ~doc:"Flight-log events to show from the end.")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ]
+          ~doc:
+            "Partition the field into this many substation shards, each under its own \
+             replicated master group; probe output is grouped per shard.")
+  in
+  let devices =
+    Arg.(
+      value & opt int 0
+      & info [ "devices" ]
+          ~doc:
+            "Monitor a synthetic scenario with this many field devices (0 = the built-in \
+             mini scenario).")
+  in
   let json =
     Arg.(
       value
@@ -549,7 +643,7 @@ let monitor_cmd =
        ~doc:
          "Run a short observed deployment and report health probes, alarms and the flight-log \
           tail.")
-    Term.(const monitor $ duration $ poll $ tail $ json)
+    Term.(const monitor $ duration $ poll $ tail $ shards $ devices $ json)
 
 let main =
   Cmd.group

@@ -14,7 +14,13 @@ let replica_external i = ip 10 0 2 (11 + i)
 
 let proxy_external k = ip 10 0 2 (101 + k)
 
-let hmi_external j = ip 10 0 2 (201 + j)
+(* HMIs fill 201..253, then spill into the unused 30..100 block of the
+   same /24 (below the proxy range at 101+, above the replica range) so
+   a scale-out run can attach 100+ HMI clients to one master group. *)
+let hmi_external j =
+  if j < 53 then ip 10 0 2 (201 + j)
+  else if j < 124 then ip 10 0 2 (30 + j - 53)
+  else invalid_arg "Addressing.hmi_external: HMI space exhausted (max 124)"
 
 (* Dedicated proxy-to-PLC wires: one /24 per pair. *)
 let cable_proxy k = ip 192 168 (50 + k) 1

@@ -13,6 +13,8 @@ val replica_external : int -> Netbase.Addr.Ip.t
 
 val proxy_external : int -> Netbase.Addr.Ip.t
 
+(** HMIs fill 10.0.2.201+, then spill into an unused block of the same
+    /24; raises [Invalid_argument] past 124 clients. *)
 val hmi_external : int -> Netbase.Addr.Ip.t
 
 (** Dedicated proxy-to-PLC wires: one /24 per pair. *)

@@ -149,12 +149,23 @@ let harden_static_arp hosts_nics =
     hosts_nics
 
 let create ?(hardened = true) ?(n_hmis = 1) ?(proxy_poll_period = 0.1) ?(dnp3_plcs = [])
-    ~engine ~trace ~config scenario =
+    ?switch_bandwidth ?probe_label ~engine ~trace ~config scenario =
+  (* Shard builds label their probes ("@s03") so per-shard instances stay
+     distinct in one registry; the label is scoped to construction. *)
+  (match probe_label with
+  | Some l -> Obs.Probe.set_label Obs.Probe.default (Some l)
+  | None -> ());
   let keystore = Crypto.Signature.create_keystore () in
   let n = config.Prime.Config.n in
   let switch_mode = if hardened then Netbase.Switch.Static else Netbase.Switch.Learning in
-  let internal_switch = Netbase.Switch.create ~mode:switch_mode ~engine ~trace "spines-internal" in
-  let external_switch = Netbase.Switch.create ~mode:switch_mode ~engine ~trace "spines-external" in
+  let internal_switch =
+    Netbase.Switch.create ~mode:switch_mode ?bandwidth:switch_bandwidth ~engine ~trace
+      "spines-internal"
+  in
+  let external_switch =
+    Netbase.Switch.create ~mode:switch_mode ?bandwidth:switch_bandwidth ~engine ~trace
+      "spines-external"
+  in
   let internal_pcap = Netbase.Pcap.create () in
   let external_pcap = Netbase.Pcap.create () in
   Netbase.Switch.add_tap internal_switch (fun frame ->
@@ -581,6 +592,11 @@ let create ?(hardened = true) ?(n_hmis = 1) ?(proxy_poll_period = 0.1) ?(dnp3_pl
         Spines.Node.Session.start session;
         { h_index = j; h_host = host; h_session = session; h_hmi = hmi; h_client = client })
   in
+  (* Probes register at construction time only, so the label's scope
+     ends here; restarts reuse the instances built above. *)
+  (match probe_label with
+  | Some _ -> Obs.Probe.set_label Obs.Probe.default None
+  | None -> ());
   {
     engine;
     trace;

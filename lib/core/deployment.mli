@@ -54,12 +54,18 @@ type hmi_bundle = {
 type t
 
 (** Build and start a deployment. [dnp3_plcs] names the scenario sites to
-    deploy as DNP3 RTUs instead of Modbus PLCs. *)
+    deploy as DNP3 RTUs instead of Modbus PLCs. [switch_bandwidth]
+    overrides both switches' per-port serialization rate (bytes/s) to
+    model constrained substation networking. [probe_label] suffixes
+    every probe this build registers ("@s03") so multiple deployments —
+    one per shard — share one probe registry without colliding. *)
 val create :
   ?hardened:bool ->
   ?n_hmis:int ->
   ?proxy_poll_period:float ->
   ?dnp3_plcs:string list ->
+  ?switch_bandwidth:float ->
+  ?probe_label:string ->
   engine:Sim.Engine.t ->
   trace:Sim.Trace.t ->
   config:Prime.Config.t ->

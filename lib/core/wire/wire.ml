@@ -68,15 +68,29 @@ let w_opt b w = function
 
 (* --- reader ------------------------------------------------------------- *)
 
-type reader = { data : string; mutable pos : int }
+(* [limit] bounds the view: a plain reader covers the whole string, a
+   [sub_reader] a window of its parent's bytes. Sharing [data] instead
+   of [String.sub]-ing it is what makes nested decodes (frame manifests)
+   copy-free. *)
+type reader = { data : string; mutable pos : int; limit : int }
 
-let reader data = { data; pos = 0 }
+let reader data = { data; pos = 0; limit = String.length data }
 
-let remaining r = String.length r.data - r.pos
+let remaining r = r.limit - r.pos
 
 let at_end r = remaining r = 0
 
 let need r n = if remaining r < n then raise Truncated
+
+(* Zero-copy sub-view: a reader over the next [len] bytes, sharing the
+   backing string. Consumes the window from the parent. *)
+let sub_reader r len =
+  if len < 0 then raise Truncated;
+  need r len;
+  let sub = { data = r.data; pos = r.pos; limit = r.pos + len } in
+  r.pos <- r.pos + len;
+  sub
+
 
 let r_u8 r =
   need r 1;
@@ -133,6 +147,12 @@ let r_str r =
   let s = String.sub r.data r.pos len in
   r.pos <- r.pos + len;
   s
+
+(* The length-prefixed string field as a zero-copy sub-view instead of a
+   copied-out string. *)
+let r_str_reader r =
+  let len = r_u32 r in
+  sub_reader r len
 
 let r_digest r =
   need r 32;

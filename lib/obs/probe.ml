@@ -22,9 +22,16 @@ type snapshot = (string * float) list
 type t = {
   mutable enabled : bool;
   probes : (string, unit -> snapshot) Hashtbl.t;
+  mutable label : string option;
+      (* suffix appended to registered names ("@s03"): disambiguates
+         per-shard instances without touching the name *prefixes* the
+         alert rules match on *)
+  mutable sorted : (string * (unit -> snapshot)) list option;
+      (* cached sorted view; None = dirty. At 1 000+ device scale the
+         50 ms sampler must not re-sort the registry every tick. *)
 }
 
-let create () = { enabled = false; probes = Hashtbl.create 32 }
+let create () = { enabled = false; probes = Hashtbl.create 32; label = None; sorted = None }
 
 let default = create ()
 
@@ -32,21 +39,49 @@ let enabled t = t.enabled
 
 let set_enabled t on = t.enabled <- on
 
+let set_label t label = t.label <- label
+
+let with_label t label f =
+  let saved = t.label in
+  t.label <- Some label;
+  Fun.protect ~finally:(fun () -> t.label <- saved) f
+
+let labelled t name = match t.label with None -> name | Some l -> name ^ "@" ^ l
+
 (* Replace semantics: a restarted subsystem re-registers under its name
    and the newest instance wins. *)
-let register t ~name f = if t.enabled then Hashtbl.replace t.probes name f
+let register t ~name f =
+  if t.enabled then begin
+    Hashtbl.replace t.probes (labelled t name) f;
+    t.sorted <- None
+  end
 
-let unregister t name = Hashtbl.remove t.probes name
+let unregister t name =
+  Hashtbl.remove t.probes (labelled t name);
+  t.sorted <- None
 
 let count t = Hashtbl.length t.probes
 
-let reset t = Hashtbl.reset t.probes
+let reset t =
+  Hashtbl.reset t.probes;
+  t.sorted <- None
+
+let sorted_probes t =
+  match t.sorted with
+  | Some l -> l
+  | None ->
+      let l =
+        Hashtbl.fold (fun name f acc -> (name, f) :: acc) t.probes []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      t.sorted <- Some l;
+      l
 
 let sample t =
-  Hashtbl.fold (fun name f acc -> (name, f) :: acc) t.probes []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  |> List.map (fun (name, f) ->
-         (name, List.sort (fun (a, _) (b, _) -> String.compare a b) (f ())))
+  List.map
+    (fun (name, f) ->
+      (name, List.sort (fun (a, _) (b, _) -> String.compare a b) (f ())))
+    (sorted_probes t)
 
 (* Publish a sample as registry gauges named [health.<probe>.<metric>] —
    the timeseries face of the snapshots. No-op while [registry] has

@@ -18,10 +18,19 @@ val enabled : t -> bool
 
 val set_enabled : t -> bool -> unit
 
+(** Instance label: while [Some l], registered probe names get an
+    ["@l"] suffix ("prime.replica.2@s03"). A suffix — never a prefix —
+    so the subsystem prefixes alert rules match on stay intact. *)
+val set_label : t -> string option -> unit
+
+(** Run [f] with the label set, restoring the previous label after. *)
+val with_label : t -> string -> (unit -> 'a) -> 'a
+
 (** Register (or replace — newest instance wins) a probe. No-op while
     disabled. *)
 val register : t -> name:string -> (unit -> snapshot) -> unit
 
+(** Removes under the current label, mirroring {!register}. *)
 val unregister : t -> string -> unit
 
 val count : t -> int

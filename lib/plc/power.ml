@@ -86,6 +86,33 @@ let power_plant =
       @ distribution_feeds @ generation_feeds;
   }
 
+(* Synthetic scale-out topology: [devices] breakers spread over emulated
+   substation PLCs of [per_site] breakers each (SUB-000/B00, ...). Each
+   site gets one feed through its first breaker, mirroring the
+   distribution-substation pattern above. Purely deterministic in
+   [devices], so same-parameter runs build identical scenarios. *)
+let synthetic ?(per_site = 20) ~devices () =
+  let sites = (devices + per_site - 1) / per_site in
+  let plcs =
+    List.init sites (fun s ->
+        let name = Printf.sprintf "SUB-%03d" s in
+        let here = min per_site (devices - (s * per_site)) in
+        {
+          plc_name = name;
+          breaker_names = List.init here (fun j -> Printf.sprintf "%s/B%02d" name j);
+          physical = false;
+        })
+  in
+  let feeds =
+    List.concat_map
+      (fun spec ->
+        match spec.breaker_names with
+        | first :: _ -> [ { load_name = spec.plc_name ^ "-substation"; path = [ first ] } ]
+        | [] -> [])
+      plcs
+  in
+  { scenario_name = Printf.sprintf "synthetic-%d" devices; plcs; feeds }
+
 let all_breakers scenario = List.concat_map (fun p -> p.breaker_names) scenario.plcs
 
 let total_breakers scenario = List.length (all_breakers scenario)

@@ -20,6 +20,11 @@ val red_team : scenario
     6 generation PLCs. *)
 val power_plant : scenario
 
+(** Synthetic scale-out topology: [devices] breakers over emulated
+    substation PLCs of [per_site] (default 20) breakers each, one feed
+    per site. Deterministic in its parameters. *)
+val synthetic : ?per_site:int -> devices:int -> unit -> scenario
+
 val all_breakers : scenario -> string list
 
 val total_breakers : scenario -> int

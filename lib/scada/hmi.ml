@@ -107,12 +107,40 @@ let handle_hmi_state t ~rep ~exec_seq ~breaker ~closed signature =
     end
   end
 
+(* Batched display push: one signature check and one f + 1 gate vote for
+   the whole change set, then each cell repaints under the usual monotone
+   exec_seq rule. The vote key is the canonical encoding, so replicas
+   must agree on the exact change list — a compromised master cannot
+   smuggle a divergent subset through the gate. *)
+let handle_hmi_batch t ~rep ~exec_seq ~changes signature =
+  let body = Messages.encode_hmi_batch ~rep ~exec_seq ~changes in
+  let valid =
+    Crypto.Signature.verify t.keystore ~signer:(Prime.Msg.replica_identity rep) body signature
+  in
+  if not valid then Sim.Stats.Counter.incr t.counters "display.bad_sig"
+  else if
+    (* Vote key is the rep-independent encoding: all replicas pushing the
+       same change set at the same exec point vote for the same key. *)
+    Threshold.vote t.display_gate
+      ~key:(Messages.encode_hmi_batch ~rep:(-1) ~exec_seq ~changes)
+      ~voter:rep
+  then begin
+    if Obs.Flight.recording Obs.Flight.default then
+      Obs.Flight.record Obs.Flight.default ~time:(Sim.Engine.now t.engine)
+        ~severity:Obs.Flight.Info ~subsystem:"scada" ~kind:"gate.display"
+        (Printf.sprintf "%s: display gate crossed for batch of %d at exec %d" t.name
+           (List.length changes) exec_seq);
+    List.iter (fun (breaker, closed) -> apply_display_update t ~exec_seq ~breaker ~closed) changes
+  end
+
 let handle_payload t payload =
   match payload with
   | Messages.Scada_msg (Messages.Hmi_state { hs_rep; hs_exec_seq; hs_breaker; hs_closed; hs_sig })
     ->
       handle_hmi_state t ~rep:hs_rep ~exec_seq:hs_exec_seq ~breaker:hs_breaker
         ~closed:hs_closed hs_sig
+  | Messages.Scada_msg (Messages.Hmi_batch { hb_rep; hb_exec_seq; hb_changes; hb_sig }) ->
+      handle_hmi_batch t ~rep:hb_rep ~exec_seq:hb_exec_seq ~changes:hb_changes hb_sig
   | Prime.Msg.Prime_msg reply -> Prime.Client.handle_reply t.client reply
   | _ -> ()
 

@@ -72,6 +72,19 @@ let push_hmi_state t ~exec_seq ~breaker ~closed =
       t.net.send_endpoint ~endpoint (Messages.Scada_msg msg) ~size:(Messages.size msg))
     t.hmi_endpoints
 
+(* One display push per applied batch op: the whole change set rides one
+   signed message per HMI endpoint instead of one message per breaker. *)
+let push_hmi_batch t ~exec_seq ~changes =
+  let body = Messages.encode_hmi_batch ~rep:(id t) ~exec_seq ~changes in
+  let msg =
+    Messages.Hmi_batch
+      { hb_rep = id t; hb_exec_seq = exec_seq; hb_changes = changes; hb_sig = sign t body }
+  in
+  List.iter
+    (fun endpoint ->
+      t.net.send_endpoint ~endpoint (Messages.Scada_msg msg) ~size:(Messages.size msg))
+    t.hmi_endpoints
+
 let send_breaker_command t ~exec_seq ~breaker ~close =
   match proxy_endpoint_for_breaker t breaker with
   | None -> Sim.Stats.Counter.incr t.counters "command.unknown_breaker"
@@ -89,13 +102,13 @@ let apply_update t ~exec_seq (u : Prime.Msg.Update.t) =
   match Op.decode u.Prime.Msg.Update.op with
   | None -> Sim.Stats.Counter.incr t.counters "apply.undecodable"
   | Some op ->
-      let changed = State.apply t.state ~exec_seq op in
+      let changes = State.apply_changes t.state ~exec_seq op in
       List.iter (fun f -> f ~exec_seq op) t.on_apply;
       (match op with
       | Op.Status { breaker; closed } ->
           Sim.Stats.Counter.incr t.counters "apply.status";
           Obs.Registry.incr Obs.Registry.default "master.apply.status";
-          if changed then begin
+          if changes <> [] then begin
             Obs.Registry.mark Obs.Registry.default ~trace:u.Prime.Msg.Update.op
               ~stage:Obs.Registry.stage_push ~time:(Sim.Engine.now t.engine);
             push_hmi_state t ~exec_seq ~breaker ~closed
@@ -103,7 +116,22 @@ let apply_update t ~exec_seq (u : Prime.Msg.Update.t) =
       | Op.Command { breaker; close } ->
           Sim.Stats.Counter.incr t.counters "apply.command";
           Obs.Registry.incr Obs.Registry.default "master.apply.command";
-          send_breaker_command t ~exec_seq ~breaker ~close)
+          send_breaker_command t ~exec_seq ~breaker ~close
+      | Op.Batch _ ->
+          Sim.Stats.Counter.incr t.counters "apply.batch";
+          Sim.Stats.Counter.incr ~by:(Op.updates op) t.counters "apply.batch_updates";
+          Obs.Registry.incr Obs.Registry.default "master.apply.batch";
+          if changes <> [] then begin
+            (* Per-breaker push marks keep the span pipeline seeing one
+               report per device even though the wire carried one op. *)
+            List.iter
+              (fun (name, closed) ->
+                Obs.Registry.mark Obs.Registry.default
+                  ~trace:(Op.encode (Op.Status { breaker = name; closed }))
+                  ~stage:Obs.Registry.stage_push ~time:(Sim.Engine.now t.engine))
+              changes;
+            push_hmi_batch t ~exec_seq ~changes
+          end)
 
 (* --- application-level state transfer -------------------------------------- *)
 

@@ -32,6 +32,12 @@ type t =
       hs_closed : bool;
       hs_sig : Crypto.Signature.t;
     }
+  | Hmi_batch of {
+      hb_rep : int;
+      hb_exec_seq : int;
+      hb_changes : (string * bool) list;
+      hb_sig : Crypto.Signature.t;
+    }
   | App_state_request of { asr_rep : int }
   | App_state_reply of {
       rep : int;
@@ -56,6 +62,11 @@ let encode_breaker_command ~rep ~exec_seq ~breaker ~close =
 let encode_hmi_state ~rep ~exec_seq ~breaker ~closed =
   Printf.sprintf "hs:%d:%d:%s:%d" rep exec_seq breaker (if closed then 1 else 0)
 
+let encode_hmi_batch ~rep ~exec_seq ~changes =
+  Printf.sprintf "hb:%d:%d:%s" rep exec_seq
+    (String.concat ","
+       (List.map (fun (b, closed) -> Printf.sprintf "%s=%d" b (if closed then 1 else 0)) changes))
+
 let encode_checkpoint_reply ~rep ~root =
   Printf.sprintf "ckr:%d:%s" rep (Crypto.Sha256.to_hex root)
 
@@ -69,6 +80,8 @@ let encode_app_state_reply ~rep ~state_blob ~next_exec_pp ~exec_seq ~cursor ~cli
 
 let size = function
   | Breaker_command _ | Hmi_state _ -> 80 + Crypto.Signature.size_bytes
+  | Hmi_batch { hb_changes; _ } ->
+      40 + (12 * List.length hb_changes) + Crypto.Signature.size_bytes
   | App_state_request _ -> 40
   | App_state_reply { state_blob; cursor; client_seqs; _ } ->
       80 + Crypto.Signature.size_bytes + String.length state_blob
@@ -82,6 +95,8 @@ let describe = function
       Printf.sprintf "breaker-command %s=%b from replica %d" bc_breaker bc_close bc_rep
   | Hmi_state { hs_rep; hs_breaker; hs_closed; _ } ->
       Printf.sprintf "hmi-state %s=%b from replica %d" hs_breaker hs_closed hs_rep
+  | Hmi_batch { hb_rep; hb_changes; _ } ->
+      Printf.sprintf "hmi-batch of %d changes from replica %d" (List.length hb_changes) hb_rep
   | App_state_request { asr_rep } -> Printf.sprintf "app-state-request from replica %d" asr_rep
   | App_state_reply { rep; exec_seq; _ } ->
       Printf.sprintf "app-state-reply from replica %d at exec %d" rep exec_seq

@@ -17,6 +17,15 @@ type t =
       hs_closed : bool;
       hs_sig : Crypto.Signature.t;
     }
+  | Hmi_batch of {
+      hb_rep : int;
+      hb_exec_seq : int;
+      hb_changes : (string * bool) list;
+      hb_sig : Crypto.Signature.t;
+    }
+      (** One display push per applied batch op: every status change the
+          batch produced, signed as a unit. The HMI votes the whole batch
+          through its f + 1 gate once instead of once per breaker. *)
   | App_state_request of { asr_rep : int }
   | App_state_reply of {
       rep : int;
@@ -44,6 +53,8 @@ type Netbase.Packet.payload += Scada_msg of t
 val encode_breaker_command : rep:int -> exec_seq:int -> breaker:string -> close:bool -> string
 
 val encode_hmi_state : rep:int -> exec_seq:int -> breaker:string -> closed:bool -> string
+
+val encode_hmi_batch : rep:int -> exec_seq:int -> changes:(string * bool) list -> string
 
 val encode_checkpoint_reply : rep:int -> root:Crypto.Sha256.digest -> string
 

@@ -1,17 +1,43 @@
 (* SCADA operations: the application-level payload of replicated updates.
 
-   Two kinds exist in the deployment: field status reports introduced by
-   the PLC/RTU proxies, and supervisory commands issued from the HMI. The
-   string encoding is what gets signed inside a Prime update, so it must
-   be canonical and injective. *)
+   Three kinds exist in the deployment: field status reports introduced
+   by the PLC/RTU proxies, supervisory commands issued from the HMI, and
+   aggregated poll reports — one op carrying every position change a
+   proxy's polling round observed, so Prime orders one update per poll
+   instead of one per device. The string encoding is what gets signed
+   inside a Prime update, so it must be canonical and injective. *)
 
 type t =
   | Status of { breaker : string; closed : bool }
   | Command of { breaker : string; close : bool }
+  | Batch of { origin : string; cursor : int; reports : (string * bool) list }
 
 let encode = function
   | Status { breaker; closed } -> Printf.sprintf "status:%s:%d" breaker (if closed then 1 else 0)
   | Command { breaker; close } -> Printf.sprintf "cmd:%s:%d" breaker (if close then 1 else 0)
+  | Batch { origin; cursor; reports } ->
+      (* Breaker and origin names never contain ':', ',' or '='; the
+         per-origin cursor makes two batches from the same origin
+         distinct even when they carry identical report lists. *)
+      Printf.sprintf "batch:%s:%d:%s" origin cursor
+        (String.concat ","
+           (List.map (fun (b, closed) -> Printf.sprintf "%s=%d" b (if closed then 1 else 0)) reports))
+
+let decode_reports s =
+  if String.length s = 0 then Some []
+  else
+    let entries = String.split_on_char ',' s in
+    let parse entry =
+      match String.index_opt entry '=' with
+      | Some i when i > 0 && i = String.length entry - 2 -> (
+          match entry.[String.length entry - 1] with
+          | '0' -> Some (String.sub entry 0 i, false)
+          | '1' -> Some (String.sub entry 0 i, true)
+          | _ -> None)
+      | _ -> None
+    in
+    let parsed = List.filter_map parse entries in
+    if List.length parsed = List.length entries then Some parsed else None
 
 let decode s =
   match String.split_on_char ':' s with
@@ -19,8 +45,23 @@ let decode s =
       Some (Status { breaker; closed = flag = "1" })
   | [ "cmd"; breaker; flag ] when flag = "0" || flag = "1" ->
       Some (Command { breaker; close = flag = "1" })
+  | "batch" :: origin :: cursor :: rest -> (
+      (* [rest] re-joined: breaker names are colon-free today, but a
+         faulty client could ship one; re-joining keeps decode total. *)
+      match int_of_string_opt cursor with
+      | Some cursor when cursor >= 0 -> (
+          match decode_reports (String.concat ":" rest) with
+          | Some reports -> Some (Batch { origin; cursor; reports })
+          | None -> None)
+      | _ -> None)
   | _ -> None
 
-let breaker = function Status { breaker; _ } -> breaker | Command { breaker; _ } -> breaker
+let breaker = function
+  | Status { breaker; _ } -> breaker
+  | Command { breaker; _ } -> breaker
+  | Batch { origin; _ } -> origin
+
+(* Device updates carried by an op: a batch counts every report. *)
+let updates = function Status _ -> 1 | Command _ -> 0 | Batch { reports; _ } -> List.length reports
 
 let pp ppf op = Fmt.string ppf (encode op)

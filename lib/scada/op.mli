@@ -4,6 +4,13 @@
 type t =
   | Status of { breaker : string; closed : bool } (* field report from a proxy *)
   | Command of { breaker : string; close : bool } (* supervisory command from an HMI *)
+  | Batch of { origin : string; cursor : int; reports : (string * bool) list }
+      (** Aggregated poll report: every position change one proxy polling
+          round observed, ordered as a single update. [cursor] is the
+          origin proxy's monotone batch sequence; replicas ignore batches
+          at or below the last cursor applied for that origin, so a
+          faulty client replaying an old aggregate under a fresh client
+          sequence cannot rewind positions. *)
 
 val encode : t -> string
 
@@ -11,5 +18,9 @@ val encode : t -> string
 val decode : string -> t option
 
 val breaker : t -> string
+
+(** Device updates carried: 1 per status, 0 per command, report count
+    per batch. *)
+val updates : t -> int
 
 val pp : Format.formatter -> t -> unit

@@ -23,6 +23,7 @@ type t = {
   breaker_names : string array; (* index = coil/register address *)
   client : Prime.Client.t;
   mutable last_known : bool option array; (* reported closed, per coil *)
+  mutable batch_cursor : int; (* monotone sequence for aggregated poll reports *)
   command_gate : Threshold.t;
   mutable transaction : int;
   mutable poll_timer : Sim.Engine.timer option;
@@ -45,6 +46,7 @@ let create ~engine ~trace ~keystore ~config ~host ~plc_ip ~breaker_names ~client
       breaker_names = Array.of_list breaker_names;
       client;
       last_known = Array.make (List.length breaker_names) None;
+      batch_cursor = 0;
       command_gate = Threshold.create ~needed:(config.Prime.Config.f + 1) ();
       transaction = 0;
       poll_timer = None;
@@ -82,7 +84,34 @@ let poll t =
   Sim.Stats.Counter.incr t.counters "poll";
   send_modbus t (Plc.Modbus.Read_holding_registers { addr = 0; count = Array.length t.breaker_names })
 
+(* Poll aggregation: every position change one polling round observed is
+   submitted as a single Batch op — one client update, one Spines frame,
+   one ordered op — instead of one op per device. A round with a single
+   change keeps the plain Status path so its span and latency profile
+   match the un-aggregated deployments. *)
+let submit_changes t changes =
+  let now = Sim.Engine.now t.engine in
+  List.iter
+    (fun (name, closed) ->
+      Sim.Stats.Counter.incr t.counters "status.reported";
+      Obs.Registry.incr Obs.Registry.default "proxy.status.reported";
+      Obs.Registry.mark Obs.Registry.default
+        ~trace:(Op.encode (Op.Status { breaker = name; closed }))
+        ~stage:Obs.Registry.stage_report ~time:now)
+    changes;
+  match changes with
+  | [] -> ()
+  | [ (breaker, closed) ] ->
+      ignore (Prime.Client.submit t.client ~op:(Op.encode (Op.Status { breaker; closed })))
+  | reports ->
+      t.batch_cursor <- t.batch_cursor + 1;
+      Sim.Stats.Counter.incr t.counters "status.batched";
+      Obs.Registry.incr Obs.Registry.default "proxy.status.batched";
+      let op = Op.Batch { origin = t.name; cursor = t.batch_cursor; reports } in
+      ignore (Prime.Client.submit t.client ~op:(Op.encode op))
+
 let handle_registers t regs =
+  let changes = ref [] in
   List.iteri
     (fun i value ->
       if i < Array.length t.breaker_names then begin
@@ -92,15 +121,11 @@ let handle_registers t regs =
         in
         if report then begin
           t.last_known.(i) <- Some closed;
-          Sim.Stats.Counter.incr t.counters "status.reported";
-          let op = Op.encode (Op.Status { breaker = t.breaker_names.(i); closed }) in
-          Obs.Registry.incr Obs.Registry.default "proxy.status.reported";
-          Obs.Registry.mark Obs.Registry.default ~trace:op
-            ~stage:Obs.Registry.stage_report ~time:(Sim.Engine.now t.engine);
-          ignore (Prime.Client.submit t.client ~op)
+          changes := (t.breaker_names.(i), closed) :: !changes
         end
       end)
-    regs
+    regs;
+  submit_changes t (List.rev !changes)
 
 let handle_modbus_response t bytes =
   match Plc.Modbus.decode_response bytes with

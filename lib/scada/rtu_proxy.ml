@@ -19,6 +19,7 @@ type t = {
   breaker_names : string array; (* index = DNP3 point index *)
   client : Prime.Client.t;
   last_known : bool option array;
+  mutable batch_cursor : int; (* monotone sequence for aggregated poll reports *)
   command_gate : Threshold.t;
   mutable sequence : int;
   mutable timers : Sim.Engine.timer list;
@@ -40,6 +41,7 @@ let create ~engine ~trace ~keystore ~config ~host ~rtu_ip ~breaker_names ~client
     breaker_names = Array.of_list breaker_names;
     client;
     last_known = Array.make (List.length breaker_names) None;
+    batch_cursor = 0;
     command_gate = Threshold.create ~needed:(config.Prime.Config.f + 1) ();
     sequence = 0;
     timers = [];
@@ -77,35 +79,72 @@ let integrity_poll t =
   Sim.Stats.Counter.incr t.counters "poll.integrity";
   send_dnp3 t (Plc.Dnp3.Read_class { classes = [ 0 ] })
 
-let report t ~index ~closed =
+(* Record a change locally; returns the report it produced, if any. *)
+let note_change t ~index ~closed =
   if index < Array.length t.breaker_names then begin
     let changed =
       match t.last_known.(index) with None -> true | Some previous -> previous <> closed
     in
     if changed then begin
       t.last_known.(index) <- Some closed;
-      Sim.Stats.Counter.incr t.counters "status.reported";
-      let op = Op.encode (Op.Status { breaker = t.breaker_names.(index); closed }) in
-      Obs.Registry.incr Obs.Registry.default "proxy.status.reported";
-      Obs.Registry.mark Obs.Registry.default ~trace:op
-        ~stage:Obs.Registry.stage_report ~time:(Sim.Engine.now t.engine);
-      ignore (Prime.Client.submit t.client ~op)
+      Some (t.breaker_names.(index), closed)
     end
+    else None
   end
+  else None
+
+(* Poll aggregation, matching the Modbus proxy: one DNP3 response's worth
+   of changes rides one Batch op; a single change keeps the plain Status
+   path. *)
+let submit_changes t changes =
+  let now = Sim.Engine.now t.engine in
+  List.iter
+    (fun (name, closed) ->
+      Sim.Stats.Counter.incr t.counters "status.reported";
+      Obs.Registry.incr Obs.Registry.default "proxy.status.reported";
+      Obs.Registry.mark Obs.Registry.default
+        ~trace:(Op.encode (Op.Status { breaker = name; closed }))
+        ~stage:Obs.Registry.stage_report ~time:now)
+    changes;
+  match changes with
+  | [] -> ()
+  | [ (breaker, closed) ] ->
+      ignore (Prime.Client.submit t.client ~op:(Op.encode (Op.Status { breaker; closed })))
+  | reports ->
+      t.batch_cursor <- t.batch_cursor + 1;
+      Sim.Stats.Counter.incr t.counters "status.batched";
+      Obs.Registry.incr Obs.Registry.default "proxy.status.batched";
+      let op = Op.Batch { origin = t.name; cursor = t.batch_cursor; reports } in
+      ignore (Prime.Client.submit t.client ~op:(Op.encode op))
 
 let handle_dnp3_response t bytes =
   match Plc.Dnp3.decode_response bytes with
   | { Plc.Dnp3.body = Plc.Dnp3.Events events; _ } ->
       if events <> [] then begin
         (* Apply in device-time order; only the newest state per point
-           matters for the report. *)
-        List.iter
-          (fun (e : Plc.Dnp3.event) -> report t ~index:e.Plc.Dnp3.ev_index ~closed:e.Plc.Dnp3.ev_closed)
-          events;
+           matters for the report, and [note_change] keeps exactly the
+           transitions. *)
+        let changes =
+          List.rev
+            (List.fold_left
+               (fun acc (e : Plc.Dnp3.event) ->
+                 match note_change t ~index:e.Plc.Dnp3.ev_index ~closed:e.Plc.Dnp3.ev_closed with
+                 | Some change -> change :: acc
+                 | None -> acc)
+               [] events)
+        in
+        submit_changes t changes;
         send_dnp3 t Plc.Dnp3.Clear_events
       end
   | { Plc.Dnp3.body = Plc.Dnp3.Static_data bits; _ } ->
-      List.iteri (fun index closed -> report t ~index ~closed) bits
+      let changes = ref [] in
+      List.iteri
+        (fun index closed ->
+          match note_change t ~index ~closed with
+          | Some change -> changes := change :: !changes
+          | None -> ())
+        bits;
+      submit_changes t (List.rev !changes)
   | { Plc.Dnp3.body = Plc.Dnp3.Operate_ack { success; _ }; _ } ->
       Sim.Stats.Counter.incr t.counters
         (if success then "operate.acked" else "operate.failed")

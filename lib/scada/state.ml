@@ -14,11 +14,14 @@ type breaker_state = {
 type t = {
   scenario : Plc.Power.scenario;
   breakers : (string, breaker_state) Hashtbl.t;
+  batch_cursors : (string, int) Hashtbl.t; (* origin proxy -> last applied batch cursor *)
   mutable ops_applied : int;
 }
 
 let create scenario =
-  let t = { scenario; breakers = Hashtbl.create 64; ops_applied = 0 } in
+  let t =
+    { scenario; breakers = Hashtbl.create 64; batch_cursors = Hashtbl.create 16; ops_applied = 0 }
+  in
   List.iter
     (fun name ->
       Hashtbl.replace t.breakers name
@@ -35,44 +38,88 @@ let breaker t name = Hashtbl.find_opt t.breakers name
 let reported_closed t name =
   match breaker t name with Some b -> b.reported_closed | None -> false
 
+let apply_status t ~exec_seq ~name ~closed =
+  match Hashtbl.find_opt t.breakers name with
+  | Some b ->
+      let changed = b.reported_closed <> closed in
+      b.reported_closed <- closed;
+      if changed then b.last_change_exec <- exec_seq;
+      changed
+  | None -> false
+
 (* Applying an unknown breaker's op is a no-op rather than an error: a
    faulty client may inject names outside the topology, and replicas must
-   stay deterministic rather than crash. *)
-let apply t ~exec_seq op =
+   stay deterministic rather than crash. Returns the status changes the
+   op produced, in report order. *)
+let apply_changes t ~exec_seq op =
   t.ops_applied <- t.ops_applied + 1;
   match op with
-  | Op.Status { breaker = name; closed } -> (
-      match Hashtbl.find_opt t.breakers name with
-      | Some b ->
-          let changed = b.reported_closed <> closed in
-          b.reported_closed <- closed;
-          if changed then b.last_change_exec <- exec_seq;
-          changed
-      | None -> false)
-  | Op.Command { breaker = name; close } -> (
-      match Hashtbl.find_opt t.breakers name with
-      | Some b ->
-          b.commanded_close <- close;
-          false
-      | None -> false)
+  | Op.Status { breaker = name; closed } ->
+      if apply_status t ~exec_seq ~name ~closed then [ (name, closed) ] else []
+  | Op.Command { breaker = name; close } ->
+      (match Hashtbl.find_opt t.breakers name with
+      | Some b -> b.commanded_close <- close
+      | None -> ());
+      []
+  | Op.Batch { origin; cursor; reports } ->
+      (* Per-origin cursor gate: batches are applied at most once and in
+         submission order. The cursor table is replicated state (it is
+         part of the canonical serialization), so every replica — and a
+         replica restored from a checkpoint — makes the same decision. *)
+      let last = Option.value ~default:0 (Hashtbl.find_opt t.batch_cursors origin) in
+      if cursor <= last then []
+      else begin
+        Hashtbl.replace t.batch_cursors origin cursor;
+        (* Explicit left-to-right application: reports are applied in
+           submission order on every replica. *)
+        List.rev
+          (List.fold_left
+             (fun acc (name, closed) ->
+               if apply_status t ~exec_seq ~name ~closed then (name, closed) :: acc else acc)
+             [] reports)
+      end
+
+let apply t ~exec_seq op = apply_changes t ~exec_seq op <> []
+
+let batch_cursor t origin =
+  Option.value ~default:0 (Hashtbl.find_opt t.batch_cursors origin)
 
 let energized t =
   Plc.Power.energized t.scenario ~is_closed:(fun name -> reported_closed t name)
 
-(* Canonical serialization: breakers sorted by name. *)
+(* Canonical serialization: breakers sorted by name, then — when any
+   batches were applied — a '#'-separated cursor section sorted by
+   origin. '#' appears in neither breaker nor proxy names, and a
+   batch-free state serializes exactly as it did before batches
+   existed. *)
 let serialize t =
-  Hashtbl.fold (fun name b acc -> (name, b) :: acc) t.breakers []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  |> List.map (fun (name, b) ->
-         Printf.sprintf "%s=%d/%d/%d" name
-           (if b.reported_closed then 1 else 0)
-           (if b.commanded_close then 1 else 0)
-           b.last_change_exec)
-  |> String.concat ";"
+  let breakers =
+    Hashtbl.fold (fun name b acc -> (name, b) :: acc) t.breakers []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (name, b) ->
+           Printf.sprintf "%s=%d/%d/%d" name
+             (if b.reported_closed then 1 else 0)
+             (if b.commanded_close then 1 else 0)
+             b.last_change_exec)
+    |> String.concat ";"
+  in
+  let cursors =
+    Hashtbl.fold (fun origin c acc -> (origin, c) :: acc) t.batch_cursors []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (origin, c) -> Printf.sprintf "%s=%d" origin c)
+    |> String.concat ";"
+  in
+  if cursors = "" then breakers else breakers ^ "#" ^ cursors
 
 let digest t = Crypto.Sha256.to_hex (Crypto.Sha256.digest (serialize t))
 
 let load t blob =
+  let blob, cursor_part =
+    match String.index_opt blob '#' with
+    | None -> (blob, None)
+    | Some i ->
+        (String.sub blob 0 i, Some (String.sub blob (i + 1) (String.length blob - i - 1)))
+  in
   let parse_entry entry =
     match String.index_opt entry '=' with
     | None -> None
@@ -84,9 +131,25 @@ let load t blob =
             try Some (name, r = "1", c = "1", int_of_string e) with Failure _ -> None)
         | _ -> None)
   in
+  let parse_cursor entry =
+    match String.index_opt entry '=' with
+    | None -> None
+    | Some i -> (
+        let origin = String.sub entry 0 i in
+        match int_of_string_opt (String.sub entry (i + 1) (String.length entry - i - 1)) with
+        | Some c when c >= 0 -> Some (origin, c)
+        | _ -> None)
+  in
   let entries = String.split_on_char ';' blob in
   let parsed = List.filter_map parse_entry entries in
-  if List.length parsed <> List.length entries then Error "malformed state blob"
+  let cursor_entries =
+    match cursor_part with None | Some "" -> [] | Some s -> String.split_on_char ';' s
+  in
+  let cursors = List.filter_map parse_cursor cursor_entries in
+  if
+    List.length parsed <> List.length entries
+    || List.length cursors <> List.length cursor_entries
+  then Error "malformed state blob"
   else begin
     List.iter
       (fun (name, reported, commanded, exec) ->
@@ -99,6 +162,8 @@ let load t blob =
             Hashtbl.replace t.breakers name
               { reported_closed = reported; commanded_close = commanded; last_change_exec = exec })
       parsed;
+    Hashtbl.reset t.batch_cursors;
+    List.iter (fun (origin, c) -> Hashtbl.replace t.batch_cursors origin c) cursors;
     Ok ()
   end
 
@@ -111,4 +176,5 @@ let reset t =
       b.commanded_close <- true;
       b.last_change_exec <- 0)
     t.breakers;
+  Hashtbl.reset t.batch_cursors;
   t.ops_applied <- 0

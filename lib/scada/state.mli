@@ -17,6 +17,15 @@ val reported_closed : t -> string -> bool
     reported position. Unknown breakers are deterministic no-ops. *)
 val apply : t -> exec_seq:int -> Op.t -> bool
 
+(** Like {!apply}, but returns the status changes the op produced in
+    report order — a batch may change many breakers at once. *)
+val apply_changes : t -> exec_seq:int -> Op.t -> (string * bool) list
+
+(** Last applied batch cursor for an origin proxy (0 if none). The
+    cursor table is replicated state: it rides {!serialize}, so replay
+    of an old aggregate is rejected identically on every replica. *)
+val batch_cursor : t -> string -> int
+
 (** Energized loads given the reported breaker positions. *)
 val energized : t -> (string * bool) list
 

@@ -70,9 +70,10 @@ let encode_header metas =
       Wire.w_u16 b n;
       List.iter (fun m -> Wire.w_str b (encode_meta m)) metas)
 
-(* Parses one length-delimited manifest entry; must consume it exactly. *)
-let decode_meta s =
-  let r = Wire.reader s in
+(* Parses one length-delimited manifest entry from a bounded sub-view of
+   the header — no per-entry [String.sub] copy — and must consume the
+   view exactly. *)
+let decode_meta r =
   let m =
     match Wire.r_u8 r with
     | 0 ->
@@ -112,7 +113,7 @@ let decode_header s =
       else begin
         let metas = ref [] in
         for _ = 1 to n do
-          metas := decode_meta (Wire.r_str r) :: !metas
+          metas := decode_meta (Wire.r_str_reader r) :: !metas
         done;
         if Wire.at_end r then Some (List.rev !metas) else None
       end

@@ -285,6 +285,88 @@ let test_power_plant_scenario_shape () =
     (List.assoc "Building-A" with_open = false);
   check "Building-B unaffected" true (List.assoc "Building-B" with_open = true)
 
+(* --- sharded grid ------------------------------------------------------------- *)
+
+let test_grid_sharded_end_to_end () =
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let config = Prime.Config.create ~f:1 ~k:0 () in
+  let scenario = Plc.Power.synthetic ~per_site:2 ~devices:8 () in
+  let g = Spire.Grid.create ~engine ~trace ~config ~shards:2 scenario in
+  run engine ~until:3.0;
+  check_int "two shards" 2 (Spire.Grid.shard_count g);
+  (* Grid-wide overview: one aggregated query per shard, each accepted
+     only with f + 1 replica agreement on the state digest. *)
+  let ov = Spire.Grid.overview g in
+  check_int "overview rows" 2 (List.length ov);
+  List.iter
+    (fun row -> check ("agreed " ^ row.Spire.Grid.o_label) true row.Spire.Grid.o_agreed)
+    ov;
+  let closed_of i = (List.nth ov i).Spire.Grid.o_closed in
+  check_int "all breakers closed initially" 8 (closed_of 0 + closed_of 1);
+  (* A field event is visible through the owning shard only. *)
+  (match Spire.Grid.find_breaker g "SUB-001/B00" with
+  | Some (_, b) -> Plc.Breaker.force b Plc.Breaker.Open
+  | None -> Alcotest.fail "breaker not found");
+  run engine ~until:6.0;
+  let ov = Spire.Grid.overview g in
+  let closed_of i = (List.nth ov i).Spire.Grid.o_closed in
+  check_int "shard 0 untouched" 4 (closed_of 0);
+  check_int "shard 1 sees the open breaker" 3 (closed_of 1);
+  let d1 = Spire.Grid.deployment g 1 in
+  Alcotest.(check (option bool)) "shard hmi sees it open" (Some false)
+    (Scada.Hmi.displayed_closed
+       (Spire.Deployment.hmis d1).(0).Spire.Deployment.h_hmi
+       "SUB-001/B00");
+  (* Supervisory commands route by the shard map and actuate end to end. *)
+  (match Spire.Grid.route_command g ~breaker:"SUB-002/B01" ~close:false with
+  | Ok s ->
+      check_int "routed to owning shard"
+        (Option.get (Scada.Shard.shard_of_breaker (Spire.Grid.map g) "SUB-002/B01"))
+        s
+  | Error e -> Alcotest.fail e);
+  run engine ~until:12.0;
+  (match Spire.Grid.find_breaker g "SUB-002/B01" with
+  | Some (_, b) -> check "routed command actuated" false (Plc.Breaker.is_closed b)
+  | None -> Alcotest.fail "breaker not found");
+  check "unknown breaker rejected" true
+    (match Spire.Grid.route_command g ~breaker:"NOPE" ~close:true with
+    | Error _ -> true
+    | Ok _ -> false);
+  (* Both shards made independent ordering progress. *)
+  check "frontiers advanced" true
+    (Spire.Grid.exec_frontier g 0 > 0 && Spire.Grid.exec_frontier g 1 > 0)
+
+let test_grid_shard_crash_isolated () =
+  (* A replica crash inside one shard must not disturb the other shard's
+     agreement or its ability to execute commands. *)
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let config = Prime.Config.create ~f:1 ~k:0 () in
+  let scenario = Plc.Power.synthetic ~per_site:2 ~devices:8 () in
+  let g = Spire.Grid.create ~engine ~trace ~config ~shards:2 scenario in
+  run engine ~until:3.0;
+  Spire.Deployment.take_down_replica (Spire.Grid.deployment g 0) 1;
+  (match Spire.Grid.route_command g ~breaker:"SUB-000/B00" ~close:false with
+  | Ok 0 -> ()
+  | Ok s -> Alcotest.failf "routed to shard %d" s
+  | Error e -> Alcotest.fail e);
+  (match Spire.Grid.route_command g ~breaker:"SUB-001/B01" ~close:false with
+  | Ok 1 -> ()
+  | Ok s -> Alcotest.failf "routed to shard %d" s
+  | Error e -> Alcotest.fail e);
+  run engine ~until:12.0;
+  (match Spire.Grid.find_breaker g "SUB-000/B00" with
+  | Some (_, b) ->
+      check "degraded shard still actuates" false (Plc.Breaker.is_closed b)
+  | None -> Alcotest.fail "breaker not found");
+  (match Spire.Grid.find_breaker g "SUB-001/B01" with
+  | Some (_, b) -> check "healthy shard actuates" false (Plc.Breaker.is_closed b)
+  | None -> Alcotest.fail "breaker not found");
+  List.iter
+    (fun row -> check ("agreed " ^ row.Spire.Grid.o_label) true row.Spire.Grid.o_agreed)
+    (Spire.Grid.overview g)
+
 let test_full_red_team_scenario_boots () =
   (* The complete red-team topology: 11 proxies, 37 breakers, 4 replicas. *)
   let engine, d = make_spire ~scenario:Plc.Power.red_team () in
@@ -315,6 +397,8 @@ let suite =
     ("commercial failover", `Quick, test_commercial_failover);
     ("power plant scenario shape", `Quick, test_power_plant_scenario_shape);
     ("full red team scenario boots", `Slow, test_full_red_team_scenario_boots);
+    ("grid sharded end to end", `Quick, test_grid_sharded_end_to_end);
+    ("grid shard crash isolated", `Quick, test_grid_shard_crash_isolated);
   ]
 
 let () = Alcotest.run "core" [ ("core", suite) ]

@@ -428,6 +428,56 @@ let test_probe_gating_and_sampling () =
   Obs.Probe.reset p;
   check_int "reset drops probes" 0 (Obs.Probe.count p)
 
+let test_probe_label_suffix () =
+  let p = Obs.Probe.create () in
+  Obs.Probe.set_enabled p true;
+  Obs.Probe.set_label p (Some "s03");
+  Obs.Probe.register p ~name:"prime.replica.2" (fun () -> [ ("view", 0.0) ]);
+  Obs.Probe.set_label p None;
+  Obs.Probe.register p ~name:"prime.replica.2" (fun () -> [ ("view", 1.0) ]);
+  (* Labelled and unlabelled instances coexist; the label is a suffix so
+     the "prime." prefix the alert rules match stays intact. *)
+  check_int "two distinct probes" 2 (Obs.Probe.count p);
+  (match Obs.Probe.sample p with
+  | [ ("prime.replica.2", _); ("prime.replica.2@s03", _) ] -> ()
+  | _ -> Alcotest.fail "labelled probe must register under name@label");
+  (* with_label scopes and restores; unregister honours the label. *)
+  Obs.Probe.with_label p "s07" (fun () ->
+      Obs.Probe.register p ~name:"spines.node.1" (fun () -> []));
+  check_int "scoped registration landed" 3 (Obs.Probe.count p);
+  Obs.Probe.register p ~name:"plain" (fun () -> []);
+  check "label restored after with_label" true
+    (List.mem_assoc "plain" (Obs.Probe.sample p));
+  Obs.Probe.set_label p (Some "s03");
+  Obs.Probe.unregister p "prime.replica.2";
+  Obs.Probe.set_label p None;
+  check "unregister removed the labelled instance" false
+    (List.mem_assoc "prime.replica.2@s03" (Obs.Probe.sample p));
+  check "unlabelled instance survives" true
+    (List.mem_assoc "prime.replica.2" (Obs.Probe.sample p))
+
+let test_probe_sorted_cache_invalidation () =
+  let p = Obs.Probe.create () in
+  Obs.Probe.set_enabled p true;
+  (* Values are read through the closure at sample time, never cached. *)
+  let v = ref 1.0 in
+  Obs.Probe.register p ~name:"m" (fun () -> [ ("x", !v) ]);
+  check "first sample" true (Obs.Probe.sample p = [ ("m", [ ("x", 1.0) ]) ]);
+  v := 2.0;
+  check "second sample sees fresh value" true (Obs.Probe.sample p = [ ("m", [ ("x", 2.0) ]) ]);
+  (* Registrations after a sample must appear (the sorted cache is
+     invalidated, not stale). *)
+  Obs.Probe.register p ~name:"a" (fun () -> [ ("y", 0.0) ]);
+  check "new probe visible and sorted first" true
+    (List.map fst (Obs.Probe.sample p) = [ "a"; "m" ]);
+  Obs.Probe.register p ~name:"m" (fun () -> [ ("x", 9.0) ]);
+  check "replacement visible after cache" true
+    (Obs.Probe.sample p = [ ("a", [ ("y", 0.0) ]); ("m", [ ("x", 9.0) ]) ]);
+  Obs.Probe.unregister p "a";
+  check "unregister invalidates" true (List.map fst (Obs.Probe.sample p) = [ "m" ]);
+  Obs.Probe.reset p;
+  check "reset invalidates" true (Obs.Probe.sample p = [])
+
 (* --- Alert engine --------------------------------------------------------- *)
 
 let test_alert_edge_trigger () =
@@ -505,6 +555,8 @@ let suite =
     ("flight recorder", `Quick, test_flight_recorder);
     ("flight clock and subscribers", `Quick, test_flight_clock_and_subscribers);
     ("probe gating and sampling", `Quick, test_probe_gating_and_sampling);
+    ("probe label suffix", `Quick, test_probe_label_suffix);
+    ("probe sorted cache invalidation", `Quick, test_probe_sorted_cache_invalidation);
     ("alert edge trigger", `Quick, test_alert_edge_trigger);
     ("alert event window", `Quick, test_alert_event_window);
   ]

@@ -13,6 +13,64 @@ let mini =
     feeds = [ { Plc.Power.load_name = "L"; path = [ "A"; "B" ] } ];
   }
 
+(* --- Shard map ---------------------------------------------------------- *)
+
+let test_shard_round_robin_partition () =
+  let scenario = Plc.Power.synthetic ~devices:100 () in
+  let map = Scada.Shard.create ~shards:4 scenario in
+  check_int "four shards" 4 (Scada.Shard.shards map);
+  (* Every site and breaker lands in exactly one shard, and the union of
+     the sub-scenarios is the whole scenario. *)
+  let total =
+    List.init 4 (fun s -> Plc.Power.total_breakers (Scada.Shard.sub_scenario map s))
+    |> List.fold_left ( + ) 0
+  in
+  check_int "breakers partitioned exactly" (Plc.Power.total_breakers scenario) total;
+  List.iteri
+    (fun i (p : Plc.Power.plc_spec) ->
+      check "site shard is round-robin" true
+        (Scada.Shard.shard_of_site map p.Plc.Power.plc_name = Some (i mod 4));
+      List.iter
+        (fun b ->
+          check "breaker follows its site" true
+            (Scada.Shard.shard_of_breaker map b = Some (i mod 4)))
+        p.Plc.Power.breaker_names)
+    scenario.Plc.Power.plcs;
+  check "unknown breaker unmapped" true (Scada.Shard.shard_of_breaker map "nope" = None);
+  (* Deterministic: two maps from the same inputs agree slice by slice. *)
+  let map2 = Scada.Shard.create ~shards:4 scenario in
+  for s = 0 to 3 do
+    check "same sub-scenario" true
+      (Scada.Shard.sub_scenario map s = Scada.Shard.sub_scenario map2 s)
+  done
+
+let test_shard_feeds_follow_sites () =
+  let map = Scada.Shard.create ~shards:3 Plc.Power.red_team in
+  (* Every feed lands in the shard of its first path breaker, and no
+     feed is duplicated or lost. *)
+  let total_feeds =
+    List.init 3 (fun s ->
+        List.length (Scada.Shard.sub_scenario map s).Plc.Power.feeds)
+    |> List.fold_left ( + ) 0
+  in
+  check_int "feeds partitioned exactly"
+    (List.length Plc.Power.red_team.Plc.Power.feeds)
+    total_feeds;
+  List.iter
+    (fun (f : Plc.Power.feed) ->
+      match f.Plc.Power.path with
+      | [] -> ()
+      | first :: _ ->
+          let s = Option.get (Scada.Shard.shard_of_breaker map first) in
+          check "feed in its breaker's shard" true
+            (List.exists
+               (fun (g : Plc.Power.feed) -> g.Plc.Power.load_name = f.Plc.Power.load_name)
+               (Scada.Shard.sub_scenario map s).Plc.Power.feeds))
+    Plc.Power.red_team.Plc.Power.feeds;
+  check "degenerate single shard is identity" true
+    ((Scada.Shard.sub_scenario (Scada.Shard.create ~shards:1 mini) 0).Plc.Power.plcs
+    = mini.Plc.Power.plcs)
+
 (* --- Op ---------------------------------------------------------------- *)
 
 let test_op_roundtrip () =
@@ -35,6 +93,33 @@ let test_op_rejects_garbage () =
   check "unknown kind" true (Scada.Op.decode "weird:B1:1" = None);
   check "bad flag" true (Scada.Op.decode "status:B1:2" = None);
   check "missing fields" true (Scada.Op.decode "cmd:B1" = None)
+
+let test_op_batch_roundtrip () =
+  let cases =
+    [
+      Scada.Op.Batch { origin = "proxy-SUB-001"; cursor = 1; reports = [] };
+      Scada.Op.Batch { origin = "proxy-M"; cursor = 42; reports = [ ("A", true) ] };
+      Scada.Op.Batch
+        {
+          origin = "proxy-DIST-01";
+          cursor = 7;
+          reports = [ ("DIST-01/B1", false); ("DIST-01/B2", true); ("DIST-01/B3", false) ];
+        };
+    ]
+  in
+  List.iter
+    (fun op ->
+      match Scada.Op.decode (Scada.Op.encode op) with
+      | Some decoded -> check (Scada.Op.encode op) true (decoded = op)
+      | None -> Alcotest.fail "batch decode failed")
+    cases;
+  check_int "updates counts reports" 3
+    (Scada.Op.updates
+       (Scada.Op.Batch
+          { origin = "o"; cursor = 1; reports = [ ("a", true); ("b", false); ("c", true) ] }));
+  check "negative cursor rejected" true (Scada.Op.decode "batch:o:-1:a=1" = None);
+  check "bad report flag rejected" true (Scada.Op.decode "batch:o:1:a=2" = None);
+  check "bad report shape rejected" true (Scada.Op.decode "batch:o:1:a" = None)
 
 let prop_op_roundtrip =
   QCheck.Test.make ~count:200 ~name:"op encode/decode roundtrips"
@@ -88,6 +173,51 @@ let test_state_load_rejects_malformed () =
   let s = Scada.State.create mini in
   check "garbage rejected" true (Scada.State.load s "not-a-state" |> Result.is_error);
   check "half-garbage rejected" true (Scada.State.load s "A=1/1/0;junk" |> Result.is_error)
+
+let test_state_batch_cursor_gate () =
+  let s = Scada.State.create mini in
+  let batch cursor reports = Scada.Op.Batch { origin = "proxy-M"; cursor; reports } in
+  let changes =
+    Scada.State.apply_changes s ~exec_seq:1 (batch 1 [ ("A", false); ("B", false) ])
+  in
+  check "both applied in order" true (changes = [ ("A", false); ("B", false) ]);
+  check_int "cursor advanced" 1 (Scada.State.batch_cursor s "proxy-M");
+  (* Replay of an old aggregate — even with different contents — must be
+     a deterministic no-op. *)
+  let replay = Scada.State.apply_changes s ~exec_seq:2 (batch 1 [ ("A", true) ]) in
+  check "replayed batch ignored" true (replay = []);
+  check "A still open" false (Scada.State.reported_closed s "A");
+  (* A later cursor applies; unchanged reports produce no change rows. *)
+  let next = Scada.State.apply_changes s ~exec_seq:3 (batch 2 [ ("A", false); ("B", true) ]) in
+  check "only the real change reported" true (next = [ ("B", true) ]);
+  check_int "cursor tracks" 2 (Scada.State.batch_cursor s "proxy-M")
+
+let test_state_cursors_ride_serialization () =
+  let s1 = Scada.State.create mini in
+  let s2 = Scada.State.create mini in
+  (* Batch-free states serialize exactly as before batches existed. *)
+  check "no cursor section when batch-free" false
+    (String.contains (Scada.State.serialize s1) '#');
+  ignore
+    (Scada.State.apply_changes s1 ~exec_seq:5
+       (Scada.Op.Batch { origin = "proxy-M"; cursor = 9; reports = [ ("A", false) ] }));
+  check "cursor section present" true (String.contains (Scada.State.serialize s1) '#');
+  (* The cursor table is replicated state: load installs it, so a
+     restored replica rejects the same replay the originals did. *)
+  (match Scada.State.load s2 (Scada.State.serialize s1) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "load failed: %s" e);
+  check_str "digest matches after load" (Scada.State.digest s1) (Scada.State.digest s2);
+  check_int "cursor restored" 9 (Scada.State.batch_cursor s2 "proxy-M");
+  let replay =
+    Scada.State.apply_changes s2 ~exec_seq:6
+      (Scada.Op.Batch { origin = "proxy-M"; cursor = 9; reports = [ ("A", true) ] })
+  in
+  check "restored replica rejects replay" true (replay = []);
+  (* Malformed cursor sections are rejected like malformed breakers. *)
+  let s3 = Scada.State.create mini in
+  check "bad cursor section rejected" true
+    (Scada.State.load s3 (Scada.State.serialize s1 ^ ";junk") |> Result.is_error)
 
 let test_state_reset () =
   let s = Scada.State.create mini in
@@ -231,6 +361,11 @@ let suite =
   [
     ("op roundtrip", `Quick, test_op_roundtrip);
     ("op rejects garbage", `Quick, test_op_rejects_garbage);
+    ("op batch roundtrip", `Quick, test_op_batch_roundtrip);
+    ("shard round-robin partition", `Quick, test_shard_round_robin_partition);
+    ("shard feeds follow sites", `Quick, test_shard_feeds_follow_sites);
+    ("state batch cursor gate", `Quick, test_state_batch_cursor_gate);
+    ("state cursors ride serialization", `Quick, test_state_cursors_ride_serialization);
     ("state apply and energized", `Quick, test_state_apply_and_energized);
     ("state unknown breaker noop", `Quick, test_state_unknown_breaker_is_noop);
     ("state serialize/load/digest", `Quick, test_state_serialize_load_digest);

@@ -551,6 +551,90 @@ let test_egress_round_robin_across_origins () =
   let order2 = List.map (fun (_, o, _) -> o) (Spines.Egress.drain q) in
   check "cursor wraps past the last origin served" true (order2 = [ 5; 7 ])
 
+let test_egress_fairness_many_origins () =
+  (* Source fairness at deployment scale: 120 origins with unequal
+     backlogs (origin o holds 1 + o mod 3 messages). Each drain round
+     must serve at most one message per origin, in sorted origin order,
+     before any origin is served twice. *)
+  let n_origins = 120 in
+  let q = Spines.Egress.create ~capacity:1024 () in
+  for o = 0 to n_origins - 1 do
+    for k = 0 to o mod 3 do
+      ignore (Spines.Egress.enqueue q ~prio:1 ~origin:o (Printf.sprintf "m%d.%d" o k))
+    done
+  done;
+  let served = Spines.Egress.drain q in
+  check_int "nothing dropped" 0 (Spines.Egress.drops q);
+  (* Walk the serve order and split it into rounds: a round ends when the
+     origin id stops increasing. Within a round origins are strictly
+     increasing (sorted order, one message each). *)
+  let rounds = ref 1 and last = ref (-1) and seen_in_round = Hashtbl.create 256 in
+  List.iter
+    (fun (_, o, _) ->
+      if o <= !last then begin
+        incr rounds;
+        Hashtbl.reset seen_in_round;
+        last := -1
+      end;
+      check "origin not served twice in a round" false (Hashtbl.mem seen_in_round o);
+      Hashtbl.replace seen_in_round o ();
+      last := o)
+    served;
+  (* Max backlog is 3, so fairness must finish in exactly 3 rounds. *)
+  check_int "three rounds for backlog depth three" 3 !rounds;
+  (* Per-origin FIFO: origin o's messages appear in enqueue order. *)
+  let per_origin = Hashtbl.create 256 in
+  List.iter
+    (fun (_, o, m) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt per_origin o) in
+      Hashtbl.replace per_origin o (m :: prev))
+    served;
+  for o = 0 to n_origins - 1 do
+    let got = List.rev (Option.value ~default:[] (Hashtbl.find_opt per_origin o)) in
+    let expect = List.init ((o mod 3) + 1) (Printf.sprintf "m%d.%d" o) in
+    if got <> expect then
+      Alcotest.failf "origin %d served out of order: %s" o (String.concat "," got)
+  done
+
+let test_egress_overflow_eviction_many_origins () =
+  (* Overflow at scale: 100 origins fill a 100-slot queue with one
+     low-priority message each, then origin 100 sends 50 high-priority
+     arrivals. Every arrival must displace the oldest message of the
+     most-backlogged lowest-band origin (ties toward the higher origin
+     id) — with equal backlogs that walks victims from origin 99 down. *)
+  let q = Spines.Egress.create ~capacity:100 () in
+  for o = 0 to 99 do
+    ignore (Spines.Egress.enqueue q ~prio:1 ~origin:o (Printf.sprintf "low%d" o))
+  done;
+  check_int "full" 100 (Spines.Egress.length q);
+  for k = 0 to 49 do
+    match Spines.Egress.enqueue q ~prio:5 ~origin:100 (Printf.sprintf "hi%d" k) with
+    | Spines.Egress.Evicted victim ->
+        let expect = Printf.sprintf "low%d" (99 - k) in
+        if victim <> expect then
+          Alcotest.failf "arrival %d evicted %s, expected %s" k victim expect
+    | Spines.Egress.Enqueued -> Alcotest.failf "arrival %d admitted without eviction" k
+    | Spines.Egress.Rejected -> Alcotest.failf "high-priority arrival %d rejected" k
+  done;
+  check_int "still at capacity" 100 (Spines.Egress.length q);
+  check_int "fifty evictions counted" 50 (Spines.Egress.drops q);
+  (* A same-priority arrival against an all-lowest-band queue is itself
+     refused once nothing queued is strictly lower-priority. *)
+  (match Spines.Egress.enqueue q ~prio:1 ~origin:7 "late" with
+  | Spines.Egress.Rejected -> ()
+  | _ -> Alcotest.fail "expected same-priority arrival to be rejected");
+  (* Drain order: the 50 high-priority messages first (single origin, in
+     FIFO order), then the surviving low band fairly across origins. *)
+  let order = Spines.Egress.drain q in
+  let his = List.filteri (fun i _ -> i < 50) order in
+  check "high band drains first, in order" true
+    (List.mapi (fun i (p, o, m) -> (p, o, m) = (5, 100, Printf.sprintf "hi%d" i)) his
+    |> List.for_all Fun.id);
+  let lows = List.filteri (fun i _ -> i >= 50) order in
+  check "survivors are origins 0..49 in origin order" true
+    (List.mapi (fun i (p, o, m) -> (p, o, m) = (1, i, Printf.sprintf "low%d" i)) lows
+    |> List.for_all Fun.id)
+
 let test_egress_drain_order_deterministic () =
   let fill () =
     let q = Spines.Egress.create ~capacity:5 () in
@@ -678,6 +762,8 @@ let suite =
     ("next-hop tables deterministic", `Quick, test_next_hop_tables_deterministic);
     ("egress overflow drops lowest priority", `Quick, test_egress_overflow_drops_lowest_priority);
     ("egress round-robin across origins", `Quick, test_egress_round_robin_across_origins);
+    ("egress fairness at 120 origins", `Quick, test_egress_fairness_many_origins);
+    ("egress overflow eviction at 100 origins", `Quick, test_egress_overflow_eviction_many_origins);
     ("egress drain order deterministic", `Quick, test_egress_drain_order_deterministic);
     ("frame header roundtrip", `Quick, test_frame_header_roundtrip);
     ("frame decode total on garbage", `Quick, test_frame_decode_total_on_garbage);

@@ -56,6 +56,44 @@ let test_digest_and_opt () =
   check "opt none" true (Wire.r_opt Wire.r_str r = None);
   check "consumed" true (Wire.at_end r)
 
+let test_sub_reader_bounded_views () =
+  (* Two length-prefixed records back to back; read each through a
+     zero-copy sub-view. *)
+  let rec_a = Wire.encode (fun e -> Wire.w_u16 e 7; Wire.w_str e "payload-a") in
+  let rec_b = Wire.encode (fun e -> Wire.w_u16 e 8) in
+  let blob =
+    Wire.encode (fun b ->
+        Wire.w_str b rec_a;
+        Wire.w_str b rec_b;
+        Wire.w_u8 b 0xAA)
+  in
+  let r = Wire.reader blob in
+  let ra = Wire.r_str_reader r in
+  check_int "sub-view sized to the field" (String.length rec_a) (Wire.remaining ra);
+  check_int "first field" 7 (Wire.r_u16 ra);
+  check_str "nested string" "payload-a" (Wire.r_str ra);
+  check "sub-view consumed exactly" true (Wire.at_end ra);
+  (* The sub-view is bounded: reading past its window raises even though
+     the backing string has more bytes. *)
+  Alcotest.check_raises "bounded past the window" Wire.Truncated (fun () ->
+      ignore (Wire.r_u8 ra));
+  (* The parent resumes after the window, independent of sub-view reads. *)
+  let rb = Wire.r_str_reader r in
+  check_int "second record" 8 (Wire.r_u16 rb);
+  check_int "parent continues past both" 0xAA (Wire.r_u8 r);
+  check "parent consumed" true (Wire.at_end r);
+  (* A sub-view larger than what remains is refused up front. *)
+  let short = Wire.reader (Wire.encode (fun b -> Wire.w_u32 b 1000)) in
+  Alcotest.check_raises "oversized window refused" Wire.Truncated (fun () ->
+      ignore (Wire.r_str_reader short));
+  (* Equivalence: for any record, parsing through a sub-view reads the
+     same bytes as parsing the copied-out string. *)
+  let r1 = Wire.reader blob and r2 = Wire.reader blob in
+  let via_view = Wire.r_str_reader r1 in
+  let via_copy = Wire.reader (Wire.r_str r2) in
+  check_int "same u16 either way" (Wire.r_u16 via_copy) (Wire.r_u16 via_view);
+  check_str "same nested string" (Wire.r_str via_copy) (Wire.r_str via_view)
+
 let test_malformed_rejected () =
   Alcotest.check_raises "u8 range" (Invalid_argument "Wire.w_u8: out of range") (fun () ->
       ignore (Wire.encode (fun b -> Wire.w_u8 b 256)));
@@ -232,6 +270,7 @@ let suite =
   [
     ("scalar round-trips", `Quick, test_scalar_roundtrips);
     ("digest and option round-trips", `Quick, test_digest_and_opt);
+    ("sub-reader bounded views", `Quick, test_sub_reader_bounded_views);
     ("malformed input rejected", `Quick, test_malformed_rejected);
     ("signed bodies byte-stable across deployments", `Quick, test_bodies_stable_across_deployments);
     ("streams diverge across seeds", `Quick, test_bodies_diverge_across_seeds);
