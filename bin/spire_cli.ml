@@ -501,6 +501,19 @@ let monitor duration poll tail shards devices json_file =
   Array.iter Spire.Scenario_driver.stop drivers;
   Sim.Engine.cancel_timer engine sampler;
   let sample = Obs.Probe.sample probes in
+  (* Sum the scada state counters across every replica probe (shard
+     suffixes included): how digest reads split between cached-root
+     lookups and full recomputes, and how often a snapshot blob was
+     actually re-encoded. *)
+  let digest_cached, digest_recompute, serializations =
+    List.fold_left
+      (fun (c, r, s) (name, metrics) ->
+        if String.length name >= 12 && String.equal (String.sub name 0 12) "scada.state." then
+          let get k = match List.assoc_opt k metrics with Some v -> int_of_float v | None -> 0 in
+          (c + get "digest_cached", r + get "digest_recompute", s + get "serialize")
+        else (c, r, s))
+      (0, 0, 0) sample
+  in
   let alarms = Obs.Alert.alarms alert in
   let events = Obs.Flight.events flight in
   let tail_events =
@@ -513,6 +526,8 @@ let monitor duration poll tail shards devices json_file =
     (Obs.Flight.warn_count flight)
     (Obs.Flight.alarm_count flight)
     (Obs.Alert.alarm_count alert);
+  Printf.printf "state digests: %d cached, %d recomputed; %d serializations\n" digest_cached
+    digest_recompute serializations;
   List.iter
     (fun (label, entries) ->
       if String.equal label "" then Printf.printf "\n== health ==\n"
@@ -589,6 +604,9 @@ let monitor duration poll tail shards devices json_file =
                    ("alarms_raised", num_i (Obs.Alert.alarm_count alert));
                    ("probes", num_i (Obs.Probe.count probes));
                    ("commands_issued", num_i commands);
+                   ("scada_digest_cached", num_i digest_cached);
+                   ("scada_digest_recompute", num_i digest_recompute);
+                   ("scada_serialize", num_i serializations);
                  ] );
            ]
           @ if shard_rows = [] then [] else [ ("shards", Obs.Json.List shard_rows) ])

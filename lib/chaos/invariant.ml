@@ -41,6 +41,10 @@ type t = {
   mutable last_progress : float;
   mutable executions : int;
   mutable actuations : int;
+  digest_seen : (int, int * string) Hashtbl.t;
+      (* scratch for the digest sweep: exec_seq -> (first replica index,
+         its raw digest root). Reset per sweep instead of reallocated —
+         the sweep runs every 0.1 s for the whole chaos run. *)
   mutable poll : Sim.Engine.timer option;
   mutable on_violation : (violation -> unit) option;
 }
@@ -61,6 +65,7 @@ let create ?(liveness_bound = 20.0) ?(recovery_bound = 30.0) ~engine ~is_healthy
     last_progress = 0.0;
     executions = 0;
     actuations = 0;
+    digest_seen = Hashtbl.create 8;
     poll = None;
     on_violation = None;
   }
@@ -136,22 +141,26 @@ let check_state_digests t =
   match t.deployment with
   | None -> ()
   | Some deployment ->
-      let seen = Hashtbl.create 8 in
-      (* exec_seq -> (first replica index, its digest) *)
+      (* Raw 32-byte roots, O(1) cached reads — no hex rendering and no
+         per-sweep table allocation on this every-tick path; hex appears
+         only in a violation message. *)
+      Hashtbl.reset t.digest_seen;
       Array.iteri
         (fun i r ->
           let rep = r.Spire.Deployment.r_replica in
           if Prime.Replica.is_running rep then begin
             let e = Prime.Replica.exec_seq rep in
-            let d = Scada.State.digest (Scada.Master.state r.Spire.Deployment.r_master) in
-            match Hashtbl.find_opt seen e with
-            | None -> Hashtbl.replace seen e (i, d)
+            let d = Scada.State.digest_root (Scada.Master.state r.Spire.Deployment.r_master) in
+            match Hashtbl.find_opt t.digest_seen e with
+            | None -> Hashtbl.replace t.digest_seen e (i, d)
             | Some (first, d0) ->
                 if not (String.equal d0 d) then
                   violate t ~invariant:"state-digest"
                     (Printf.sprintf
                        "replicas %d and %d disagree on the state digest at exec %d (%s vs %s)"
-                       first i e (String.sub d0 0 12) (String.sub d 0 12))
+                       first i e
+                       (String.sub (Crypto.Sha256.to_hex d0) 0 12)
+                       (String.sub (Crypto.Sha256.to_hex d) 0 12))
           end)
         (Spire.Deployment.replicas deployment)
 

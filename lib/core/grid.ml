@@ -78,9 +78,11 @@ type shard_overview = {
 }
 
 (* One aggregated query against one shard's master group. Every running
-   replica votes with its application-state digest; the answer is
-   rendered from a replica inside the f + 1 majority, so it reflects a
-   state at least one correct replica holds. *)
+   replica votes with its application-state digest root — an O(1)
+   cached read off the state's incremental Merkle trees, compared as
+   raw 32-byte digests; hex is rendered once for the winner only. The
+   answer is rendered from a replica inside the f + 1 majority, so it
+   reflects a state at least one correct replica holds. *)
 let query_shard t s =
   let b = t.shard_bundles.(s) in
   let replicas = Deployment.replicas b.s_deployment in
@@ -89,25 +91,25 @@ let query_shard t s =
   Array.iter
     (fun (r : Deployment.replica_bundle) ->
       if Prime.Replica.is_running r.Deployment.r_replica then begin
-        let digest = Scada.State.digest (Scada.Master.state r.Deployment.r_master) in
+        let root = Scada.State.digest_root (Scada.Master.state r.Deployment.r_master) in
         let count, sample =
-          match Hashtbl.find_opt votes digest with
+          match Hashtbl.find_opt votes root with
           | Some (c, sample) -> (c + 1, sample)
           | None -> (1, r.Deployment.r_master)
         in
-        Hashtbl.replace votes digest (count, sample)
+        Hashtbl.replace votes root (count, sample)
       end)
     replicas;
   let winner =
     Hashtbl.fold
-      (fun digest (count, sample) acc ->
+      (fun root (count, sample) acc ->
         match acc with
         | Some (_, best, _) when best >= count -> acc
-        | _ -> Some (digest, count, sample))
+        | _ -> Some (root, count, sample))
       votes None
   in
   match winner with
-  | Some (digest, count, master) when count >= config.Prime.Config.f + 1 ->
+  | Some (root, count, master) when count >= config.Prime.Config.f + 1 ->
       let state = Scada.Master.state master in
       let scenario = Scada.State.scenario state in
       let breakers = Plc.Power.all_breakers scenario in
@@ -118,7 +120,7 @@ let query_shard t s =
         o_shard = s;
         o_label = b.s_label;
         o_agreed = true;
-        o_digest = digest;
+        o_digest = Crypto.Sha256.to_hex root;
         o_exec_frontier = exec_frontier t s;
         o_breakers = List.length breakers;
         o_closed = closed;

@@ -116,14 +116,21 @@ let r_u32 r =
 
 let r_int r =
   need r 8;
+  (* The wire carries a sign-extended 64-bit pattern of a native (63-bit)
+     int, so the top two bits of the first byte are always equal ([w_int]
+     writes [v asr 56]: 0x00-0x3F for v >= 0, 0xC0-0xFF for v < 0). An
+     unequal pair is a pattern no writer produces — accumulating with
+     [lsl] would silently drop the 64th bit and decode it to the same
+     value as its canonical sibling, giving two byte strings one
+     meaning. Canonicality is what lets digest/signature checks stand in
+     for byte equality, so reject it as malformed. *)
+  let b0 = Char.code r.data.[r.pos] in
+  if (b0 lsr 7) lxor ((b0 lsr 6) land 1) <> 0 then raise Truncated;
   let v = ref 0 in
   for i = 0 to 7 do
     v := (!v lsl 8) lor Char.code r.data.[r.pos + i]
   done;
   r.pos <- r.pos + 8;
-  (* The wire carries a sign-extended 64-bit pattern of a native (63-bit)
-     int; accumulating with [lsl] discards the redundant top bit, leaving
-     the original value in native representation. *)
   !v
 
 let r_f64 r =

@@ -59,6 +59,8 @@ val r_u16 : reader -> int
 
 val r_u32 : reader -> int
 
+(** Rejects (raises {!Truncated}) non-canonical sign-extension patterns
+    no {!w_int} produces, so a decoded blob re-encodes byte-identically. *)
 val r_int : reader -> int
 
 val r_bool : reader -> bool

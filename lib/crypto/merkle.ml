@@ -44,6 +44,25 @@ let build_of_leaf_hashes leaf_hashes =
 
 let build leaves = build_of_leaf_hashes (Array.map leaf_hash leaves)
 
+(* Replace one leaf hash and rehash only the root path. Each level's
+   parent recomputes from the two children below it — unless the left
+   child is a promoted odd node, which carries its hash up unchanged
+   exactly as [build_of_leaf_hashes] would. O(log n) node hashes. *)
+let set_leaf_hash t index h =
+  let n = Array.length t.levels.(0) in
+  if index < 0 || index >= n then invalid_arg "Merkle.set_leaf_hash: index out of range";
+  t.levels.(0).(index) <- h;
+  let idx = ref index in
+  for l = 0 to Array.length t.levels - 2 do
+    let level = t.levels.(l) in
+    let parent = !idx / 2 in
+    let left = 2 * parent in
+    t.levels.(l + 1).(parent) <-
+      (if left + 1 < Array.length level then node_hash level.(left) level.(left + 1)
+       else level.(left) (* promoted odd node *));
+    idx := parent
+  done
+
 let tree_root t =
   let top = t.levels.(Array.length t.levels - 1) in
   top.(0)

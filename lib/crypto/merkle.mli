@@ -17,6 +17,17 @@ type tree
     [Invalid_argument] on an empty array. *)
 val build : string array -> tree
 
+(** [build_of_leaf_hashes hashes] builds a tree over already-hashed
+    leaves (pair with {!leaf_hash}). Raises [Invalid_argument] on an
+    empty array. *)
+val build_of_leaf_hashes : Sha256.digest array -> tree
+
+(** [set_leaf_hash t index h] replaces leaf [index]'s hash and rehashes
+    only the path to the root — O(log n). The result is identical to
+    rebuilding the tree with the new leaf set. Raises
+    [Invalid_argument] if [index] is out of range. *)
+val set_leaf_hash : tree -> int -> Sha256.digest -> unit
+
 val tree_root : tree -> Sha256.digest
 
 val leaf_count : tree -> int

@@ -134,6 +134,7 @@ let take_checkpoint t =
   let ck =
     Store.Checkpoint.make ~keypair:t.keypair ~replica:(Prime.Replica.id t.replica)
       ~next_exec_pp ~exec_seq ~cursor ~client_seqs ~app_state:(State.serialize t.state)
+      ~app_root:(State.digest_root t.state)
   in
   persist_checkpoint t ck
 
@@ -177,7 +178,16 @@ let load_slot t slot =
           None
       | Some ck ->
           let signer = Prime.Msg.replica_identity ck.Store.Checkpoint.ck_replica in
-          if Store.Checkpoint.verify ~keystore:t.keystore ~signer ck then Some ck
+          (* The signed root covers the state's digest root, not the blob
+             bytes; re-deriving the blob's root binds the two, so a
+             flipped byte anywhere in the slot file still reads as a bad
+             checkpoint. *)
+          let blob_bound =
+            match State.root_of_blob t.state ck.Store.Checkpoint.ck_app_state with
+            | Ok root -> String.equal root ck.Store.Checkpoint.ck_app_root
+            | Error _ -> false
+          in
+          if blob_bound && Store.Checkpoint.verify ~keystore:t.keystore ~signer ck then Some ck
           else begin
             Sim.Stats.Counter.incr t.counters "durable.bad_checkpoint";
             if flight_on () then
@@ -342,7 +352,19 @@ let restart_log_at t ~next_exec_pp ~exec_seq ~cursor =
   Store.Wal.sync t.wal
 
 let install_from_peer t ck =
-  match State.load t.state ck.Store.Checkpoint.ck_app_state with
+  match
+    (* Bind the blob to the f+1-voted root before adopting it: the vote
+       covered [ck_app_root], not the blob bytes a single sender
+       attached. *)
+    match State.root_of_blob t.state ck.Store.Checkpoint.ck_app_state with
+    | Error _ as e -> e
+    | Ok root when not (String.equal root ck.Store.Checkpoint.ck_app_root) ->
+        Error "state blob does not match voted app root"
+    | Ok _ -> (
+        match State.load t.state ck.Store.Checkpoint.ck_app_state with
+        | Error _ as e -> e
+        | Ok () -> Ok ())
+  with
   | Error e -> Error e
   | Ok () ->
       (* Our old log precedes the adopted point (we were the lagging

@@ -209,19 +209,24 @@ let transfer_done t ~exec_seq =
   Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"scada"
     "master %d: application state transfer complete at exec %d" (id t) exec_seq
 
+(* Returns [true] when the reply installed; a [false] lets the caller
+   drop the vote entry so later (retried) replies can re-earn f + 1. *)
 let finish_state_transfer t (reply : Messages.t) =
   match reply with
-  | Messages.App_state_reply { state_blob; next_exec_pp; exec_seq; cursor; client_seqs; _ } ->
-      (match State.load t.state state_blob with
+  | Messages.App_state_reply { state_blob; next_exec_pp; exec_seq; cursor; client_seqs; _ } -> (
+      match State.load t.state state_blob with
       | Ok () ->
           Prime.Replica.install_app_checkpoint t.replica ~next_exec_pp ~exec_seq ~cursor
             ~client_seqs;
           (* The local log, if any, precedes this install point; rebase
              it so recovery never replays across the jump. *)
           Option.iter (fun d -> Durable.rebase d ~next_exec_pp ~exec_seq ~cursor) t.durable;
-          transfer_done t ~exec_seq
-      | Error e -> Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"scada"
-            "master %d: rejected state blob: %s" (id t) e)
+          transfer_done t ~exec_seq;
+          true
+      | Error e ->
+          Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"scada"
+            "master %d: rejected state blob: %s" (id t) e;
+          false)
   | Messages.Checkpoint_reply { ckr_ck = ck; _ } -> (
       let exec_seq = ck.Store.Checkpoint.ck_exec_seq in
       let install_result =
@@ -229,22 +234,32 @@ let finish_state_transfer t (reply : Messages.t) =
         | Some d -> Durable.install_from_peer d ck
         | None -> (
             (* Store disabled locally: adopt the checkpoint's state
-               without persisting it. *)
-            match State.load t.state ck.Store.Checkpoint.ck_app_state with
+               without persisting it — but still bind the blob to the
+               f+1-voted app root first; the vote never covered the
+               blob bytes the sender attached. *)
+            match State.root_of_blob t.state ck.Store.Checkpoint.ck_app_state with
             | Error _ as e -> e
-            | Ok () ->
-                Prime.Replica.install_app_checkpoint t.replica
-                  ~next_exec_pp:ck.Store.Checkpoint.ck_next_exec_pp ~exec_seq
-                  ~cursor:ck.Store.Checkpoint.ck_cursor
-                  ~client_seqs:ck.Store.Checkpoint.ck_client_seqs;
-                Ok ())
+            | Ok root when not (String.equal root ck.Store.Checkpoint.ck_app_root) ->
+                Error "state blob does not match voted app root"
+            | Ok _ -> (
+                match State.load t.state ck.Store.Checkpoint.ck_app_state with
+                | Error _ as e -> e
+                | Ok () ->
+                    Prime.Replica.install_app_checkpoint t.replica
+                      ~next_exec_pp:ck.Store.Checkpoint.ck_next_exec_pp ~exec_seq
+                      ~cursor:ck.Store.Checkpoint.ck_cursor
+                      ~client_seqs:ck.Store.Checkpoint.ck_client_seqs;
+                    Ok ()))
       in
       match install_result with
-      | Ok () -> transfer_done t ~exec_seq
+      | Ok () ->
+          transfer_done t ~exec_seq;
+          true
       | Error e ->
           Sim.Trace.record t.trace ~time:(Sim.Engine.now t.engine) ~category:"scada"
-            "master %d: rejected peer checkpoint: %s" (id t) e)
-  | _ -> ()
+            "master %d: rejected peer checkpoint: %s" (id t) e;
+          false)
+  | _ -> false
 
 (* Count one vote from authenticated replica [voter] for [key]. Votes
    are deduplicated by voter id: a single replica replaying its reply
@@ -258,7 +273,12 @@ let record_transfer_vote t ~key ~voter reply =
   if not (List.mem voter voters) then begin
     let voters = voter :: voters in
     Hashtbl.replace t.transfer_votes key (voters, reply);
-    if List.length voters >= t.config.Prime.Config.f + 1 then finish_state_transfer t reply
+    if List.length voters >= t.config.Prime.Config.f + 1 then
+      if not (finish_state_transfer t reply) then
+        (* Failed install (e.g. a blob that does not match the voted
+           root): forget this key so the next retry round can earn a
+           fresh f + 1 on a healthy reply. *)
+        Hashtbl.remove t.transfer_votes key
   end
 
 let handle_state_reply t (reply : Messages.t) =
@@ -355,4 +375,15 @@ let create ~engine ~trace ~keystore ~keypair ~config ~replica ~scenario ~net =
       Prime.Replica.apply = (fun ~exec_seq u -> apply_update t ~exec_seq u);
       state_transfer_needed = (fun () -> begin_state_transfer t);
     };
+  (* Digest/serialize health probe; no-op unless a harness enabled the
+     probe registry. *)
+  Obs.Probe.register Obs.Probe.default
+    ~name:(Printf.sprintf "scada.state.%d" (Prime.Replica.id replica))
+    (fun () ->
+      let cached, recompute, serializations = State.stats t.state in
+      [
+        ("digest_cached", float_of_int cached);
+        ("digest_recompute", float_of_int recompute);
+        ("serialize", float_of_int serializations);
+      ]);
   t

@@ -3,9 +3,23 @@
    Tracks, per breaker: the last reported field position and the last
    supervisory command. Deterministic application of ordered operations
    keeps every replica's copy identical; the canonical serialization and
-   digest support the application-level state transfer of Section III-A. *)
+   digest support the application-level state transfer of Section III-A.
+
+   The digest is maintained incrementally. Two Merkle trees — one over
+   the breakers in a canonical name order frozen at [create], one over
+   the per-origin batch cursors (one slot per scenario proxy plus a
+   spill leaf for origins outside the topology) — are updated O(log n)
+   as each operation lands, and the state digest is a domain-separated
+   combine of the two roots. [digest] is therefore an O(1) cached read:
+   f + 1 digest voting on the grid overview path, the continuous chaos
+   invariant sweep, and checkpoint roots all stop re-hashing the whole
+   state per call. The canonical blob is a Wire binary encoding,
+   memoized behind a dirty flag so repeated state-transfer replies at
+   the same execution point serialize once. *)
 
 type breaker_state = {
+  b_index : int; (* leaf slot in the breaker tree, frozen at create *)
+  b_name : string;
   mutable reported_closed : bool;
   mutable commanded_close : bool;
   mutable last_change_exec : int; (* exec_seq of last status change *)
@@ -14,19 +28,176 @@ type breaker_state = {
 type t = {
   scenario : Plc.Power.scenario;
   breakers : (string, breaker_state) Hashtbl.t;
+  ordered : breaker_state array; (* canonical name order, frozen at create *)
   batch_cursors : (string, int) Hashtbl.t; (* origin proxy -> last applied batch cursor *)
+  cursor_slots : string array; (* known origins ("proxy-<plc>"), sorted, frozen *)
+  cursor_index : (string, int) Hashtbl.t; (* origin -> cursor-tree leaf slot *)
+  mutable btree : Crypto.Merkle.tree;
+  mutable ctree : Crypto.Merkle.tree;
+  mutable root : Crypto.Sha256.digest; (* cached combined root *)
+  mutable root_hex : string option; (* lazy hex rendering of [root] *)
+  mutable blob : string option; (* memoized canonical serialization *)
   mutable ops_applied : int;
+  (* perf counters, mirrored into Obs.Registry when a harness enabled it *)
+  mutable n_digest_cached : int;
+  mutable n_digest_recompute : int;
+  mutable n_serialize : int;
 }
 
-let create scenario =
-  let t =
-    { scenario; breakers = Hashtbl.create 64; batch_cursors = Hashtbl.create 16; ops_applied = 0 }
+let format_version = 2
+
+(* --- leaf encodings ---------------------------------------------------------
+
+   Leaves carry the breaker/origin name, so two states can never collide
+   by swapping values between slots; the tree position alone is not
+   trusted as identity. *)
+
+let breaker_flags b =
+  (if b.reported_closed then 1 else 0) lor (if b.commanded_close then 2 else 0)
+
+let encode_breaker_leaf name flags exec =
+  Wire.encode ~size_hint:(String.length name + 13) (fun buf ->
+      Wire.w_str buf name;
+      Wire.w_u8 buf flags;
+      Wire.w_int buf exec)
+
+let breaker_leaf b = encode_breaker_leaf b.b_name (breaker_flags b) b.last_change_exec
+
+let cursor_leaf origin value =
+  Wire.encode ~size_hint:(String.length origin + 12) (fun buf ->
+      Wire.w_str buf origin;
+      Wire.w_int buf value)
+
+let encode_extras extras =
+  Wire.encode (fun buf ->
+      Wire.w_u32 buf (List.length extras);
+      List.iter
+        (fun (o, c) ->
+          Wire.w_str buf o;
+          Wire.w_int buf c)
+        extras)
+
+(* --- tree construction ------------------------------------------------------ *)
+
+let cursor_value t origin = Option.value ~default:0 (Hashtbl.find_opt t.batch_cursors origin)
+
+(* Cursors from origins outside the frozen topology (a faulty client may
+   invent any origin string) share one spill leaf: their sorted table.
+   Normal runs never populate it, so its upkeep cost is an empty encode. *)
+let extras_blob t =
+  let extras =
+    Hashtbl.fold
+      (fun origin c acc -> if Hashtbl.mem t.cursor_index origin then acc else (origin, c) :: acc)
+      t.batch_cursors []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
-  List.iter
-    (fun name ->
-      Hashtbl.replace t.breakers name
-        { reported_closed = true; commanded_close = true; last_change_exec = 0 })
-    (Plc.Power.all_breakers scenario);
+  encode_extras extras
+
+let build_btree t =
+  let n = Array.length t.ordered in
+  let hashes =
+    if n = 0 then [| Crypto.Merkle.leaf_hash "no-breakers" |]
+    else Array.map (fun b -> Crypto.Merkle.leaf_hash (breaker_leaf b)) t.ordered
+  in
+  Crypto.Merkle.build_of_leaf_hashes hashes
+
+let build_ctree t =
+  let ns = Array.length t.cursor_slots in
+  let hashes =
+    Array.init (ns + 1) (fun i ->
+        if i < ns then
+          let o = t.cursor_slots.(i) in
+          Crypto.Merkle.leaf_hash (cursor_leaf o (cursor_value t o))
+        else Crypto.Merkle.leaf_hash (extras_blob t))
+  in
+  Crypto.Merkle.build_of_leaf_hashes hashes
+
+(* The two subtree roots combine under their own domain separator, so a
+   state root can never be confused with a bare Merkle root or a leaf. *)
+let combine_roots broot croot = Crypto.Sha256.digest_list [ "\x04state-root"; broot; croot ]
+
+let refresh_root t =
+  t.root <- combine_roots (Crypto.Merkle.tree_root t.btree) (Crypto.Merkle.tree_root t.ctree);
+  t.root_hex <- None
+
+(* Full O(n) rebuild: create, load, reset. The steady-state path never
+   comes through here. *)
+let rebuild t =
+  t.btree <- build_btree t;
+  t.ctree <- build_ctree t;
+  refresh_root t;
+  t.blob <- None;
+  t.n_digest_recompute <- t.n_digest_recompute + 1;
+  Obs.Registry.incr Obs.Registry.default "scada.digest.recompute"
+
+(* --- incremental updates ---------------------------------------------------- *)
+
+let touch_breaker t b =
+  Crypto.Merkle.set_leaf_hash t.btree b.b_index (Crypto.Merkle.leaf_hash (breaker_leaf b));
+  refresh_root t;
+  t.blob <- None
+
+let touch_cursor t origin =
+  (match Hashtbl.find_opt t.cursor_index origin with
+  | Some i ->
+      Crypto.Merkle.set_leaf_hash t.ctree i
+        (Crypto.Merkle.leaf_hash (cursor_leaf origin (cursor_value t origin)))
+  | None ->
+      Crypto.Merkle.set_leaf_hash t.ctree (Array.length t.cursor_slots)
+        (Crypto.Merkle.leaf_hash (extras_blob t)));
+  refresh_root t;
+  t.blob <- None
+
+(* --- construction ----------------------------------------------------------- *)
+
+let create scenario =
+  let breakers = Hashtbl.create 64 in
+  let names = List.sort_uniq String.compare (Plc.Power.all_breakers scenario) in
+  let ordered =
+    Array.of_list
+      (List.mapi
+         (fun i name ->
+           let b =
+             {
+               b_index = i;
+               b_name = name;
+               reported_closed = true;
+               commanded_close = true;
+               last_change_exec = 0;
+             }
+           in
+           Hashtbl.replace breakers name b;
+           b)
+         names)
+  in
+  let origins =
+    List.sort_uniq String.compare
+      (List.map (fun p -> "proxy-" ^ p.Plc.Power.plc_name) scenario.Plc.Power.plcs)
+  in
+  let cursor_slots = Array.of_list origins in
+  let cursor_index = Hashtbl.create 16 in
+  Array.iteri (fun i o -> Hashtbl.replace cursor_index o i) cursor_slots;
+  let placeholder = Crypto.Merkle.build_of_leaf_hashes [| Crypto.Merkle.leaf_hash "" |] in
+  let t =
+    {
+      scenario;
+      breakers;
+      ordered;
+      batch_cursors = Hashtbl.create 16;
+      cursor_slots;
+      cursor_index;
+      btree = placeholder;
+      ctree = placeholder;
+      root = Crypto.Sha256.digest "";
+      root_hex = None;
+      blob = None;
+      ops_applied = 0;
+      n_digest_cached = 0;
+      n_digest_recompute = 0;
+      n_serialize = 0;
+    }
+  in
+  rebuild t;
   t
 
 let scenario t = t.scenario
@@ -42,8 +213,11 @@ let apply_status t ~exec_seq ~name ~closed =
   match Hashtbl.find_opt t.breakers name with
   | Some b ->
       let changed = b.reported_closed <> closed in
-      b.reported_closed <- closed;
-      if changed then b.last_change_exec <- exec_seq;
+      if changed then begin
+        b.reported_closed <- closed;
+        b.last_change_exec <- exec_seq;
+        touch_breaker t b
+      end;
       changed
   | None -> false
 
@@ -58,7 +232,11 @@ let apply_changes t ~exec_seq op =
       if apply_status t ~exec_seq ~name ~closed then [ (name, closed) ] else []
   | Op.Command { breaker = name; close } ->
       (match Hashtbl.find_opt t.breakers name with
-      | Some b -> b.commanded_close <- close
+      | Some b ->
+          if b.commanded_close <> close then begin
+            b.commanded_close <- close;
+            touch_breaker t b
+          end
       | None -> ());
       []
   | Op.Batch { origin; cursor; reports } ->
@@ -70,6 +248,7 @@ let apply_changes t ~exec_seq op =
       if cursor <= last then []
       else begin
         Hashtbl.replace t.batch_cursors origin cursor;
+        touch_cursor t origin;
         (* Explicit left-to-right application: reports are applied in
            submission order on every replica. *)
         List.rev
@@ -87,94 +266,195 @@ let batch_cursor t origin =
 let energized t =
   Plc.Power.energized t.scenario ~is_closed:(fun name -> reported_closed t name)
 
-(* Canonical serialization: breakers sorted by name, then — when any
-   batches were applied — a '#'-separated cursor section sorted by
-   origin. '#' appears in neither breaker nor proxy names, and a
-   batch-free state serializes exactly as it did before batches
-   existed. *)
+(* --- digest ----------------------------------------------------------------- *)
+
+let digest_root t =
+  t.n_digest_cached <- t.n_digest_cached + 1;
+  Obs.Registry.incr Obs.Registry.default "scada.digest.cached";
+  t.root
+
+let digest t =
+  t.n_digest_cached <- t.n_digest_cached + 1;
+  Obs.Registry.incr Obs.Registry.default "scada.digest.cached";
+  match t.root_hex with
+  | Some h -> h
+  | None ->
+      let h = Crypto.Sha256.to_hex t.root in
+      t.root_hex <- Some h;
+      h
+
+(* From-scratch recompute that deliberately bypasses the incremental
+   trees: differential tests and benches compare it against [digest] to
+   prove the O(log n) path never drifts. *)
+let recompute_digest t =
+  let btree = build_btree t in
+  let ctree = build_ctree t in
+  t.n_digest_recompute <- t.n_digest_recompute + 1;
+  Obs.Registry.incr Obs.Registry.default "scada.digest.recompute";
+  Crypto.Sha256.to_hex
+    (combine_roots (Crypto.Merkle.tree_root btree) (Crypto.Merkle.tree_root ctree))
+
+let stats t = (t.n_digest_cached, t.n_digest_recompute, t.n_serialize)
+
+(* --- canonical serialization ------------------------------------------------ *)
+
+(* Binary blob: version byte, breakers in the frozen canonical order
+   (name, flags, last-change exec), then the cursor table sorted by
+   origin. Length-prefixed fields replace the old sprintf/';' text
+   rendering, and the result is memoized until the next mutation. *)
 let serialize t =
-  let breakers =
-    Hashtbl.fold (fun name b acc -> (name, b) :: acc) t.breakers []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-    |> List.map (fun (name, b) ->
-           Printf.sprintf "%s=%d/%d/%d" name
-             (if b.reported_closed then 1 else 0)
-             (if b.commanded_close then 1 else 0)
-             b.last_change_exec)
-    |> String.concat ";"
-  in
-  let cursors =
-    Hashtbl.fold (fun origin c acc -> (origin, c) :: acc) t.batch_cursors []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-    |> List.map (fun (origin, c) -> Printf.sprintf "%s=%d" origin c)
-    |> String.concat ";"
-  in
-  if cursors = "" then breakers else breakers ^ "#" ^ cursors
+  match t.blob with
+  | Some s -> s
+  | None ->
+      t.n_serialize <- t.n_serialize + 1;
+      Obs.Registry.incr Obs.Registry.default "scada.serialize";
+      let cursors =
+        Hashtbl.fold (fun origin c acc -> (origin, c) :: acc) t.batch_cursors []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      let s =
+        Wire.encode
+          ~size_hint:(16 + (24 * Array.length t.ordered))
+          (fun buf ->
+            Wire.w_u8 buf format_version;
+            Wire.w_u32 buf (Array.length t.ordered);
+            Array.iter
+              (fun b ->
+                Wire.w_str buf b.b_name;
+                Wire.w_u8 buf (breaker_flags b);
+                Wire.w_int buf b.last_change_exec)
+              t.ordered;
+            Wire.w_u32 buf (List.length cursors);
+            List.iter
+              (fun (o, c) ->
+                Wire.w_str buf o;
+                Wire.w_int buf c)
+              cursors)
+      in
+      t.blob <- Some s;
+      s
 
-let digest t = Crypto.Sha256.to_hex (Crypto.Sha256.digest (serialize t))
+(* --- load ------------------------------------------------------------------- *)
 
+exception Bad of string
+
+(* Total parse: every structural defect — wrong version, unknown
+   breaker, unsorted entries, cursor < 1, trailing bytes, truncation —
+   rejects the whole blob before any state is touched. *)
+let parse_blob t blob =
+  match
+    let r = Wire.reader blob in
+    if Wire.r_u8 r <> format_version then raise (Bad "unsupported version");
+    let nb = Wire.r_u32 r in
+    let entries = ref [] in
+    let prev = ref "" in
+    for i = 1 to nb do
+      let name = Wire.r_str r in
+      let flags = Wire.r_u8 r in
+      let exec = Wire.r_int r in
+      if flags land lnot 3 <> 0 then raise (Bad "bad breaker flags");
+      if exec < 0 then raise (Bad "negative exec");
+      if i > 1 && String.compare !prev name >= 0 then raise (Bad "breakers not sorted");
+      if not (Hashtbl.mem t.breakers name) then raise (Bad ("unknown breaker " ^ name));
+      prev := name;
+      entries := (name, flags land 1 <> 0, flags land 2 <> 0, exec) :: !entries
+    done;
+    let nc = Wire.r_u32 r in
+    let cursors = ref [] in
+    let prev_o = ref "" in
+    for i = 1 to nc do
+      let origin = Wire.r_str r in
+      let c = Wire.r_int r in
+      if c < 1 then raise (Bad "bad cursor");
+      if i > 1 && String.compare !prev_o origin >= 0 then raise (Bad "cursors not sorted");
+      prev_o := origin;
+      cursors := (origin, c) :: !cursors
+    done;
+    if not (Wire.at_end r) then raise (Bad "trailing bytes");
+    (List.rev !entries, List.rev !cursors)
+  with
+  | parsed -> Ok parsed
+  | exception Bad e -> Error e
+  | exception Wire.Truncated -> Error "truncated state blob"
+
+(* Install a serialized state with full-replacement semantics: breakers
+   absent from the blob revert to defaults and the cursor table is
+   rebuilt from scratch, so a snapshot install can never leave stale
+   local values behind (the old text loader merged instead, and a
+   smaller blob silently kept whatever it did not mention). *)
 let load t blob =
-  let blob, cursor_part =
-    match String.index_opt blob '#' with
-    | None -> (blob, None)
-    | Some i ->
-        (String.sub blob 0 i, Some (String.sub blob (i + 1) (String.length blob - i - 1)))
-  in
-  let parse_entry entry =
-    match String.index_opt entry '=' with
-    | None -> None
-    | Some i -> (
-        let name = String.sub entry 0 i in
-        let rest = String.sub entry (i + 1) (String.length entry - i - 1) in
-        match String.split_on_char '/' rest with
-        | [ r; c; e ] -> (
-            try Some (name, r = "1", c = "1", int_of_string e) with Failure _ -> None)
-        | _ -> None)
-  in
-  let parse_cursor entry =
-    match String.index_opt entry '=' with
-    | None -> None
-    | Some i -> (
-        let origin = String.sub entry 0 i in
-        match int_of_string_opt (String.sub entry (i + 1) (String.length entry - i - 1)) with
-        | Some c when c >= 0 -> Some (origin, c)
-        | _ -> None)
-  in
-  let entries = String.split_on_char ';' blob in
-  let parsed = List.filter_map parse_entry entries in
-  let cursor_entries =
-    match cursor_part with None | Some "" -> [] | Some s -> String.split_on_char ';' s
-  in
-  let cursors = List.filter_map parse_cursor cursor_entries in
-  if
-    List.length parsed <> List.length entries
-    || List.length cursors <> List.length cursor_entries
-  then Error "malformed state blob"
-  else begin
-    List.iter
-      (fun (name, reported, commanded, exec) ->
-        match Hashtbl.find_opt t.breakers name with
-        | Some b ->
-            b.reported_closed <- reported;
-            b.commanded_close <- commanded;
-            b.last_change_exec <- exec
-        | None ->
-            Hashtbl.replace t.breakers name
-              { reported_closed = reported; commanded_close = commanded; last_change_exec = exec })
-      parsed;
-    Hashtbl.reset t.batch_cursors;
-    List.iter (fun (origin, c) -> Hashtbl.replace t.batch_cursors origin c) cursors;
-    Ok ()
-  end
+  match parse_blob t blob with
+  | Error _ as e -> e
+  | Ok (entries, cursors) ->
+      Array.iter
+        (fun b ->
+          b.reported_closed <- true;
+          b.commanded_close <- true;
+          b.last_change_exec <- 0)
+        t.ordered;
+      List.iter
+        (fun (name, reported, commanded, exec) ->
+          let b = Hashtbl.find t.breakers name in
+          b.reported_closed <- reported;
+          b.commanded_close <- commanded;
+          b.last_change_exec <- exec)
+        entries;
+      Hashtbl.reset t.batch_cursors;
+      List.iter (fun (origin, c) -> Hashtbl.replace t.batch_cursors origin c) cursors;
+      rebuild t;
+      Ok ()
+
+(* The root a blob would produce if installed here, without touching the
+   live state. Durable uses it to bind a checkpoint's state blob to its
+   signed [ck_app_root] — the root no longer covers the blob bytes
+   directly, so install paths check the binding explicitly. *)
+let root_of_blob t blob =
+  match parse_blob t blob with
+  | Error _ as e -> e
+  | Ok (entries, cursors) ->
+      let n = Array.length t.ordered in
+      let flags = Array.make n 3 (* defaults: reported + commanded closed *) in
+      let execs = Array.make n 0 in
+      List.iter
+        (fun (name, reported, commanded, exec) ->
+          let b = Hashtbl.find t.breakers name in
+          flags.(b.b_index) <- (if reported then 1 else 0) lor (if commanded then 2 else 0);
+          execs.(b.b_index) <- exec)
+        entries;
+      let bl =
+        if n = 0 then [| Crypto.Merkle.leaf_hash "no-breakers" |]
+        else
+          Array.mapi
+            (fun i b -> Crypto.Merkle.leaf_hash (encode_breaker_leaf b.b_name flags.(i) execs.(i)))
+            t.ordered
+      in
+      let ctbl = Hashtbl.create 16 in
+      List.iter (fun (o, c) -> Hashtbl.replace ctbl o c) cursors;
+      let ns = Array.length t.cursor_slots in
+      let cl =
+        Array.init (ns + 1) (fun i ->
+            if i < ns then
+              let o = t.cursor_slots.(i) in
+              let v = Option.value ~default:0 (Hashtbl.find_opt ctbl o) in
+              Crypto.Merkle.leaf_hash (cursor_leaf o v)
+            else
+              Crypto.Merkle.leaf_hash
+                (encode_extras (List.filter (fun (o, _) -> not (Hashtbl.mem t.cursor_index o)) cursors)))
+      in
+      Ok
+        (combine_roots
+           (Crypto.Merkle.tree_root (Crypto.Merkle.build_of_leaf_hashes bl))
+           (Crypto.Merkle.tree_root (Crypto.Merkle.build_of_leaf_hashes cl)))
 
 (* Ground-truth reset (Section III-A): wipe to defaults; the proxies'
    next polling round repopulates from the field devices. *)
 let reset t =
-  Hashtbl.iter
-    (fun _ b ->
+  Array.iter
+    (fun b ->
       b.reported_closed <- true;
       b.commanded_close <- true;
       b.last_change_exec <- 0)
-    t.breakers;
+    t.ordered;
   Hashtbl.reset t.batch_cursors;
-  t.ops_applied <- 0
+  t.ops_applied <- 0;
+  rebuild t

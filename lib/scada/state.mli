@@ -1,6 +1,12 @@
 (** Replicated SCADA application state: per-breaker reported position and
     last supervisory command, with canonical serialization and digest for
-    the application-level state transfer (Section III-A). *)
+    the application-level state transfer (Section III-A).
+
+    The digest is maintained incrementally: Merkle trees over the
+    breakers (canonical order frozen at {!create}) and the per-origin
+    batch cursors are updated O(log n) per applied operation, so
+    {!digest} and {!digest_root} are O(1) cached reads — digest-voted
+    grid queries and invariant sweeps stop re-hashing the whole state. *)
 
 type t
 
@@ -29,14 +35,38 @@ val batch_cursor : t -> string -> int
 (** Energized loads given the reported breaker positions. *)
 val energized : t -> (string * bool) list
 
-(** Canonical blob (breakers sorted by name). *)
+(** Canonical binary blob (Wire-encoded, breakers in the frozen name
+    order). Memoized: repeated calls between mutations return the same
+    string without re-encoding. *)
 val serialize : t -> string
 
-(** Hex digest of {!serialize}. *)
+(** Hex rendering of {!digest_root} — O(1), cached. *)
 val digest : t -> string
 
-(** Install a serialized state. [Error] on malformed blobs. *)
+(** The raw 32-byte state root — O(1) cached read, the preferred form
+    for digest voting and cross-replica comparison (no hex rendering). *)
+val digest_root : t -> Crypto.Sha256.digest
+
+(** From-scratch digest recompute that bypasses the incremental trees;
+    differential tests compare it with {!digest}. Does not mutate the
+    cached root. *)
+val recompute_digest : t -> string
+
+(** [(digest_cached, digest_recompute, serializations)] counters for
+    health probes and benches. *)
+val stats : t -> int * int * int
+
+(** Install a serialized state with full-replacement semantics: breakers
+    absent from the blob revert to defaults and the cursor table is
+    rebuilt from the blob alone. [Error] on malformed blobs (bad
+    version, unknown breaker names, unsorted entries, cursors < 1,
+    trailing or truncated bytes) — nothing is mutated on error. *)
 val load : t -> string -> (unit, string) result
+
+(** The digest root [load t blob] would leave in place, computed without
+    touching the live state. Install paths use it to bind a checkpoint's
+    state blob to the [ck_app_root] its signed Merkle root covers. *)
+val root_of_blob : t -> string -> (Crypto.Sha256.digest, string) result
 
 (** Ground-truth reset: wipe to defaults; the proxies' next polling round
     repopulates from the field devices. *)

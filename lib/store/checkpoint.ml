@@ -9,8 +9,13 @@
    domain-separated root through the existing [Crypto.Auth] path so a
    stored checkpoint is tamper-evident on disk too.
 
-   Encodings are canonical: client dedup keys are sorted, and the app
-   state blob is chunked so one flipped byte invalidates one leaf. *)
+   The application state enters the tree as [ck_app_root] — the state's
+   own incremental Merkle root, an O(1) read off the live [Scada.State] —
+   rather than by chunk-hashing the serialized blob, so taking a
+   checkpoint costs O(1) hashing in the state size. The blob still
+   travels in [ck_app_state] for installation, and install paths bind it
+   to [ck_app_root] via [Scada.State.root_of_blob] before adopting it;
+   a flipped blob byte is caught there instead of at [verify]. *)
 
 type t = {
   ck_replica : int;
@@ -19,11 +24,10 @@ type t = {
   ck_cursor : int array;
   ck_client_seqs : (string * int) list; (* sorted canonical *)
   ck_app_state : string;
+  ck_app_root : Crypto.Sha256.digest;
   ck_root : Crypto.Sha256.digest;
   ck_auth : Crypto.Auth.t;
 }
-
-let chunk_size = 1024
 
 let sort_client_seqs seqs =
   List.sort_uniq
@@ -31,16 +35,8 @@ let sort_client_seqs seqs =
       match String.compare c1 c2 with 0 -> Int.compare s1 s2 | c -> c)
     seqs
 
-let app_state_chunks app_state =
-  let len = String.length app_state in
-  if len = 0 then [ "" ]
-  else
-    List.init
-      ((len + chunk_size - 1) / chunk_size)
-      (fun i -> String.sub app_state (i * chunk_size) (min chunk_size (len - (i * chunk_size))))
-
-(* Merkle leaves: meta, cursor, client keys, then app-state chunks. *)
-let leaves ~exec_seq ~next_exec_pp ~cursor ~client_seqs ~app_state =
+(* Merkle leaves: meta, cursor, client keys, app-state root. *)
+let leaves ~exec_seq ~next_exec_pp ~cursor ~client_seqs ~app_root =
   let meta =
     Wire.encode ~size_hint:24 (fun b ->
         Buffer.add_string b "ck-meta:";
@@ -57,18 +53,19 @@ let leaves ~exec_seq ~next_exec_pp ~cursor ~client_seqs ~app_state =
             Wire.w_int b s)
           client_seqs)
   in
-  meta :: cursor_leaf :: clients_leaf :: app_state_chunks app_state
+  let app_leaf = Wire.encode ~size_hint:40 (fun b -> Wire.w_digest b app_root) in
+  [ meta; cursor_leaf; clients_leaf; app_leaf ]
 
-let root_of ~exec_seq ~next_exec_pp ~cursor ~client_seqs ~app_state =
-  Crypto.Merkle.root (leaves ~exec_seq ~next_exec_pp ~cursor ~client_seqs ~app_state)
+let root_of ~exec_seq ~next_exec_pp ~cursor ~client_seqs ~app_root =
+  Crypto.Merkle.root (leaves ~exec_seq ~next_exec_pp ~cursor ~client_seqs ~app_root)
 
 (* Domain separation: the signature can never be confused with one over a
    protocol message or a batch root. *)
 let root_binding root = "store-checkpoint:" ^ root
 
-let make ~keypair ~replica ~next_exec_pp ~exec_seq ~cursor ~client_seqs ~app_state =
+let make ~keypair ~replica ~next_exec_pp ~exec_seq ~cursor ~client_seqs ~app_state ~app_root =
   let client_seqs = sort_client_seqs client_seqs in
-  let root = root_of ~exec_seq ~next_exec_pp ~cursor ~client_seqs ~app_state in
+  let root = root_of ~exec_seq ~next_exec_pp ~cursor ~client_seqs ~app_root in
   {
     ck_replica = replica;
     ck_exec_seq = exec_seq;
@@ -76,16 +73,19 @@ let make ~keypair ~replica ~next_exec_pp ~exec_seq ~cursor ~client_seqs ~app_sta
     ck_cursor = cursor;
     ck_client_seqs = client_seqs;
     ck_app_state = app_state;
+    ck_app_root = app_root;
     ck_root = root;
     ck_auth = Crypto.Auth.sign keypair (root_binding root);
   }
 
-(* Full verification: the root must re-derive from the content (tamper
-   evidence) and the signature must bind it to [signer]. *)
+(* Root/signature verification: the root must re-derive from the covered
+   content (tamper evidence) and the signature must bind it to [signer].
+   [ck_app_state] is NOT covered here — install paths must bind the blob
+   to [ck_app_root] (see [Scada.Durable]). *)
 let verify ~keystore ~signer t =
   String.equal t.ck_root
     (root_of ~exec_seq:t.ck_exec_seq ~next_exec_pp:t.ck_next_exec_pp ~cursor:t.ck_cursor
-       ~client_seqs:t.ck_client_seqs ~app_state:t.ck_app_state)
+       ~client_seqs:t.ck_client_seqs ~app_root:t.ck_app_root)
   && Crypto.Auth.verify keystore ~signer (root_binding t.ck_root) t.ck_auth
 
 let encode t =
@@ -109,6 +109,7 @@ let encode t =
           Wire.w_int b s)
         t.ck_client_seqs;
       Wire.w_str b t.ck_app_state;
+      Wire.w_digest b t.ck_app_root;
       Wire.w_digest b t.ck_root;
       Wire.w_str b (Crypto.Signature.signer signature);
       Wire.w_str b (Crypto.Signature.tag signature))
@@ -131,6 +132,7 @@ let decode s =
     done;
     let ck_client_seqs = List.rev !acc in
     let ck_app_state = Wire.r_str r in
+    let ck_app_root = Wire.r_digest r in
     let ck_root = Wire.r_digest r in
     let signer = Wire.r_str r in
     let tag = Wire.r_str r in
@@ -141,6 +143,7 @@ let decode s =
       ck_cursor;
       ck_client_seqs;
       ck_app_state;
+      ck_app_root;
       ck_root;
       ck_auth = Crypto.Auth.Direct (Crypto.Signature.of_tag ~signer tag);
     }

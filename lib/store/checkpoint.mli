@@ -3,7 +3,13 @@
     client dedup keys) plus the serialized SCADA application state,
     identified by a [Crypto.Merkle] root over its content and signed via
     the [Crypto.Auth] path. Peers accept a transferred checkpoint only
-    once f + 1 replicas present the same root. *)
+    once f + 1 replicas present the same root.
+
+    The application state is covered through [ck_app_root] — the state's
+    own incremental Merkle root — so snapshotting costs O(1) hashing in
+    the state size. The [ck_app_state] blob itself is not covered by
+    {!verify}; install paths bind it to [ck_app_root] with
+    [Scada.State.root_of_blob] before adopting it. *)
 
 type t = {
   ck_replica : int;
@@ -12,6 +18,7 @@ type t = {
   ck_cursor : int array;
   ck_client_seqs : (string * int) list;  (** sorted canonical *)
   ck_app_state : string;
+  ck_app_root : Crypto.Sha256.digest;  (** the state's digest root at the snapshot *)
   ck_root : Crypto.Sha256.digest;
   ck_auth : Crypto.Auth.t;
 }
@@ -26,7 +33,7 @@ val root_of :
   next_exec_pp:int ->
   cursor:int array ->
   client_seqs:(string * int) list ->
-  app_state:string ->
+  app_root:Crypto.Sha256.digest ->
   Crypto.Sha256.digest
 
 (** The domain-separated byte string the signature covers. *)
@@ -40,10 +47,12 @@ val make :
   cursor:int array ->
   client_seqs:(string * int) list ->
   app_state:string ->
+  app_root:Crypto.Sha256.digest ->
   t
 
-(** Recompute the root from the content and check the signature binds it
-    to [signer]. *)
+(** Recompute the root from the covered content and check the signature
+    binds it to [signer]. Does not inspect [ck_app_state] — see the
+    module note on blob binding. *)
 val verify : keystore:Crypto.Signature.keystore -> signer:Crypto.Signature.identity -> t -> bool
 
 (** Canonical byte encoding (disk format and transfer-size model). *)

@@ -248,6 +248,36 @@ let test_merkle_1000_leaves () =
     then Alcotest.failf "proof %d does not verify" i
   done
 
+(* Incremental leaf replacement must land on exactly the root a full
+   rebuild produces — across sizes that exercise promoted odd nodes —
+   and existing proofs must keep verifying against the updated tree. *)
+let test_merkle_set_leaf_matches_rebuild () =
+  List.iter
+    (fun n ->
+      let leaves = Array.init n (fun i -> Printf.sprintf "leaf-%03d" i) in
+      let tree = Crypto.Merkle.build leaves in
+      (* Deterministic pseudo-random walk over indices. *)
+      let idx = ref 7 in
+      for step = 0 to (4 * n) - 1 do
+        idx := ((!idx * 31) + step) mod n;
+        leaves.(!idx) <- Printf.sprintf "leaf-%03d-v%d" !idx step;
+        Crypto.Merkle.set_leaf_hash tree !idx (Crypto.Merkle.leaf_hash leaves.(!idx))
+      done;
+      let rebuilt = Crypto.Merkle.build leaves in
+      check_str
+        (Printf.sprintf "incremental root matches rebuild at n=%d" n)
+        (Crypto.Sha256.to_hex (Crypto.Merkle.tree_root rebuilt))
+        (Crypto.Sha256.to_hex (Crypto.Merkle.tree_root tree));
+      let root = Crypto.Merkle.tree_root tree in
+      for i = 0 to n - 1 do
+        if
+          not
+            (Crypto.Merkle.verify_proof ~root ~leaf:leaves.(i)
+               ~proof:(Crypto.Merkle.tree_proof tree i))
+        then Alcotest.failf "post-update proof %d does not verify (n=%d)" i n
+      done)
+    [ 1; 2; 3; 5; 8; 13; 64; 1000 ]
+
 (* --- Batch aggregate signatures ---------------------------------------- *)
 
 let test_batch_sign_verify () =
@@ -335,6 +365,7 @@ let suite =
     ("merkle order matters", `Quick, test_merkle_root_depends_on_order);
     ("sha256 feed_bytes and copy", `Quick, test_sha256_feed_bytes_and_copy);
     ("merkle 1000 leaves all proofs", `Quick, test_merkle_1000_leaves);
+    ("merkle set_leaf matches rebuild", `Quick, test_merkle_set_leaf_matches_rebuild);
     ("batch sign/verify", `Quick, test_batch_sign_verify);
     ("batch share not transplantable", `Quick, test_batch_share_not_transplantable);
     ("batch root not replayable as body", `Quick, test_batch_root_not_replayable_as_body);

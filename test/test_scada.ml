@@ -171,8 +171,34 @@ let test_state_serialize_load_digest () =
 
 let test_state_load_rejects_malformed () =
   let s = Scada.State.create mini in
+  ignore (Scada.State.apply s ~exec_seq:1 (Scada.Op.Status { breaker = "A"; closed = false }));
+  let before = Scada.State.digest s in
   check "garbage rejected" true (Scada.State.load s "not-a-state" |> Result.is_error);
-  check "half-garbage rejected" true (Scada.State.load s "A=1/1/0;junk" |> Result.is_error)
+  check "old text format rejected" true (Scada.State.load s "A=1/1/0;junk" |> Result.is_error);
+  let blob = Scada.State.serialize s in
+  check "truncated blob rejected" true
+    (Scada.State.load s (String.sub blob 0 (String.length blob - 3)) |> Result.is_error);
+  let unknown_breaker =
+    Wire.encode (fun b ->
+        Wire.w_u8 b 2;
+        Wire.w_u32 b 1;
+        Wire.w_str b "GHOST";
+        Wire.w_u8 b 3;
+        Wire.w_int b 0;
+        Wire.w_u32 b 0)
+  in
+  check "unknown breaker rejected" true (Scada.State.load s unknown_breaker |> Result.is_error);
+  let zero_cursor =
+    Wire.encode (fun b ->
+        Wire.w_u8 b 2;
+        Wire.w_u32 b 0;
+        Wire.w_u32 b 1;
+        Wire.w_str b "proxy-M";
+        Wire.w_int b 0)
+  in
+  check "cursor below 1 rejected" true (Scada.State.load s zero_cursor |> Result.is_error);
+  (* A rejected load leaves the live state untouched. *)
+  check_str "state untouched by rejected loads" before (Scada.State.digest s)
 
 let test_state_batch_cursor_gate () =
   let s = Scada.State.create mini in
@@ -195,15 +221,18 @@ let test_state_batch_cursor_gate () =
 let test_state_cursors_ride_serialization () =
   let s1 = Scada.State.create mini in
   let s2 = Scada.State.create mini in
-  (* Batch-free states serialize exactly as before batches existed. *)
-  check "no cursor section when batch-free" false
-    (String.contains (Scada.State.serialize s1) '#');
+  (* The cursor table is replicated state: it changes the canonical blob
+     and the digest. *)
+  let blob_free = Scada.State.serialize s1 in
+  let digest_free = Scada.State.digest s1 in
   ignore
     (Scada.State.apply_changes s1 ~exec_seq:5
        (Scada.Op.Batch { origin = "proxy-M"; cursor = 9; reports = [ ("A", false) ] }));
-  check "cursor section present" true (String.contains (Scada.State.serialize s1) '#');
-  (* The cursor table is replicated state: load installs it, so a
-     restored replica rejects the same replay the originals did. *)
+  check "cursor changes the canonical blob" false
+    (String.equal blob_free (Scada.State.serialize s1));
+  check "cursor changes the digest" false (String.equal digest_free (Scada.State.digest s1));
+  (* Load installs the cursor table, so a restored replica rejects the
+     same replay the originals did. *)
   (match Scada.State.load s2 (Scada.State.serialize s1) with
   | Ok () -> ()
   | Error e -> Alcotest.failf "load failed: %s" e);
@@ -214,10 +243,76 @@ let test_state_cursors_ride_serialization () =
       (Scada.Op.Batch { origin = "proxy-M"; cursor = 9; reports = [ ("A", true) ] })
   in
   check "restored replica rejects replay" true (replay = []);
-  (* Malformed cursor sections are rejected like malformed breakers. *)
+  (* Trailing bytes are rejected like any other malformed blob. *)
   let s3 = Scada.State.create mini in
-  check "bad cursor section rejected" true
-    (Scada.State.load s3 (Scada.State.serialize s1 ^ ";junk") |> Result.is_error)
+  check "trailing bytes rejected" true
+    (Scada.State.load s3 (Scada.State.serialize s1 ^ "junk") |> Result.is_error)
+
+(* Origins outside the scenario topology (an adversarial client can use
+   any origin string) still ride the digest and the serialization
+   deterministically through the cursor tree's spill leaf. *)
+let test_state_unknown_origin_batch_rides_digest () =
+  let s1 = Scada.State.create mini in
+  let d0 = Scada.State.digest s1 in
+  ignore
+    (Scada.State.apply_changes s1 ~exec_seq:3
+       (Scada.Op.Batch { origin = "rogue-origin"; cursor = 4; reports = [] }));
+  check "unknown origin changes the digest" false (String.equal d0 (Scada.State.digest s1));
+  check_str "incremental matches recompute" (Scada.State.recompute_digest s1)
+    (Scada.State.digest s1);
+  let s2 = Scada.State.create mini in
+  (match Scada.State.load s2 (Scada.State.serialize s1) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "load failed: %s" e);
+  check_str "digest matches after load" (Scada.State.digest s1) (Scada.State.digest s2);
+  check_int "unknown-origin cursor restored" 4 (Scada.State.batch_cursor s2 "rogue-origin")
+
+(* Regression for the old text loader's merge semantics: a blob that
+   mentions fewer breakers/cursors than the live state must fully
+   replace it — unmentioned entries revert to defaults instead of
+   surviving with stale values. *)
+let test_state_load_full_replacement () =
+  let s = Scada.State.create mini in
+  ignore (Scada.State.apply s ~exec_seq:2 (Scada.Op.Status { breaker = "B"; closed = false }));
+  ignore
+    (Scada.State.apply_changes s ~exec_seq:3
+       (Scada.Op.Batch { origin = "proxy-M"; cursor = 5; reports = [] }));
+  (* Hand-built smaller blob: version, one breaker entry (A open at exec
+     7), no cursors. *)
+  let small =
+    Wire.encode (fun b ->
+        Wire.w_u8 b 2;
+        Wire.w_u32 b 1;
+        Wire.w_str b "A";
+        Wire.w_u8 b 2 (* reported open, commanded closed *);
+        Wire.w_int b 7;
+        Wire.w_u32 b 0)
+  in
+  (match Scada.State.load s small with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "load failed: %s" e);
+  check "A installed open" false (Scada.State.reported_closed s "A");
+  check "B reverted to default" true (Scada.State.reported_closed s "B");
+  check_int "cursor table replaced" 0 (Scada.State.batch_cursor s "proxy-M");
+  (* Digests converge with a reference state holding only the A change. *)
+  let reference = Scada.State.create mini in
+  ignore
+    (Scada.State.apply reference ~exec_seq:7 (Scada.Op.Status { breaker = "A"; closed = false }));
+  check_str "digest converges with reference" (Scada.State.digest reference)
+    (Scada.State.digest s);
+  check_str "incremental matches recompute" (Scada.State.recompute_digest s)
+    (Scada.State.digest s)
+
+let test_state_serialize_memoized () =
+  let s = Scada.State.create mini in
+  let b1 = Scada.State.serialize s in
+  let b2 = Scada.State.serialize s in
+  check "memoized blob is the same string" true (b1 == b2);
+  ignore (Scada.State.apply s ~exec_seq:1 (Scada.Op.Status { breaker = "A"; closed = false }));
+  let b3 = Scada.State.serialize s in
+  check "mutation invalidates the memo" false (String.equal b1 b3);
+  let _, _, serializations = Scada.State.stats s in
+  check_int "two encodes for three calls" 2 serializations
 
 let test_state_reset () =
   let s = Scada.State.create mini in
@@ -225,6 +320,48 @@ let test_state_reset () =
   Scada.State.reset s;
   check "back to default" true (Scada.State.reported_closed s "A");
   check_int "ops cleared" 0 (Scada.State.ops_applied s)
+
+(* Differential property for the incremental digest: any interleaving of
+   status/command/batch applies, snapshot loads, and resets leaves the
+   O(1) cached digest equal to a from-scratch recompute at every step. *)
+let prop_state_incremental_matches_recompute =
+  QCheck.Test.make ~count:200 ~name:"incremental digest equals from-scratch recompute"
+    QCheck.(list_of_size Gen.(int_range 0 40) (pair small_nat bool))
+    (fun ops ->
+      let s = Scada.State.create mini in
+      let saved = ref (Scada.State.serialize s) in
+      let ok = ref true in
+      List.iteri
+        (fun i (sel, flag) ->
+          let exec_seq = i + 1 in
+          (match sel mod 8 with
+          | 0 | 1 ->
+              ignore
+                (Scada.State.apply s ~exec_seq
+                   (Scada.Op.Status { breaker = (if sel mod 2 = 0 then "A" else "B"); closed = flag }))
+          | 2 ->
+              ignore
+                (Scada.State.apply s ~exec_seq
+                   (Scada.Op.Command { breaker = (if flag then "A" else "B"); close = flag }))
+          | 3 | 4 ->
+              ignore
+                (Scada.State.apply_changes s ~exec_seq
+                   (Scada.Op.Batch
+                      {
+                        origin = (if sel mod 8 = 3 then "proxy-M" else "ghost-origin");
+                        cursor = exec_seq;
+                        reports = [ ("A", flag); ("B", not flag) ];
+                      }))
+          | 5 -> saved := Scada.State.serialize s
+          | 6 -> (
+              match Scada.State.load s !saved with
+              | Ok () -> ()
+              | Error e -> failwith ("snapshot load failed: " ^ e))
+          | _ -> Scada.State.reset s);
+          if not (String.equal (Scada.State.digest s) (Scada.State.recompute_digest s)) then
+            ok := false)
+        ops;
+      !ok && String.equal (Scada.State.digest s) (Scada.State.recompute_digest s))
 
 let prop_state_digest_deterministic =
   QCheck.Test.make ~count:100 ~name:"state digest is a pure function of applied ops"
@@ -370,6 +507,9 @@ let suite =
     ("state unknown breaker noop", `Quick, test_state_unknown_breaker_is_noop);
     ("state serialize/load/digest", `Quick, test_state_serialize_load_digest);
     ("state load rejects malformed", `Quick, test_state_load_rejects_malformed);
+    ("state load fully replaces", `Quick, test_state_load_full_replacement);
+    ("state unknown-origin batch rides digest", `Quick, test_state_unknown_origin_batch_rides_digest);
+    ("state serialize memoized", `Quick, test_state_serialize_memoized);
     ("state reset", `Quick, test_state_reset);
     ("threshold fires once", `Quick, test_threshold_fires_once);
     ("threshold retention bounds decided", `Quick, test_threshold_retention_bounds_decided);
@@ -380,6 +520,7 @@ let suite =
     ("historian store-backed wipe", `Quick, test_historian_store_backed_wipe_keeps_synced_prefix);
     QCheck_alcotest.to_alcotest prop_op_roundtrip;
     QCheck_alcotest.to_alcotest prop_state_digest_deterministic;
+    QCheck_alcotest.to_alcotest prop_state_incremental_matches_recompute;
   ]
 
 let () = Alcotest.run "scada" [ ("scada", suite) ]

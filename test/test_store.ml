@@ -164,7 +164,8 @@ let sample_ck ~keypair ~replica =
   Store.Checkpoint.make ~keypair ~replica ~next_exec_pp:7 ~exec_seq:42
     ~cursor:[| 5; 9; 2; 0 |]
     ~client_seqs:[ ("hmi-1", 3); ("hmi-0", 5) ]
-    ~app_state:"B57=1/42/40;B56=0/41/41"
+    ~app_state:"opaque-state-blob"
+    ~app_root:(Crypto.Sha256.digest "sample-app-root")
 
 let test_checkpoint_roundtrip_and_verify () =
   let ks, kp0, _ = make_keys () in
@@ -191,9 +192,12 @@ let test_checkpoint_root_is_replica_independent () =
 let test_checkpoint_tamper_detected () =
   let ks, kp0, _ = make_keys () in
   let ck = sample_ck ~keypair:kp0 ~replica:0 in
-  let tampered = { ck with Store.Checkpoint.ck_app_state = "B57=0/43/43" } in
-  check "content tampering breaks the root" false
+  let tampered = { ck with Store.Checkpoint.ck_app_root = Crypto.Sha256.digest "other-root" } in
+  check "app-root tampering breaks the root" false
     (Store.Checkpoint.verify ~keystore:ks ~signer:"replica-0" tampered);
+  let meta_tampered = { ck with Store.Checkpoint.ck_exec_seq = 43 } in
+  check "meta tampering breaks the root" false
+    (Store.Checkpoint.verify ~keystore:ks ~signer:"replica-0" meta_tampered);
   let blob = Store.Checkpoint.encode ck in
   let cut = String.sub blob 0 (String.length blob - 3) in
   check "truncated blob rejected" true (Store.Checkpoint.decode cut = None)
@@ -207,6 +211,33 @@ let mini_scenario =
       [ { Plc.Power.plc_name = "MAIN"; breaker_names = [ "B10-1"; "B57"; "B56" ]; physical = true } ];
     feeds = [ { Plc.Power.load_name = "Building-A"; path = [ "B10-1"; "B57" ] } ];
   }
+
+(* The checkpoint root covers the state's digest root, not the blob
+   bytes; the install-time binding ([State.root_of_blob]) must catch any
+   single-bit flip in the blob — either the derived root changes or the
+   blob stops parsing. *)
+let test_checkpoint_blob_binding_detects_flips () =
+  let s = Scada.State.create mini_scenario in
+  ignore (Scada.State.apply s ~exec_seq:1 (Scada.Op.Status { breaker = "B57"; closed = false }));
+  ignore
+    (Scada.State.apply_changes s ~exec_seq:2
+       (Scada.Op.Batch { origin = "proxy-MAIN"; cursor = 3; reports = [ ("B56", false) ] }));
+  let blob = Scada.State.serialize s in
+  let root = Scada.State.digest_root s in
+  (match Scada.State.root_of_blob s blob with
+  | Ok r -> check "intact blob binds to its root" true (String.equal r root)
+  | Error e -> Alcotest.fail e);
+  let undetected = ref 0 in
+  for i = 0 to String.length blob - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string blob in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      match Scada.State.root_of_blob s (Bytes.to_string b) with
+      | Ok r -> if String.equal r root then incr undetected
+      | Error _ -> ()
+    done
+  done;
+  check_int "every single-bit flip detected" 0 !undetected
 
 let make_spire ?(config = Prime.Config.create ~f:1 ~k:0 ~checkpoint_interval:8 ()) ?seed () =
   let engine =
@@ -403,6 +434,8 @@ let test_single_replica_cannot_force_fabricated_checkpoint () =
                ~client_seqs:[]
                ~app_state:
                  (Scada.State.serialize (Scada.Master.state r0.Spire.Deployment.r_master))
+               ~app_root:
+                 (Scada.State.digest_root (Scada.Master.state r0.Spire.Deployment.r_master))
            in
            let vote =
              Scada.Messages.encode_checkpoint_reply ~rep:0
@@ -576,6 +609,7 @@ let () =
           ("roundtrip and verify", `Quick, test_checkpoint_roundtrip_and_verify);
           ("root is replica independent", `Quick, test_checkpoint_root_is_replica_independent);
           ("tampering detected", `Quick, test_checkpoint_tamper_detected);
+          ("blob binding detects flips", `Quick, test_checkpoint_blob_binding_detects_flips);
         ] );
       ( "recovery",
         [
