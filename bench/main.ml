@@ -2182,6 +2182,259 @@ let exp_e19 () =
       ("same_seed_identical", Bool same_seed_identical);
     ]
 
+(* --- E20: grid-physics co-simulation ---------------------------------------------------------- *)
+
+(* Part A runs the electrical overlay standalone at the E18 scale;
+   Part B closes the loop through a real DNP3 deployment — telemetry
+   into the replicated state, FDIA against it, chi-square detection. *)
+
+let e20_devices = 1_000 (* 50 substation sites *)
+
+let e20_field_devices = 200 (* Part B: full replicated stack, 10 sites *)
+
+(* Every observable byte of a co-simulation run; equality here is the
+   determinism claim. *)
+let e20_render net =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (t, line) -> Buffer.add_string b (Printf.sprintf "trip %h %s\n" t line))
+    (Power.Net.trip_log net);
+  List.iter
+    (fun (t, load, mw) -> Buffer.add_string b (Printf.sprintf "shed %h %s %h\n" t load mw))
+    (Power.Net.shed_log net);
+  List.iter
+    (fun (name, v) -> Buffer.add_string b (Printf.sprintf "%s=%d\n" name v))
+    (Power.Net.all_analogs net);
+  Buffer.add_string b
+    (Printf.sprintf "end %h %h %h %d\n" (Power.Net.served_mw net) (Power.Net.shed_mw net)
+       (Power.Net.frequency_hz net) (Power.Net.tripped_lines net));
+  Buffer.contents b
+
+(* The two-corridor N-3 cascade: three adjacent feeders lost in each of
+   two ring corridors, one second apart. Each corridor overloads its
+   boundary ties, which trip on the inverse-time curve, re-stress the
+   surviving boundary, trip it too, and island the corridor — a genuine
+   initial-trip -> overload -> secondary-trips chain, staggered and
+   fully deterministic. *)
+let e20_cascade backend =
+  let engine = Sim.Engine.create ~seed:2020L ~backend () in
+  let model = Power.Model.of_scenario (Plc.Power.synthetic ~devices:e20_devices ()) in
+  let net = Power.Net.create ~engine model in
+  let open_sites sites =
+    List.iter
+      (fun s -> Power.Net.set_breaker net (Printf.sprintf "SUB-%03d/B00" s) ~closed:false)
+      sites
+  in
+  ignore (Sim.Engine.schedule_at engine ~time:1.0 (fun () -> open_sites [ 10; 11; 12 ]));
+  ignore (Sim.Engine.schedule_at engine ~time:2.0 (fun () -> open_sites [ 30; 31; 32 ]));
+  Sim.Engine.run ~until:60.0 engine;
+  (net, e20_render net)
+
+let exp_e20 () =
+  section "E20"
+    "Grid physics: contingency sweep, cascading failure, FDIA with chi-square detection";
+  let model = Power.Model.of_scenario (Plc.Power.synthetic ~devices:e20_devices ()) in
+  let sites = List.length model.Power.Model.scenario.Plc.Power.plcs in
+  let feeder s = Printf.sprintf "SUB-%03d/B00" s in
+  let solve_without opened =
+    Power.Model.solve model
+      ~breaker_closed:(fun n -> not (List.mem n opened))
+      ~line_in_service:(fun _ -> true)
+  in
+  (* N-1 / N-2 contingency sweeps: how many single (adjacent double)
+     feeder losses leave some line overloaded before protection acts. *)
+  let sweep label cases =
+    let overloaded, worst =
+      List.fold_left
+        (fun (n, worst) opened ->
+          let s = solve_without opened in
+          let w =
+            List.fold_left (fun acc (_, r) -> Float.max acc r) worst s.Power.Model.overloads
+          in
+          ((if s.Power.Model.overloads <> [] then n + 1 else n), w))
+        (0, 0.0) cases
+    in
+    Printf.printf "  %-14s %3d cases  %3d with overloads  worst ratio %.3f\n" label
+      (List.length cases) overloaded worst;
+    (overloaded, worst)
+  in
+  let n1_cases = List.init sites (fun s -> [ feeder s ]) in
+  let n2_cases = List.init sites (fun s -> [ feeder s; feeder ((s + 1) mod sites) ]) in
+  let n1_overloads, n1_worst = sweep "N-1 feeders" n1_cases in
+  let n2_overloads, n2_worst = sweep "N-2 adjacent" n2_cases in
+  (* The cascade, and the determinism claims: same seed twice, and the
+     heap vs timer-wheel engine backends, all byte-identical. *)
+  let net, bytes_heap = e20_cascade `Heap in
+  let _, bytes_heap2 = e20_cascade `Heap in
+  let _, bytes_wheel = e20_cascade `Wheel in
+  let same_seed_identical = String.equal bytes_heap bytes_heap2 in
+  let backends_identical = String.equal bytes_heap bytes_wheel in
+  let trips = Power.Net.trip_log net in
+  let sheds = Power.Net.shed_log net in
+  Printf.printf "  cascade: %d trips, %.1f MW shed, %.1f/%.1f MW served\n" (List.length trips)
+    (Power.Net.shed_mw net) (Power.Net.served_mw net) (Power.Net.total_demand_mw net);
+  List.iter (fun (t, line) -> Printf.printf "    trip t=%8.3f  %s\n" t line) trips;
+  List.iter (fun (t, load, mw) -> Printf.printf "    shed t=%8.3f  %s  %.1f MW\n" t load mw) sheds;
+  Printf.printf "  same-seed identical %b  backends identical %b\n" same_seed_identical
+    backends_identical;
+  (* --- Part B: the replicated stack ------------------------------------ *)
+  let flight = Obs.Flight.default in
+  let prev_flight = Obs.Flight.enabled flight in
+  Obs.Flight.reset flight;
+  Obs.Flight.set_enabled flight true;
+  Fun.protect ~finally:(fun () ->
+      Obs.Flight.reset flight;
+      Obs.Flight.set_enabled flight prev_flight)
+  @@ fun () ->
+  let scenario = Plc.Power.synthetic ~devices:e20_field_devices () in
+  let dnp3 = List.map (fun (p : Plc.Power.plc_spec) -> p.Plc.Power.plc_name) scenario.Plc.Power.plcs in
+  let build () =
+    let engine = Sim.Engine.create ~seed:20L () in
+    Obs.Flight.set_clock flight (fun () -> Sim.Engine.now engine);
+    let trace = Sim.Trace.create () in
+    let config = Prime.Config.power_plant () in
+    let d =
+      Spire.Deployment.create ~proxy_poll_period:0.1 ~dnp3_plcs:dnp3 ~engine ~trace ~config
+        scenario
+    in
+    let inv = Chaos.Invariant.create ~engine ~is_healthy:(fun () -> true) () in
+    Chaos.Invariant.attach inv d;
+    Chaos.Invariant.attach_power inv d;
+    (engine, d, inv)
+  in
+  (* Control run: no fault injected — every physical invariant and the
+     chi-square detector must stay silent while telemetry flows. *)
+  let engine, _, inv = build () in
+  Sim.Engine.run ~until:12.0 engine;
+  Chaos.Invariant.stop inv;
+  let control_violations = List.length (Chaos.Invariant.violations inv) in
+  let control_sweeps = Chaos.Invariant.estimator_sweeps inv in
+  let control_flagged =
+    match Chaos.Invariant.estimator_last inv with
+    | Some r -> r.Chaos.Estimator.est_flagged
+    | None -> true
+  in
+  let control_j, control_threshold =
+    match Chaos.Invariant.estimator_last inv with
+    | Some r -> (r.Chaos.Estimator.est_j, r.Chaos.Estimator.est_threshold)
+    | None -> (nan, nan)
+  in
+  Printf.printf "  no-fault control: %d violations, %d estimator sweeps, J=%.2f (threshold %.2f)\n"
+    control_violations control_sweeps control_j control_threshold;
+  Obs.Flight.clear flight;
+  (* FDIA run: compromise SUB-003's proxy at t=5, freeze its analog
+     image, force its feeder open at t=6. The breaker path reports
+     honestly, so every breaker-state invariant stays silent; only the
+     chi-square ensemble test can notice — the alert engine's bad-data
+     event rule turns the verdict into an operator alarm. *)
+  let engine, d, inv = build () in
+  let alert = Obs.Alert.create ~flight () in
+  let attacked_site = "SUB-003" in
+  let attacked_breaker = attacked_site ^ "/B00" in
+  let t_attack = 6.0 in
+  let fdia = ref None in
+  ignore
+    (Sim.Engine.schedule_at engine ~time:5.0 (fun () ->
+         match Attack.Fdia.launch d ~site:attacked_site with
+         | Ok f -> fdia := Some f
+         | Error e -> failwith e));
+  ignore
+    (Sim.Engine.schedule_at engine ~time:t_attack (fun () ->
+         match !fdia with
+         | Some f -> (
+             match Attack.Fdia.force_open f d ~breaker:attacked_breaker with
+             | Ok () -> ()
+             | Error e -> failwith e)
+         | None -> failwith "fdia not launched"));
+  Sim.Engine.run ~until:16.0 engine;
+  Chaos.Invariant.stop inv;
+  let violations = Chaos.Invariant.violations inv in
+  let count pred = List.length (List.filter pred violations) in
+  let breaker_invariant_violations =
+    count (fun v ->
+        List.mem v.Chaos.Invariant.v_invariant
+          [ "agreement"; "at-most-once"; "liveness"; "recovery"; "state-digest" ])
+  in
+  let physical_violations =
+    count (fun v ->
+        String.length v.Chaos.Invariant.v_invariant >= 6
+        && String.sub v.Chaos.Invariant.v_invariant 0 6 = "power.")
+  in
+  let bad_data_violations = count (fun v -> v.Chaos.Invariant.v_invariant = "bad-data") in
+  let detected_at = Chaos.Invariant.fdia_detected_at inv in
+  let detection_latency_ms =
+    match detected_at with Some t -> (t -. t_attack) *. 1000.0 | None -> -1.0
+  in
+  let alert_raised =
+    List.exists (fun a -> String.equal a.Obs.Alert.al_rule "bad-data") (Obs.Alert.alarms alert)
+  in
+  let fdia_j, fdia_worst =
+    match Chaos.Invariant.estimator_last inv with
+    | Some r -> (r.Chaos.Estimator.est_j, r.Chaos.Estimator.est_worst_point)
+    | None -> (nan, "")
+  in
+  Printf.printf
+    "  fdia on %s: detected %b in %.0f ms, J=%.1f, worst residual %s, alert raised %b\n"
+    attacked_site (detected_at <> None) detection_latency_ms fdia_j fdia_worst alert_raised;
+  Printf.printf
+    "  invariants during fdia: %d breaker-state, %d physical, %d bad-data\n"
+    breaker_invariant_violations physical_violations bad_data_violations;
+  let open Obs.Json in
+  Obj
+    [
+      ("devices", num_i e20_devices);
+      ("field_devices", num_i e20_field_devices);
+      ( "contingency",
+        Obj
+          [
+            ("n1_cases", num_i sites);
+            ("n1_overload_cases", num_i n1_overloads);
+            ("n1_worst_ratio", Num n1_worst);
+            ("n2_cases", num_i sites);
+            ("n2_overload_cases", num_i n2_overloads);
+            ("n2_worst_ratio", Num n2_worst);
+          ] );
+      ( "cascade",
+        Obj
+          [
+            ("trips", num_i (List.length trips));
+            ( "initial_trip",
+              match trips with
+              | (t, line) :: _ -> Obj [ ("time", Num t); ("line", Str line) ]
+              | [] -> Obj [] );
+            ("secondary_trips", num_i (max 0 (List.length trips - 1)));
+            ( "trip_sequence",
+              List (List.map (fun (t, l) -> Obj [ ("time", Num t); ("line", Str l) ]) trips) );
+            ("shed_mw", Num (Power.Net.shed_mw net));
+            ("served_mw", Num (Power.Net.served_mw net));
+            ("total_demand_mw", Num (Power.Net.total_demand_mw net));
+            ("same_seed_identical", Bool same_seed_identical);
+            ("backends_identical", Bool backends_identical);
+          ] );
+      ( "no_fault",
+        Obj
+          [
+            ("violations", num_i control_violations);
+            ("estimator_sweeps", num_i control_sweeps);
+            ("estimator_flagged", Bool control_flagged);
+            ("j", Num control_j);
+            ("threshold", Num control_threshold);
+          ] );
+      ( "fdia",
+        Obj
+          [
+            ("site", Str attacked_site);
+            ("detected", Bool (detected_at <> None));
+            ("detection_latency_ms", Num detection_latency_ms);
+            ("j", Num fdia_j);
+            ("worst_residual_point", Str fdia_worst);
+            ("alert_raised", Bool alert_raised);
+            ("breaker_invariant_violations", num_i breaker_invariant_violations);
+            ("physical_violations", num_i physical_violations);
+            ("bad_data_violations", num_i bad_data_violations);
+          ] );
+    ]
+
 (* --- driver ----------------------------------------------------------------------------------- *)
 
 let experiments =
@@ -2206,6 +2459,7 @@ let experiments =
     ("e17", exp_e17);
     ("e18", exp_e18);
     ("e19", exp_e19);
+    ("e20", exp_e20);
     ("micro", exp_micro);
     ("throughput", exp_throughput);
   ]

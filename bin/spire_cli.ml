@@ -538,14 +538,36 @@ let monitor duration poll tail shards devices json_file =
             (String.concat "  " (List.map (fun (m, v) -> Printf.sprintf "%s=%g" m v) metrics)))
         entries)
     (group_sample_by_shard sample);
+  (* Electrical overlay summary: one line per deployment, straight off
+     the live net (ground truth, not the replicated telemetry image). *)
+  Printf.printf "\n== power ==\n";
+  Array.iteri
+    (fun i d ->
+      let net = Spire.Deployment.power_net d in
+      Printf.printf "  net %d: %.3f Hz  served %.1f MW  shed %.1f MW  tripped lines %d\n" i
+        (Power.Net.frequency_hz net) (Power.Net.served_mw net) (Power.Net.shed_mw net)
+        (Power.Net.tripped_lines net))
+    deployments;
+  let tri_counts rows =
+    List.fold_left
+      (fun (e, d, u) (_, st) ->
+        match st with
+        | `Energized -> (e + 1, d, u)
+        | `De_energized -> (e, d + 1, u)
+        | `Unknown -> (e, d, u + 1))
+      (0, 0, 0) rows
+  in
   let overview = match grid with Some g -> Spire.Grid.overview g | None -> [] in
   if overview <> [] then begin
     Printf.printf "\n== shards ==\n";
     List.iter
       (fun r ->
-        Printf.printf "  %-4s exec frontier %6d  breakers %3d/%-3d closed  agreed %b\n"
+        let energized, dark, unknown = tri_counts r.Spire.Grid.o_energized in
+        Printf.printf
+          "  %-4s exec frontier %6d  breakers %3d/%-3d closed  feeds %d lit/%d dark/%d \
+           unknown  agreed %b\n"
           r.Spire.Grid.o_label r.Spire.Grid.o_exec_frontier r.Spire.Grid.o_closed
-          r.Spire.Grid.o_breakers r.Spire.Grid.o_agreed)
+          r.Spire.Grid.o_breakers energized dark unknown r.Spire.Grid.o_agreed)
       overview
   end;
   Printf.printf "\n== alarms ==\n";
@@ -575,6 +597,7 @@ let monitor duration poll tail shards devices json_file =
       let shard_rows =
         List.map
           (fun r ->
+            let energized, dark, unknown = tri_counts r.Spire.Grid.o_energized in
             Obs.Json.Obj
               [
                 ("shard", num_i r.Spire.Grid.o_shard);
@@ -583,8 +606,26 @@ let monitor duration poll tail shards devices json_file =
                 ("exec_frontier", num_i r.Spire.Grid.o_exec_frontier);
                 ("breakers", num_i r.Spire.Grid.o_breakers);
                 ("closed", num_i r.Spire.Grid.o_closed);
+                ("feeds_energized", num_i energized);
+                ("feeds_dark", num_i dark);
+                ("feeds_unknown", num_i unknown);
               ])
           overview
+      in
+      let power_rows =
+        Array.to_list
+          (Array.mapi
+             (fun i d ->
+               let net = Spire.Deployment.power_net d in
+               Obs.Json.Obj
+                 [
+                   ("net", num_i i);
+                   ("frequency_hz", Obs.Json.Num (Power.Net.frequency_hz net));
+                   ("served_mw", Obs.Json.Num (Power.Net.served_mw net));
+                   ("shed_mw", Obs.Json.Num (Power.Net.shed_mw net));
+                   ("tripped_lines", num_i (Power.Net.tripped_lines net));
+                 ])
+             deployments)
       in
       let doc =
         Obs.Json.Obj
@@ -592,6 +633,7 @@ let monitor duration poll tail shards devices json_file =
              ("schema", Obs.Json.Str "spire-monitor/1");
              ("duration", Obs.Json.Num duration);
              ("health", Obs.Probe.sample_json sample);
+             ("power", Obs.Json.List power_rows);
              ("alarms", Obs.Json.List (List.map Obs.Alert.alarm_to_json alarms));
              ("flight_tail", Obs.Json.List (List.map Obs.Flight.event_to_json tail_events));
              ( "counters",

@@ -46,6 +46,11 @@ type t = {
          its raw digest root). Reset per sweep instead of reallocated —
          the sweep runs every 0.1 s for the whole chaos run. *)
   mutable poll : Sim.Engine.timer option;
+  mutable power_poll : Sim.Engine.timer option;
+  mutable fdia_streak : int; (* consecutive flagged estimator sweeps *)
+  mutable fdia_detected_at : float option;
+  mutable estimator_sweeps : int;
+  mutable estimator_last : Estimator.report option;
   mutable on_violation : (violation -> unit) option;
 }
 
@@ -67,6 +72,11 @@ let create ?(liveness_bound = 20.0) ?(recovery_bound = 30.0) ~engine ~is_healthy
     actuations = 0;
     digest_seen = Hashtbl.create 8;
     poll = None;
+    power_poll = None;
+    fdia_streak = 0;
+    fdia_detected_at = None;
+    estimator_sweeps = 0;
+    estimator_last = None;
     on_violation = None;
   }
 
@@ -189,6 +199,112 @@ let check_recoveries t =
             else true)
           t.recoveries
 
+(* --- power-physics invariants ------------------------------------------------ *)
+
+(* Consecutive flagged estimator sweeps required before the chi-square
+   verdict counts: a single sweep can straddle a poll in which breaker
+   status and analog image update in different packets. *)
+let fdia_persistence = 3
+
+(* Ground-truth physical invariants against the live electrical overlay
+   (not the telemetry image): these hold in every honest run, faulted or
+   not, because the solver itself guarantees them — a violation means
+   the co-simulation, not the grid, is broken. *)
+let check_power_physics t (net : Power.Net.t) =
+  let model = Power.Net.model net in
+  let solution = Power.Net.solution net in
+  (* No flow through an open path: a line whose gate breaker is open or
+     whose protection tripped carries exactly nothing. *)
+  Array.iteri
+    (fun li (line : Power.Model.line) ->
+      if not solution.Power.Model.line_live.(li) then begin
+        let f = solution.Power.Model.flows_mw.(li) in
+        if abs_float f > 1e-9 then
+          violate t ~invariant:"power.open-flow"
+            (Printf.sprintf "line %s carries %.3f MW while dead" line.Power.Model.line_name f)
+      end)
+    model.Power.Model.lines;
+  (* Balance: DC flow is lossless, so generation matches served load. *)
+  let imbalance =
+    abs_float (solution.Power.Model.gen_mw -. solution.Power.Model.served_mw)
+  in
+  if imbalance > 1e-6 then
+    violate t ~invariant:"power.balance"
+      (Printf.sprintf "generation %.6f MW vs served %.6f MW" solution.Power.Model.gen_mw
+         solution.Power.Model.served_mw);
+  (* Frequency: droop never raises it above nominal, UFLS restores the
+     balance, and the floor clamp bounds the excursion. *)
+  let f = solution.Power.Model.frequency_hz in
+  let nominal = model.Power.Model.nominal_hz in
+  if f > nominal +. 1e-9 || f < 50.0 -. 1e-9 then
+    violate t ~invariant:"power.frequency"
+      (Printf.sprintf "frequency %.3f Hz outside [50, %.0f]" f nominal);
+  if solution.Power.Model.shed_mw = 0.0 && abs_float (f -. nominal) > 1e-9 then
+    violate t ~invariant:"power.frequency"
+      (Printf.sprintf "frequency %.3f Hz depressed with nothing shed" f);
+  (* Cascade containment: protection must clear any overload within the
+     worst-case inverse-time delay. *)
+  List.iter
+    (fun (line, since) ->
+      violate t ~invariant:"power.cascade"
+        (Printf.sprintf "line %s overloaded since t=%.3f without tripping" line since))
+    (Power.Net.stuck_overloads net ~grace:1.0)
+
+(* Chi-square bad-data sweep over what the master group actually holds:
+   the first running replica's replicated state. Flags must persist for
+   [fdia_persistence] consecutive sweeps before the verdict lands, at
+   which point an [fdia.flagged] alarm event hits the flight recorder
+   (and through it the alert engine). *)
+let check_bad_data t deployment (net : Power.Net.t) =
+  let replicas = Spire.Deployment.replicas deployment in
+  let state = ref None in
+  Array.iter
+    (fun (r : Spire.Deployment.replica_bundle) ->
+      if !state = None && Prime.Replica.is_running r.Spire.Deployment.r_replica then
+        state := Some (Scada.Master.state r.Spire.Deployment.r_master))
+    replicas;
+  match !state with
+  | None -> ()
+  | Some state -> (
+      t.estimator_sweeps <- t.estimator_sweeps + 1;
+      match Estimator.evaluate (Power.Net.model net) state with
+      | None -> t.fdia_streak <- 0
+      | Some report ->
+          t.estimator_last <- Some report;
+          if not report.Estimator.est_flagged then t.fdia_streak <- 0
+          else begin
+            t.fdia_streak <- t.fdia_streak + 1;
+            if t.fdia_streak = fdia_persistence && t.fdia_detected_at = None then begin
+              let now = Sim.Engine.now t.engine in
+              t.fdia_detected_at <- Some now;
+              violate t ~invariant:"bad-data"
+                (Printf.sprintf "chi-square J=%.1f > %.1f (dof %d), worst %s at %.1f sigma"
+                   report.Estimator.est_j report.Estimator.est_threshold
+                   report.Estimator.est_dof report.Estimator.est_worst_point
+                   report.Estimator.est_worst_residual);
+              if Obs.Flight.recording Obs.Flight.default then
+                Obs.Flight.record Obs.Flight.default ~time:now ~severity:Obs.Flight.Alarm
+                  ~subsystem:"chaos" ~kind:"fdia.flagged"
+                  (Printf.sprintf "state estimation rejects telemetry: J=%.1f > %.1f, worst %s"
+                     report.Estimator.est_j report.Estimator.est_threshold
+                     report.Estimator.est_worst_point)
+            end
+          end)
+
+let attach_power ?(period = 0.1) ?(bad_data = true) t deployment =
+  let net = Spire.Deployment.power_net deployment in
+  t.power_poll <-
+    Some
+      (Sim.Engine.every t.engine ~period (fun () ->
+           check_power_physics t net;
+           if bad_data then check_bad_data t deployment net))
+
+let fdia_detected_at t = t.fdia_detected_at
+
+let estimator_sweeps t = t.estimator_sweeps
+
+let estimator_last t = t.estimator_last
+
 let attach t deployment =
   t.deployment <- Some deployment;
   t.last_progress <- Sim.Engine.now t.engine;
@@ -220,7 +336,9 @@ let attach t deployment =
 
 let stop t =
   (match t.poll with Some timer -> Sim.Engine.cancel_timer t.engine timer | None -> ());
-  t.poll <- None
+  t.poll <- None;
+  (match t.power_poll with Some timer -> Sim.Engine.cancel_timer t.engine timer | None -> ());
+  t.power_poll <- None
 
 let violations t = List.rev t.violations
 

@@ -81,6 +81,8 @@ type t = {
   keystore : Crypto.Signature.keystore;
   config : Prime.Config.t;
   scenario : Plc.Power.scenario;
+  power_model : Power.Model.t;
+  power_net : Power.Net.t;
   hardened : bool;
   internal_switch : Netbase.Switch.t;
   external_switch : Netbase.Switch.t;
@@ -101,6 +103,10 @@ let keystore t = t.keystore
 let config t = t.config
 
 let scenario t = t.scenario
+
+let power_model t = t.power_model
+
+let power_net t = t.power_net
 
 let replicas t = t.replicas
 
@@ -156,6 +162,11 @@ let create ?(hardened = true) ?(n_hmis = 1) ?(proxy_poll_period = 0.1) ?(dnp3_pl
   | Some l -> Obs.Probe.set_label Obs.Probe.default (Some l)
   | None -> ());
   let keystore = Crypto.Signature.create_keystore () in
+  (* Electrical overlay: the grid physics the breaker topology actuates.
+     Purely observational from the SCADA stack's point of view — the net
+     mirrors breaker positions and never commands them. *)
+  let power_model = Power.Model.of_scenario scenario in
+  let power_net = Power.Net.create ~flight:Obs.Flight.default ~engine power_model in
   let n = config.Prime.Config.n in
   let switch_mode = if hardened then Netbase.Switch.Static else Netbase.Switch.Learning in
   let internal_switch =
@@ -513,12 +524,19 @@ let create ?(hardened = true) ?(n_hmis = 1) ?(proxy_poll_period = 0.1) ?(dnp3_pl
                    (fun index breaker_name ->
                      let b = Plc.Breaker.create ~engine breaker_name in
                      Plc.Rtu.wire_breaker rtu ~index b;
+                     Power.Net.bind_breaker power_net b;
                      b)
                    spec.Plc.Power.breaker_names)
             in
+            (* The RTU's analog image samples the site's measurement
+               points (line flows, injections, frequency) from the
+               electrical overlay at poll time. *)
+            let analog_names = Power.Net.analog_names_for power_net ~plc:spec.Plc.Power.plc_name in
+            Plc.Rtu.set_analog_source rtu (fun () ->
+                List.map snd (Power.Net.analogs_for power_net ~plc:spec.Plc.Power.plc_name));
             Plc.Rtu.serve_on rtu plc_host;
             let proxy =
-              Scada.Rtu_proxy.create ~engine ~trace ~keystore ~config ~host
+              Scada.Rtu_proxy.create ~analog_names ~engine ~trace ~keystore ~config ~host
                 ~rtu_ip:(Addressing.cable_plc k) ~breaker_names:spec.Plc.Power.breaker_names
                 ~client proxy_name
             in
@@ -536,6 +554,7 @@ let create ?(hardened = true) ?(n_hmis = 1) ?(proxy_poll_period = 0.1) ?(dnp3_pl
                    (fun coil breaker_name ->
                      let b = Plc.Breaker.create ~engine breaker_name in
                      Plc.Device.wire_breaker device ~coil b;
+                     Power.Net.bind_breaker power_net b;
                      b)
                    spec.Plc.Power.breaker_names)
             in
@@ -592,6 +611,7 @@ let create ?(hardened = true) ?(n_hmis = 1) ?(proxy_poll_period = 0.1) ?(dnp3_pl
         Spines.Node.Session.start session;
         { h_index = j; h_host = host; h_session = session; h_hmi = hmi; h_client = client })
   in
+  Power.Net.register_probe power_net Obs.Probe.default;
   (* Probes register at construction time only, so the label's scope
      ends here; restarts reuse the instances built above. *)
   (match probe_label with
@@ -603,6 +623,8 @@ let create ?(hardened = true) ?(n_hmis = 1) ?(proxy_poll_period = 0.1) ?(dnp3_pl
     keystore;
     config;
     scenario;
+    power_model;
+    power_net;
     hardened;
     internal_switch;
     external_switch;

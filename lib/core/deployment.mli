@@ -82,6 +82,14 @@ val config : t -> Prime.Config.t
 
 val scenario : t -> Plc.Power.scenario
 
+(** The electrical model derived from the scenario topology. *)
+val power_model : t -> Power.Model.t
+
+(** The live electrical overlay co-simulating on the deployment's engine.
+    Breaker positions drive it; it never commands breakers. RTU analog
+    images sample its measurement points. *)
+val power_net : t -> Power.Net.t
+
 val replicas : t -> replica_bundle array
 
 (** The durable store of replica [i] ([None] when [durable_store] is

@@ -25,14 +25,14 @@ type t = {
   shard_bundles : shard array;
 }
 
-let create ?hardened ?n_hmis ?proxy_poll_period ?switch_bandwidth ~engine ~trace ~config
-    ~shards scenario =
+let create ?hardened ?n_hmis ?proxy_poll_period ?dnp3_plcs ?switch_bandwidth ~engine ~trace
+    ~config ~shards scenario =
   let map = Scada.Shard.create ~shards scenario in
   let shard_bundles =
     Array.init shards (fun s ->
         let label = Scada.Shard.label s in
         let deployment =
-          Deployment.create ?hardened ?n_hmis ?proxy_poll_period ?switch_bandwidth
+          Deployment.create ?hardened ?n_hmis ?proxy_poll_period ?dnp3_plcs ?switch_bandwidth
             ~probe_label:label ~engine ~trace ~config
             (Scada.Shard.sub_scenario map s)
         in
@@ -74,7 +74,11 @@ type shard_overview = {
   o_exec_frontier : int;
   o_breakers : int;
   o_closed : int;
-  o_energized : (string * bool) list;
+  o_energized : (string * [ `Energized | `De_energized | `Unknown ]) list;
+      (* Tri-state: a feed whose path crosses a breaker this shard does
+         not track reports [`Unknown] — the old boolean view read those
+         segments conservatively open and conflated "dark" with "we
+         cannot see that cable from here". *)
 }
 
 (* One aggregated query against one shard's master group. Every running
@@ -124,7 +128,7 @@ let query_shard t s =
         o_exec_frontier = exec_frontier t s;
         o_breakers = List.length breakers;
         o_closed = closed;
-        o_energized = Scada.State.energized state;
+        o_energized = Scada.State.energized_tri state;
       }
   | _ ->
       {

@@ -14,6 +14,7 @@ val create :
   ?hardened:bool ->
   ?n_hmis:int ->
   ?proxy_poll_period:float ->
+  ?dnp3_plcs:string list ->
   ?switch_bandwidth:float ->
   engine:Sim.Engine.t ->
   trace:Sim.Trace.t ->
@@ -44,7 +45,10 @@ type shard_overview = {
   o_exec_frontier : int;
   o_breakers : int;
   o_closed : int;
-  o_energized : (string * bool) list;
+  o_energized : (string * [ `Energized | `De_energized | `Unknown ]) list;
+      (** Tri-state per feed: paths crossing breakers this shard does not
+          track report [`Unknown] rather than being conflated with
+          de-energized. *)
 }
 
 (** Grid-wide overview: ONE aggregated query per shard (not one round

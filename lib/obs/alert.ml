@@ -159,6 +159,8 @@ let default_event_rules () =
     event_rule ~name:"store-fault"
       ~kinds:[ "wal.replay_gap"; "wal.corrupt"; "checkpoint.bad"; "disk.wipe" ]
       ~threshold:1 ~window:1.0 ~cooldown:5.0 ();
+    event_rule ~name:"bad-data" ~kinds:[ "fdia.flagged" ] ~threshold:1 ~window:1.0
+      ~cooldown:5.0 ();
   ]
 
 (* --- engine ----------------------------------------------------------- *)

@@ -49,8 +49,9 @@ val replica_down_rule : unit -> sample_rule
 
 val default_sample_rules : unit -> sample_rule list
 
-(** Malformed frames, leader suspicion, and store faults
-    (replay gap / corrupt WAL / bad checkpoint / disk wipe). *)
+(** Malformed frames, leader suspicion, store faults (replay gap /
+    corrupt WAL / bad checkpoint / disk wipe), and chi-square bad-data
+    flags ([fdia.flagged]). *)
 val default_event_rules : unit -> event_rule list
 
 type t

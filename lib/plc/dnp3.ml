@@ -17,6 +17,7 @@ let tcp_port = 20000
 
 type request =
   | Read_class of { classes : int list (* 0 = static, 1..3 = event classes *) }
+  | Read_analogs (* group-30 style static analog input read *)
   | Operate of { index : int; close : bool (* CROB latch on/off *) }
   | Clear_events
 
@@ -24,6 +25,7 @@ type event = { ev_index : int; ev_closed : bool; ev_time : float }
 
 type response =
   | Static_data of bool list (* binary input states by index *)
+  | Analog_data of int list (* signed 32-bit analog values by index *)
   | Events of event list
   | Operate_ack of { op_index : int; op_close : bool; success : bool }
   | Events_cleared
@@ -92,6 +94,7 @@ let encode_request { sequence; body } =
       u8 buf 0x01;
       u8 buf (List.length classes);
       List.iter (fun c -> u8 buf c) classes
+  | Read_analogs -> u8 buf 0x02
   | Operate { index; close } ->
       u8 buf 0x04;
       u16 buf index;
@@ -110,6 +113,7 @@ let decode_request s =
         let n = get_u8 p 2 in
         need p 3 n;
         Read_class { classes = List.init n (fun i -> get_u8 p (3 + i)) }
+    | 0x02 -> Read_analogs
     | 0x04 ->
         need p 2 3;
         let index = get_u16 p 2 in
@@ -135,6 +139,10 @@ let encode_response { sequence; body } =
       let bytes = Array.make ((List.length bits + 7) / 8) 0 in
       List.iteri (fun i b -> if b then bytes.(i / 8) <- bytes.(i / 8) lor (1 lsl (i mod 8))) bits;
       Array.iter (fun b -> u8 buf b) bytes
+  | Analog_data values ->
+      u8 buf 0x05;
+      u16 buf (List.length values);
+      List.iter (fun v -> u32 buf (v land 0xFFFFFFFF)) values
   | Events events ->
       u8 buf 0x02;
       u16 buf (List.length events);
@@ -166,6 +174,15 @@ let decode_response s =
         need p 5 nbytes;
         Static_data
           (List.init n (fun i -> get_u8 p (5 + (i / 8)) land (1 lsl (i mod 8)) <> 0))
+    | 0x05 ->
+        need p 3 2;
+        let n = get_u16 p 3 in
+        need p 5 (n * 4);
+        Analog_data
+          (List.init n (fun i ->
+               let v = get_u32 p (5 + (i * 4)) in
+               (* sign-extend from 32 bits *)
+               if v land 0x80000000 <> 0 then v - 0x100000000 else v))
     | 0x02 ->
         need p 3 2;
         let n = get_u16 p 3 in
@@ -190,5 +207,6 @@ let decode_response s =
 let describe_request = function
   | Read_class { classes } ->
       Printf.sprintf "read-class [%s]" (String.concat ";" (List.map string_of_int classes))
+  | Read_analogs -> "read-analogs"
   | Operate { index; close } -> Printf.sprintf "operate %d=%b" index close
   | Clear_events -> "clear-events"

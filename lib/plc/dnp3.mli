@@ -7,6 +7,7 @@ val tcp_port : int
 
 type request =
   | Read_class of { classes : int list (* 0 = static, 1..3 = event classes *) }
+  | Read_analogs (* group-30 style static analog input read *)
   | Operate of { index : int; close : bool }
   | Clear_events
 
@@ -14,6 +15,7 @@ type event = { ev_index : int; ev_closed : bool; ev_time : float }
 
 type response =
   | Static_data of bool list
+  | Analog_data of int list (* signed 32-bit analog values by index *)
   | Events of event list
   | Operate_ack of { op_index : int; op_close : bool; success : bool }
   | Events_cleared

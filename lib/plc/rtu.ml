@@ -18,6 +18,7 @@ type t = {
   mutable events : Dnp3.event list; (* newest first *)
   mutable events_overflowed : bool;
   event_buffer_limit : int;
+  mutable analog_source : (unit -> int list) option; (* group-30 analog image *)
   counters : Sim.Stats.Counter.t;
 }
 
@@ -30,6 +31,7 @@ let create ?(event_buffer_limit = 256) ~engine ~trace ~name ~n_points () =
     events = [];
     events_overflowed = false;
     event_buffer_limit;
+    analog_source = None;
     counters = Sim.Stats.Counter.create ();
   }
 
@@ -56,6 +58,10 @@ let record_event t ~index ~closed =
       { Dnp3.ev_index = index; ev_closed = closed; ev_time = Sim.Engine.now t.engine }
       :: t.events
 
+(* The measurement image is pulled on demand — the physical model owns
+   the values; the RTU only samples them at poll time. *)
+let set_analog_source t f = t.analog_source <- Some f
+
 let wire_breaker t ~index breaker =
   if index < 0 || index >= Array.length t.breakers then
     invalid_arg "Rtu.wire_breaker: bad point index";
@@ -76,6 +82,8 @@ let handle_request t (req : Dnp3.request Dnp3.framed) : Dnp3.response Dnp3.frame
     | Dnp3.Read_class { classes } ->
         if List.mem 0 classes then Dnp3.Static_data (static_data t)
         else Dnp3.Events (List.rev t.events)
+    | Dnp3.Read_analogs ->
+        Dnp3.Analog_data (match t.analog_source with Some f -> f () | None -> [])
     | Dnp3.Operate { index; close } ->
         if index >= 0 && index < Array.length t.breakers then begin
           (match t.breakers.(index) with

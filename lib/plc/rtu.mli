@@ -28,6 +28,10 @@ val events_overflowed : t -> bool
     [Invalid_argument] on a bad index. *)
 val wire_breaker : t -> index:int -> Breaker.t -> unit
 
+(** Install the analog measurement image served on [Read_analogs]
+    (pulled at poll time; signed 32-bit values by point index). *)
+val set_analog_source : t -> (unit -> int list) -> unit
+
 (** Process one request (exposed for unit tests). *)
 val handle_request : t -> Dnp3.request Dnp3.framed -> Dnp3.response Dnp3.framed
 

@@ -131,7 +131,13 @@ let apply_update t ~exec_seq (u : Prime.Msg.Update.t) =
                   ~stage:Obs.Registry.stage_push ~time:(Sim.Engine.now t.engine))
               changes;
             push_hmi_batch t ~exec_seq ~changes
-          end)
+          end
+      | Op.Telemetry _ ->
+          (* Measurements update the replicated state (and therefore the
+             digest) but carry no position changes, so nothing is pushed
+             to HMIs — operators read them via the grid overview path. *)
+          Sim.Stats.Counter.incr t.counters "apply.telemetry";
+          Obs.Registry.incr Obs.Registry.default "master.apply.telemetry")
 
 (* --- application-level state transfer -------------------------------------- *)
 

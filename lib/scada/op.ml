@@ -11,6 +11,7 @@ type t =
   | Status of { breaker : string; closed : bool }
   | Command of { breaker : string; close : bool }
   | Batch of { origin : string; cursor : int; reports : (string * bool) list }
+  | Telemetry of { origin : string; cursor : int; readings : (string * int) list }
 
 let encode = function
   | Status { breaker; closed } -> Printf.sprintf "status:%s:%d" breaker (if closed then 1 else 0)
@@ -22,6 +23,13 @@ let encode = function
       Printf.sprintf "batch:%s:%d:%s" origin cursor
         (String.concat ","
            (List.map (fun (b, closed) -> Printf.sprintf "%s=%d" b (if closed then 1 else 0)) reports))
+  | Telemetry { origin; cursor; readings } ->
+      (* Measurement point names use '.' separators, never ':', ',' or
+         '='; values are signed scaled integers. Shares the per-origin
+         batch cursor, so stale telemetry replays are rejected by the
+         same monotone gate. *)
+      Printf.sprintf "telem:%s:%d:%s" origin cursor
+        (String.concat "," (List.map (fun (p, v) -> Printf.sprintf "%s=%d" p v) readings))
 
 let decode_reports s =
   if String.length s = 0 then Some []
@@ -34,6 +42,21 @@ let decode_reports s =
           | '0' -> Some (String.sub entry 0 i, false)
           | '1' -> Some (String.sub entry 0 i, true)
           | _ -> None)
+      | _ -> None
+    in
+    let parsed = List.filter_map parse entries in
+    if List.length parsed = List.length entries then Some parsed else None
+
+let decode_readings s =
+  if String.length s = 0 then Some []
+  else
+    let entries = String.split_on_char ',' s in
+    let parse entry =
+      match String.index_opt entry '=' with
+      | Some i when i > 0 -> (
+          match int_of_string_opt (String.sub entry (i + 1) (String.length entry - i - 1)) with
+          | Some v -> Some (String.sub entry 0 i, v)
+          | None -> None)
       | _ -> None
     in
     let parsed = List.filter_map parse entries in
@@ -54,14 +77,27 @@ let decode s =
           | Some reports -> Some (Batch { origin; cursor; reports })
           | None -> None)
       | _ -> None)
+  | "telem" :: origin :: cursor :: rest -> (
+      match int_of_string_opt cursor with
+      | Some cursor when cursor >= 0 -> (
+          match decode_readings (String.concat ":" rest) with
+          | Some readings -> Some (Telemetry { origin; cursor; readings })
+          | None -> None)
+      | _ -> None)
   | _ -> None
 
 let breaker = function
   | Status { breaker; _ } -> breaker
   | Command { breaker; _ } -> breaker
   | Batch { origin; _ } -> origin
+  | Telemetry { origin; _ } -> origin
 
-(* Device updates carried by an op: a batch counts every report. *)
-let updates = function Status _ -> 1 | Command _ -> 0 | Batch { reports; _ } -> List.length reports
+(* Device updates carried by an op: a batch counts every report;
+   telemetry carries measurements, not position updates. *)
+let updates = function
+  | Status _ -> 1
+  | Command _ -> 0
+  | Batch { reports; _ } -> List.length reports
+  | Telemetry _ -> 0
 
 let pp ppf op = Fmt.string ppf (encode op)

@@ -11,6 +11,11 @@ type t =
           at or below the last cursor applied for that origin, so a
           faulty client replaying an old aggregate under a fresh client
           sequence cannot rewind positions. *)
+  | Telemetry of { origin : string; cursor : int; readings : (string * int) list }
+      (** Aggregated analog measurement report (line MW flows, bus
+          injections, frequency) from one proxy polling round, as scaled
+          signed integers by point name. Shares the origin's monotone
+          batch cursor, so stale telemetry cannot overwrite fresh. *)
 
 val encode : t -> string
 
@@ -19,8 +24,8 @@ val decode : string -> t option
 
 val breaker : t -> string
 
-(** Device updates carried: 1 per status, 0 per command, report count
-    per batch. *)
+(** Device updates carried: 1 per status, 0 per command or telemetry,
+    report count per batch. *)
 val updates : t -> int
 
 val pp : Format.formatter -> t -> unit

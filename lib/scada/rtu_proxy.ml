@@ -17,8 +17,13 @@ type t = {
   host : Netbase.Host.t;
   rtu_ip : Netbase.Addr.Ip.t;
   breaker_names : string array; (* index = DNP3 point index *)
+  analog_names : string array; (* index = DNP3 analog point index *)
   client : Prime.Client.t;
   last_known : bool option array;
+  last_analog : int option array;
+  mutable analog_rewrite : ((string * int) list -> (string * int) list) option;
+      (* FDIA hook: a compromised proxy rewrites the analog image it
+         just polled before dead-band filtering and submission *)
   mutable batch_cursor : int; (* monotone sequence for aggregated poll reports *)
   command_gate : Threshold.t;
   mutable sequence : int;
@@ -29,7 +34,8 @@ type t = {
 
 let dnp3_local_port = 5021
 
-let create ~engine ~trace ~keystore ~config ~host ~rtu_ip ~breaker_names ~client name =
+let create ?(analog_names = []) ~engine ~trace ~keystore ~config ~host ~rtu_ip ~breaker_names
+    ~client name =
   {
     name;
     engine;
@@ -39,8 +45,11 @@ let create ~engine ~trace ~keystore ~config ~host ~rtu_ip ~breaker_names ~client
     host;
     rtu_ip;
     breaker_names = Array.of_list breaker_names;
+    analog_names = Array.of_list analog_names;
     client;
     last_known = Array.make (List.length breaker_names) None;
+    last_analog = Array.make (List.length analog_names) None;
+    analog_rewrite = None;
     batch_cursor = 0;
     command_gate = Threshold.create ~needed:(config.Prime.Config.f + 1) ();
     sequence = 0;
@@ -55,10 +64,20 @@ let counters t = t.counters
 
 let set_on_actuate t hook = t.on_actuate <- Some hook
 
+let set_analog_rewrite t hook = t.analog_rewrite <- hook
+
 let point_of_breaker t breaker =
   let rec scan i =
     if i >= Array.length t.breaker_names then None
     else if String.equal t.breaker_names.(i) breaker then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let point_of_analog t pt =
+  let rec scan i =
+    if i >= Array.length t.analog_names then None
+    else if String.equal t.analog_names.(i) pt then Some i
     else scan (i + 1)
   in
   scan 0
@@ -73,7 +92,11 @@ let send_dnp3 t body =
 
 let event_poll t =
   Sim.Stats.Counter.incr t.counters "poll.event";
-  send_dnp3 t (Plc.Dnp3.Read_class { classes = [ 1 ] })
+  send_dnp3 t (Plc.Dnp3.Read_class { classes = [ 1 ] });
+  if Array.length t.analog_names > 0 then begin
+    Sim.Stats.Counter.incr t.counters "poll.analog";
+    send_dnp3 t Plc.Dnp3.Read_analogs
+  end
 
 let integrity_poll t =
   Sim.Stats.Counter.incr t.counters "poll.integrity";
@@ -117,6 +140,46 @@ let submit_changes t changes =
       let op = Op.Batch { origin = t.name; cursor = t.batch_cursor; reports } in
       ignore (Prime.Client.submit t.client ~op:(Op.encode op))
 
+(* Scaled-integer dead band: changes smaller than this are measurement
+   jitter, not worth an ordered update. *)
+let analog_deadband = 2
+
+(* Pair the polled analog image with its point names, run the (normally
+   absent) rewrite hook, dead-band against the last submitted values and
+   ship the changed readings as one Telemetry op under the next batch
+   cursor. *)
+let handle_analog_data t values =
+  let n = Array.length t.analog_names in
+  let readings = List.filteri (fun i _ -> i < n) values in
+  let readings = List.mapi (fun i v -> (t.analog_names.(i), v)) readings in
+  let readings =
+    match t.analog_rewrite with Some rewrite -> rewrite readings | None -> readings
+  in
+  let changed = ref [] in
+  List.iter
+    (fun (pt, v) ->
+      match point_of_analog t pt with
+      | Some i ->
+          let report =
+            match t.last_analog.(i) with
+            | None -> true
+            | Some prev -> abs (v - prev) >= analog_deadband
+          in
+          if report then begin
+            t.last_analog.(i) <- Some v;
+            changed := (pt, v) :: !changed
+          end
+      | None -> ())
+    readings;
+  match List.rev !changed with
+  | [] -> ()
+  | readings ->
+      t.batch_cursor <- t.batch_cursor + 1;
+      Sim.Stats.Counter.incr t.counters "telemetry.reported";
+      Obs.Registry.incr Obs.Registry.default "proxy.telemetry.reported";
+      let op = Op.Telemetry { origin = t.name; cursor = t.batch_cursor; readings } in
+      ignore (Prime.Client.submit t.client ~op:(Op.encode op))
+
 let handle_dnp3_response t bytes =
   match Plc.Dnp3.decode_response bytes with
   | { Plc.Dnp3.body = Plc.Dnp3.Events events; _ } ->
@@ -145,6 +208,7 @@ let handle_dnp3_response t bytes =
           | None -> ())
         bits;
       submit_changes t (List.rev !changes)
+  | { Plc.Dnp3.body = Plc.Dnp3.Analog_data values; _ } -> handle_analog_data t values
   | { Plc.Dnp3.body = Plc.Dnp3.Operate_ack { success; _ }; _ } ->
       Sim.Stats.Counter.incr t.counters
         (if success then "operate.acked" else "operate.failed")
@@ -203,7 +267,9 @@ let start t ~poll_period =
     ];
   integrity_poll t
 
-let reset_reporting t = Array.fill t.last_known 0 (Array.length t.last_known) None
+let reset_reporting t =
+  Array.fill t.last_known 0 (Array.length t.last_known) None;
+  Array.fill t.last_analog 0 (Array.length t.last_analog) None
 
 let stop t =
   List.iter (Sim.Engine.cancel_timer t.engine) t.timers;

@@ -8,7 +8,12 @@ type t
 (** The UDP port the proxy's DNP3 master answers on. *)
 val dnp3_local_port : int
 
+(** [analog_names] are the measurement points served by the RTU's
+    analog image, in DNP3 analog point index order; when non-empty the
+    event poll also reads analogs and ships dead-band-filtered changes
+    as Telemetry ops. *)
 val create :
+  ?analog_names:string list ->
   engine:Sim.Engine.t ->
   trace:Sim.Trace.t ->
   keystore:Crypto.Signature.keystore ->
@@ -28,6 +33,12 @@ val counters : t -> Sim.Stats.Counter.t
     is actuated on the device — exactly once per decided key. Chaos
     invariant checks use it to assert at-most-once actuation. *)
 val set_on_actuate : t -> (key:string -> breaker:string -> close:bool -> unit) -> unit
+
+(** FDIA hook: rewrite the polled analog image (name, value) before
+    dead-band filtering and submission. [None] restores honesty. The
+    binary (breaker) path is not affected — which is exactly what makes
+    the attack invisible to breaker-state invariants. *)
+val set_analog_rewrite : t -> ((string * int) list -> (string * int) list) option -> unit
 
 val handle_payload : t -> Netbase.Packet.payload -> unit
 

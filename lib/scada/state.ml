@@ -25,6 +25,13 @@ type breaker_state = {
   mutable last_change_exec : int; (* exec_seq of last status change *)
 }
 
+type telem_state = {
+  t_index : int; (* leaf slot in the telemetry tree, frozen at create *)
+  t_name : string;
+  mutable t_value : int; (* scaled signed reading; 0 until reported *)
+  mutable t_last_exec : int; (* exec_seq of last report (0 = never) *)
+}
+
 type t = {
   scenario : Plc.Power.scenario;
   breakers : (string, breaker_state) Hashtbl.t;
@@ -32,8 +39,11 @@ type t = {
   batch_cursors : (string, int) Hashtbl.t; (* origin proxy -> last applied batch cursor *)
   cursor_slots : string array; (* known origins ("proxy-<plc>"), sorted, frozen *)
   cursor_index : (string, int) Hashtbl.t; (* origin -> cursor-tree leaf slot *)
+  telemetry : (string, telem_state) Hashtbl.t;
+  telem_ordered : telem_state array; (* canonical name order, frozen at create *)
   mutable btree : Crypto.Merkle.tree;
   mutable ctree : Crypto.Merkle.tree;
+  mutable ttree : Crypto.Merkle.tree;
   mutable root : Crypto.Sha256.digest; (* cached combined root *)
   mutable root_hex : string option; (* lazy hex rendering of [root] *)
   mutable blob : string option; (* memoized canonical serialization *)
@@ -44,7 +54,7 @@ type t = {
   mutable n_serialize : int;
 }
 
-let format_version = 2
+let format_version = 3
 
 (* --- leaf encodings ---------------------------------------------------------
 
@@ -67,6 +77,14 @@ let cursor_leaf origin value =
   Wire.encode ~size_hint:(String.length origin + 12) (fun buf ->
       Wire.w_str buf origin;
       Wire.w_int buf value)
+
+let encode_telem_leaf name value exec =
+  Wire.encode ~size_hint:(String.length name + 20) (fun buf ->
+      Wire.w_str buf name;
+      Wire.w_int buf value;
+      Wire.w_int buf exec)
+
+let telem_leaf p = encode_telem_leaf p.t_name p.t_value p.t_last_exec
 
 let encode_extras extras =
   Wire.encode (fun buf ->
@@ -112,12 +130,23 @@ let build_ctree t =
   in
   Crypto.Merkle.build_of_leaf_hashes hashes
 
-(* The two subtree roots combine under their own domain separator, so a
+let build_ttree t =
+  let n = Array.length t.telem_ordered in
+  let hashes =
+    if n = 0 then [| Crypto.Merkle.leaf_hash "no-telemetry" |]
+    else Array.map (fun p -> Crypto.Merkle.leaf_hash (telem_leaf p)) t.telem_ordered
+  in
+  Crypto.Merkle.build_of_leaf_hashes hashes
+
+(* The subtree roots combine under their own domain separator, so a
    state root can never be confused with a bare Merkle root or a leaf. *)
-let combine_roots broot croot = Crypto.Sha256.digest_list [ "\x04state-root"; broot; croot ]
+let combine_roots broot croot troot =
+  Crypto.Sha256.digest_list [ "\x04state-root"; broot; croot; troot ]
 
 let refresh_root t =
-  t.root <- combine_roots (Crypto.Merkle.tree_root t.btree) (Crypto.Merkle.tree_root t.ctree);
+  t.root <-
+    combine_roots (Crypto.Merkle.tree_root t.btree) (Crypto.Merkle.tree_root t.ctree)
+      (Crypto.Merkle.tree_root t.ttree);
   t.root_hex <- None
 
 (* Full O(n) rebuild: create, load, reset. The steady-state path never
@@ -125,6 +154,7 @@ let refresh_root t =
 let rebuild t =
   t.btree <- build_btree t;
   t.ctree <- build_ctree t;
+  t.ttree <- build_ttree t;
   refresh_root t;
   t.blob <- None;
   t.n_digest_recompute <- t.n_digest_recompute + 1;
@@ -145,6 +175,11 @@ let touch_cursor t origin =
   | None ->
       Crypto.Merkle.set_leaf_hash t.ctree (Array.length t.cursor_slots)
         (Crypto.Merkle.leaf_hash (extras_blob t)));
+  refresh_root t;
+  t.blob <- None
+
+let touch_telem t p =
+  Crypto.Merkle.set_leaf_hash t.ttree p.t_index (Crypto.Merkle.leaf_hash (telem_leaf p));
   refresh_root t;
   t.blob <- None
 
@@ -177,6 +212,19 @@ let create scenario =
   let cursor_slots = Array.of_list origins in
   let cursor_index = Hashtbl.create 16 in
   Array.iteri (fun i o -> Hashtbl.replace cursor_index o i) cursor_slots;
+  (* Telemetry slots: the electrical overlay's measurement points,
+     sorted, frozen at create — derived deterministically from the
+     scenario so every replica freezes the same slots. *)
+  let telemetry = Hashtbl.create 64 in
+  let telem_ordered =
+    Array.of_list
+      (List.mapi
+         (fun i name ->
+           let p = { t_index = i; t_name = name; t_value = 0; t_last_exec = 0 } in
+           Hashtbl.replace telemetry name p;
+           p)
+         (Power.Model.point_names (Power.Model.of_scenario scenario)))
+  in
   let placeholder = Crypto.Merkle.build_of_leaf_hashes [| Crypto.Merkle.leaf_hash "" |] in
   let t =
     {
@@ -186,8 +234,11 @@ let create scenario =
       batch_cursors = Hashtbl.create 16;
       cursor_slots;
       cursor_index;
+      telemetry;
+      telem_ordered;
       btree = placeholder;
       ctree = placeholder;
+      ttree = placeholder;
       root = Crypto.Sha256.digest "";
       root_hex = None;
       blob = None;
@@ -257,6 +308,29 @@ let apply_changes t ~exec_seq op =
                if apply_status t ~exec_seq ~name ~closed then (name, closed) :: acc else acc)
              [] reports)
       end
+  | Op.Telemetry { origin; cursor; readings } ->
+      (* Telemetry shares the origin's monotone batch cursor, so a stale
+         measurement aggregate can never overwrite fresher readings.
+         Unknown point names are deterministic no-ops, like unknown
+         breakers. Reported points record the exec_seq even when the
+         value is unchanged: [t_last_exec > 0] is the "ever reported"
+         mark consumers (the state estimator) key off. *)
+      let last = Option.value ~default:0 (Hashtbl.find_opt t.batch_cursors origin) in
+      if cursor <= last then []
+      else begin
+        Hashtbl.replace t.batch_cursors origin cursor;
+        touch_cursor t origin;
+        List.iter
+          (fun (name, v) ->
+            match Hashtbl.find_opt t.telemetry name with
+            | Some p ->
+                p.t_value <- v;
+                p.t_last_exec <- exec_seq;
+                touch_telem t p
+            | None -> ())
+          readings;
+        []
+      end
 
 let apply t ~exec_seq op = apply_changes t ~exec_seq op <> []
 
@@ -265,6 +339,39 @@ let batch_cursor t origin =
 
 let energized t =
   Plc.Power.energized t.scenario ~is_closed:(fun name -> reported_closed t name)
+
+(* Tri-state energization: path segments through breakers this state does
+   not know (cross-shard feeds) are [`Unknown] rather than conflated
+   with de-energized — unless a known-open breaker already proves the
+   load dark. *)
+let energized_tri t =
+  List.map
+    (fun (feed : Plc.Power.feed) ->
+      let state =
+        List.fold_left
+          (fun acc name ->
+            match (acc, Hashtbl.find_opt t.breakers name) with
+            | `De_energized, _ -> `De_energized
+            | _, Some b when not b.reported_closed -> `De_energized
+            | `Unknown, _ -> `Unknown
+            | `Energized, Some _ -> `Energized
+            | `Energized, None -> `Unknown)
+          `Energized feed.path
+      in
+      (feed.load_name, state))
+    t.scenario.Plc.Power.feeds
+
+(* Scaled reading for a measurement point; [None] until a proxy's
+   telemetry first reports it (and for names outside the frozen slots). *)
+let telemetry_value t name =
+  match Hashtbl.find_opt t.telemetry name with
+  | Some p when p.t_last_exec > 0 -> Some p.t_value
+  | _ -> None
+
+(* Reported points with values, in the frozen canonical order. *)
+let telemetry_points t =
+  Array.to_list t.telem_ordered
+  |> List.filter_map (fun p -> if p.t_last_exec > 0 then Some (p.t_name, p.t_value) else None)
 
 (* --- digest ----------------------------------------------------------------- *)
 
@@ -289,10 +396,12 @@ let digest t =
 let recompute_digest t =
   let btree = build_btree t in
   let ctree = build_ctree t in
+  let ttree = build_ttree t in
   t.n_digest_recompute <- t.n_digest_recompute + 1;
   Obs.Registry.incr Obs.Registry.default "scada.digest.recompute";
   Crypto.Sha256.to_hex
-    (combine_roots (Crypto.Merkle.tree_root btree) (Crypto.Merkle.tree_root ctree))
+    (combine_roots (Crypto.Merkle.tree_root btree) (Crypto.Merkle.tree_root ctree)
+       (Crypto.Merkle.tree_root ttree))
 
 let stats t = (t.n_digest_cached, t.n_digest_recompute, t.n_serialize)
 
@@ -329,7 +438,24 @@ let serialize t =
               (fun (o, c) ->
                 Wire.w_str buf o;
                 Wire.w_int buf c)
-              cursors)
+              cursors;
+            (* Telemetry: only reported points ride the blob (the frozen
+               order is the sorted name order, so this stays canonical);
+               absent points are the never-reported default. *)
+            let reported =
+              Array.fold_left
+                (fun acc p -> if p.t_last_exec > 0 then acc + 1 else acc)
+                0 t.telem_ordered
+            in
+            Wire.w_u32 buf reported;
+            Array.iter
+              (fun p ->
+                if p.t_last_exec > 0 then begin
+                  Wire.w_str buf p.t_name;
+                  Wire.w_int buf p.t_value;
+                  Wire.w_int buf p.t_last_exec
+                end)
+              t.telem_ordered)
       in
       t.blob <- Some s;
       s
@@ -370,8 +496,21 @@ let parse_blob t blob =
       prev_o := origin;
       cursors := (origin, c) :: !cursors
     done;
+    let nt = Wire.r_u32 r in
+    let telems = ref [] in
+    let prev_t = ref "" in
+    for i = 1 to nt do
+      let name = Wire.r_str r in
+      let v = Wire.r_int r in
+      let exec = Wire.r_int r in
+      if exec < 1 then raise (Bad "bad telemetry exec");
+      if i > 1 && String.compare !prev_t name >= 0 then raise (Bad "telemetry not sorted");
+      if not (Hashtbl.mem t.telemetry name) then raise (Bad ("unknown telemetry point " ^ name));
+      prev_t := name;
+      telems := (name, v, exec) :: !telems
+    done;
     if not (Wire.at_end r) then raise (Bad "trailing bytes");
-    (List.rev !entries, List.rev !cursors)
+    (List.rev !entries, List.rev !cursors, List.rev !telems)
   with
   | parsed -> Ok parsed
   | exception Bad e -> Error e
@@ -385,7 +524,7 @@ let parse_blob t blob =
 let load t blob =
   match parse_blob t blob with
   | Error _ as e -> e
-  | Ok (entries, cursors) ->
+  | Ok (entries, cursors, telems) ->
       Array.iter
         (fun b ->
           b.reported_closed <- true;
@@ -401,6 +540,17 @@ let load t blob =
         entries;
       Hashtbl.reset t.batch_cursors;
       List.iter (fun (origin, c) -> Hashtbl.replace t.batch_cursors origin c) cursors;
+      Array.iter
+        (fun p ->
+          p.t_value <- 0;
+          p.t_last_exec <- 0)
+        t.telem_ordered;
+      List.iter
+        (fun (name, v, exec) ->
+          let p = Hashtbl.find t.telemetry name in
+          p.t_value <- v;
+          p.t_last_exec <- exec)
+        telems;
       rebuild t;
       Ok ()
 
@@ -411,7 +561,7 @@ let load t blob =
 let root_of_blob t blob =
   match parse_blob t blob with
   | Error _ as e -> e
-  | Ok (entries, cursors) ->
+  | Ok (entries, cursors, telems) ->
       let n = Array.length t.ordered in
       let flags = Array.make n 3 (* defaults: reported + commanded closed *) in
       let execs = Array.make n 0 in
@@ -441,10 +591,25 @@ let root_of_blob t blob =
               Crypto.Merkle.leaf_hash
                 (encode_extras (List.filter (fun (o, _) -> not (Hashtbl.mem t.cursor_index o)) cursors)))
       in
+      let ttbl = Hashtbl.create 16 in
+      List.iter (fun (name, v, exec) -> Hashtbl.replace ttbl name (v, exec)) telems;
+      let nt = Array.length t.telem_ordered in
+      let tl =
+        if nt = 0 then [| Crypto.Merkle.leaf_hash "no-telemetry" |]
+        else
+          Array.map
+            (fun p ->
+              let v, exec =
+                Option.value ~default:(0, 0) (Hashtbl.find_opt ttbl p.t_name)
+              in
+              Crypto.Merkle.leaf_hash (encode_telem_leaf p.t_name v exec))
+            t.telem_ordered
+      in
       Ok
         (combine_roots
            (Crypto.Merkle.tree_root (Crypto.Merkle.build_of_leaf_hashes bl))
-           (Crypto.Merkle.tree_root (Crypto.Merkle.build_of_leaf_hashes cl)))
+           (Crypto.Merkle.tree_root (Crypto.Merkle.build_of_leaf_hashes cl))
+           (Crypto.Merkle.tree_root (Crypto.Merkle.build_of_leaf_hashes tl)))
 
 (* Ground-truth reset (Section III-A): wipe to defaults; the proxies'
    next polling round repopulates from the field devices. *)
@@ -456,5 +621,10 @@ let reset t =
       b.last_change_exec <- 0)
     t.ordered;
   Hashtbl.reset t.batch_cursors;
+  Array.iter
+    (fun p ->
+      p.t_value <- 0;
+      p.t_last_exec <- 0)
+    t.telem_ordered;
   t.ops_applied <- 0;
   rebuild t

@@ -35,6 +35,19 @@ val batch_cursor : t -> string -> int
 (** Energized loads given the reported breaker positions. *)
 val energized : t -> (string * bool) list
 
+(** Tri-state energization: feeds whose path crosses breakers this state
+    does not track (cross-shard segments) report [`Unknown] instead of
+    being conflated with de-energized; a known-open breaker still proves
+    [`De_energized]. *)
+val energized_tri : t -> (string * [ `Energized | `De_energized | `Unknown ]) list
+
+(** Scaled reading for a measurement point; [None] until first reported
+    (and for names outside the frozen telemetry slots). *)
+val telemetry_value : t -> string -> int option
+
+(** Reported measurement points with values, canonical name order. *)
+val telemetry_points : t -> (string * int) list
+
 (** Canonical binary blob (Wire-encoded, breakers in the frozen name
     order). Memoized: repeated calls between mutations return the same
     string without re-encoding. *)

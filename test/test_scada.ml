@@ -278,14 +278,15 @@ let test_state_load_full_replacement () =
     (Scada.State.apply_changes s ~exec_seq:3
        (Scada.Op.Batch { origin = "proxy-M"; cursor = 5; reports = [] }));
   (* Hand-built smaller blob: version, one breaker entry (A open at exec
-     7), no cursors. *)
+     7), no cursors, no reported telemetry. *)
   let small =
     Wire.encode (fun b ->
-        Wire.w_u8 b 2;
+        Wire.w_u8 b 3;
         Wire.w_u32 b 1;
         Wire.w_str b "A";
         Wire.w_u8 b 2 (* reported open, commanded closed *);
         Wire.w_int b 7;
+        Wire.w_u32 b 0;
         Wire.w_u32 b 0)
   in
   (match Scada.State.load s small with
